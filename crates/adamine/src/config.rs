@@ -1,0 +1,227 @@
+//! Model and training configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Gradient-aggregation strategy over the triplets of a mini-batch (§3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// AdaMine's adaptive mining: normalise by the number of *active*
+    /// (loss-violating) triplets β′ (Eq. 4–5). An automatic curriculum from
+    /// averaging to hard-negative mining.
+    Adaptive,
+    /// The common practice the paper ablates (`AdaMine_avg`): average over
+    /// *all* triplets, active or not — gradients vanish late in training.
+    Average,
+}
+
+/// Which parts of the recipe text the model consumes (the `AdaMine_ingr` /
+/// `AdaMine_instr` ablations of Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TextMode {
+    /// Ingredients and instructions (the full model).
+    Full,
+    /// Ingredient list only.
+    IngredientsOnly,
+    /// Instruction sentences only.
+    InstructionsOnly,
+}
+
+/// The loss family a scenario trains with.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// Triplet-based (AdaMine family).
+    Triplet {
+        /// Include the semantic triplet loss `L_sem` (Eq. 3).
+        semantic: bool,
+        /// Replace `L_sem` by the classification head of Salvador et al.
+        /// (`AdaMine_ins+cls`).
+        classification: bool,
+    },
+    /// Pairwise contrastive (PWC\* / PWC++, Eq. 6), always with the
+    /// classification head as in Salvador et al.
+    Pairwise {
+        /// Positive margin α_pos (0 reproduces PWC\*, 0.3 gives PWC++).
+        pos_margin: f32,
+        /// Negative margin α_neg (0.9 in the paper).
+        neg_margin: f32,
+    },
+}
+
+/// Architecture dimensions. Defaults follow DESIGN.md's `default` scale —
+/// the paper-scale values are in the doc comments.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Shared latent dimensionality (paper: 1024).
+    pub latent_dim: usize,
+    /// word2vec embedding dimensionality (paper: 300).
+    pub word_dim: usize,
+    /// Hidden size of the bidirectional ingredient LSTM (output is 2×).
+    pub ingr_hidden: usize,
+    /// Frozen sentence-feature dimensionality (skip-thought stand-in;
+    /// paper: 2400 skip-thought).
+    pub sent_feat_dim: usize,
+    /// Hidden size of the sentence-level instruction LSTM.
+    pub sent_hidden: usize,
+    /// Hidden width of the trainable image adapter (the fine-tunable "top
+    /// of ResNet-50" stand-in).
+    pub adapter_hidden: usize,
+    /// Which text inputs are wired in.
+    pub text_mode: TextMode,
+    /// Classes for the optional classification head (0 = no head).
+    pub n_classes: usize,
+    /// Cap on ingredient tokens fed to the LSTM.
+    pub max_ingredients: usize,
+    /// Cap on instruction sentences fed to the LSTM.
+    pub max_sentences: usize,
+    /// Parameter-init seed.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            latent_dim: 64,
+            word_dim: 32,
+            ingr_hidden: 48,
+            sent_feat_dim: 32,
+            sent_hidden: 48,
+            adapter_hidden: 128,
+            text_mode: TextMode::Full,
+            n_classes: 0,
+            max_ingredients: 12,
+            max_sentences: 8,
+            seed: 23,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// A miniature configuration for tests.
+    pub fn tiny() -> Self {
+        Self {
+            latent_dim: 24,
+            word_dim: 16,
+            ingr_hidden: 16,
+            sent_feat_dim: 16,
+            sent_hidden: 16,
+            adapter_hidden: 32,
+            max_ingredients: 6,
+            max_sentences: 4,
+            ..Self::default()
+        }
+    }
+}
+
+/// Training-loop hyper-parameters (§4.4).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Total epochs (paper: 80).
+    pub epochs: usize,
+    /// Epochs with the image backbone adapter frozen (paper: 20).
+    pub freeze_epochs: usize,
+    /// Pairs per mini-batch (paper: 100).
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 1e-4; larger here because the models are
+    /// far smaller).
+    pub lr: f32,
+    /// Triplet margin α (paper: 0.3, cross-validated over 0.1–1).
+    pub margin: f32,
+    /// Semantic-loss weight λ (paper: 0.3).
+    pub lambda: f32,
+    /// Classification-head weight for the `_ins+cls` / PWC scenarios.
+    /// Salvador et al.'s released im2recipe implementation uses 0.02 for
+    /// its semantic-regularisation branch; cross-entropy at λ-scale (0.3)
+    /// overwhelms the metric losses.
+    pub cls_weight: f32,
+    /// Adaptive vs. average aggregation.
+    pub strategy: Strategy,
+    /// Loss family.
+    pub loss: LossKind,
+    /// Validation pairs used for per-epoch model selection (subsampled for
+    /// speed; the paper uses the full 51k validation set).
+    pub val_subset: usize,
+    /// Word2vec pretraining epochs.
+    pub w2v_epochs: usize,
+    /// Run seed (batching, negative subsampling, val sampling).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            freeze_epochs: 7,
+            batch_size: 100,
+            lr: 1e-3,
+            margin: 0.3,
+            lambda: 0.3,
+            cls_weight: 0.02,
+            strategy: Strategy::Adaptive,
+            loss: LossKind::Triplet { semantic: true, classification: false },
+            val_subset: 500,
+            w2v_epochs: 4,
+            seed: 37,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A configuration small enough for unit tests (minutes → seconds).
+    pub fn for_scale_tiny() -> Self {
+        Self {
+            epochs: 8,
+            freeze_epochs: 1,
+            batch_size: 40,
+            val_subset: 120,
+            w2v_epochs: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics on nonsense (zero epochs, odd batch, margin ≤ 0 …).
+    pub fn validate(&self) {
+        assert!(self.epochs >= 1, "epochs must be positive");
+        assert!(self.freeze_epochs <= self.epochs, "freeze phase longer than training");
+        assert!(self.batch_size >= 4 && self.batch_size.is_multiple_of(2), "bad batch size");
+        assert!(self.lr > 0.0, "bad learning rate");
+        assert!(self.margin > 0.0, "margin must be positive");
+        assert!(self.lambda >= 0.0, "lambda must be non-negative");
+        if let LossKind::Pairwise { pos_margin, neg_margin } = self.loss {
+            assert!(
+                pos_margin >= 0.0 && neg_margin > pos_margin,
+                "pairwise margins must satisfy 0 <= pos < neg"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        TrainConfig::default().validate();
+        TrainConfig::for_scale_tiny().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "freeze phase")]
+    fn rejects_overlong_freeze() {
+        let cfg = TrainConfig { freeze_epochs: 100, ..Default::default() };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise margins")]
+    fn rejects_inverted_margins() {
+        let cfg = TrainConfig {
+            loss: LossKind::Pairwise { pos_margin: 0.9, neg_margin: 0.3 },
+            ..Default::default()
+        };
+        cfg.validate();
+    }
+}

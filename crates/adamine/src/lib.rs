@@ -1,0 +1,45 @@
+//! # cmr-adamine
+//!
+//! The paper's contribution: **AdaMine** (ADAptive MINing Embedding), a
+//! double-triplet cross-modal metric-learning framework with adaptive
+//! informative-triplet mining (§3).
+//!
+//! * [`model`] — the two-branch network (§3.2.1): an image branch (frozen
+//!   CNN features → trainable adapter → projection) and a recipe branch
+//!   (bi-LSTM over word2vec ingredient embeddings ∥ sentence-level LSTM over
+//!   frozen sentence features → projection), meeting in a shared latent
+//!   space compared by cosine distance.
+//! * [`losses`] — the instance triplet loss `L_ins` (Eq. 2), the semantic
+//!   triplet loss `L_sem` (Eq. 3), the adaptive update normalisation
+//!   `δ_adm` (Eq. 4–5) against the plain averaging strategy, plus the
+//!   pairwise PWC/PWC++ baselines (Eq. 6) and the classification head of
+//!   Salvador et al. used by `AdaMine_ins+cls`.
+//! * [`scenario`] — every named model variant from Tables 1 and 3.
+//! * [`trainer`] — the §4.4 training loop: Adam, two-phase freeze schedule,
+//!   100-pair batches (50 unlabeled + 50 labeled), model selection by
+//!   validation MedR.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use cmr_adamine::{Scenario, TrainConfig, Trainer};
+//! use cmr_data::{DataConfig, Dataset, Scale};
+//!
+//! let dataset = Dataset::generate(&DataConfig::for_scale(Scale::Tiny));
+//! let cfg = TrainConfig::for_scale_tiny();
+//! let trained = Trainer::new(Scenario::AdaMine, cfg).run(&dataset);
+//! let (imgs, recs) = trained.embed_split(&dataset, cmr_data::Split::Test);
+//! ```
+
+pub mod config;
+pub mod losses;
+pub mod model;
+pub mod precompute;
+pub mod scenario;
+pub mod trainer;
+
+pub use config::{LossKind, ModelConfig, Strategy, TextMode, TrainConfig};
+pub use model::{BatchInputs, TwoBranchModel};
+pub use precompute::{RecipeFeatures, SentenceFeaturizer};
+pub use scenario::Scenario;
+pub use trainer::{EpochStats, TrainedModel, Trainer};

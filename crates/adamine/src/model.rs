@@ -1,0 +1,358 @@
+//! The two-branch embedding network (§3.2.1).
+
+use crate::config::{ModelConfig, TextMode};
+use crate::precompute::RecipeFeatures;
+use cmr_data::Dataset;
+use cmr_nn::{Bindings, BiLstm, Embedding, Linear, Lstm, ParamStore};
+use cmr_tensor::{Graph, NodeId, TensorData};
+use cmr_word2vec::{vocab::PAD, WordVectors};
+use rand::SeedableRng;
+
+/// One mini-batch of aligned image/recipe inputs, already tensorised.
+///
+/// Sequences are stored *time-major* (one entry per timestep holding the
+/// whole batch) because that is the layout the LSTM consumes; per-row true
+/// lengths drive the masking.
+pub struct BatchInputs {
+    /// `(B, image_dim)` frozen CNN features.
+    pub image_feats: TensorData,
+    /// Ingredient token ids: `ingr_steps[t][b]` (PAD beyond a row's length).
+    pub ingr_steps: Vec<Vec<usize>>,
+    /// True ingredient counts per row (≥ 1).
+    pub ingr_lengths: Vec<usize>,
+    /// Frozen sentence features per timestep: `(B, sent_dim)` each.
+    pub sent_steps: Vec<TensorData>,
+    /// True sentence counts per row (≥ 1).
+    pub sent_lengths: Vec<usize>,
+}
+
+impl BatchInputs {
+    /// Gathers a batch for dataset pair ids.
+    ///
+    /// # Panics
+    /// Panics if `ids` is empty.
+    pub fn gather(dataset: &Dataset, feats: &RecipeFeatures, ids: &[usize]) -> Self {
+        assert!(!ids.is_empty(), "BatchInputs::gather: empty batch");
+        let image_rows: Vec<&[f32]> = ids.iter().map(|&i| dataset.image(i)).collect();
+        let ingr: Vec<&[usize]> =
+            ids.iter().map(|&i| feats.ingr_tokens[i].as_slice()).collect();
+        let sents: Vec<&[Vec<f32>]> =
+            ids.iter().map(|&i| feats.sent_feats[i].as_slice()).collect();
+        Self::from_parts(&image_rows, &ingr, &sents, feats.sent_dim)
+    }
+
+    /// Builds a batch from raw parts (used for out-of-dataset queries like
+    /// the ingredient-to-image task).
+    ///
+    /// # Panics
+    /// Panics on empty inputs or mismatched row counts.
+    pub fn from_parts(
+        image_rows: &[&[f32]],
+        ingr_lists: &[&[usize]],
+        sent_lists: &[&[Vec<f32>]],
+        sent_dim: usize,
+    ) -> Self {
+        let b = image_rows.len();
+        assert!(b > 0, "BatchInputs::from_parts: empty batch");
+        assert_eq!(ingr_lists.len(), b, "BatchInputs: ingredient rows mismatch");
+        assert_eq!(sent_lists.len(), b, "BatchInputs: sentence rows mismatch");
+
+        let img_dim = image_rows[0].len();
+        let mut image_feats = TensorData::zeros(b, img_dim);
+        for (r, row) in image_rows.iter().enumerate() {
+            image_feats.row_mut(r).copy_from_slice(row);
+        }
+
+        let ingr_lengths: Vec<usize> =
+            ingr_lists.iter().map(|l| l.len().max(1)).collect();
+        let t_ingr = ingr_lengths.iter().copied().max().unwrap_or(1);
+        let mut ingr_steps = vec![vec![PAD; b]; t_ingr];
+        for (r, list) in ingr_lists.iter().enumerate() {
+            for (t, &tok) in list.iter().enumerate() {
+                ingr_steps[t][r] = tok;
+            }
+        }
+
+        let sent_lengths: Vec<usize> =
+            sent_lists.iter().map(|l| l.len().max(1)).collect();
+        let t_sent = sent_lengths.iter().copied().max().unwrap_or(1);
+        let mut sent_steps = vec![TensorData::zeros(b, sent_dim); t_sent];
+        for (r, list) in sent_lists.iter().enumerate() {
+            for (t, feat) in list.iter().enumerate() {
+                sent_steps[t].row_mut(r).copy_from_slice(feat);
+            }
+        }
+
+        Self { image_feats, ingr_steps, ingr_lengths, sent_steps, sent_lengths }
+    }
+
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.image_feats.rows
+    }
+
+    /// `true` for an empty batch (cannot be constructed, kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.image_feats.rows == 0
+    }
+}
+
+/// The dual network: image branch and recipe branch meeting in the shared
+/// latent space.
+///
+/// * Image branch: frozen CNN features → trainable adapter (`image.adapter`,
+///   frozen for the first training phase like the paper's ResNet-50) →
+///   projection (`image.proj`) → latent.
+/// * Recipe branch: bi-LSTM over frozen word2vec ingredient embeddings
+///   (`recipe.ingr`) ∥ sentence-level LSTM over frozen sentence features
+///   (`recipe.instr`) → concat → projection (`recipe.proj`) → latent.
+///
+/// Embeddings are *not* normalised here — the losses and the retrieval code
+/// L2-normalise, matching the paper's cosine-distance comparisons.
+pub struct TwoBranchModel {
+    /// All trainable parameters.
+    pub store: ParamStore,
+    cfg: ModelConfig,
+    word_emb: Embedding,
+    ingr_lstm: BiLstm,
+    sent_lstm: Lstm,
+    adapter: Linear,
+    img_proj: Linear,
+    rec_proj: Linear,
+    cls_head: Option<Linear>,
+}
+
+impl TwoBranchModel {
+    /// Builds the model; `word_vectors` are installed as a frozen embedding
+    /// table (§3.2.1: pretrained word2vec, not fine-tuned).
+    ///
+    /// # Panics
+    /// Panics if the word-vector dimensionality disagrees with the config.
+    pub fn new(cfg: &ModelConfig, word_vectors: &WordVectors, image_dim: usize) -> Self {
+        assert_eq!(cfg.word_dim, word_vectors.dim, "TwoBranchModel: word dim mismatch");
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+
+        let table = TensorData::new(
+            word_vectors.vocab(),
+            word_vectors.dim,
+            word_vectors.data.clone(),
+        );
+        let word_emb = Embedding::from_pretrained(&mut store, "recipe.words", table);
+        store.set_frozen(word_emb.table(), true);
+
+        let ingr_lstm = BiLstm::new(&mut store, &mut rng, "recipe.ingr", cfg.word_dim, cfg.ingr_hidden);
+        let sent_lstm =
+            Lstm::new(&mut store, &mut rng, "recipe.instr", cfg.sent_feat_dim, cfg.sent_hidden);
+
+        let text_dim = match cfg.text_mode {
+            TextMode::Full => 2 * cfg.ingr_hidden + cfg.sent_hidden,
+            TextMode::IngredientsOnly => 2 * cfg.ingr_hidden,
+            TextMode::InstructionsOnly => cfg.sent_hidden,
+        };
+        let rec_proj = Linear::new(&mut store, &mut rng, "recipe.proj", text_dim, cfg.latent_dim);
+
+        let adapter = Linear::new(&mut store, &mut rng, "image.adapter", image_dim, cfg.adapter_hidden);
+        let img_proj = Linear::new(&mut store, &mut rng, "image.proj", cfg.adapter_hidden, cfg.latent_dim);
+
+        let cls_head = (cfg.n_classes > 0)
+            .then(|| Linear::new(&mut store, &mut rng, "head.cls", cfg.latent_dim, cfg.n_classes));
+
+        Self {
+            store,
+            cfg: cfg.clone(),
+            word_emb,
+            ingr_lstm,
+            sent_lstm,
+            adapter,
+            img_proj,
+            rec_proj,
+            cls_head,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Freezes / unfreezes the image backbone adapter — the paper's
+    /// two-phase schedule (§4.4: ResNet-50 frozen for 20 epochs, then
+    /// fine-tuned).
+    pub fn set_backbone_frozen(&mut self, frozen: bool) {
+        self.store.set_frozen_by_prefix("image.adapter", frozen);
+    }
+
+    /// Forward pass for a batch: returns `(image_embeddings,
+    /// recipe_embeddings)` nodes, both `(B, latent_dim)`, unnormalised.
+    pub fn forward_batch(
+        &self,
+        g: &mut Graph,
+        binds: &mut Bindings,
+        inputs: &BatchInputs,
+    ) -> (NodeId, NodeId) {
+        // ---- image branch ----
+        let x = g.leaf(inputs.image_feats.clone(), false);
+        let a = self.adapter.forward(g, binds, &self.store, x);
+        let a = g.tanh(a);
+        let img = self.img_proj.forward(g, binds, &self.store, a);
+
+        // ---- recipe branch ----
+        let text = match self.cfg.text_mode {
+            TextMode::Full => {
+                let ingr = self.encode_ingredients(g, binds, inputs);
+                let instr = self.encode_instructions(g, binds, inputs);
+                g.concat_cols(ingr, instr)
+            }
+            TextMode::IngredientsOnly => self.encode_ingredients(g, binds, inputs),
+            TextMode::InstructionsOnly => self.encode_instructions(g, binds, inputs),
+        };
+        let rec = self.rec_proj.forward(g, binds, &self.store, text);
+        (img, rec)
+    }
+
+    fn encode_ingredients(
+        &self,
+        g: &mut Graph,
+        binds: &mut Bindings,
+        inputs: &BatchInputs,
+    ) -> NodeId {
+        let steps: Vec<NodeId> = inputs
+            .ingr_steps
+            .iter()
+            .map(|tokens| self.word_emb.forward(g, binds, &self.store, tokens))
+            .collect();
+        self.ingr_lstm.forward_seq(g, binds, &self.store, &steps, &inputs.ingr_lengths)
+    }
+
+    fn encode_instructions(
+        &self,
+        g: &mut Graph,
+        binds: &mut Bindings,
+        inputs: &BatchInputs,
+    ) -> NodeId {
+        let steps: Vec<NodeId> =
+            inputs.sent_steps.iter().map(|s| g.leaf(s.clone(), false)).collect();
+        self.sent_lstm.forward_seq(g, binds, &self.store, &steps, &inputs.sent_lengths, false)
+    }
+
+    /// Classification logits for a batch of latent embeddings.
+    ///
+    /// # Panics
+    /// Panics if the model was built without a classification head.
+    pub fn classify(&self, g: &mut Graph, binds: &mut Bindings, emb: NodeId) -> NodeId {
+        let head = self
+            .cls_head
+            .as_ref()
+            .expect("TwoBranchModel::classify: model has no classification head");
+        head.forward(g, binds, &self.store, emb)
+    }
+
+    /// `true` when the model carries a classification head.
+    pub fn has_head(&self) -> bool {
+        self.cls_head.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmr_data::{DataConfig, Scale, Split};
+    use cmr_word2vec::SgnsConfig;
+
+    fn setup(text_mode: TextMode, n_classes: usize) -> (Dataset, TwoBranchModel, RecipeFeatures) {
+        let d = Dataset::generate(&DataConfig::for_scale(Scale::Tiny));
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mcfg = ModelConfig { text_mode, n_classes, ..ModelConfig::tiny() };
+        let wv = cmr_word2vec::train(
+            &d.word2vec_corpus(),
+            d.world.vocab.len(),
+            &SgnsConfig { dim: mcfg.word_dim, epochs: 1, ..Default::default() },
+            &mut rng,
+        );
+        let fz = crate::precompute::SentenceFeaturizer::new(&mut rng, mcfg.word_dim, mcfg.sent_feat_dim);
+        let feats = RecipeFeatures::build(&d, &wv, &fz, mcfg.max_ingredients, mcfg.max_sentences);
+        let model = TwoBranchModel::new(&mcfg, &wv, d.image_dim);
+        (d, model, feats)
+    }
+
+    #[test]
+    fn forward_shapes_for_all_text_modes() {
+        for mode in [TextMode::Full, TextMode::IngredientsOnly, TextMode::InstructionsOnly] {
+            let (d, model, feats) = setup(mode, 0);
+            let ids: Vec<usize> = d.split_range(Split::Train).take(6).collect();
+            let batch = BatchInputs::gather(&d, &feats, &ids);
+            let mut g = Graph::new();
+            let mut binds = Bindings::new();
+            let (img, rec) = model.forward_batch(&mut g, &mut binds, &batch);
+            assert_eq!(g.value(img).shape(), (6, model.config().latent_dim), "{mode:?}");
+            assert_eq!(g.value(rec).shape(), (6, model.config().latent_dim), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn frozen_backbone_gets_no_grads() {
+        let (d, mut model, feats) = setup(TextMode::Full, 0);
+        model.set_backbone_frozen(true);
+        let ids: Vec<usize> = d.split_range(Split::Train).take(4).collect();
+        let batch = BatchInputs::gather(&d, &feats, &ids);
+        let mut g = Graph::new();
+        let mut binds = Bindings::new();
+        let (img, rec) = model.forward_batch(&mut g, &mut binds, &batch);
+        let s = g.add(img, rec);
+        let sq = g.mul(s, s);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        let adapter_w = model.store.by_name("image.adapter.w").unwrap();
+        let proj_w = model.store.by_name("image.proj.w").unwrap();
+        let got_adapter = binds.iter().find(|(p, _)| *p == adapter_w).unwrap().1;
+        let got_proj = binds.iter().find(|(p, _)| *p == proj_w).unwrap().1;
+        assert!(g.grad(got_adapter).is_none(), "frozen adapter got a grad");
+        assert!(g.grad(got_proj).is_some(), "projection must still train");
+        // word embeddings always frozen
+        let words = model.store.by_name("recipe.words.table").unwrap();
+        assert!(model.store.is_frozen(words));
+    }
+
+    #[test]
+    fn head_only_when_requested() {
+        let (_, m0, _) = setup(TextMode::Full, 0);
+        assert!(!m0.has_head());
+        let (d, m1, feats) = setup(TextMode::Full, 8);
+        assert!(m1.has_head());
+        // logits shape
+        let ids: Vec<usize> = d.split_range(Split::Train).take(3).collect();
+        let batch = BatchInputs::gather(&d, &feats, &ids);
+        let mut g = Graph::new();
+        let mut binds = Bindings::new();
+        let (img, _) = m1.forward_batch(&mut g, &mut binds, &batch);
+        let logits = m1.classify(&mut g, &mut binds, img);
+        assert_eq!(g.value(logits).shape(), (3, 8));
+    }
+
+    #[test]
+    fn semantic_head_saves_parameters() {
+        // The paper's argument: the semantic loss injects class structure
+        // with zero extra parameters, while a classification head costs
+        // latent_dim × classes (+bias) — ~1M at paper scale.
+        let (_, no_head, _) = setup(TextMode::Full, 0);
+        let (_, with_head, _) = setup(TextMode::Full, 8);
+        let diff = with_head.store.num_scalars() - no_head.store.num_scalars();
+        assert_eq!(diff, no_head.config().latent_dim * 8 + 8);
+    }
+
+    #[test]
+    fn variable_length_batch_is_handled() {
+        let (d, model, feats) = setup(TextMode::Full, 0);
+        // mix short and long recipes deliberately
+        let mut ids: Vec<usize> = d.split_range(Split::Train).take(8).collect();
+        ids.sort_by_key(|&i| feats.ingr_tokens[i].len());
+        let batch = BatchInputs::gather(&d, &feats, &ids);
+        assert!(batch.ingr_lengths.iter().any(|&l| l != batch.ingr_lengths[0]));
+        let mut g = Graph::new();
+        let mut binds = Bindings::new();
+        let (_, rec) = model.forward_batch(&mut g, &mut binds, &batch);
+        assert!(g.value(rec).data.iter().all(|v| v.is_finite()));
+    }
+}

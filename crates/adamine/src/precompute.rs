@@ -1,0 +1,192 @@
+//! Frozen text features, computed once per dataset.
+//!
+//! Two pieces of the paper's recipe branch are *not* trained end-to-end
+//! (§3.2.1): the word2vec embeddings and the skip-thought word level of the
+//! instruction encoder. Freezing means their outputs are constants, so we
+//! precompute them for the whole dataset once instead of re-running them on
+//! every batch — the same optimisation the reference PyTorch implementation
+//! makes.
+
+use cmr_data::{Dataset, Recipe};
+use cmr_word2vec::WordVectors;
+use rand::Rng;
+
+/// The frozen sentence featuriser standing in for pretrained skip-thought
+/// vectors: `tanh(P · positional-weighted-mean(word2vec(tokens)))` with a
+/// fixed random projection `P`.
+///
+/// Position weighting (`1/(1+t)`) keeps the feature sensitive to token
+/// order, which a plain mean would destroy — mirroring that skip-thought
+/// encodes order too.
+pub struct SentenceFeaturizer {
+    proj: Vec<f32>,
+    in_dim: usize,
+    /// Output dimensionality.
+    pub out_dim: usize,
+}
+
+impl SentenceFeaturizer {
+    /// Samples the fixed projection.
+    pub fn new(rng: &mut impl Rng, word_dim: usize, out_dim: usize) -> Self {
+        let std = (1.0 / word_dim as f64).sqrt() as f32;
+        let proj = (0..word_dim * out_dim)
+            .map(|_| {
+                // Box–Muller
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32 * std
+            })
+            .collect();
+        Self { proj, in_dim: word_dim, out_dim }
+    }
+
+    /// Features for one sentence of token ids. Empty sentences map to the
+    /// zero vector.
+    ///
+    /// # Panics
+    /// Panics if the word-vector dimensionality differs from `word_dim`.
+    pub fn featurize(&self, sentence: &[usize], wv: &WordVectors) -> Vec<f32> {
+        assert_eq!(wv.dim, self.in_dim, "SentenceFeaturizer: word dim mismatch");
+        let mut mean = vec![0.0f32; self.in_dim];
+        let mut wsum = 0.0f32;
+        for (t, &tok) in sentence.iter().enumerate() {
+            let w = 1.0 / (1.0 + t as f32);
+            wsum += w;
+            for (m, &v) in mean.iter_mut().zip(wv.vector(tok)) {
+                *m += w * v;
+            }
+        }
+        if wsum > 0.0 {
+            for m in &mut mean {
+                *m /= wsum;
+            }
+        }
+        let mut out = vec![0.0f32; self.out_dim];
+        for (i, &mi) in mean.iter().enumerate() {
+            if mi == 0.0 {
+                continue;
+            }
+            let row = &self.proj[i * self.out_dim..(i + 1) * self.out_dim];
+            for (o, &p) in out.iter_mut().zip(row) {
+                *o += mi * p;
+            }
+        }
+        for o in &mut out {
+            *o = o.tanh();
+        }
+        out
+    }
+}
+
+/// Per-recipe frozen features for the whole dataset: capped ingredient
+/// token lists and per-sentence features.
+pub struct RecipeFeatures {
+    /// Ingredient token ids, capped at `max_ingredients`, one list per
+    /// recipe (dataset order).
+    pub ingr_tokens: Vec<Vec<usize>>,
+    /// Frozen sentence features, capped at `max_sentences`.
+    pub sent_feats: Vec<Vec<Vec<f32>>>,
+    /// Sentence feature dimensionality.
+    pub sent_dim: usize,
+}
+
+impl RecipeFeatures {
+    /// Precomputes features for every recipe in the dataset.
+    pub fn build(
+        dataset: &Dataset,
+        wv: &WordVectors,
+        featurizer: &SentenceFeaturizer,
+        max_ingredients: usize,
+        max_sentences: usize,
+    ) -> Self {
+        let mut ingr_tokens = Vec::with_capacity(dataset.len());
+        let mut sent_feats = Vec::with_capacity(dataset.len());
+        for r in &dataset.recipes {
+            ingr_tokens.push(Self::cap_ingredients(r, max_ingredients));
+            sent_feats.push(Self::featurize_recipe(r, wv, featurizer, max_sentences));
+        }
+        Self { ingr_tokens, sent_feats, sent_dim: featurizer.out_dim }
+    }
+
+    /// The capped ingredient token list of a single (possibly modified)
+    /// recipe — used to featurise out-of-dataset queries (Tables 4–5).
+    pub fn cap_ingredients(recipe: &Recipe, max_ingredients: usize) -> Vec<usize> {
+        let mut toks = recipe.ingredient_tokens.clone();
+        toks.truncate(max_ingredients.max(1));
+        if toks.is_empty() {
+            toks.push(cmr_word2vec::vocab::PAD);
+        }
+        toks
+    }
+
+    /// Frozen sentence features of a single recipe.
+    pub fn featurize_recipe(
+        recipe: &Recipe,
+        wv: &WordVectors,
+        featurizer: &SentenceFeaturizer,
+        max_sentences: usize,
+    ) -> Vec<Vec<f32>> {
+        let mut feats: Vec<Vec<f32>> = recipe
+            .instructions
+            .iter()
+            .take(max_sentences.max(1))
+            .map(|s| featurizer.featurize(s, wv))
+            .collect();
+        if feats.is_empty() {
+            feats.push(vec![0.0; featurizer.out_dim]);
+        }
+        feats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmr_data::{DataConfig, Scale};
+    use cmr_word2vec::SgnsConfig;
+    use rand::SeedableRng;
+
+    fn setup() -> (Dataset, WordVectors, SentenceFeaturizer) {
+        let d = Dataset::generate(&DataConfig::for_scale(Scale::Tiny));
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let wv = cmr_word2vec::train(
+            &d.word2vec_corpus(),
+            d.world.vocab.len(),
+            &SgnsConfig { dim: 16, epochs: 1, ..Default::default() },
+            &mut rng,
+        );
+        let f = SentenceFeaturizer::new(&mut rng, 16, 16);
+        (d, wv, f)
+    }
+
+    #[test]
+    fn featurizer_is_order_sensitive_and_bounded() {
+        let (_, wv, f) = setup();
+        let a = f.featurize(&[1, 2, 3], &wv);
+        let b = f.featurize(&[3, 2, 1], &wv);
+        assert_ne!(a, b, "positional weighting must distinguish order");
+        assert!(a.iter().all(|v| v.abs() <= 1.0), "tanh bounds outputs");
+        assert_eq!(f.featurize(&[], &wv), vec![0.0; 16]);
+    }
+
+    #[test]
+    fn build_covers_dataset_with_caps() {
+        let (d, wv, f) = setup();
+        let feats = RecipeFeatures::build(&d, &wv, &f, 4, 3);
+        assert_eq!(feats.ingr_tokens.len(), d.len());
+        assert!(feats.ingr_tokens.iter().all(|t| !t.is_empty() && t.len() <= 4));
+        assert!(feats.sent_feats.iter().all(|s| !s.is_empty() && s.len() <= 3));
+        assert_eq!(feats.sent_dim, 16);
+    }
+
+    #[test]
+    fn deterministic_featurization() {
+        let (d, wv, _) = setup();
+        let mut r1 = rand::rngs::SmallRng::seed_from_u64(9);
+        let mut r2 = rand::rngs::SmallRng::seed_from_u64(9);
+        let f1 = SentenceFeaturizer::new(&mut r1, 16, 8);
+        let f2 = SentenceFeaturizer::new(&mut r2, 16, 8);
+        let s = &d.recipes[0].instructions[0];
+        assert_eq!(f1.featurize(s, &wv), f2.featurize(s, &wv));
+    }
+}

@@ -1,0 +1,154 @@
+//! The named model variants of Tables 1 and 3.
+
+use crate::config::{LossKind, ModelConfig, Strategy, TextMode, TrainConfig};
+use serde::{Deserialize, Serialize};
+
+/// Every trainable scenario evaluated in the paper (§4.3).
+///
+/// `CCA` and `Random` are handled outside this enum (closed-form / no
+/// model); everything here goes through the same [`Trainer`](crate::Trainer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Full model: instance + semantic triplet losses, adaptive mining.
+    AdaMine,
+    /// Instance (retrieval) triplet loss only.
+    AdaMineIns,
+    /// Semantic triplet loss only.
+    AdaMineSem,
+    /// Instance triplet loss + classification head (the Salvador et al. way
+    /// of injecting class information).
+    AdaMineInsCls,
+    /// Full losses but plain gradient averaging instead of adaptive mining.
+    AdaMineAvg,
+    /// Full model reading only the ingredient list.
+    AdaMineIngr,
+    /// Full model reading only the instructions.
+    AdaMineInstr,
+    /// Extension (the paper's stated future work, §6): a second semantic
+    /// triplet level over class *super-groups* with a doubled margin,
+    /// enforcing a coarse-to-fine hierarchy in the latent space.
+    AdaMineHier,
+    /// Our reimplementation of Salvador et al.'s pairwise loss +
+    /// classification head (PWC\*).
+    PwcStar,
+    /// PWC\* with the positive margin of Hu et al. (PWC++).
+    PwcPlusPlus,
+}
+
+impl Scenario {
+    /// All scenarios, in Table-3 presentation order.
+    pub const ALL: [Scenario; 9] = [
+        Scenario::PwcStar,
+        Scenario::PwcPlusPlus,
+        Scenario::AdaMineSem,
+        Scenario::AdaMineIns,
+        Scenario::AdaMineInsCls,
+        Scenario::AdaMineAvg,
+        Scenario::AdaMineIngr,
+        Scenario::AdaMineInstr,
+        Scenario::AdaMine,
+    ];
+
+    /// The display name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::AdaMine => "AdaMine",
+            Scenario::AdaMineIns => "AdaMine_ins",
+            Scenario::AdaMineSem => "AdaMine_sem",
+            Scenario::AdaMineInsCls => "AdaMine_ins+cls",
+            Scenario::AdaMineAvg => "AdaMine_avg",
+            Scenario::AdaMineIngr => "AdaMine_ingr",
+            Scenario::AdaMineInstr => "AdaMine_instr",
+            Scenario::AdaMineHier => "AdaMine_hier",
+            Scenario::PwcStar => "PWC*",
+            Scenario::PwcPlusPlus => "PWC++",
+        }
+    }
+
+    /// Applies this scenario's loss/strategy settings to a base training
+    /// configuration (margins, λ, epochs etc. are preserved).
+    pub fn apply_to(self, mut cfg: TrainConfig) -> TrainConfig {
+        cfg.strategy = match self {
+            Scenario::AdaMineAvg => Strategy::Average,
+            _ => Strategy::Adaptive,
+        };
+        cfg.loss = match self {
+            Scenario::AdaMine | Scenario::AdaMineAvg | Scenario::AdaMineIngr
+            | Scenario::AdaMineInstr | Scenario::AdaMineHier => {
+                LossKind::Triplet { semantic: true, classification: false }
+            }
+            Scenario::AdaMineIns => LossKind::Triplet { semantic: false, classification: false },
+            Scenario::AdaMineSem => LossKind::Triplet { semantic: true, classification: false },
+            Scenario::AdaMineInsCls => {
+                LossKind::Triplet { semantic: false, classification: true }
+            }
+            Scenario::PwcStar => LossKind::Pairwise { pos_margin: 0.0, neg_margin: 0.9 },
+            Scenario::PwcPlusPlus => LossKind::Pairwise { pos_margin: 0.3, neg_margin: 0.9 },
+        };
+        cfg
+    }
+
+    /// `true` when the instance loss is disabled (the `AdaMine_sem`
+    /// ablation keeps only `L_sem`).
+    pub fn semantic_only(self) -> bool {
+        self == Scenario::AdaMineSem
+    }
+
+    /// `true` when the super-group semantic level is enabled.
+    pub fn hierarchical(self) -> bool {
+        self == Scenario::AdaMineHier
+    }
+
+    /// Applies this scenario's architecture settings (text mode, optional
+    /// classification head) to a base model configuration.
+    pub fn apply_to_model(self, mut cfg: ModelConfig, n_classes: usize) -> ModelConfig {
+        cfg.text_mode = match self {
+            Scenario::AdaMineIngr => TextMode::IngredientsOnly,
+            Scenario::AdaMineInstr => TextMode::InstructionsOnly,
+            _ => TextMode::Full,
+        };
+        cfg.n_classes = match self {
+            Scenario::AdaMineInsCls | Scenario::PwcStar | Scenario::PwcPlusPlus => n_classes,
+            _ => 0,
+        };
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Scenario::AdaMine.name(), "AdaMine");
+        assert_eq!(Scenario::AdaMineInsCls.name(), "AdaMine_ins+cls");
+        assert_eq!(Scenario::PwcStar.name(), "PWC*");
+    }
+
+    #[test]
+    fn avg_scenario_switches_strategy_only() {
+        let base = TrainConfig::default();
+        let avg = Scenario::AdaMineAvg.apply_to(base.clone());
+        let full = Scenario::AdaMine.apply_to(base);
+        assert_eq!(avg.strategy, Strategy::Average);
+        assert_eq!(full.strategy, Strategy::Adaptive);
+        assert_eq!(avg.loss, full.loss, "avg ablation changes only aggregation");
+    }
+
+    #[test]
+    fn cls_scenarios_get_heads() {
+        let m = Scenario::AdaMineInsCls.apply_to_model(ModelConfig::default(), 24);
+        assert_eq!(m.n_classes, 24);
+        let m = Scenario::AdaMine.apply_to_model(ModelConfig::default(), 24);
+        assert_eq!(m.n_classes, 0, "semantic loss needs no head parameters");
+    }
+
+    #[test]
+    fn text_ablations_change_mode() {
+        let m = Scenario::AdaMineIngr.apply_to_model(ModelConfig::default(), 0);
+        assert_eq!(m.text_mode, TextMode::IngredientsOnly);
+        let m = Scenario::AdaMineInstr.apply_to_model(ModelConfig::default(), 0);
+        assert_eq!(m.text_mode, TextMode::InstructionsOnly);
+    }
+}

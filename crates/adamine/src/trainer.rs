@@ -1,0 +1,464 @@
+//! The training loop (§4.4) and the trained-model inference API.
+
+use crate::config::{LossKind, ModelConfig, TrainConfig};
+use crate::losses;
+use crate::model::{BatchInputs, TwoBranchModel};
+use crate::precompute::{RecipeFeatures, SentenceFeaturizer};
+use crate::scenario::Scenario;
+use cmr_data::{BatchSampler, Dataset, Recipe, Split};
+use cmr_nn::{serialize, Adam, Bindings};
+use cmr_retrieval::{median_rank, ranks_of_matches, Embeddings};
+use cmr_tensor::Graph;
+use cmr_word2vec::{SgnsConfig, WordVectors};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Per-epoch training statistics.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub mean_loss: f64,
+    /// Validation median rank (mean of both directions) — the model
+    /// selection criterion.
+    pub val_medr: f64,
+    /// Fraction of instance triplets still active — the adaptive-mining
+    /// curriculum signal (starts near 1, decays as constraints are
+    /// satisfied).
+    pub active_fraction: f64,
+}
+
+/// Drives one scenario's training run end to end: word2vec pretraining,
+/// frozen-feature precomputation, the two-phase freeze schedule, and model
+/// selection by validation MedR.
+pub struct Trainer {
+    scenario: Scenario,
+    tcfg: TrainConfig,
+    mcfg: ModelConfig,
+    quiet: bool,
+}
+
+impl Trainer {
+    /// Creates a trainer for a scenario with default model dimensions.
+    pub fn new(scenario: Scenario, tcfg: TrainConfig) -> Self {
+        Self { scenario, tcfg, mcfg: ModelConfig::default(), quiet: false }
+    }
+
+    /// Overrides the architecture configuration.
+    pub fn with_model_config(mut self, mcfg: ModelConfig) -> Self {
+        self.mcfg = mcfg;
+        self
+    }
+
+    /// Suppresses per-epoch progress lines on stderr.
+    pub fn quiet(mut self) -> Self {
+        self.quiet = true;
+        self
+    }
+
+    /// Runs the full §4.4 pipeline and returns the best-validation model.
+    pub fn run(&self, dataset: &Dataset) -> TrainedModel {
+        let tcfg = self.scenario.apply_to(self.tcfg.clone());
+        tcfg.validate();
+        let n_classes = dataset.world.config().n_classes;
+        let mcfg = self.scenario.apply_to_model(self.mcfg.clone(), n_classes);
+
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(tcfg.seed);
+
+        // 1. word2vec pretraining on the training corpus (§3.2.1).
+        let w2v_cfg = SgnsConfig {
+            dim: mcfg.word_dim,
+            epochs: tcfg.w2v_epochs,
+            ..Default::default()
+        };
+        let wv = cmr_word2vec::train(
+            &dataset.word2vec_corpus(),
+            dataset.world.vocab.len(),
+            &w2v_cfg,
+            &mut rng,
+        );
+
+        // 2. frozen text features.
+        let featurizer = SentenceFeaturizer::new(&mut rng, mcfg.word_dim, mcfg.sent_feat_dim);
+        let feats =
+            RecipeFeatures::build(dataset, &wv, &featurizer, mcfg.max_ingredients, mcfg.max_sentences);
+
+        // 3. model + optimiser, backbone frozen for phase one.
+        let mut model = TwoBranchModel::new(&mcfg, &wv, dataset.image_dim);
+        model.set_backbone_frozen(tcfg.freeze_epochs > 0);
+        let mut adam = Adam::new(tcfg.lr);
+
+        // 4. fixed validation subset for model selection.
+        let mut val_ids: Vec<usize> = dataset.split_range(Split::Val).collect();
+        val_ids.shuffle(&mut rng);
+        val_ids.truncate(tcfg.val_subset.max(10).min(val_ids.len()));
+
+        let mut sampler = BatchSampler::new(dataset, Split::Train, tcfg.batch_size);
+        let mut stats = Vec::with_capacity(tcfg.epochs);
+        let mut best: Option<(f64, usize, bytes::Bytes)> = None;
+
+        for epoch in 0..tcfg.epochs {
+            if epoch == tcfg.freeze_epochs {
+                model.set_backbone_frozen(false);
+            }
+            let mut loss_sum = 0.0f64;
+            let mut loss_n = 0usize;
+            let mut active_sum = 0.0f64;
+            let mut active_n = 0usize;
+
+            for _ in 0..sampler.batches_per_epoch() {
+                let ids = sampler.next_batch(&mut rng);
+                let labels: Vec<Option<usize>> =
+                    ids.iter().map(|&i| dataset.recipes[i].label).collect();
+                let inputs = BatchInputs::gather(dataset, &feats, &ids);
+
+                let mut g = Graph::new();
+                let mut binds = Bindings::new();
+                let (img, rec) = model.forward_batch(&mut g, &mut binds, &inputs);
+                let d_ir = losses::cosine_distance_matrix(&mut g, img, rec);
+                let d_ri = losses::cosine_distance_matrix(&mut g, rec, img);
+
+                let mut total = None;
+                match tcfg.loss {
+                    LossKind::Triplet { semantic, classification } => {
+                        if !self.scenario.semantic_only() {
+                            let a = losses::instance_hinge(&mut g, d_ir, tcfg.margin);
+                            let b = losses::instance_hinge(&mut g, d_ri, tcfg.margin);
+                            active_sum += (a.active + b.active) as f64
+                                / (a.total + b.total).max(1) as f64;
+                            active_n += 1;
+                            total = losses::combine_directions(&mut g, a, b, tcfg.strategy);
+                        }
+                        if semantic {
+                            let sem_ir = losses::semantic_masks(&labels, &mut rng);
+                            let sem_ri = losses::semantic_masks(&labels, &mut rng);
+                            if let (Some((p1, n1)), Some((p2, n2))) = (sem_ir, sem_ri) {
+                                let a = losses::semantic_hinge(&mut g, d_ir, &p1, &n1, tcfg.margin);
+                                let b = losses::semantic_hinge(&mut g, d_ri, &p2, &n2, tcfg.margin);
+                                if let Some(sem) =
+                                    losses::combine_directions(&mut g, a, b, tcfg.strategy)
+                                {
+                                    let weighted = g.scale(sem, tcfg.lambda);
+                                    total = Some(match total {
+                                        Some(t) => g.add(t, weighted),
+                                        None => weighted,
+                                    });
+                                }
+                            }
+                        }
+                        if self.scenario.hierarchical() {
+                            // Future-work extension: a coarser semantic level
+                            // over class super-groups, with a doubled margin
+                            // (groups must separate further than classes) at
+                            // half the semantic weight.
+                            let groups: Vec<Option<usize>> = labels
+                                .iter()
+                                .map(|l| l.map(|c| dataset.world.class_group(c)))
+                                .collect();
+                            let g_ir = losses::semantic_masks(&groups, &mut rng);
+                            let g_ri = losses::semantic_masks(&groups, &mut rng);
+                            if let (Some((p1, n1)), Some((p2, n2))) = (g_ir, g_ri) {
+                                let margin = 2.0 * tcfg.margin;
+                                let a = losses::semantic_hinge(&mut g, d_ir, &p1, &n1, margin);
+                                let b = losses::semantic_hinge(&mut g, d_ri, &p2, &n2, margin);
+                                if let Some(hier) =
+                                    losses::combine_directions(&mut g, a, b, tcfg.strategy)
+                                {
+                                    let weighted = g.scale(hier, 0.5 * tcfg.lambda);
+                                    total = Some(match total {
+                                        Some(t) => g.add(t, weighted),
+                                        None => weighted,
+                                    });
+                                }
+                            }
+                        }
+                        if classification {
+                            let cls = self.classification_term(&mut g, &mut binds, &model, img, rec, &labels);
+                            let weighted = g.scale(cls, tcfg.cls_weight);
+                            total = Some(match total {
+                                Some(t) => g.add(t, weighted),
+                                None => weighted,
+                            });
+                        }
+                    }
+                    LossKind::Pairwise { pos_margin, neg_margin } => {
+                        let pw = losses::pairwise_loss(&mut g, d_ir, pos_margin, neg_margin);
+                        let cls = self.classification_term(&mut g, &mut binds, &model, img, rec, &labels);
+                        let weighted = g.scale(cls, tcfg.cls_weight);
+                        total = Some(g.add(pw, weighted));
+                    }
+                }
+
+                if let Some(loss) = total {
+                    loss_sum += g.value(loss).scalar() as f64;
+                    loss_n += 1;
+                    g.backward(loss);
+                    adam.step(&mut model.store, &g, &binds);
+                }
+            }
+
+            // model selection on validation MedR
+            let (vi, vr) = embed_ids(&model, dataset, &feats, &val_ids);
+            let medr = val_medr(&vi, &vr);
+            let mean_loss = if loss_n > 0 { loss_sum / loss_n as f64 } else { 0.0 };
+            let active_fraction =
+                if active_n > 0 { active_sum / active_n as f64 } else { 0.0 };
+            stats.push(EpochStats { epoch, mean_loss, val_medr: medr, active_fraction });
+            if !self.quiet {
+                eprintln!(
+                    "[{}] epoch {epoch:>2}: loss {mean_loss:.4}  val MedR {medr:.1}  active {:.0}%",
+                    self.scenario.name(),
+                    active_fraction * 100.0
+                );
+            }
+            if best.as_ref().is_none_or(|(m, _, _)| medr < *m) {
+                best = Some((medr, epoch, serialize::save_params(&model.store)));
+            }
+        }
+
+        // restore the best-validation checkpoint (§4.4 model selection)
+        let (best_val_medr, best_epoch, blob) = best.expect("at least one epoch");
+        serialize::load_params(&mut model.store, &blob).expect("own checkpoint reloads");
+
+        TrainedModel {
+            scenario: self.scenario,
+            model,
+            wv,
+            featurizer,
+            feats,
+            epochs: stats,
+            best_val_medr,
+            best_epoch,
+        }
+    }
+
+    fn classification_term(
+        &self,
+        g: &mut Graph,
+        binds: &mut Bindings,
+        model: &TwoBranchModel,
+        img: cmr_tensor::NodeId,
+        rec: cmr_tensor::NodeId,
+        labels: &[Option<usize>],
+    ) -> cmr_tensor::NodeId {
+        let targets = losses::cls_targets(labels);
+        let li = model.classify(g, binds, img);
+        let ce_i = g.softmax_cross_entropy(li, targets.clone());
+        let lr = model.classify(g, binds, rec);
+        let ce_r = g.softmax_cross_entropy(lr, targets);
+        let s = g.add(ce_i, ce_r);
+        g.scale(s, 0.5)
+    }
+}
+
+fn embed_ids(
+    model: &TwoBranchModel,
+    dataset: &Dataset,
+    feats: &RecipeFeatures,
+    ids: &[usize],
+) -> (Embeddings, Embeddings) {
+    let dim = model.config().latent_dim;
+    let mut imgs = Embeddings::with_capacity(dim, ids.len());
+    let mut recs = Embeddings::with_capacity(dim, ids.len());
+    for chunk in ids.chunks(128) {
+        let inputs = BatchInputs::gather(dataset, feats, chunk);
+        let mut g = Graph::new();
+        let mut binds = Bindings::new();
+        let (img, rec) = model.forward_batch(&mut g, &mut binds, &inputs);
+        let iv = g.value(img);
+        let rv = g.value(rec);
+        for r in 0..chunk.len() {
+            imgs.push(iv.row(r));
+            recs.push(rv.row(r));
+        }
+    }
+    (imgs, recs)
+}
+
+fn val_medr(imgs: &Embeddings, recs: &Embeddings) -> f64 {
+    let i = imgs.l2_normalized();
+    let r = recs.l2_normalized();
+    let m1 = median_rank(&ranks_of_matches(&i, &r));
+    let m2 = median_rank(&ranks_of_matches(&r, &i));
+    (m1 + m2) / 2.0
+}
+
+/// A trained scenario: the model plus everything needed to embed arbitrary
+/// recipes and images (word vectors, sentence featuriser, cached dataset
+/// features) and the training history.
+pub struct TrainedModel {
+    /// Which scenario produced this model.
+    pub scenario: Scenario,
+    /// The network with its best-validation parameters restored.
+    pub model: TwoBranchModel,
+    /// The pretrained word vectors (frozen).
+    pub wv: WordVectors,
+    /// The frozen sentence featuriser.
+    pub featurizer: SentenceFeaturizer,
+    /// Cached frozen features for the whole dataset.
+    pub feats: RecipeFeatures,
+    /// Per-epoch statistics.
+    pub epochs: Vec<EpochStats>,
+    /// Best validation MedR (the selected checkpoint's score).
+    pub best_val_medr: f64,
+    /// Epoch of the selected checkpoint.
+    pub best_epoch: usize,
+}
+
+impl TrainedModel {
+    /// Embeds the pairs with the given dataset ids. Returns raw
+    /// (unnormalised) `(image, recipe)` embeddings, row-aligned with `ids`.
+    pub fn embed_ids(&self, dataset: &Dataset, ids: &[usize]) -> (Embeddings, Embeddings) {
+        embed_ids(&self.model, dataset, &self.feats, ids)
+    }
+
+    /// Embeds a whole split.
+    pub fn embed_split(&self, dataset: &Dataset, split: Split) -> (Embeddings, Embeddings) {
+        let ids: Vec<usize> = dataset.split_range(split).collect();
+        self.embed_ids(dataset, &ids)
+    }
+
+    /// Embeds an arbitrary (possibly modified or hand-built) recipe through
+    /// the text branch. Used by the ingredient-to-image and
+    /// removing-ingredients tasks (Tables 4–5).
+    pub fn embed_recipe(&self, recipe: &Recipe) -> Vec<f32> {
+        let mcfg = self.model.config();
+        let ingr = RecipeFeatures::cap_ingredients(recipe, mcfg.max_ingredients);
+        let sents =
+            RecipeFeatures::featurize_recipe(recipe, &self.wv, &self.featurizer, mcfg.max_sentences);
+        self.embed_recipe_parts(&ingr, &sents)
+    }
+
+    /// Embeds a recipe given raw parts: capped ingredient tokens and frozen
+    /// sentence features (e.g. the mean training-set instruction feature
+    /// used by the ingredient-to-image protocol, §5.3).
+    pub fn embed_recipe_parts(&self, ingr_tokens: &[usize], sent_feats: &[Vec<f32>]) -> Vec<f32> {
+        let img_dim = self.model.store.value(
+            self.model.store.by_name("image.adapter.w").expect("adapter"),
+        ).rows;
+        let dummy_img = vec![0.0f32; img_dim];
+        let inputs = BatchInputs::from_parts(
+            &[&dummy_img],
+            &[ingr_tokens],
+            &[sent_feats],
+            self.feats.sent_dim,
+        );
+        let mut g = Graph::new();
+        let mut binds = Bindings::new();
+        let (_, rec) = self.model.forward_batch(&mut g, &mut binds, &inputs);
+        g.value(rec).row(0).to_vec()
+    }
+
+    /// Embeds raw frozen-CNN image features through the image branch.
+    pub fn embed_image(&self, image_feats: &[f32]) -> Vec<f32> {
+        let pad = cmr_word2vec::vocab::PAD;
+        let sent = vec![vec![0.0f32; self.feats.sent_dim]];
+        let inputs = BatchInputs::from_parts(
+            &[image_feats],
+            &[&[pad]],
+            &[&sent],
+            self.feats.sent_dim,
+        );
+        let mut g = Graph::new();
+        let mut binds = Bindings::new();
+        let (img, _) = self.model.forward_batch(&mut g, &mut binds, &inputs);
+        g.value(img).row(0).to_vec()
+    }
+
+    /// The mean frozen instruction-sentence feature over the training split
+    /// — the paper's stand-in instruction for single-ingredient queries
+    /// (§5.3, *Ingredient To Image*).
+    pub fn mean_instruction_feature(&self, dataset: &Dataset) -> Vec<f32> {
+        let mut mean = vec![0.0f32; self.feats.sent_dim];
+        let mut n = 0usize;
+        for i in dataset.split_range(Split::Train) {
+            for s in &self.feats.sent_feats[i] {
+                for (m, &v) in mean.iter_mut().zip(s) {
+                    *m += v;
+                }
+                n += 1;
+            }
+        }
+        if n > 0 {
+            for m in &mut mean {
+                *m /= n as f32;
+            }
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmr_data::{DataConfig, Scale};
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::generate(&DataConfig::for_scale(Scale::Tiny))
+    }
+
+    fn tiny_trainer(s: Scenario) -> Trainer {
+        Trainer::new(s, TrainConfig::for_scale_tiny())
+            .with_model_config(ModelConfig::tiny())
+            .quiet()
+    }
+
+    /// Training the full AdaMine model on the tiny world must beat random
+    /// retrieval by a wide margin — the end-to-end smoke test.
+    #[test]
+    fn adamine_learns_to_retrieve() {
+        let d = tiny_dataset();
+        let trained = tiny_trainer(Scenario::AdaMine).run(&d);
+        // random would give MedR ≈ val_subset/2 = 60
+        assert!(
+            trained.best_val_medr < 25.0,
+            "val MedR {} after training",
+            trained.best_val_medr
+        );
+        assert_eq!(trained.epochs.len(), 8);
+        // adaptive curriculum: the active fraction must decay
+        let first = trained.epochs.first().unwrap().active_fraction;
+        let last = trained.epochs.last().unwrap().active_fraction;
+        assert!(last < first, "active triplets should decay: {first} → {last}");
+    }
+
+    /// The classification-head scenario must build a head and still learn.
+    #[test]
+    fn ins_cls_scenario_trains_with_head() {
+        let d = tiny_dataset();
+        let trained = tiny_trainer(Scenario::AdaMineInsCls).run(&d);
+        assert!(trained.model.has_head());
+        assert!(trained.best_val_medr < 30.0, "val MedR {}", trained.best_val_medr);
+    }
+
+    /// The hierarchical extension trains and retrieves.
+    #[test]
+    fn hierarchical_scenario_trains() {
+        let d = tiny_dataset();
+        let trained = tiny_trainer(Scenario::AdaMineHier).run(&d);
+        assert!(
+            trained.best_val_medr < 30.0,
+            "AdaMine_hier val MedR {}",
+            trained.best_val_medr
+        );
+    }
+
+    /// Embedding helpers agree with the batched pathway.
+    #[test]
+    fn single_recipe_embedding_matches_batched() {
+        let d = tiny_dataset();
+        let trained = tiny_trainer(Scenario::AdaMineIns).run(&d);
+        let ids = [3usize, 7];
+        let (imgs, recs) = trained.embed_ids(&d, &ids);
+        let solo_rec = trained.embed_recipe(&d.recipes[3]);
+        let solo_img = trained.embed_image(d.image(7));
+        for (a, b) in recs.vector(0).iter().zip(&solo_rec) {
+            assert!((a - b).abs() < 1e-4, "recipe path diverged");
+        }
+        for (a, b) in imgs.vector(1).iter().zip(&solo_img) {
+            assert!((a - b).abs() < 1e-4, "image path diverged");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Benchmarks of the paper's losses on a realistic 100-pair batch:
+//! instance hinge, semantic hinge (with mask construction), pairwise
+//! PWC++, and the adaptive-vs-average aggregation overhead.
+
+use cmr_adamine::losses;
+use cmr_adamine::Strategy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use cmr_tensor::{init, Graph};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup_dist(g: &mut Graph) -> cmr_tensor::NodeId {
+    let mut r = rand::rngs::SmallRng::seed_from_u64(2);
+    let img = g.leaf(init::normal(&mut r, 100, 64, 1.0), true);
+    let rec = g.leaf(init::normal(&mut r, 100, 64, 1.0), true);
+    losses::cosine_distance_matrix(g, img, rec)
+}
+
+fn labels() -> Vec<Option<usize>> {
+    // paper batch: 50 unlabeled + 50 labeled over a handful of classes
+    let mut l = vec![None; 50];
+    for i in 0..50 {
+        l.push(Some(i / 2 % 12));
+    }
+    l
+}
+
+fn bench_losses(c: &mut Criterion) {
+    c.bench_function("instance_hinge_100", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let d = setup_dist(&mut g);
+            let a = losses::instance_hinge(&mut g, d, 0.3);
+            let b = losses::instance_hinge(&mut g, d, 0.3);
+            let l = losses::combine_directions(&mut g, a, b, Strategy::Adaptive);
+            black_box(l)
+        })
+    });
+
+    c.bench_function("semantic_hinge_100", |bench| {
+        let labels = labels();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let d = setup_dist(&mut g);
+            let (p, n) = losses::semantic_masks(&labels, &mut rng).expect("triplets");
+            let t = losses::semantic_hinge(&mut g, d, &p, &n, 0.3);
+            black_box(t.active)
+        })
+    });
+
+    c.bench_function("pairwise_pwcpp_100", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let d = setup_dist(&mut g);
+            black_box(losses::pairwise_loss(&mut g, d, 0.3, 0.9))
+        })
+    });
+
+    c.bench_function("semantic_mask_construction_100", |bench| {
+        let labels = labels();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        bench.iter(|| black_box(losses::semantic_masks(&labels, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_losses);
+criterion_main!(benches);

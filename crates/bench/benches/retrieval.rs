@@ -1,0 +1,62 @@
+//! Retrieval-side benchmarks: the bag-protocol rank computation, exact
+//! top-k search, and the IVF-Flat index (build, and search at different
+//! probe counts) — quantifying the exact-vs-approximate trade-off that
+//! motivates the index at Recipe1M scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cmr_retrieval::{ranks_of_matches, top_k, Embeddings, IvfIndex};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn gallery(n: usize, dim: usize, seed: u64) -> Embeddings {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    // clustered data (mixture of 32 centers), like a trained latent space
+    let centers: Vec<Vec<f32>> = (0..32)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let mut e = Embeddings::with_capacity(dim, n);
+    for i in 0..n {
+        let c = &centers[i % centers.len()];
+        let v: Vec<f32> = c.iter().map(|&x| x + rng.gen_range(-0.2..0.2)).collect();
+        e.push(&v);
+    }
+    e.l2_normalized()
+}
+
+fn bench_ranks(c: &mut Criterion) {
+    let q = gallery(1000, 64, 1);
+    let g = gallery(1000, 64, 2);
+    c.bench_function("ranks_of_matches_1k_x_1k_d64", |bench| {
+        bench.iter(|| black_box(ranks_of_matches(&q, &g)))
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let n = 4000;
+    let g = gallery(n, 64, 3);
+    let q: Vec<f32> = g.vector(17).to_vec();
+
+    c.bench_function("exact_top10_4k_d64", |bench| {
+        bench.iter(|| black_box(top_k(&g, &q, 10)))
+    });
+
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+    let index = IvfIndex::build(g.clone(), 32, 6, &mut rng);
+    let mut group = c.benchmark_group("ivf_top10_4k_d64");
+    for nprobe in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(nprobe), &nprobe, |bench, &p| {
+            bench.iter(|| black_box(index.search(&q, 10, p)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("ivf_build_4k_d64_32cells", |bench| {
+        bench.iter(|| {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+            black_box(IvfIndex::build(g.clone(), 32, 3, &mut rng))
+        })
+    });
+}
+
+criterion_group!(benches, bench_ranks, bench_search);
+criterion_main!(benches);

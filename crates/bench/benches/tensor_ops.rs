@@ -1,0 +1,70 @@
+//! Micro-benchmarks for the autodiff substrate: the matmul kernels that
+//! dominate training time, and a full forward+backward through the AdaMine
+//! loss-pipeline shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cmr_tensor::{init, matmul, Graph, TensorData};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn rng() -> rand::rngs::SmallRng {
+    rand::rngs::SmallRng::seed_from_u64(1)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &(m, k, n) in &[(100usize, 64usize, 64usize), (100, 256, 128), (256, 256, 256)] {
+        let mut r = rng();
+        let a = init::normal(&mut r, m, k, 1.0);
+        let b = init::normal(&mut r, k, n, 1.0);
+        group.bench_with_input(
+            BenchmarkId::new("a_b", format!("{m}x{k}x{n}")),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| black_box(matmul::matmul(a, b))),
+        );
+        let bt = init::normal(&mut r, n, k, 1.0);
+        group.bench_with_input(
+            BenchmarkId::new("a_bT", format!("{m}x{k}x{n}")),
+            &(&a, &bt),
+            |bench, (a, bt)| bench.iter(|| black_box(matmul::matmul_transb(a, bt))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_graph_roundtrip(c: &mut Criterion) {
+    // The shape of one loss pipeline on a 100-pair batch: normalise,
+    // similarity, hinge, mask, reduce — forward + backward.
+    let mut r = rng();
+    let img = init::normal(&mut r, 100, 64, 1.0);
+    let rec = init::normal(&mut r, 100, 64, 1.0);
+    let mut mask = TensorData::full(100, 100, 1.0);
+    for i in 0..100 {
+        mask.set(i, i, 0.0);
+    }
+    c.bench_function("loss_pipeline_fwd_bwd_100x64", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let a = g.leaf(img.clone(), true);
+            let b = g.leaf(rec.clone(), true);
+            let an = g.row_l2_normalize(a);
+            let bn = g.row_l2_normalize(b);
+            let sim = g.matmul_transb(an, bn);
+            let nd = g.scale(sim, -1.0);
+            let dist = g.add_scalar(nd, 1.0);
+            let dpos = g.diag_to_col(dist);
+            let neg = g.scale(dist, -1.0);
+            let sh = g.add_scalar(neg, 0.3);
+            let pre = g.add_col_broadcast(sh, dpos);
+            let hinge = g.relu(pre);
+            let mk = g.leaf(mask.clone(), false);
+            let masked = g.mul(hinge, mk);
+            let loss = g.sum_all(masked);
+            g.backward(loss);
+            black_box(g.grad(a).map(|t| t.data[0]))
+        })
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_graph_roundtrip);
+criterion_main!(benches);

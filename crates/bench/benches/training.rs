@@ -1,0 +1,113 @@
+//! End-to-end training-step benchmarks at tiny scale: one full
+//! forward+loss+backward+Adam step of the two-branch model, embedding
+//! inference throughput, and word2vec pretraining.
+
+use cmr_adamine::{
+    losses, BatchInputs, ModelConfig, RecipeFeatures, SentenceFeaturizer, Strategy,
+    TwoBranchModel,
+};
+use cmr_data::{BatchSampler, DataConfig, Dataset, Scale, Split};
+use cmr_nn::{Adam, Bindings};
+use cmr_tensor::Graph;
+use cmr_word2vec::SgnsConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+struct Fixture {
+    dataset: Dataset,
+    model: TwoBranchModel,
+    feats: RecipeFeatures,
+}
+
+fn fixture() -> Fixture {
+    let dataset = Dataset::generate(&DataConfig::for_scale(Scale::Tiny));
+    let mcfg = ModelConfig::tiny();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    let wv = cmr_word2vec::train(
+        &dataset.word2vec_corpus(),
+        dataset.world.vocab.len(),
+        &SgnsConfig { dim: mcfg.word_dim, epochs: 1, ..Default::default() },
+        &mut rng,
+    );
+    let fz = SentenceFeaturizer::new(&mut rng, mcfg.word_dim, mcfg.sent_feat_dim);
+    let feats = RecipeFeatures::build(&dataset, &wv, &fz, mcfg.max_ingredients, mcfg.max_sentences);
+    let model = TwoBranchModel::new(&mcfg, &wv, dataset.image_dim);
+    Fixture { dataset, model, feats }
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut fx = fixture();
+    let mut sampler = BatchSampler::new(&fx.dataset, Split::Train, 40);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+    let mut adam = Adam::new(1e-3);
+
+    c.bench_function("adamine_full_train_step_b40", |bench| {
+        bench.iter(|| {
+            let ids = sampler.next_batch(&mut rng);
+            let labels: Vec<Option<usize>> =
+                ids.iter().map(|&i| fx.dataset.recipes[i].label).collect();
+            let inputs = BatchInputs::gather(&fx.dataset, &fx.feats, &ids);
+            let mut g = Graph::new();
+            let mut binds = Bindings::new();
+            let (img, rec) = fx.model.forward_batch(&mut g, &mut binds, &inputs);
+            let d_ir = losses::cosine_distance_matrix(&mut g, img, rec);
+            let d_ri = losses::cosine_distance_matrix(&mut g, rec, img);
+            let a = losses::instance_hinge(&mut g, d_ir, 0.3);
+            let b = losses::instance_hinge(&mut g, d_ri, 0.3);
+            let mut total = losses::combine_directions(&mut g, a, b, Strategy::Adaptive);
+            if let (Some((p1, n1)), Some((p2, n2))) = (
+                losses::semantic_masks(&labels, &mut rng),
+                losses::semantic_masks(&labels, &mut rng),
+            ) {
+                let sa = losses::semantic_hinge(&mut g, d_ir, &p1, &n1, 0.3);
+                let sb = losses::semantic_hinge(&mut g, d_ri, &p2, &n2, 0.3);
+                if let Some(sem) = losses::combine_directions(&mut g, sa, sb, Strategy::Adaptive) {
+                    let w = g.scale(sem, 0.3);
+                    total = total.map(|t| g.add(t, w)).or(Some(w));
+                }
+            }
+            if let Some(loss) = total {
+                g.backward(loss);
+                adam.step(&mut fx.model.store, &g, &binds);
+            }
+            black_box(adam.steps())
+        })
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let fx = fixture();
+    let ids: Vec<usize> = fx.dataset.split_range(Split::Test).take(128).collect();
+    c.bench_function("embed_128_pairs", |bench| {
+        bench.iter(|| {
+            let inputs = BatchInputs::gather(&fx.dataset, &fx.feats, &ids);
+            let mut g = Graph::new();
+            let mut binds = Bindings::new();
+            black_box(fx.model.forward_batch(&mut g, &mut binds, &inputs))
+        })
+    });
+}
+
+fn bench_word2vec(c: &mut Criterion) {
+    let dataset = Dataset::generate(&DataConfig::for_scale(Scale::Tiny));
+    let corpus = dataset.word2vec_corpus();
+    c.bench_function("word2vec_epoch_tiny_corpus", |bench| {
+        bench.iter(|| {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+            black_box(cmr_word2vec::train(
+                &corpus,
+                dataset.world.vocab.len(),
+                &SgnsConfig { dim: 16, epochs: 1, ..Default::default() },
+                &mut rng,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_train_step, bench_inference, bench_word2vec
+}
+criterion_main!(benches);

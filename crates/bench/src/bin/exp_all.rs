@@ -1,0 +1,34 @@
+//! Runs every experiment binary in sequence (Tables 1–5, Figures 3–4),
+//! inheriting the command-line flags.
+//!
+//! ```text
+//! cargo run --release -p cmr-bench --bin exp_all [-- --scale default]
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 8] = [
+    "exp_table3",
+    "exp_table1",
+    "exp_fig4_lambda",
+    "exp_fig3_tsne",
+    "exp_table2_qualitative",
+    "exp_table4_ingredient",
+    "exp_table5_removal",
+    "exp_hierarchy",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+    for exp in EXPERIMENTS {
+        println!("\n######## {exp} ########");
+        let status = Command::new(bin_dir.join(exp))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        assert!(status.success(), "{exp} failed with {status}");
+    }
+    println!("\nAll experiments complete; artifacts in results/.");
+}

@@ -1,0 +1,153 @@
+//! **Figure 3** — t-SNE visualisation of the latent space.
+//!
+//! Reproduces the paper's protocol: 400 matching recipe–image pairs (800
+//! points) sampled evenly from the 5 most frequent classes of the test set,
+//! embedded by AdaMine_ins and by AdaMine, projected to 2-D with t-SNE.
+//!
+//! The paper draws two conclusions from the figure; both are quantified
+//! here so the claim is checkable without eyeballing a plot:
+//!
+//! 1. AdaMine forms class clusters → higher 2-D k-NN class purity;
+//! 2. AdaMine shortens matching-pair traces → smaller mean pair distance
+//!    (relative to the embedding's scale).
+//!
+//! Coordinates are saved to `results/fig3_tsne_{ins,full}.json` for
+//! plotting.
+
+use cmr_adamine::Scenario;
+use cmr_bench::{save_json, ExpContext};
+use cmr_data::Split;
+use cmr_tsne::TsneConfig;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TsnePoint {
+    x: f64,
+    y: f64,
+    class: usize,
+    pair: usize,
+    modality: &'static str,
+}
+
+#[derive(Serialize)]
+struct Fig3Metrics {
+    scenario: String,
+    knn_class_purity: f64,
+    mean_pair_distance: f64,
+}
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let per_class = if ctx.dataset.len() < 2000 { 20 } else { 80 };
+    let classes = ctx.dataset.top_classes(Split::Test, 5);
+    eprintln!("top-5 test classes: {classes:?}");
+
+    // sample per-class pair ids from the test split
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+    let mut ids = Vec::new();
+    let mut class_of = Vec::new();
+    for &c in &classes {
+        let mut pool: Vec<usize> = ctx
+            .dataset
+            .split_range(Split::Test)
+            .filter(|&i| ctx.dataset.recipes[i].class == c)
+            .collect();
+        pool.shuffle(&mut rng);
+        pool.truncate(per_class);
+        for &i in &pool {
+            ids.push(i);
+            class_of.push(c);
+        }
+    }
+    eprintln!("{} pairs sampled", ids.len());
+
+    let mut metrics = Vec::new();
+    for (scenario, tag) in [(Scenario::AdaMineIns, "ins"), (Scenario::AdaMine, "full")] {
+        let trained = ctx.train(scenario);
+        let (imgs, recs) = trained.embed_ids(&ctx.dataset, &ids);
+        let imgs = imgs.l2_normalized();
+        let recs = recs.l2_normalized();
+
+        // stack: images first, then recipes (pair i ↔ i + n)
+        let n = ids.len();
+        let dim = imgs.dim;
+        let mut data = Vec::with_capacity(2 * n * dim);
+        data.extend_from_slice(&imgs.data);
+        data.extend_from_slice(&recs.data);
+
+        let cfg = TsneConfig { perplexity: 20.0, n_iter: 400, ..Default::default() };
+        let mut trng = rand::rngs::SmallRng::seed_from_u64(7);
+        let coords = cmr_tsne::run(&data, 2 * n, dim, &cfg, &mut trng);
+
+        let points: Vec<TsnePoint> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| TsnePoint {
+                x,
+                y,
+                class: class_of[i % n],
+                pair: i % n,
+                modality: if i < n { "image" } else { "recipe" },
+            })
+            .collect();
+        save_json(&ctx.out_dir.join(format!("fig3_tsne_{tag}.json")), &points);
+
+        // --- quantitative readout --------------------------------------
+        // 2-D 10-NN class purity
+        let k = 10usize;
+        let mut pure = 0usize;
+        let mut total = 0usize;
+        for i in 0..2 * n {
+            let mut d: Vec<(usize, f64)> = (0..2 * n)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    let dx = coords[i].0 - coords[j].0;
+                    let dy = coords[i].1 - coords[j].1;
+                    (j, dx * dx + dy * dy)
+                })
+                .collect();
+            d.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            for &(j, _) in d.iter().take(k) {
+                total += 1;
+                if class_of[j % n] == class_of[i % n] {
+                    pure += 1;
+                }
+            }
+        }
+        let purity = pure as f64 / total as f64;
+
+        // mean matching-pair trace length, normalised by the embedding
+        // spread so the two plots are comparable
+        let spread = {
+            let mut s = 0.0;
+            for &(x, y) in &coords {
+                s += x * x + y * y;
+            }
+            (s / coords.len() as f64).sqrt()
+        };
+        let mut pair_d = 0.0;
+        for i in 0..n {
+            let dx = coords[i].0 - coords[i + n].0;
+            let dy = coords[i].1 - coords[i + n].1;
+            pair_d += (dx * dx + dy * dy).sqrt();
+        }
+        let mean_pair = pair_d / n as f64 / spread;
+
+        println!(
+            "{:<12}  10-NN class purity {:.3}   mean pair trace (spread-normalised) {:.3}",
+            scenario.name(),
+            purity,
+            mean_pair
+        );
+        metrics.push(Fig3Metrics {
+            scenario: scenario.name().to_string(),
+            knn_class_purity: purity,
+            mean_pair_distance: mean_pair,
+        });
+    }
+    save_json(&ctx.out_dir.join("fig3_metrics.json"), &metrics);
+    println!("\nPaper shape: AdaMine > AdaMine_ins on class purity (visible clusters),");
+    println!("and AdaMine ≤ AdaMine_ins on pair trace length (tighter matching pairs).");
+}

@@ -1,0 +1,65 @@
+//! **Extension ablation** — hierarchical semantics (the paper's §6 future
+//! work: "considering hierarchical levels within object semantics to better
+//! refine the structure of the latent space").
+//!
+//! Compares AdaMine against AdaMine_hier (an extra super-group semantic
+//! triplet level at doubled margin) on:
+//! * retrieval (MedR / R@K over full-test bags), and
+//! * latent *group coherence*: 10-NN super-group purity of the test
+//!   embeddings — the structure the extra level is supposed to enforce.
+
+use cmr_adamine::Scenario;
+use cmr_bench::{print_table, save_json, table_artifact, ExpContext};
+use cmr_data::Split;
+use cmr_retrieval::top_k;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct HierMetrics {
+    scenario: String,
+    group_purity: f64,
+}
+
+fn group_purity(ctx: &ExpContext, trained: &cmr_adamine::TrainedModel) -> f64 {
+    let d = &ctx.dataset;
+    let test_ids: Vec<usize> = d.split_range(Split::Test).collect();
+    let (imgs, _) = trained.embed_split(d, Split::Test);
+    let gallery = imgs.l2_normalized();
+    let k = 10usize;
+    let n = test_ids.len().min(500); // subsample queries for speed
+    let mut pure = 0usize;
+    let mut total = 0usize;
+    for qi in 0..n {
+        let group = d.world.class_group(d.recipes[test_ids[qi]].class);
+        for hit in top_k(&gallery, gallery.vector(qi), k + 1) {
+            if hit.index == qi {
+                continue;
+            }
+            total += 1;
+            if d.world.class_group(d.recipes[test_ids[hit.index]].class) == group {
+                pure += 1;
+            }
+        }
+    }
+    pure as f64 / total.max(1) as f64
+}
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let bags = ctx.bags_10k();
+    let mut rows = Vec::new();
+    let mut metrics = Vec::new();
+    for scenario in [Scenario::AdaMine, Scenario::AdaMineHier] {
+        let t0 = std::time::Instant::now();
+        let trained = ctx.train(scenario);
+        eprintln!("{}: trained in {:.0?}", scenario.name(), t0.elapsed());
+        rows.push((scenario.name().to_string(), ctx.eval(&trained, bags)));
+        let purity = group_purity(&ctx, &trained);
+        println!("{:<14} image 10-NN super-group purity: {purity:.3}", scenario.name());
+        metrics.push(HierMetrics { scenario: scenario.name().to_string(), group_purity: purity });
+    }
+    print_table("Hierarchy extension (full-test bags)", &rows);
+    ctx.save_json("hierarchy.json", &table_artifact("hierarchy", ctx.scale, &rows));
+    save_json(&ctx.out_dir.join("hierarchy_purity.json"), &metrics);
+    println!("\nExpected: AdaMine_hier raises super-group purity without losing retrieval quality.");
+}

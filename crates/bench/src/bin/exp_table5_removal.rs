@@ -1,0 +1,113 @@
+//! **Table 5** — The removing-ingredients task.
+//!
+//! Paper protocol (§5.3): take a recipe containing broccoli, retrieve the
+//! top-4 images among 1,000 test images; then delete broccoli from the
+//! ingredient list and drop every instruction sentence mentioning it, and
+//! retrieve again. The hits for the original recipe should contain
+//! broccoli; the hits for the edited recipe should not.
+//!
+//! Quantified over many broccoli recipes (the paper shows one): the mean
+//! fraction of top-4 hits whose recipe mentions broccoli, before vs after
+//! the edit.
+
+use cmr_adamine::Scenario;
+use cmr_bench::{save_json, ExpContext};
+use cmr_data::Split;
+use cmr_retrieval::top_k;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct RemovalCase {
+    title: String,
+    with_before: usize,
+    with_after: usize,
+}
+
+fn main() {
+    let ctx = ExpContext::from_args();
+    let d = &ctx.dataset;
+    let trained = ctx.train(Scenario::AdaMine);
+    let tok = d.world.vocab.id("broccoli").expect("broccoli in vocab");
+
+    // 1,000-image gallery as in the paper.
+    let mut test_ids: Vec<usize> = d.split_range(Split::Test).collect();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(55);
+    test_ids.shuffle(&mut rng);
+    test_ids.truncate(1000.min(test_ids.len()));
+    let (imgs, _) = trained.embed_ids(d, &test_ids);
+    let imgs = imgs.l2_normalized();
+
+    // Broccoli recipes from the test split (outside the gallery is fine).
+    let broccoli_recipes: Vec<usize> = d
+        .split_range(Split::Test)
+        .filter(|&i| d.recipes[i].ingredient_tokens.contains(&tok))
+        .take(20)
+        .collect();
+    assert!(!broccoli_recipes.is_empty(), "no broccoli recipe in test split");
+
+    let k = 4usize;
+    let retrieve = |emb: &[f32]| -> Vec<usize> {
+        let n: f32 = emb.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let qn: Vec<f32> = emb.iter().map(|v| v / n.max(1e-12)).collect();
+        top_k(&imgs, &qn, k).into_iter().map(|h| test_ids[h.index]).collect()
+    };
+
+    // broccoli-positive gallery rows, for the similarity-shift statistic
+    let positives: Vec<usize> = (0..test_ids.len())
+        .filter(|&i| d.recipes[test_ids[i]].mentions(tok))
+        .collect();
+    let mean_pos_sim = |emb: &[f32]| -> f64 {
+        let n: f32 = emb.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let q: Vec<f32> = emb.iter().map(|v| v / n.max(1e-12)).collect();
+        positives.iter().map(|&i| imgs.dot(i, &q) as f64).sum::<f64>()
+            / positives.len().max(1) as f64
+    };
+
+    let mut cases = Vec::new();
+    let mut before_total = 0usize;
+    let mut after_total = 0usize;
+    let mut sim_drops = 0usize;
+    for &rid in &broccoli_recipes {
+        let recipe = &d.recipes[rid];
+        let emb_before = trained.embed_recipe(recipe);
+        let before = retrieve(&emb_before);
+        let edited = recipe.without_ingredient(tok);
+        let emb_after = trained.embed_recipe(&edited);
+        let after = retrieve(&emb_after);
+        if mean_pos_sim(&emb_after) < mean_pos_sim(&emb_before) {
+            sim_drops += 1;
+        }
+        let count = |hits: &[usize]| {
+            hits.iter().filter(|&&id| d.recipes[id].mentions(tok)).count()
+        };
+        let (b, a) = (count(&before), count(&after));
+        before_total += b;
+        after_total += a;
+        cases.push(RemovalCase { title: recipe.title.clone(), with_before: b, with_after: a });
+    }
+
+    println!("\n== Table 5: removing-ingredient (broccoli), top-{k} of 1000 images ==");
+    for c in cases.iter().take(5) {
+        println!(
+            "{:<28} broccoli hits: {}/{k} before → {}/{k} after removal",
+            c.title, c.with_before, c.with_after
+        );
+    }
+    let n = cases.len() as f64;
+    let before_rate = before_total as f64 / (n * k as f64);
+    let after_rate = after_total as f64 / (n * k as f64);
+    println!(
+        "\nmean broccoli-hit fraction over {} queries: {:.2} before → {:.2} after",
+        cases.len(),
+        before_rate,
+        after_rate
+    );
+    println!(
+        "similarity to broccoli-containing images dropped for {sim_drops}/{} queries",
+        cases.len()
+    );
+    println!("Paper shape: retrieved images contain the ingredient before the edit, not after.");
+    save_json(&ctx.out_dir.join("table5_removal.json"), &cases);
+}

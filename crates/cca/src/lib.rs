@@ -1,0 +1,15 @@
+//! # cmr-cca
+//!
+//! Canonical Correlation Analysis — the classic global-alignment baseline
+//! the paper compares against (§4.3, Table 3, "CCA \[33\]"). CCA finds linear
+//! projections of the two modalities maximising the correlation of matching
+//! pairs; unlike the triplet-based models it ignores dissimilar pairs, which
+//! is exactly the weakness Table 3 exposes.
+//!
+//! Implemented from scratch on `cmr-linalg`: covariance estimation,
+//! Cholesky whitening, and the symmetric eigenproblem of the whitened
+//! cross-covariance.
+
+pub mod cca;
+
+pub use cca::Cca;

@@ -1,0 +1,225 @@
+//! Dataset configuration and scale presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Named scale presets (see DESIGN.md, *Scales*).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Unit/integration-test scale: seconds on one core.
+    Tiny,
+    /// The scale EXPERIMENTS.md numbers are produced at (single-core budget).
+    Default,
+    /// The paper's Recipe1M scale (238,399/51,119/51,303 pairs, 1048
+    /// classes). Documented but not run here — would need days on this box.
+    Paper,
+}
+
+/// Full configuration of the synthetic world and splits.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DataConfig {
+    /// Number of dish classes (paper: 1048).
+    pub n_classes: usize,
+    /// Ingredient vocabulary size.
+    pub n_ingredients: usize,
+    /// Verb vocabulary size (instruction sentences draw class-typical verbs).
+    pub n_verbs: usize,
+    /// Filler vocabulary size (quantities, utensils — mostly noise).
+    pub n_fillers: usize,
+    /// Preferred-ingredient pool size per class.
+    pub ingredients_per_class: usize,
+    /// Min/max ingredients per recipe.
+    pub ingredients_per_recipe: (usize, usize),
+    /// Min/max instruction sentences per recipe.
+    pub sentences_per_recipe: (usize, usize),
+    /// Probability an ingredient is drawn from the class pool (vs. global).
+    pub class_ingredient_affinity: f64,
+    /// Dish-latent dimensionality.
+    pub latent_dim: usize,
+    /// Output dimensionality of the frozen CNN feature extractor
+    /// (paper: 2048 ResNet-50 features).
+    pub image_feat_dim: usize,
+    /// Std of the per-recipe style component of the latent.
+    pub style_noise: f32,
+    /// Std of the observation noise added before the frozen CNN.
+    pub visual_noise: f32,
+    /// Global presentation modes ("plating/lighting variants"): each image
+    /// adds one of `class_modes` latent offsets drawn from a world-wide mode
+    /// bank. The text modality never observes which mode was used, so this
+    /// is structured visual nuisance variance — exactly what class-level
+    /// supervision (the semantic loss, or a classification head) teaches
+    /// the image branch to project out faster than instance pairs alone.
+    pub class_modes: usize,
+    /// Magnitude of the presentation-mode offsets.
+    pub mode_noise: f32,
+    /// Per-dim std of the class *visual identity* — a per-class latent
+    /// component that appears only on the image side (the characteristic
+    /// "look" of a dish class). Text never expresses it directly, so the
+    /// text branch must learn a class→look mapping; explicit class
+    /// supervision (semantic loss / classification head) teaches that
+    /// mapping far more sample-efficiently than instance pairs alone —
+    /// the reason class information improves retrieval in the paper.
+    pub visual_class_signal: f32,
+    /// Probability that an ingredient used in the dish also appears in the
+    /// structured ingredient list. Recipe1M lists are incomplete — parsed
+    /// from noisy user uploads — while instructions mention everything the
+    /// cook actually does; this is why the paper's instructions-only
+    /// ablation beats ingredients-only.
+    pub list_coverage: f64,
+    /// Fraction of pairs carrying a class label (paper: ≈ 0.5).
+    pub labeled_fraction: f64,
+    /// Zipf exponent for the class distribution.
+    pub class_zipf: f64,
+    /// Number of super-groups classes are organised into (cuisine families:
+    /// desserts, soups, grills, …). Class prototypes are built as
+    /// `group prototype + class offset`, giving the latent space a real
+    /// two-level hierarchy — the substrate for the paper's stated future
+    /// work ("hierarchical levels within object semantics"), implemented as
+    /// the `AdaMine_hier` scenario.
+    pub n_supergroups: usize,
+    /// Train/validation/test pair counts.
+    pub split_sizes: (usize, usize, usize),
+    /// World seed: same seed ⇒ identical dataset.
+    pub seed: u64,
+}
+
+impl DataConfig {
+    /// Preset for a [`Scale`].
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => Self {
+                n_classes: 8,
+                n_ingredients: 60,
+                n_verbs: 16,
+                n_fillers: 16,
+                ingredients_per_class: 12,
+                ingredients_per_recipe: (3, 6),
+                sentences_per_recipe: (2, 4),
+                class_ingredient_affinity: 0.8,
+                latent_dim: 16,
+                image_feat_dim: 64,
+                style_noise: 0.12,
+                visual_noise: 0.10,
+                class_modes: 6,
+                mode_noise: 0.20,
+                visual_class_signal: 0.35,
+                list_coverage: 0.85,
+                labeled_fraction: 0.5,
+                class_zipf: 0.8,
+                n_supergroups: 3,
+                split_sizes: (600, 200, 400),
+                seed: 11,
+            },
+            Scale::Default => Self {
+                n_classes: 300,
+                n_ingredients: 400,
+                n_verbs: 60,
+                n_fillers: 28,
+                ingredients_per_class: 20,
+                ingredients_per_recipe: (4, 9),
+                sentences_per_recipe: (5, 9),
+                class_ingredient_affinity: 0.8,
+                latent_dim: 48,
+                image_feat_dim: 256,
+                style_noise: 0.12,
+                visual_noise: 0.10,
+                class_modes: 6,
+                mode_noise: 0.20,
+                visual_class_signal: 0.35,
+                list_coverage: 0.55,
+                labeled_fraction: 0.5,
+                class_zipf: 0.6,
+                n_supergroups: 20,
+                split_sizes: (4000, 1000, 3000),
+                seed: 11,
+            },
+            Scale::Paper => Self {
+                n_classes: 1048,
+                n_ingredients: 4000,
+                n_verbs: 200,
+                n_fillers: 300,
+                ingredients_per_class: 40,
+                ingredients_per_recipe: (4, 14),
+                sentences_per_recipe: (3, 12),
+                class_ingredient_affinity: 0.8,
+                latent_dim: 300,
+                image_feat_dim: 2048,
+                style_noise: 0.12,
+                visual_noise: 0.10,
+                class_modes: 6,
+                mode_noise: 0.20,
+                visual_class_signal: 0.35,
+                list_coverage: 0.6,
+                labeled_fraction: 0.5,
+                class_zipf: 0.8,
+                n_supergroups: 60,
+                split_sizes: (238_399, 51_119, 51_303),
+                seed: 11,
+            },
+        }
+    }
+
+    /// Total number of pairs across splits.
+    pub fn total_pairs(&self) -> usize {
+        self.split_sizes.0 + self.split_sizes.1 + self.split_sizes.2
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on an inconsistent configuration.
+    pub fn validate(&self) {
+        assert!(self.n_classes >= 2, "need at least 2 classes");
+        assert!(
+            self.ingredients_per_class <= self.n_ingredients,
+            "class pool larger than ingredient vocabulary"
+        );
+        let (lo, hi) = self.ingredients_per_recipe;
+        assert!(lo >= 1 && lo <= hi, "bad ingredients_per_recipe range");
+        assert!(hi <= self.n_ingredients, "recipe cannot repeat its whole vocabulary");
+        let (slo, shi) = self.sentences_per_recipe;
+        assert!(slo >= 1 && slo <= shi, "bad sentences_per_recipe range");
+        assert!((0.0..=1.0).contains(&self.labeled_fraction), "bad labeled_fraction");
+        assert!((0.0..=1.0).contains(&self.list_coverage), "bad list_coverage");
+        assert!((0.0..=1.0).contains(&self.class_ingredient_affinity), "bad affinity");
+        assert!(self.latent_dim >= 4, "latent too small");
+        assert!(
+            self.n_supergroups >= 1 && self.n_supergroups <= self.n_classes,
+            "supergroups must be in 1..=n_classes"
+        );
+        assert!(self.total_pairs() > 0, "empty dataset");
+    }
+}
+
+impl Default for DataConfig {
+    fn default() -> Self {
+        Self::for_scale(Scale::Default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for s in [Scale::Tiny, Scale::Default, Scale::Paper] {
+            DataConfig::for_scale(s).validate();
+        }
+    }
+
+    #[test]
+    fn paper_scale_matches_recipe1m() {
+        let c = DataConfig::for_scale(Scale::Paper);
+        assert_eq!(c.split_sizes, (238_399, 51_119, 51_303));
+        assert_eq!(c.n_classes, 1048);
+        assert_eq!(c.image_feat_dim, 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "class pool")]
+    fn validate_catches_bad_pool() {
+        let mut c = DataConfig::for_scale(Scale::Tiny);
+        c.ingredients_per_class = c.n_ingredients + 1;
+        c.validate();
+    }
+}

@@ -1,0 +1,201 @@
+//! Materialised dataset: recipes + image features + splits.
+
+use crate::config::DataConfig;
+use crate::recipe::Recipe;
+use crate::world::World;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Dataset split, in the paper's proportions (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Split {
+    /// Training pairs (238,399 at paper scale).
+    Train,
+    /// Validation pairs (51,119) — used for model selection by MedR.
+    Val,
+    /// Test pairs (51,303) — used for the bag protocol.
+    Test,
+}
+
+/// The full synthetic corpus: every recipe, its matching image features,
+/// and contiguous train/val/test split ranges.
+pub struct Dataset {
+    /// The generative world (kept so downstream tasks can synthesise new
+    /// queries, look tokens up, or render extra images).
+    pub world: World,
+    /// All recipes; index = id = image row.
+    pub recipes: Vec<Recipe>,
+    /// Row-major `(n, image_dim)` frozen-CNN features.
+    pub image_feats: Vec<f32>,
+    /// Image feature dimensionality.
+    pub image_dim: usize,
+    splits: [Range<usize>; 3],
+}
+
+impl Dataset {
+    /// Generates the dataset for a configuration. Deterministic: the same
+    /// config (including seed) always produces the identical dataset.
+    pub fn generate(cfg: &DataConfig) -> Self {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed);
+        let world = World::new(cfg, &mut rng);
+        let n = cfg.total_pairs();
+        let image_dim = cfg.image_feat_dim;
+        let mut recipes = Vec::with_capacity(n);
+        let mut image_feats = Vec::with_capacity(n * image_dim);
+        for id in 0..n {
+            let class = world.sample_class(&mut rng);
+            let (recipe, z) = world.gen_recipe(id, class, &mut rng);
+            let img = world.render_image(&z, class, &mut rng);
+            debug_assert_eq!(img.len(), image_dim);
+            image_feats.extend_from_slice(&img);
+            recipes.push(recipe);
+        }
+        let (tr, va, te) = cfg.split_sizes;
+        let splits = [0..tr, tr..tr + va, tr + va..tr + va + te];
+        Self { world, recipes, image_feats, image_dim, splits }
+    }
+
+    /// Number of pairs in the whole dataset.
+    pub fn len(&self) -> usize {
+        self.recipes.len()
+    }
+
+    /// `true` when the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.recipes.is_empty()
+    }
+
+    /// The id range of a split.
+    pub fn split_range(&self, split: Split) -> Range<usize> {
+        match split {
+            Split::Train => self.splits[0].clone(),
+            Split::Val => self.splits[1].clone(),
+            Split::Test => self.splits[2].clone(),
+        }
+    }
+
+    /// Image feature row for pair `i`.
+    pub fn image(&self, i: usize) -> &[f32] {
+        &self.image_feats[i * self.image_dim..(i + 1) * self.image_dim]
+    }
+
+    /// Ids of labeled pairs in a split.
+    pub fn labeled_ids(&self, split: Split) -> Vec<usize> {
+        self.split_range(split).filter(|&i| self.recipes[i].label.is_some()).collect()
+    }
+
+    /// Ids of unlabeled pairs in a split.
+    pub fn unlabeled_ids(&self, split: Split) -> Vec<usize> {
+        self.split_range(split).filter(|&i| self.recipes[i].label.is_none()).collect()
+    }
+
+    /// The word2vec pretraining corpus from the *training* split only:
+    /// every instruction sentence plus the ingredient list as a "sentence".
+    pub fn word2vec_corpus(&self) -> Vec<Vec<usize>> {
+        let mut corpus = Vec::new();
+        for i in self.split_range(Split::Train) {
+            let r = &self.recipes[i];
+            corpus.push(r.ingredient_tokens.clone());
+            for s in &r.instructions {
+                corpus.push(s.clone());
+            }
+        }
+        corpus
+    }
+
+    /// The most frequent classes in the test split (used by Figure 3: "5 of
+    /// the most occurring classes").
+    pub fn top_classes(&self, split: Split, k: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; self.world.config().n_classes];
+        for i in self.split_range(split) {
+            counts[self.recipes[i].class] += 1;
+        }
+        let mut order: Vec<usize> = (0..counts.len()).collect();
+        order.sort_by_key(|&c| std::cmp::Reverse(counts[c]));
+        order.truncate(k);
+        order
+    }
+
+    /// Renders a *new* image for an arbitrary class + ingredient set (used
+    /// by qualitative examples to build out-of-dataset queries).
+    pub fn render_new_image(
+        &self,
+        class: usize,
+        ingredient_idxs: &[usize],
+        rng: &mut impl Rng,
+    ) -> Vec<f32> {
+        let z = self.world.dish_latent(class, ingredient_idxs);
+        self.world.render_image(&z, class, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scale;
+
+    fn tiny() -> Dataset {
+        Dataset::generate(&DataConfig::for_scale(Scale::Tiny))
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_cover() {
+        let d = tiny();
+        let cfg = d.world.config();
+        let (tr, va, te) = cfg.split_sizes;
+        assert_eq!(d.len(), tr + va + te);
+        let r_tr = d.split_range(Split::Train);
+        let r_va = d.split_range(Split::Val);
+        let r_te = d.split_range(Split::Test);
+        assert_eq!(r_tr.len(), tr);
+        assert_eq!(r_va.len(), va);
+        assert_eq!(r_te.len(), te);
+        assert_eq!(r_tr.end, r_va.start);
+        assert_eq!(r_va.end, r_te.start);
+    }
+
+    #[test]
+    fn labeled_fraction_is_roughly_half() {
+        let d = tiny();
+        let labeled = d.labeled_ids(Split::Train).len();
+        let total = d.split_range(Split::Train).len();
+        let frac = labeled as f64 / total as f64;
+        assert!((0.4..0.6).contains(&frac), "labeled fraction {frac}");
+        // labeled + unlabeled partition the split
+        assert_eq!(labeled + d.unlabeled_ids(Split::Train).len(), total);
+    }
+
+    #[test]
+    fn image_rows_align_with_recipes() {
+        let d = tiny();
+        assert_eq!(d.image_feats.len(), d.len() * d.image_dim);
+        assert_eq!(d.image(d.len() - 1).len(), d.image_dim);
+    }
+
+    #[test]
+    fn corpus_covers_vocabulary() {
+        let d = tiny();
+        let corpus = d.word2vec_corpus();
+        assert!(!corpus.is_empty());
+        let max_token = corpus.iter().flatten().copied().max().unwrap();
+        assert!(max_token < d.world.vocab.len(), "corpus token out of vocab");
+    }
+
+    #[test]
+    fn top_classes_are_sorted_by_frequency() {
+        let d = tiny();
+        let top = d.top_classes(Split::Test, 5);
+        assert_eq!(top.len(), 5);
+        // Zipf prior ⇒ class 0 must be the most frequent
+        assert_eq!(top[0], 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.image_feats, b.image_feats);
+        assert_eq!(a.recipes[7].ingredient_tokens, b.recipes[7].ingredient_tokens);
+        assert_eq!(a.recipes[7].label, b.recipes[7].label);
+    }
+}

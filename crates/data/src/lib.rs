@@ -1,0 +1,37 @@
+//! # cmr-data
+//!
+//! A synthetic Recipe1M-like dataset (the substitution DESIGN.md documents:
+//! the real Recipe1M with its ~800k dish photos is not obtainable here).
+//!
+//! ## Generative world model
+//!
+//! Every recipe owns a *dish latent* `z = class prototype + Σ ingredient
+//! vectors + style noise`. The two observed modalities both derive from it:
+//!
+//! * **text** — the ingredient token list, plus instruction sentences built
+//!   from class-correlated cooking verbs and ingredient mentions;
+//! * **image** — a fixed random nonlinear map ([`FrozenCnn`]) of
+//!   `z + visual noise`, standing in for frozen ResNet-50 features.
+//!
+//! This preserves exactly the two structures the paper's losses exploit:
+//! matching pairs share a latent (instance level, hypothesis H1) and classes
+//! form clusters (semantic level, hypothesis H2). As in Recipe1M, only about
+//! half of the pairs carry a class label (§4.1), classes follow a Zipf
+//! distribution, and the train/val/test splits are disjoint.
+//!
+//! The crate also provides the paper's batch sampler (§4.4: 100-pair
+//! mini-batches = 50 unlabeled + 50 labeled pairs) and the word corpus that
+//! `cmr-word2vec` pretrains on.
+
+pub mod config;
+pub mod dataset;
+pub mod names;
+pub mod recipe;
+pub mod sampler;
+pub mod world;
+
+pub use config::{DataConfig, Scale};
+pub use dataset::{Dataset, Split};
+pub use recipe::Recipe;
+pub use sampler::BatchSampler;
+pub use world::{FrozenCnn, World};

@@ -1,0 +1,122 @@
+//! Human-readable names for classes, ingredients and verbs.
+//!
+//! The qualitative experiments (Tables 2, 4, 5 of the paper) query for real
+//! foods — pizza with pepperoni or strawberries, removing broccoli from a
+//! tofu sauté — so the synthetic world names its most frequent classes and
+//! ingredients after real dishes. Vocabulary beyond these lists falls back
+//! to generated identifiers (`class_31`, `ing_87`, …).
+
+/// Dish classes, most frequent first (the Zipf head). Mirrors frequent
+/// Recipe1M classes; `pizza` and the Figure-3 classes are included by name.
+pub const CLASS_NAMES: &[&str] = &[
+    "pizza",
+    "cupcake",
+    "hamburger",
+    "green_beans",
+    "pork_chops",
+    "salad",
+    "tofu_saute",
+    "roast_chicken",
+    "chocolate_chip_cookies",
+    "cucumber_yogurt_dip",
+    "lasagna",
+    "pancakes",
+    "fried_rice",
+    "tomato_soup",
+    "grilled_salmon",
+    "beef_stew",
+    "apple_pie",
+    "omelette",
+    "burrito",
+    "clam_chowder",
+    "banana_bread",
+    "caesar_wrap",
+    "shrimp_scampi",
+    "ratatouille",
+];
+
+/// Ingredient names, in no particular order. The Table-4/5 ingredients
+/// (mushrooms, pineapple, olives, pepperoni, strawberries, broccoli) are
+/// guaranteed present.
+pub const INGREDIENT_NAMES: &[&str] = &[
+    "mushrooms", "pineapple", "olives", "pepperoni", "strawberries", "broccoli",
+    "tomato", "mozzarella", "basil", "flour", "sugar", "butter", "eggs",
+    "vanilla", "beef", "lettuce", "onion", "pickles", "garlic", "salt",
+    "pepper", "olive_oil", "cucumber", "yogurt", "mint", "chicken", "lemon",
+    "thyme", "potatoes", "parsley", "tofu", "zucchini", "bell_pepper",
+    "soy_sauce", "rice", "ginger", "carrots", "celery", "cream", "milk",
+    "cheddar", "bacon", "spinach", "avocado", "corn", "beans", "chili",
+    "cinnamon", "nutmeg", "honey", "walnuts", "pecans", "chocolate_chips",
+    "butterscotch_chips", "condensed_milk", "salmon", "shrimp", "clams",
+    "apples", "bananas", "oats", "maple_syrup", "mustard", "vinegar",
+    "brown_sugar", "paprika", "cumin", "oregano", "feta", "arugula",
+    "hummus", "pizza_dough", "eggplant", "squash", "leek", "scallions",
+];
+
+/// Cooking verbs; classes prefer a subset of these, so instruction text
+/// carries class-level signal (why AdaMine_instr beats AdaMine_ingr).
+pub const VERB_NAMES: &[&str] = &[
+    "preheat", "bake", "whisk", "stir", "chop", "dice", "saute", "grill",
+    "roast", "boil", "simmer", "fry", "mix", "fold", "knead", "roll",
+    "season", "marinate", "garnish", "drizzle", "toss", "spread", "layer",
+    "blend", "mash", "steam", "broil", "glaze", "chill", "serve",
+];
+
+/// Filler tokens: quantities and utensils, mostly noise (like real recipe
+/// boilerplate).
+pub const FILLER_NAMES: &[&str] = &[
+    "cup", "tablespoon", "teaspoon", "pound", "ounce", "pinch", "dash",
+    "bowl", "pan", "skillet", "oven", "tray", "minutes", "hours", "medium",
+    "large", "small", "heat", "until", "golden", "aside", "taste", "fresh",
+    "finely", "gently", "thoroughly", "evenly", "lightly",
+];
+
+/// Name for class index `i` (falls back to `class_{i}`).
+pub fn class_name(i: usize) -> String {
+    CLASS_NAMES.get(i).map_or_else(|| format!("class_{i}"), |s| (*s).to_string())
+}
+
+/// Name for ingredient index `i` (falls back to `ing_{i}`).
+pub fn ingredient_name(i: usize) -> String {
+    INGREDIENT_NAMES.get(i).map_or_else(|| format!("ing_{i}"), |s| (*s).to_string())
+}
+
+/// Name for verb index `i` (falls back to `verb_{i}`).
+pub fn verb_name(i: usize) -> String {
+    VERB_NAMES.get(i).map_or_else(|| format!("verb_{i}"), |s| (*s).to_string())
+}
+
+/// Name for filler index `i` (falls back to `filler_{i}`).
+pub fn filler_name(i: usize) -> String {
+    FILLER_NAMES.get(i).map_or_else(|| format!("filler_{i}"), |s| (*s).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualitative_experiment_ingredients_present() {
+        for needed in ["mushrooms", "pineapple", "olives", "pepperoni", "strawberries", "broccoli"]
+        {
+            assert!(INGREDIENT_NAMES.contains(&needed), "{needed} missing");
+        }
+        assert_eq!(CLASS_NAMES[0], "pizza");
+    }
+
+    #[test]
+    fn fallback_names_are_generated() {
+        assert_eq!(class_name(0), "pizza");
+        assert_eq!(class_name(1000), "class_1000");
+        assert_eq!(ingredient_name(2000), "ing_2000");
+    }
+
+    #[test]
+    fn no_duplicate_names() {
+        use std::collections::HashSet;
+        let mut all = HashSet::new();
+        for n in INGREDIENT_NAMES.iter().chain(VERB_NAMES).chain(FILLER_NAMES).chain(CLASS_NAMES) {
+            assert!(all.insert(*n), "duplicate token name {n}");
+        }
+    }
+}

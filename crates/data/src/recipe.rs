@@ -1,0 +1,104 @@
+//! The recipe record.
+
+use serde::{Deserialize, Serialize};
+
+/// One recipe: structured text (ingredient tokens + instruction sentences),
+/// its ground-truth class, and the — possibly hidden — class label.
+///
+/// `class` is what the generator used and is *never* shown to models;
+/// `label` is the observed annotation, present for roughly half the pairs
+/// as in Recipe1M (§4.1). Evaluation code that needs the true class (e.g.
+/// colouring Figure 3) reads `class`; training code must only read `label`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Recipe {
+    /// Dataset-wide id; also the row of the matching image features.
+    pub id: usize,
+    /// Ground-truth generator class (hidden from training).
+    pub class: usize,
+    /// Observed class annotation (≈ half are `None`).
+    pub label: Option<usize>,
+    /// Display title, e.g. `"pizza #1204"`.
+    pub title: String,
+    /// Ingredient indices into the world's ingredient table.
+    pub ingredient_idxs: Vec<usize>,
+    /// The same ingredients as global vocabulary token ids.
+    pub ingredient_tokens: Vec<usize>,
+    /// Instruction sentences as global vocabulary token ids.
+    pub instructions: Vec<Vec<usize>>,
+}
+
+impl Recipe {
+    /// Total instruction tokens.
+    pub fn instruction_len(&self) -> usize {
+        self.instructions.iter().map(Vec::len).sum()
+    }
+
+    /// The paper's Table-5 *removing ingredients* edit: drops the ingredient
+    /// token from the list and removes every instruction sentence that
+    /// mentions it. Returns the modified copy.
+    pub fn without_ingredient(&self, ingredient_token: usize) -> Recipe {
+        let mut out = self.clone();
+        let pos = out
+            .ingredient_tokens
+            .iter()
+            .position(|&t| t == ingredient_token);
+        if let Some(p) = pos {
+            out.ingredient_tokens.remove(p);
+            out.ingredient_idxs.remove(p);
+        }
+        out.instructions.retain(|s| !s.contains(&ingredient_token));
+        if out.instructions.is_empty() {
+            // keep at least one sentence so encoders have input
+            out.instructions.push(vec![]);
+        }
+        out
+    }
+
+    /// `true` if the recipe mentions the token anywhere (ingredients or
+    /// instructions).
+    pub fn mentions(&self, token: usize) -> bool {
+        self.ingredient_tokens.contains(&token)
+            || self.instructions.iter().any(|s| s.contains(&token))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Recipe {
+        Recipe {
+            id: 0,
+            class: 1,
+            label: Some(1),
+            title: "test #0".into(),
+            ingredient_idxs: vec![0, 1, 2],
+            ingredient_tokens: vec![10, 11, 12],
+            instructions: vec![vec![50, 10, 51], vec![52, 11], vec![53]],
+        }
+    }
+
+    #[test]
+    fn removal_strips_list_and_sentences() {
+        let r = sample().without_ingredient(10);
+        assert_eq!(r.ingredient_tokens, vec![11, 12]);
+        assert_eq!(r.ingredient_idxs, vec![1, 2]);
+        assert_eq!(r.instructions.len(), 2, "sentence mentioning 10 dropped");
+        assert!(!r.mentions(10));
+    }
+
+    #[test]
+    fn removal_of_absent_ingredient_is_identity_on_list() {
+        let r = sample().without_ingredient(99);
+        assert_eq!(r.ingredient_tokens, vec![10, 11, 12]);
+        assert_eq!(r.instructions.len(), 3);
+    }
+
+    #[test]
+    fn mentions_looks_everywhere() {
+        let r = sample();
+        assert!(r.mentions(12), "ingredient list");
+        assert!(r.mentions(52), "instructions");
+        assert!(!r.mentions(99));
+    }
+}

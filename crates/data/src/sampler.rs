@@ -1,0 +1,198 @@
+//! The paper's mini-batch sampler (§4.4, *Triplet sampling*).
+//!
+//! "The set of multi-modal matching pairs in the train set are split in
+//! mini-batches of 100 pairs. […] those 100 pairs are split into: 1) 50
+//! randomly selected pairs among those not associated with class
+//! information; 2) 50 labeled pairs for which we respect the distribution
+//! over all classes in the training set."
+
+use crate::dataset::{Dataset, Split};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples half-unlabeled / half-labeled mini-batches from one split.
+///
+/// The labeled half is drawn *class-grouped*: classes are sampled
+/// proportionally to their labeled frequency (respecting the empirical
+/// class distribution, as the paper requires) and contribute two distinct
+/// pairs each. Grouping guarantees every labeled pair has a same-class
+/// partner in the batch, so the semantic loss always has positives to
+/// select (§4.4) — with 1048 Zipf classes, independently sampled labels
+/// would leave most tail-class queries without a single semantic triplet.
+pub struct BatchSampler {
+    /// Labeled ids grouped per class (only classes with ≥ 2 labeled pairs).
+    class_pools: Vec<Vec<usize>>,
+    /// Cumulative distribution over `class_pools` by pool size.
+    class_cdf: Vec<f64>,
+    unlabeled: Vec<usize>,
+    batch_size: usize,
+    cursor_u: usize,
+}
+
+impl BatchSampler {
+    /// Creates a sampler over `split` with the given batch size (the paper
+    /// uses 100).
+    ///
+    /// # Panics
+    /// Panics if the batch size is odd or zero, either pool is smaller than
+    /// half a batch, or no class has two labeled pairs.
+    pub fn new(dataset: &Dataset, split: Split, batch_size: usize) -> Self {
+        assert!(batch_size >= 2 && batch_size.is_multiple_of(2), "batch size must be even");
+        let labeled = dataset.labeled_ids(split);
+        let unlabeled = dataset.unlabeled_ids(split);
+        assert!(
+            labeled.len() >= batch_size / 2 && unlabeled.len() >= batch_size / 2,
+            "split too small for batch size {batch_size}: {} labeled / {} unlabeled",
+            labeled.len(),
+            unlabeled.len()
+        );
+        let n_classes = dataset.world.config().n_classes;
+        let mut by_class = vec![Vec::new(); n_classes];
+        for &i in &labeled {
+            let c = dataset.recipes[i].label.expect("labeled id");
+            by_class[c].push(i);
+        }
+        let class_pools: Vec<Vec<usize>> =
+            by_class.into_iter().filter(|p| p.len() >= 2).collect();
+        assert!(
+            !class_pools.is_empty(),
+            "no class has two labeled pairs — semantic triplets impossible"
+        );
+        let total: f64 = class_pools.iter().map(|p| p.len() as f64).sum();
+        let mut acc = 0.0;
+        let class_cdf = class_pools
+            .iter()
+            .map(|p| {
+                acc += p.len() as f64 / total;
+                acc
+            })
+            .collect();
+        Self { class_pools, class_cdf, unlabeled, batch_size, cursor_u: usize::MAX }
+    }
+
+    /// Batches per epoch (limited by the unlabeled pool; the labeled half
+    /// is resampled per batch).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.unlabeled.len() / (self.batch_size / 2)
+    }
+
+    /// Draws the next mini-batch of pair ids: first half unlabeled, second
+    /// half labeled in same-class groups of two.
+    pub fn next_batch(&mut self, rng: &mut impl Rng) -> Vec<usize> {
+        let half = self.batch_size / 2;
+        if self.cursor_u == usize::MAX || self.cursor_u + half > self.unlabeled.len() {
+            self.unlabeled.shuffle(rng);
+            self.cursor_u = 0;
+        }
+        let mut batch = Vec::with_capacity(self.batch_size);
+        batch.extend_from_slice(&self.unlabeled[self.cursor_u..self.cursor_u + half]);
+        self.cursor_u += half;
+
+        while batch.len() < self.batch_size {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let c = self.class_cdf.partition_point(|&x| x < u).min(self.class_pools.len() - 1);
+            let pool = &self.class_pools[c];
+            let a = rng.gen_range(0..pool.len());
+            let mut b = rng.gen_range(0..pool.len() - 1);
+            if b >= a {
+                b += 1;
+            }
+            let (ia, ib) = (pool[a], pool[b]);
+            if batch.contains(&ia) || batch.contains(&ib) {
+                continue;
+            }
+            batch.push(ia);
+            if batch.len() < self.batch_size {
+                batch.push(ib);
+            }
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DataConfig, Scale};
+    use rand::SeedableRng;
+
+    fn dataset() -> Dataset {
+        Dataset::generate(&DataConfig::for_scale(Scale::Tiny))
+    }
+
+    #[test]
+    fn batch_is_half_labeled_half_unlabeled() {
+        let d = dataset();
+        let mut s = BatchSampler::new(&d, Split::Train, 20);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let batch = s.next_batch(&mut rng);
+            assert_eq!(batch.len(), 20);
+            let labeled = batch.iter().filter(|&&i| d.recipes[i].label.is_some()).count();
+            assert_eq!(labeled, 10, "exactly half labeled");
+            assert!(batch[..10].iter().all(|&i| d.recipes[i].label.is_none()));
+        }
+    }
+
+    #[test]
+    fn batch_has_no_duplicates() {
+        let d = dataset();
+        let mut s = BatchSampler::new(&d, Split::Train, 20);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let batch = s.next_batch(&mut rng);
+            let mut uniq = batch.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), batch.len(), "duplicate pair in batch");
+        }
+    }
+
+    /// Every labeled pair must have a same-class partner in the batch —
+    /// the guarantee that makes semantic triplets always available.
+    #[test]
+    fn labeled_items_come_with_class_partners() {
+        let d = dataset();
+        let mut s = BatchSampler::new(&d, Split::Train, 20);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let batch = s.next_batch(&mut rng);
+            for &i in &batch[10..] {
+                let c = d.recipes[i].label.expect("labeled half");
+                let partners = batch[10..]
+                    .iter()
+                    .filter(|&&j| j != i && d.recipes[j].label == Some(c))
+                    .count();
+                assert!(partners >= 1, "labeled pair {i} (class {c}) has no partner");
+            }
+        }
+    }
+
+    #[test]
+    fn labeled_batches_respect_class_distribution() {
+        let d = dataset();
+        let mut s = BatchSampler::new(&d, Split::Train, 20);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let n_classes = d.world.config().n_classes;
+        let mut batch_counts = vec![0usize; n_classes];
+        for _ in 0..300 {
+            for &i in &s.next_batch(&mut rng)[10..] {
+                batch_counts[d.recipes[i].class] += 1;
+            }
+        }
+        let mut pool_counts = vec![0usize; n_classes];
+        for &i in &d.labeled_ids(Split::Train) {
+            pool_counts[d.recipes[i].class] += 1;
+        }
+        let b0 = batch_counts[0] as f64 / batch_counts.iter().sum::<usize>() as f64;
+        let p0 = pool_counts[0] as f64 / pool_counts.iter().sum::<usize>() as f64;
+        assert!((b0 - p0).abs() < 0.06, "batch {b0:.3} vs pool {p0:.3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_batch() {
+        let d = dataset();
+        BatchSampler::new(&d, Split::Train, 21);
+    }
+}

@@ -1,0 +1,498 @@
+//! The generative world model and the frozen CNN feature extractor.
+
+use crate::config::DataConfig;
+use crate::names;
+use crate::recipe::Recipe;
+use cmr_word2vec::Vocab;
+use rand::Rng;
+
+/// A fixed random two-layer network standing in for frozen, pretrained
+/// ResNet-50 features (see the substitution table in DESIGN.md).
+///
+/// `features = relu((z + η)·W1 + b1)·W2` with `η ~ N(0, visual_noise²)`.
+/// The weights are sampled once at world creation and never trained — the
+/// *learning problem* downstream is to align these fixed nonlinear visual
+/// features with text, exactly as with frozen CNN features in the paper.
+pub struct FrozenCnn {
+    w1: Vec<f32>,
+    b1: Vec<f32>,
+    w2: Vec<f32>,
+    in_dim: usize,
+    hidden: usize,
+    out_dim: usize,
+}
+
+impl FrozenCnn {
+    fn new(rng: &mut impl Rng, in_dim: usize, out_dim: usize) -> Self {
+        let hidden = (2 * out_dim).max(32);
+        let s1 = (1.0 / in_dim as f64).sqrt() as f32;
+        let s2 = (1.0 / hidden as f64).sqrt() as f32;
+        Self {
+            w1: gauss_vec(rng, in_dim * hidden, s1),
+            b1: gauss_vec(rng, hidden, 0.1),
+            w2: gauss_vec(rng, hidden * out_dim, s2),
+            in_dim,
+            hidden,
+            out_dim,
+        }
+    }
+
+    /// Output feature dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Maps a latent (plus caller-supplied noise already applied) to
+    /// feature space.
+    ///
+    /// # Panics
+    /// Panics if `z.len() != in_dim`.
+    pub fn forward(&self, z: &[f32]) -> Vec<f32> {
+        assert_eq!(z.len(), self.in_dim, "FrozenCnn::forward: latent dim mismatch");
+        let mut h = self.b1.clone();
+        for (i, &zi) in z.iter().enumerate() {
+            if zi == 0.0 {
+                continue;
+            }
+            let row = &self.w1[i * self.hidden..(i + 1) * self.hidden];
+            for (hv, &w) in h.iter_mut().zip(row) {
+                *hv += zi * w;
+            }
+        }
+        for hv in &mut h {
+            *hv = hv.max(0.0);
+        }
+        let mut out = vec![0.0f32; self.out_dim];
+        for (i, &hv) in h.iter().enumerate() {
+            if hv == 0.0 {
+                continue;
+            }
+            let row = &self.w2[i * self.out_dim..(i + 1) * self.out_dim];
+            for (ov, &w) in out.iter_mut().zip(row) {
+                *ov += hv * w;
+            }
+        }
+        out
+    }
+}
+
+fn gauss_vec(rng: &mut impl Rng, n: usize, std: f32) -> Vec<f32> {
+    // Box–Muller, matching cmr-tensor's init but without the dependency.
+    let mut v = Vec::with_capacity(n);
+    while v.len() < n {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let th = 2.0 * std::f64::consts::PI * u2;
+        v.push((r * th.cos()) as f32 * std);
+        if v.len() < n {
+            v.push((r * th.sin()) as f32 * std);
+        }
+    }
+    v
+}
+
+/// The synthetic world: latent geometry (class prototypes, ingredient
+/// vectors), text grammar (class→ingredient pools, class→verb pools), the
+/// token vocabulary and the frozen visual feature extractor.
+pub struct World {
+    cfg: DataConfig,
+    /// `(n_classes, latent_dim)` class prototypes.
+    class_protos: Vec<f32>,
+    /// `(n_ingredients, latent_dim)` ingredient latent contributions.
+    ing_vecs: Vec<f32>,
+    /// Preferred ingredient pool per class.
+    class_pools: Vec<Vec<usize>>,
+    /// Preferred verbs per class.
+    class_verbs: Vec<Vec<usize>>,
+    /// Global presentation-mode latent offsets (`class_modes` rows).
+    mode_vecs: Vec<f32>,
+    /// `(n_classes, latent_dim)` image-only class visual identities.
+    class_visual: Vec<f32>,
+    /// Zipf cumulative distribution over classes.
+    class_cdf: Vec<f64>,
+    /// Global token vocabulary.
+    pub vocab: Vocab,
+    /// Vocab token id of each ingredient index.
+    ing_tokens: Vec<usize>,
+    /// Vocab token id of each verb index.
+    verb_tokens: Vec<usize>,
+    /// Vocab token id of each filler index.
+    filler_tokens: Vec<usize>,
+    /// The frozen visual feature extractor.
+    pub cnn: FrozenCnn,
+}
+
+impl World {
+    /// Builds a world from a validated configuration. Deterministic given
+    /// `cfg.seed`.
+    pub fn new(cfg: &DataConfig, rng: &mut impl Rng) -> Self {
+        cfg.validate();
+        let ld = cfg.latent_dim;
+        let proto_std = (1.0 / ld as f64).sqrt() as f32;
+        // Two-level prototype hierarchy: class = group prototype + offset.
+        let group_protos = gauss_vec(rng, cfg.n_supergroups * ld, proto_std * 1.2);
+        let mut class_protos = gauss_vec(rng, cfg.n_classes * ld, proto_std * 1.1);
+        for c in 0..cfg.n_classes {
+            let gidx = c % cfg.n_supergroups;
+            for d in 0..ld {
+                class_protos[c * ld + d] += group_protos[gidx * ld + d];
+            }
+        }
+        let ing_vecs = gauss_vec(rng, cfg.n_ingredients * ld, proto_std * 0.9);
+        let mode_vecs = gauss_vec(rng, cfg.class_modes.max(1) * ld, cfg.mode_noise);
+        let class_visual = gauss_vec(rng, cfg.n_classes * ld, cfg.visual_class_signal);
+
+        // Class→ingredient pools: distinct random subsets.
+        let mut class_pools = Vec::with_capacity(cfg.n_classes);
+        for _ in 0..cfg.n_classes {
+            let mut pool: Vec<usize> = Vec::with_capacity(cfg.ingredients_per_class);
+            while pool.len() < cfg.ingredients_per_class {
+                let i = rng.gen_range(0..cfg.n_ingredients);
+                if !pool.contains(&i) {
+                    pool.push(i);
+                }
+            }
+            class_pools.push(pool);
+        }
+        // Class→verb pools (5 preferred verbs each).
+        let verbs_per_class = 5.min(cfg.n_verbs);
+        let mut class_verbs = Vec::with_capacity(cfg.n_classes);
+        for _ in 0..cfg.n_classes {
+            let mut pool: Vec<usize> = Vec::with_capacity(verbs_per_class);
+            while pool.len() < verbs_per_class {
+                let v = rng.gen_range(0..cfg.n_verbs);
+                if !pool.contains(&v) {
+                    pool.push(v);
+                }
+            }
+            class_verbs.push(pool);
+        }
+
+        // Zipf class distribution.
+        let weights: Vec<f64> =
+            (0..cfg.n_classes).map(|c| 1.0 / ((c + 1) as f64).powf(cfg.class_zipf)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut class_cdf = Vec::with_capacity(cfg.n_classes);
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / total;
+            class_cdf.push(acc);
+        }
+
+        // Vocabulary: ingredients, verbs, fillers (pad is id 0).
+        let mut vocab = Vocab::new();
+        let ing_tokens: Vec<usize> =
+            (0..cfg.n_ingredients).map(|i| vocab.add(&names::ingredient_name(i))).collect();
+        let verb_tokens: Vec<usize> =
+            (0..cfg.n_verbs).map(|i| vocab.add(&names::verb_name(i))).collect();
+        let filler_tokens: Vec<usize> =
+            (0..cfg.n_fillers).map(|i| vocab.add(&names::filler_name(i))).collect();
+
+        let cnn = FrozenCnn::new(rng, ld, cfg.image_feat_dim);
+
+        Self {
+            cfg: cfg.clone(),
+            class_protos,
+            ing_vecs,
+            class_pools,
+            class_verbs,
+            mode_vecs,
+            class_visual,
+            class_cdf,
+            vocab,
+            ing_tokens,
+            verb_tokens,
+            filler_tokens,
+            cnn,
+        }
+    }
+
+    /// The configuration the world was built from.
+    pub fn config(&self) -> &DataConfig {
+        &self.cfg
+    }
+
+    /// Vocab token id of ingredient index `i`.
+    pub fn ingredient_token(&self, i: usize) -> usize {
+        self.ing_tokens[i]
+    }
+
+    /// Ingredient index of a vocab token, if it is an ingredient.
+    pub fn token_to_ingredient(&self, token: usize) -> Option<usize> {
+        self.ing_tokens.iter().position(|&t| t == token)
+    }
+
+    /// Samples a class from the Zipf prior.
+    pub fn sample_class(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.class_cdf.partition_point(|&c| c < u).min(self.cfg.n_classes - 1)
+    }
+
+    /// The super-group (cuisine family) a class belongs to.
+    pub fn class_group(&self, class: usize) -> usize {
+        class % self.cfg.n_supergroups
+    }
+
+    /// The latent-space prototype of a class.
+    pub fn class_prototype(&self, class: usize) -> &[f32] {
+        let ld = self.cfg.latent_dim;
+        &self.class_protos[class * ld..(class + 1) * ld]
+    }
+
+    /// The latent contribution of an ingredient.
+    pub fn ingredient_vector(&self, ing: usize) -> &[f32] {
+        let ld = self.cfg.latent_dim;
+        &self.ing_vecs[ing * ld..(ing + 1) * ld]
+    }
+
+    /// Computes the noiseless dish latent for a class + ingredient set:
+    /// `z = prototype + (1/√k)·Σ ingredient vectors`.
+    pub fn dish_latent(&self, class: usize, ingredient_idxs: &[usize]) -> Vec<f32> {
+        let ld = self.cfg.latent_dim;
+        let mut z = self.class_prototype(class).to_vec();
+        if !ingredient_idxs.is_empty() {
+            let scale = 1.0 / (ingredient_idxs.len() as f32).sqrt();
+            for &ing in ingredient_idxs {
+                for (zv, &gv) in z.iter_mut().zip(self.ingredient_vector(ing)) {
+                    *zv += scale * gv;
+                }
+            }
+        }
+        let _ = ld;
+        z
+    }
+
+    /// The image-only visual identity of a class (its characteristic look).
+    pub fn class_visual_identity(&self, class: usize) -> &[f32] {
+        let ld = self.cfg.latent_dim;
+        &self.class_visual[class * ld..(class + 1) * ld]
+    }
+
+    /// Renders image features for a dish latent of a given class: the class
+    /// visual identity, one sampled presentation mode (never revealed to
+    /// the text modality), white visual noise, then the frozen CNN.
+    pub fn render_image(&self, z: &[f32], class: usize, rng: &mut impl Rng) -> Vec<f32> {
+        let ld = self.cfg.latent_dim;
+        let modes = self.cfg.class_modes.max(1);
+        let m = rng.gen_range(0..modes);
+        let offset = &self.mode_vecs[m * ld..(m + 1) * ld];
+        let look = self.class_visual_identity(class);
+        let noise = gauss_vec(rng, ld, self.cfg.visual_noise);
+        let mut noisy = Vec::with_capacity(ld);
+        for i in 0..ld {
+            noisy.push(z[i] + look[i] + offset[i] + noise[i]);
+        }
+        self.cnn.forward(&noisy)
+    }
+
+    /// Generates one recipe of class `class` with id `id`, returning the
+    /// recipe and its (style-noised) dish latent.
+    pub fn gen_recipe(&self, id: usize, class: usize, rng: &mut impl Rng) -> (Recipe, Vec<f32>) {
+        let cfg = &self.cfg;
+        let (lo, hi) = cfg.ingredients_per_recipe;
+        let k = rng.gen_range(lo..=hi);
+        let mut ingredient_idxs: Vec<usize> = Vec::with_capacity(k);
+        let pool = &self.class_pools[class];
+        while ingredient_idxs.len() < k {
+            let ing = if rng.gen_bool(cfg.class_ingredient_affinity) {
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                rng.gen_range(0..cfg.n_ingredients)
+            };
+            if !ingredient_idxs.contains(&ing) {
+                ingredient_idxs.push(ing);
+            }
+        }
+
+        // Instructions: each sentence mentions 1–2 ingredients (cycling so
+        // most get mentioned), a class-typical verb, and filler tokens.
+        let (slo, shi) = cfg.sentences_per_recipe;
+        let n_sent = rng.gen_range(slo..=shi);
+        let verbs = &self.class_verbs[class];
+        let mut instructions = Vec::with_capacity(n_sent);
+        for s in 0..n_sent {
+            let mut sent = Vec::with_capacity(6);
+            sent.push(self.filler_tokens[rng.gen_range(0..self.filler_tokens.len())]);
+            let verb = if rng.gen_bool(0.75) {
+                verbs[rng.gen_range(0..verbs.len())]
+            } else {
+                rng.gen_range(0..cfg.n_verbs)
+            };
+            sent.push(self.verb_tokens[verb]);
+            let ing_a = ingredient_idxs[s % ingredient_idxs.len()];
+            sent.push(self.ing_tokens[ing_a]);
+            if rng.gen_bool(0.5) {
+                let ing_b = ingredient_idxs[rng.gen_range(0..ingredient_idxs.len())];
+                sent.push(self.ing_tokens[ing_b]);
+            }
+            sent.push(self.filler_tokens[rng.gen_range(0..self.filler_tokens.len())]);
+            instructions.push(sent);
+        }
+
+        // Style-noised latent shared by the matching image — computed from
+        // the FULL ingredient set (everything the cook used).
+        let mut z = self.dish_latent(class, &ingredient_idxs);
+        for zv in &mut z {
+            *zv += cfg.style_noise * gauss_vec(rng, 1, 1.0)[0];
+        }
+
+        // The structured ingredient *list* is incomplete (Recipe1M lists are
+        // parsed from noisy uploads): each used ingredient makes the list
+        // with probability `list_coverage`, at least one always does. The
+        // instructions above still mention the full set.
+        let mut listed: Vec<usize> = ingredient_idxs
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(cfg.list_coverage))
+            .collect();
+        if listed.is_empty() {
+            listed.push(ingredient_idxs[0]);
+        }
+
+        let label = if rng.gen_bool(cfg.labeled_fraction) { Some(class) } else { None };
+        let recipe = Recipe {
+            id,
+            class,
+            label,
+            title: format!("{} #{id}", names::class_name(class)),
+            ingredient_tokens: listed.iter().map(|&i| self.ing_tokens[i]).collect(),
+            ingredient_idxs: listed,
+            instructions,
+        };
+        (recipe, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scale;
+    use rand::SeedableRng;
+
+    fn tiny_world() -> World {
+        let cfg = DataConfig::for_scale(Scale::Tiny);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed);
+        World::new(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn zipf_sampling_prefers_head_classes() {
+        let w = tiny_world();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut counts = vec![0usize; w.config().n_classes];
+        for _ in 0..5000 {
+            counts[w.sample_class(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[w.config().n_classes - 1] * 2, "{counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "every class sampled: {counts:?}");
+    }
+
+    #[test]
+    fn recipes_prefer_class_pool_ingredients() {
+        let w = tiny_world();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut in_pool = 0usize;
+        let mut total = 0usize;
+        for id in 0..200 {
+            let (r, _) = w.gen_recipe(id, 0, &mut rng);
+            for &ing in &r.ingredient_idxs {
+                total += 1;
+                if w.class_pools[0].contains(&ing) {
+                    in_pool += 1;
+                }
+            }
+        }
+        let frac = in_pool as f64 / total as f64;
+        assert!(frac > 0.7, "class-pool fraction {frac}");
+    }
+
+    #[test]
+    fn matching_pair_shares_latent_structure() {
+        // The image of a recipe must be closer to its own latent rendering
+        // than to another class's: cosine in feature space.
+        let w = tiny_world();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let (r0, z0) = w.gen_recipe(0, 0, &mut rng);
+        let (r1, z1) = w.gen_recipe(1, 1, &mut rng);
+        let img0 = w.render_image(&z0, 0, &mut rng);
+        let img0_again = w.render_image(&z0, 0, &mut rng);
+        let img1 = w.render_image(&z1, 1, &mut rng);
+        let cos = |a: &[f32], b: &[f32]| -> f32 {
+            let d: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+            d / (na * nb)
+        };
+        assert!(
+            cos(&img0, &img0_again) > cos(&img0, &img1),
+            "same-dish renders should be closer than cross-dish"
+        );
+        let _ = (r0, r1);
+    }
+
+    #[test]
+    fn instructions_mention_recipe_ingredients() {
+        let w = tiny_world();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let (r, _) = w.gen_recipe(0, 2, &mut rng);
+        // every sentence names some ingredient of the world (the full used
+        // set — the structured list may be incomplete by design)
+        for sent in &r.instructions {
+            let has_ing =
+                sent.iter().any(|&t| w.token_to_ingredient(t).is_some());
+            assert!(has_ing, "sentence without ingredient mention");
+        }
+    }
+
+    #[test]
+    fn vocab_roundtrip_for_named_tokens() {
+        let w = tiny_world();
+        let pepperoni = w.vocab.id("pepperoni").expect("named ingredient in vocab");
+        assert_eq!(w.token_to_ingredient(pepperoni), Some(3), "names.rs order");
+        assert_eq!(w.ingredient_token(3), pepperoni);
+    }
+
+    #[test]
+    fn class_prototypes_are_hierarchical() {
+        // same-group class prototypes must be closer (on average) than
+        // cross-group ones — the structure AdaMine_hier exploits
+        let w = tiny_world();
+        let cfg = w.config();
+        let dot_dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        let mut same = (0.0f64, 0usize);
+        let mut cross = (0.0f64, 0usize);
+        for a in 0..cfg.n_classes {
+            for b in a + 1..cfg.n_classes {
+                let d = dot_dist(w.class_prototype(a), w.class_prototype(b)) as f64;
+                if w.class_group(a) == w.class_group(b) {
+                    same = (same.0 + d, same.1 + 1);
+                } else {
+                    cross = (cross.0 + d, cross.1 + 1);
+                }
+            }
+        }
+        assert!(same.1 > 0 && cross.1 > 0);
+        let same = same.0 / same.1 as f64;
+        let cross = cross.0 / cross.1 as f64;
+        assert!(
+            same < cross,
+            "same-group proto distance {same:.3} should be below cross-group {cross:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = DataConfig::for_scale(Scale::Tiny);
+        let mk = || {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed);
+            let w = World::new(&cfg, &mut rng);
+            let mut rng2 = rand::rngs::SmallRng::seed_from_u64(99);
+            let (r, z) = w.gen_recipe(0, 0, &mut rng2);
+            (r.ingredient_idxs, z)
+        };
+        assert_eq!(mk(), mk());
+    }
+}

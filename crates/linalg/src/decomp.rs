@@ -1,0 +1,151 @@
+//! Cholesky factorisation and triangular solves.
+
+use crate::matrix::Mat;
+
+/// Cholesky factorisation `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix. Returns the lower-triangular `L`, or `None` if the matrix is not
+/// (numerically) positive definite.
+pub fn cholesky(a: &Mat) -> Option<Mat> {
+    assert_eq!(a.rows, a.cols, "cholesky: square matrix required");
+    let n = a.rows;
+    let mut l = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return None;
+                }
+                l.set(i, j, s.sqrt());
+            } else {
+                l.set(i, j, s / l.get(j, j));
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `L·X = B` for lower-triangular `L` (forward substitution),
+/// column-by-column over `B`.
+///
+/// # Panics
+/// Panics on dimension mismatch or an exactly-zero diagonal.
+pub fn solve_lower_triangular(l: &Mat, b: &Mat) -> Mat {
+    assert_eq!(l.rows, l.cols, "solve_lower_triangular: square L required");
+    assert_eq!(l.rows, b.rows, "solve_lower_triangular: dimension mismatch");
+    let n = l.rows;
+    let m = b.cols;
+    let mut x = b.clone();
+    for col in 0..m {
+        for i in 0..n {
+            let mut s = x.get(i, col);
+            for k in 0..i {
+                s -= l.get(i, k) * x.get(k, col);
+            }
+            let d = l.get(i, i);
+            assert!(d != 0.0, "solve_lower_triangular: singular L");
+            x.set(i, col, s / d);
+        }
+    }
+    x
+}
+
+/// Solves `U·X = B` for upper-triangular `U` (back substitution).
+///
+/// # Panics
+/// Panics on dimension mismatch or an exactly-zero diagonal.
+pub fn solve_upper_triangular(u: &Mat, b: &Mat) -> Mat {
+    assert_eq!(u.rows, u.cols, "solve_upper_triangular: square U required");
+    assert_eq!(u.rows, b.rows, "solve_upper_triangular: dimension mismatch");
+    let n = u.rows;
+    let m = b.cols;
+    let mut x = b.clone();
+    for col in 0..m {
+        for i in (0..n).rev() {
+            let mut s = x.get(i, col);
+            for k in i + 1..n {
+                s -= u.get(i, k) * x.get(k, col);
+            }
+            let d = u.get(i, i);
+            assert!(d != 0.0, "solve_upper_triangular: singular U");
+            x.set(i, col, s / d);
+        }
+    }
+    x
+}
+
+/// Inverse of a symmetric positive-definite matrix via Cholesky:
+/// `A⁻¹ = L⁻ᵀ·L⁻¹`. Returns `None` when `A` is not positive definite.
+pub fn spd_inverse(a: &Mat) -> Option<Mat> {
+    let l = cholesky(a)?;
+    let n = a.rows;
+    // Solve L·Y = I, then Lᵀ·X = Y.
+    let y = solve_lower_triangular(&l, &Mat::eye(n));
+    let x = solve_upper_triangular(&l.t(), &y);
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spd_from_seed(n: usize, seed: u64) -> Mat {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let b = Mat::new(n, n, (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let mut a = b.t().matmul(&b);
+        a.add_diag(0.5 * n as f64);
+        a
+    }
+
+    #[test]
+    fn factorisation_reconstructs() {
+        let a = spd_from_seed(5, 3);
+        let l = cholesky(&a).expect("SPD");
+        let rec = l.matmul(&l.t());
+        assert!(rec.max_abs_diff(&a) < 1e-10, "{:e}", rec.max_abs_diff(&a));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn triangular_solves_invert() {
+        let a = spd_from_seed(4, 7);
+        let l = cholesky(&a).unwrap();
+        let b = Mat::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let y = solve_lower_triangular(&l, &b);
+        assert!(l.matmul(&y).max_abs_diff(&b) < 1e-10);
+        let x = solve_upper_triangular(&l.t(), &y);
+        assert!(a.matmul(&x).max_abs_diff(&b) < 1e-9);
+    }
+
+    #[test]
+    fn spd_inverse_is_inverse() {
+        let a = spd_from_seed(6, 11);
+        let inv = spd_inverse(&a).unwrap();
+        assert!(a.matmul(&inv).max_abs_diff(&Mat::eye(6)) < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn cholesky_always_reconstructs_spd(seed in 0u64..500, n in 2usize..8) {
+            let a = spd_from_seed(n, seed);
+            let l = cholesky(&a).expect("construction is SPD");
+            prop_assert!(l.matmul(&l.t()).max_abs_diff(&a) < 1e-8);
+            // L is lower triangular
+            for r in 0..n {
+                for c in r + 1..n {
+                    prop_assert_eq!(l.get(r, c), 0.0);
+                }
+            }
+        }
+    }
+}

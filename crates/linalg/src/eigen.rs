@@ -1,0 +1,154 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi method.
+//!
+//! Jacobi is slow (`O(n³)` per sweep) but unconditionally robust for the
+//! small symmetric matrices CCA needs (dimension = feature dimension, a few
+//! hundred at most), and it is simple enough to trust when written from
+//! scratch.
+
+use crate::matrix::Mat;
+
+/// Result of [`eigh`]: `a = V · diag(λ) · Vᵀ`.
+pub struct EighResult {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as *columns*, in the same order as `values`.
+    pub vectors: Mat,
+}
+
+/// Eigendecomposition of a symmetric matrix (only the lower triangle is
+/// trusted: the input is symmetrised first).
+///
+/// Runs Jacobi sweeps until off-diagonal mass drops below `1e-12` relative
+/// to the Frobenius norm, or 50 sweeps.
+///
+/// # Panics
+/// Panics if the matrix is not square.
+pub fn eigh(a: &Mat) -> EighResult {
+    assert_eq!(a.rows, a.cols, "eigh: square matrix required");
+    let n = a.rows;
+    let mut m = a.clone();
+    m.symmetrize();
+    let mut v = Mat::eye(n);
+    let scale = m.frob_norm().max(1e-300);
+
+    for _sweep in 0..50 {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in p + 1..n {
+                off += m.get(p, q).powi(2);
+            }
+        }
+        if off.sqrt() <= 1e-12 * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of m.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate the rotation into V.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    // Sort descending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m.get(j, j).partial_cmp(&m.get(i, i)).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| m.get(i, i)).collect();
+    let mut vectors = Mat::zeros(n, n);
+    for (new_c, &old_c) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_c, v.get(r, old_c));
+        }
+    }
+    EighResult { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sym_from_seed(n: usize, seed: u64) -> Mat {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let b = Mat::new(n, n, (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let mut a = &b + &b.t();
+        a.symmetrize();
+        a
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let r = eigh(&a);
+        assert!((r.values[0] - 3.0).abs() < 1e-12);
+        assert!((r.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let r = eigh(&a);
+        assert!((r.values[0] - 3.0).abs() < 1e-10);
+        assert!((r.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    proptest! {
+        #[test]
+        fn reconstructs_and_orthonormal(seed in 0u64..200, n in 2usize..9) {
+            let a = sym_from_seed(n, seed);
+            let r = eigh(&a);
+            // V·diag(λ)·Vᵀ == A
+            let mut lam = Mat::zeros(n, n);
+            for i in 0..n {
+                lam.set(i, i, r.values[i]);
+            }
+            let rec = r.vectors.matmul(&lam).matmul(&r.vectors.t());
+            prop_assert!(rec.max_abs_diff(&a) < 1e-8, "reconstruction err {:e}", rec.max_abs_diff(&a));
+            // VᵀV == I
+            let vtv = r.vectors.t().matmul(&r.vectors);
+            prop_assert!(vtv.max_abs_diff(&Mat::eye(n)) < 1e-9);
+            // descending order
+            for w in r.values.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+
+        #[test]
+        fn trace_equals_eigenvalue_sum(seed in 0u64..200, n in 2usize..9) {
+            let a = sym_from_seed(n, seed);
+            let r = eigh(&a);
+            let trace: f64 = (0..n).map(|i| a.get(i, i)).sum();
+            let sum: f64 = r.values.iter().sum();
+            prop_assert!((trace - sum).abs() < 1e-9);
+        }
+    }
+}

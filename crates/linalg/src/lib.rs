@@ -1,0 +1,20 @@
+//! # cmr-linalg
+//!
+//! Small dense `f64` linear-algebra toolkit: just enough, implemented from
+//! scratch, for the Canonical Correlation Analysis baseline (§4.3 of the
+//! paper) and numeric checks elsewhere in the workspace — matrix products,
+//! Cholesky factorisation, a cyclic Jacobi symmetric eigensolver, and
+//! covariance estimation.
+//!
+//! `f64` is used throughout: CCA whitens covariance matrices, which squares
+//! condition numbers, and `f32` loses too much precision there.
+
+pub mod decomp;
+pub mod eigen;
+pub mod matrix;
+pub mod stats;
+
+pub use decomp::{cholesky, solve_lower_triangular, solve_upper_triangular, spd_inverse};
+pub use eigen::{eigh, EighResult};
+pub use matrix::Mat;
+pub use stats::{covariance, cross_covariance, mean_rows};

@@ -1,0 +1,267 @@
+//! Dense row-major `f64` matrix.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A dense `f64` matrix, row-major.
+///
+/// The `f32` tensor in `cmr-tensor` is for training; this type is for the
+/// closed-form numerics (CCA, eigenproblems) where precision dominates.
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major elements.
+    pub data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "Mat::new: length/shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from row slices.
+    ///
+    /// # Panics
+    /// Panics on ragged rows.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "Mat::from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row access.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Transposed copy.
+    pub fn t(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.get(r, c);
+            }
+        }
+        out
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, other.rows,
+            "Mat::matmul: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Mat::zeros(m, n);
+        for i in 0..m {
+            for l in 0..k {
+                let a = self.data[i * k + l];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[l * n..(l + 1) * n];
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · v` for a length-`cols` vector.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "Mat::matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Scales every element.
+    pub fn scaled(&self, s: f64) -> Mat {
+        Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|x| x * s).collect() }
+    }
+
+    /// Adds `v` to the diagonal (ridge regularisation).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn add_diag(&mut self, v: f64) {
+        assert_eq!(self.rows, self.cols, "Mat::add_diag: square matrix required");
+        for i in 0..self.rows {
+            self.data[i * self.cols + i] += v;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Max absolute element difference; `f64::INFINITY` on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Mat) -> f64 {
+        if self.rows != other.rows || self.cols != other.cols {
+            return f64::INFINITY;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Symmetrises in place: `A ← (A + Aᵀ)/2` (kills float asymmetry before
+    /// an `eigh` call).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.rows, self.cols, "Mat::symmetrize: square matrix required");
+        for r in 0..self.rows {
+            for c in r + 1..self.cols {
+                let v = 0.5 * (self.get(r, c) + self.get(c, r));
+                self.set(r, c, v);
+                self.set(c, r, v);
+            }
+        }
+    }
+}
+
+impl Add for &Mat {
+    type Output = Mat;
+    fn add(self, rhs: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "Mat add: shape");
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub for &Mat {
+    type Output = Mat;
+    fn sub(self, rhs: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "Mat sub: shape");
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+impl Mul for &Mat {
+    type Output = Mat;
+    fn mul(self, rhs: &Mat) -> Mat {
+        self.matmul(rhs)
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(6) {
+            let shown: Vec<String> =
+                self.row(r).iter().take(8).map(|v| format!("{v:+.4}")).collect();
+            writeln!(f, "  [{}]", shown.join(", "))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eye_is_multiplicative_identity() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matmul(&Mat::eye(2)).data, a.data);
+        assert_eq!(Mat::eye(2).matmul(&a).data, a.data);
+    }
+
+    #[test]
+    fn transpose_of_product() {
+        // (AB)ᵀ = BᵀAᵀ
+        let a = Mat::from_rows(&[&[1.0, 2.0, 0.5], &[3.0, -4.0, 1.0]]);
+        let b = Mat::from_rows(&[&[2.0, 1.0], &[0.0, 1.0], &[-1.0, 3.0]]);
+        let lhs = a.matmul(&b).t();
+        let rhs = b.t().matmul(&a.t());
+        assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = vec![5.0, 6.0];
+        assert_eq!(a.matvec(&v), vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn symmetrize_makes_symmetric() {
+        let mut a = Mat::from_rows(&[&[1.0, 2.0], &[4.0, 1.0]]);
+        a.symmetrize();
+        assert_eq!(a.get(0, 1), 3.0);
+        assert_eq!(a.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn add_diag_ridges() {
+        let mut a = Mat::zeros(2, 2);
+        a.add_diag(0.5);
+        assert_eq!(a.data, vec![0.5, 0.0, 0.0, 0.5]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Sample statistics for CCA: means and (cross-)covariance matrices.
+
+use crate::matrix::Mat;
+
+/// Column means of an `(n, d)` sample matrix.
+///
+/// # Panics
+/// Panics on an empty matrix.
+pub fn mean_rows(x: &Mat) -> Vec<f64> {
+    assert!(x.rows > 0, "mean_rows: empty sample");
+    let mut mean = vec![0.0; x.cols];
+    for r in 0..x.rows {
+        for (m, &v) in mean.iter_mut().zip(x.row(r)) {
+            *m += v;
+        }
+    }
+    let inv = 1.0 / x.rows as f64;
+    for m in &mut mean {
+        *m *= inv;
+    }
+    mean
+}
+
+/// Unbiased covariance `(d, d)` of an `(n, d)` sample matrix.
+///
+/// # Panics
+/// Panics when `n < 2`.
+pub fn covariance(x: &Mat) -> Mat {
+    cross_covariance(x, x)
+}
+
+/// Unbiased cross-covariance `(dx, dy)` between two paired sample matrices
+/// `(n, dx)` and `(n, dy)`.
+///
+/// # Panics
+/// Panics when the row counts differ or `n < 2`.
+pub fn cross_covariance(x: &Mat, y: &Mat) -> Mat {
+    assert_eq!(x.rows, y.rows, "cross_covariance: unpaired samples");
+    assert!(x.rows >= 2, "cross_covariance: need at least two samples");
+    let mx = mean_rows(x);
+    let my = mean_rows(y);
+    let mut c = Mat::zeros(x.cols, y.cols);
+    for r in 0..x.rows {
+        let xr = x.row(r);
+        let yr = y.row(r);
+        for i in 0..x.cols {
+            let xc = xr[i] - mx[i];
+            if xc == 0.0 {
+                continue;
+            }
+            let crow = c.row_mut(i);
+            for (j, cv) in crow.iter_mut().enumerate() {
+                *cv += xc * (yr[j] - my[j]);
+            }
+        }
+    }
+    c.scaled(1.0 / (x.rows as f64 - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_constant_rows() {
+        let x = Mat::from_rows(&[&[1.0, 2.0], &[1.0, 2.0], &[1.0, 2.0]]);
+        assert_eq!(mean_rows(&x), vec![1.0, 2.0]);
+        // covariance of constants is zero
+        assert!(covariance(&x).frob_norm() < 1e-15);
+    }
+
+    #[test]
+    fn known_covariance() {
+        // var([0,2]) = 2 (unbiased), cov with itself = 2
+        let x = Mat::from_rows(&[&[0.0, 0.0], &[2.0, 2.0]]);
+        let c = covariance(&x);
+        assert!((c.get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((c.get(0, 1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let x = Mat::new(50, 4, (0..200).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let c = covariance(&x);
+        assert!(c.max_abs_diff(&c.t()) < 1e-12);
+        let eig = crate::eigen::eigh(&c);
+        assert!(eig.values.iter().all(|&l| l > -1e-10), "{:?}", eig.values);
+    }
+
+    #[test]
+    fn cross_covariance_transpose_identity() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let x = Mat::new(30, 3, (0..90).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let y = Mat::new(30, 2, (0..60).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let cxy = cross_covariance(&x, &y);
+        let cyx = cross_covariance(&y, &x);
+        assert!(cxy.t().max_abs_diff(&cyx) < 1e-12);
+    }
+}

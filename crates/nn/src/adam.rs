@@ -1,0 +1,126 @@
+//! The Adam optimiser (Kingma & Ba, 2014) — the paper trains with Adam at
+//! learning rate 1e-4 (§4.4).
+
+use crate::param::{Bindings, ParamStore};
+use cmr_tensor::{Graph, TensorData};
+use std::collections::HashMap;
+
+/// Adam with bias correction and lazily allocated per-parameter state.
+///
+/// State is keyed by parameter id, so one optimiser instance serves a model
+/// whose freeze set changes over training (frozen parameters simply receive
+/// no gradient and their moments stay untouched).
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay (default `0.9`).
+    pub beta1: f32,
+    /// Second-moment decay (default `0.999`).
+    pub beta2: f32,
+    /// Numerical fuzz (default `1e-8`).
+    pub eps: f32,
+    t: u64,
+    moments: HashMap<usize, (TensorData, TensorData)>,
+}
+
+impl Adam {
+    /// Creates an optimiser with the given learning rate and the standard
+    /// `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: HashMap::new() }
+    }
+
+    /// Number of update steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update: for every bound parameter with a gradient on `g`,
+    /// updates its Adam moments and writes the new value into `store`.
+    ///
+    /// Returns the number of parameters updated.
+    pub fn step(&mut self, store: &mut ParamStore, g: &Graph, binds: &Bindings) -> usize {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let mut updated = 0;
+
+        for (pid, node) in binds.iter() {
+            let Some(grad) = g.grad(node) else { continue };
+            let value = store.value_mut(pid);
+            let (m, v) = self.moments.entry(pid.0).or_insert_with(|| {
+                (
+                    TensorData::zeros(value.rows, value.cols),
+                    TensorData::zeros(value.rows, value.cols),
+                )
+            });
+            debug_assert_eq!(m.shape(), grad.shape(), "Adam: stale moment shape");
+            for i in 0..value.len() {
+                let gi = grad.data[i];
+                m.data[i] = self.beta1 * m.data[i] + (1.0 - self.beta1) * gi;
+                v.data[i] = self.beta2 * v.data[i] + (1.0 - self.beta2) * gi * gi;
+                let mhat = m.data[i] / bc1;
+                let vhat = v.data[i] / bc2;
+                value.data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            updated += 1;
+        }
+        updated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamStore;
+
+    /// Adam must drive a convex quadratic to its minimum.
+    #[test]
+    fn minimises_quadratic() {
+        let mut store = ParamStore::new();
+        let p = store.register("x", TensorData::row_vector(&[5.0, -3.0]));
+        let mut adam = Adam::new(0.1);
+        for _ in 0..500 {
+            let mut g = Graph::new();
+            let mut binds = Bindings::new();
+            let x = store.bind(&mut g, &mut binds, p);
+            // loss = sum((x - [1, 2])²)
+            let target = g.leaf(TensorData::row_vector(&[1.0, 2.0]), false);
+            let d = g.sub(x, target);
+            let sq = g.mul(d, d);
+            let loss = g.sum_all(sq);
+            g.backward(loss);
+            adam.step(&mut store, &g, &binds);
+        }
+        let x = store.value(p);
+        assert!((x.data[0] - 1.0).abs() < 1e-2 && (x.data[1] - 2.0).abs() < 1e-2, "{x:?}");
+    }
+
+    /// Frozen parameters receive no gradient and therefore no update.
+    #[test]
+    fn skips_frozen_parameters() {
+        let mut store = ParamStore::new();
+        let p = store.register("x", TensorData::row_vector(&[1.0]));
+        store.set_frozen(p, true);
+        let mut adam = Adam::new(0.1);
+        let mut g = Graph::new();
+        let mut binds = Bindings::new();
+        let x = store.bind(&mut g, &mut binds, p);
+        let loss = g.sum_all(x);
+        g.backward(loss);
+        assert_eq!(adam.step(&mut store, &g, &binds), 0);
+        assert_eq!(store.value(p).data, vec![1.0]);
+    }
+
+    /// Step count and bias correction advance even when nothing updates.
+    #[test]
+    fn counts_steps() {
+        let mut store = ParamStore::new();
+        let mut adam = Adam::new(0.1);
+        let g = Graph::new();
+        let binds = Bindings::new();
+        adam.step(&mut store, &g, &binds);
+        adam.step(&mut store, &g, &binds);
+        assert_eq!(adam.steps(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Token-embedding lookup table.
+
+use crate::param::{Bindings, ParamId, ParamStore};
+use cmr_tensor::{init, Graph, NodeId, TensorData};
+use rand::Rng;
+
+/// A `(vocab, dim)` embedding table with row-gather forward.
+///
+/// In the reproduction this holds the word2vec-pretrained word vectors of
+/// the recipe branch (§3.2.1). The paper keeps pretrained word embeddings
+/// fixed for the instruction branch, so tables are typically frozen via
+/// [`ParamStore::set_frozen`] after loading.
+pub struct Embedding {
+    table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Registers a randomly initialised table `{name}.table`.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+    ) -> Self {
+        let table =
+            store.register(format!("{name}.table"), init::normal(rng, vocab, dim, 0.1));
+        Self { table, vocab, dim }
+    }
+
+    /// Registers a table initialised from pretrained vectors (e.g. word2vec).
+    ///
+    /// # Panics
+    /// Panics if `vectors` is empty.
+    pub fn from_pretrained(store: &mut ParamStore, name: &str, vectors: TensorData) -> Self {
+        assert!(vectors.rows > 0, "Embedding::from_pretrained: empty table");
+        let (vocab, dim) = vectors.shape();
+        let table = store.register(format!("{name}.table"), vectors);
+        Self { table, vocab, dim }
+    }
+
+    /// Looks rows up: returns a `(indices.len(), dim)` node.
+    ///
+    /// # Panics
+    /// Panics (inside the gather op) if any index is out of vocabulary.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        binds: &mut Bindings,
+        store: &ParamStore,
+        indices: &[usize],
+    ) -> NodeId {
+        let table = store.bind(g, binds, self.table);
+        g.gather(table, indices.to_vec())
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The underlying parameter id (for freezing).
+    pub fn table(&self) -> ParamId {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Adam;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_returns_rows() {
+        let mut store = ParamStore::new();
+        let table = TensorData::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let emb = Embedding::from_pretrained(&mut store, "emb", table);
+        let mut g = Graph::new();
+        let mut b = Bindings::new();
+        let out = emb.forward(&mut g, &mut b, &store, &[2, 0]);
+        assert_eq!(g.value(out).row(0), &[5.0, 6.0]);
+        assert_eq!(g.value(out).row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn only_gathered_rows_get_updated() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, &mut rng, "emb", 4, 3);
+        let before = store.value(emb.table()).clone();
+        let mut adam = Adam::new(0.1);
+
+        let mut g = Graph::new();
+        let mut b = Bindings::new();
+        let out = emb.forward(&mut g, &mut b, &store, &[1]);
+        let sq = g.mul(out, out);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        adam.step(&mut store, &g, &b);
+
+        let after = store.value(emb.table());
+        assert_eq!(after.row(0), before.row(0), "untouched row changed");
+        assert_ne!(after.row(1), before.row(1), "gathered row did not move");
+    }
+}

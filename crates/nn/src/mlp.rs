@@ -1,0 +1,139 @@
+//! Multi-layer perceptron helper.
+
+use crate::linear::Linear;
+use crate::param::{Bindings, ParamStore};
+use cmr_tensor::{Graph, NodeId};
+use rand::Rng;
+
+/// Activation function applied between MLP layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// No nonlinearity.
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, g: &mut Graph, x: NodeId) -> NodeId {
+        match self {
+            Activation::Relu => g.relu(x),
+            Activation::Tanh => g.tanh(x),
+            Activation::Sigmoid => g.sigmoid(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// A stack of [`Linear`] layers with a fixed hidden activation and no
+/// activation after the last layer (projection-head convention).
+///
+/// In the reproduction this implements the trainable image-branch adapter
+/// that stands in for the fine-tunable top of ResNet-50 (see DESIGN.md).
+pub struct Mlp {
+    layers: Vec<Linear>,
+    act: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP through the given `dims`, e.g. `[256, 128, 64]` gives
+    /// two layers `256→128→64`. Layer parameters are registered as
+    /// `{name}.0`, `{name}.1`, …
+    ///
+    /// # Panics
+    /// Panics if `dims` has fewer than two entries.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        dims: &[usize],
+        act: Activation,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp::new: need at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, rng, &format!("{name}.{i}"), w[0], w[1]))
+            .collect();
+        Self { layers, act }
+    }
+
+    /// Applies the stack to a `(batch, dims[0])` node.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        binds: &mut Bindings,
+        store: &ParamStore,
+        x: NodeId,
+    ) -> NodeId {
+        let last = self.layers.len() - 1;
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(g, binds, store, h);
+            if i < last {
+                h = self.act.apply(g, h);
+            }
+        }
+        h
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Adam;
+    use cmr_tensor::TensorData;
+    use rand::SeedableRng;
+
+    /// A 2-layer MLP must fit XOR — the classic non-linear sanity check.
+    #[test]
+    fn learns_xor() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, &mut rng, "xor", &[2, 8, 1], Activation::Tanh);
+        let mut adam = Adam::new(0.05);
+
+        let xs = TensorData::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let ys = TensorData::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+        let mut last = f32::MAX;
+        for _ in 0..400 {
+            let mut g = Graph::new();
+            let mut binds = Bindings::new();
+            let x = g.leaf(xs.clone(), false);
+            let y = g.leaf(ys.clone(), false);
+            let pred = mlp.forward(&mut g, &mut binds, &store, x);
+            let d = g.sub(pred, y);
+            let sq = g.mul(d, d);
+            let loss = g.mean_all(sq);
+            last = g.value(loss).scalar();
+            g.backward(loss);
+            adam.step(&mut store, &g, &binds);
+        }
+        assert!(last < 0.02, "XOR loss stayed at {last}");
+    }
+
+    #[test]
+    fn depth_and_dims() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, &mut rng, "m", &[4, 3, 2], Activation::Relu);
+        assert_eq!(mlp.depth(), 2);
+        assert_eq!(mlp.out_dim(), 2);
+        // 4*3 + 3 + 3*2 + 2 parameters
+        assert_eq!(store.num_scalars(), 12 + 3 + 6 + 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! Parameter storage, freezing, and per-batch graph bindings.
+
+use cmr_tensor::{Graph, NodeId, TensorData};
+use std::collections::HashMap;
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ParamId(pub(crate) usize);
+
+struct Param {
+    name: String,
+    value: TensorData,
+    frozen: bool,
+}
+
+/// Owns every trainable tensor of a model.
+///
+/// Parameters are registered once with a unique name, can be frozen and
+/// unfrozen at any time (the paper's two-phase schedule: visual backbone
+/// frozen for the first phase, then fine-tuned), and are *bound* into each
+/// per-batch [`Graph`] as leaves. Frozen parameters bind with
+/// `requires_grad = false`, so the tape skips their gradients entirely.
+#[derive(Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+    by_name: HashMap<String, ParamId>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new parameter.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered.
+    pub fn register(&mut self, name: impl Into<String>, value: TensorData) -> ParamId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "ParamStore: duplicate parameter name {name:?}"
+        );
+        let id = ParamId(self.params.len());
+        self.by_name.insert(name.clone(), id);
+        self.params.push(Param { name, value, frozen: false });
+        id
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// `true` when no parameter is registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar parameters (the paper argues AdaMine needs ~1M
+    /// fewer of these than the classification-head variant).
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &TensorData {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access (used by optimisers and checkpoint loading).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut TensorData {
+        &mut self.params[id.0].value
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Looks a parameter up by name.
+    pub fn by_name(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// `true` if the parameter is currently frozen.
+    pub fn is_frozen(&self, id: ParamId) -> bool {
+        self.params[id.0].frozen
+    }
+
+    /// Freezes or unfreezes a single parameter.
+    pub fn set_frozen(&mut self, id: ParamId, frozen: bool) {
+        self.params[id.0].frozen = frozen;
+    }
+
+    /// Freezes or unfreezes every parameter whose name starts with `prefix`.
+    /// Returns how many parameters changed state.
+    pub fn set_frozen_by_prefix(&mut self, prefix: &str, frozen: bool) -> usize {
+        let mut n = 0;
+        for p in &mut self.params {
+            if p.name.starts_with(prefix) && p.frozen != frozen {
+                p.frozen = frozen;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Binds the parameter into `g` as a leaf and records the binding so an
+    /// optimiser can route the node's gradient back. Frozen parameters bind
+    /// as constants. Binding the same parameter twice in one graph reuses the
+    /// first leaf, so weight sharing works naturally.
+    pub fn bind(&self, g: &mut Graph, binds: &mut Bindings, id: ParamId) -> NodeId {
+        if let Some(&node) = binds.by_param.get(&id) {
+            return node;
+        }
+        let p = &self.params[id.0];
+        let node = g.leaf(p.value.clone(), !p.frozen);
+        binds.by_param.insert(id, node);
+        binds.order.push((id, node));
+        node
+    }
+}
+
+/// The parameter→node map for one per-batch graph.
+///
+/// Create a fresh `Bindings` alongside each [`Graph`]; pass both to layer
+/// `forward` calls, then hand the triple (store, graph, bindings) to
+/// [`Adam::step`](crate::Adam::step).
+#[derive(Default)]
+pub struct Bindings {
+    by_param: HashMap<ParamId, NodeId>,
+    order: Vec<(ParamId, NodeId)>,
+}
+
+impl Bindings {
+    /// Creates an empty binding set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Iterates over `(parameter, node)` pairs in bind order.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, NodeId)> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Number of distinct parameters bound.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut s = ParamStore::new();
+        let id = s.register("w", TensorData::zeros(2, 3));
+        assert_eq!(s.by_name("w"), Some(id));
+        assert_eq!(s.num_scalars(), 6);
+        assert_eq!(s.name(id), "w");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_name_panics() {
+        let mut s = ParamStore::new();
+        s.register("w", TensorData::zeros(1, 1));
+        s.register("w", TensorData::zeros(1, 1));
+    }
+
+    #[test]
+    fn freeze_by_prefix() {
+        let mut s = ParamStore::new();
+        let a = s.register("image.adapter.w", TensorData::zeros(1, 1));
+        let b = s.register("image.proj.w", TensorData::zeros(1, 1));
+        let c = s.register("recipe.proj.w", TensorData::zeros(1, 1));
+        assert_eq!(s.set_frozen_by_prefix("image.", true), 2);
+        assert!(s.is_frozen(a) && s.is_frozen(b) && !s.is_frozen(c));
+        assert_eq!(s.set_frozen_by_prefix("image.adapter", false), 1);
+        assert!(!s.is_frozen(a));
+    }
+
+    #[test]
+    fn bind_dedupes_and_respects_freeze() {
+        let mut s = ParamStore::new();
+        let id = s.register("w", TensorData::full(1, 2, 1.5));
+        let mut g = Graph::new();
+        let mut b = Bindings::new();
+        let n1 = s.bind(&mut g, &mut b, id);
+        let n2 = s.bind(&mut g, &mut b, id);
+        assert_eq!(n1, n2);
+        assert_eq!(b.len(), 1);
+
+        s.set_frozen(id, true);
+        let mut g2 = Graph::new();
+        let mut b2 = Bindings::new();
+        let n = s.bind(&mut g2, &mut b2, id);
+        let loss = g2.sum_all(n);
+        g2.backward(loss);
+        assert!(g2.grad(n).is_none(), "frozen parameter must not receive grad");
+    }
+}

@@ -1,0 +1,155 @@
+//! Binary checkpointing of a [`ParamStore`].
+//!
+//! The trainer keeps the best-validation-MedR model (§4.4 "model selection")
+//! as a checkpoint. Format: a small header, then per parameter its name,
+//! shape, freeze flag and raw little-endian `f32` payload — compact and
+//! byte-for-byte reproducible, built with the `bytes` buffer primitives.
+
+use crate::param::{ParamId, ParamStore};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cmr_tensor::TensorData;
+use std::io;
+
+const MAGIC: &[u8; 8] = b"CMRCKPT1";
+
+/// Serialises every parameter (name, shape, freeze flag, payload).
+pub fn save_params(store: &ParamStore) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(store.len() as u32);
+    for id in store.ids() {
+        let name = store.name(id).as_bytes();
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name);
+        let v = store.value(id);
+        buf.put_u32_le(v.rows as u32);
+        buf.put_u32_le(v.cols as u32);
+        buf.put_u8(u8::from(store.is_frozen(id)));
+        for &x in &v.data {
+            buf.put_f32_le(x);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restores parameter values (and freeze flags) into an existing store.
+///
+/// The store must already contain a parameter for every name in the
+/// checkpoint, with a matching shape — checkpoints restore *values*, not
+/// architecture.
+///
+/// # Errors
+/// Returns `InvalidData` on a bad magic/truncation, an unknown parameter
+/// name, or a shape mismatch.
+pub fn load_params(store: &mut ParamStore, bytes: &[u8]) -> io::Result<()> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut buf = bytes;
+    if buf.remaining() < MAGIC.len() + 4 {
+        return Err(bad("checkpoint truncated".into()));
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad(format!("bad checkpoint magic {magic:?}")));
+    }
+    let count = buf.get_u32_le() as usize;
+    for _ in 0..count {
+        if buf.remaining() < 2 {
+            return Err(bad("checkpoint truncated".into()));
+        }
+        let name_len = buf.get_u16_le() as usize;
+        if buf.remaining() < name_len + 9 {
+            return Err(bad("checkpoint truncated".into()));
+        }
+        let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+            .map_err(|e| bad(format!("parameter name not utf-8: {e}")))?;
+        let rows = buf.get_u32_le() as usize;
+        let cols = buf.get_u32_le() as usize;
+        let frozen = buf.get_u8() != 0;
+        let n = rows * cols;
+        if buf.remaining() < n * 4 {
+            return Err(bad(format!("checkpoint truncated inside {name}")));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(buf.get_f32_le());
+        }
+        let id: ParamId = store
+            .by_name(&name)
+            .ok_or_else(|| bad(format!("checkpoint parameter {name:?} not in store")))?;
+        let dst = store.value_mut(id);
+        if dst.shape() != (rows, cols) {
+            return Err(bad(format!(
+                "shape mismatch for {name:?}: checkpoint {rows}x{cols}, store {}x{}",
+                dst.rows, dst.cols
+            )));
+        }
+        *dst = TensorData::new(rows, cols, data);
+        store.set_frozen(id, frozen);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmr_tensor::init;
+    use rand::SeedableRng;
+
+    fn store_with(seed: u64) -> ParamStore {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut s = ParamStore::new();
+        s.register("a.w", init::normal(&mut rng, 3, 4, 1.0));
+        s.register("b.w", init::normal(&mut rng, 2, 2, 1.0));
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_values_and_freeze() {
+        let mut src = store_with(1);
+        src.set_frozen(src.by_name("b.w").unwrap(), true);
+        let blob = save_params(&src);
+
+        let mut dst = store_with(2); // different values, same names/shapes
+        load_params(&mut dst, &blob).unwrap();
+        for name in ["a.w", "b.w"] {
+            let i = src.by_name(name).unwrap();
+            let j = dst.by_name(name).unwrap();
+            assert_eq!(src.value(i).data, dst.value(j).data, "{name}");
+        }
+        assert!(dst.is_frozen(dst.by_name("b.w").unwrap()));
+    }
+
+    #[test]
+    fn rejects_corrupt_magic() {
+        let mut dst = store_with(1);
+        assert!(load_params(&mut dst, b"NOTACKPTxxxx").is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let src = store_with(1);
+        let blob = save_params(&src);
+        let mut dst = store_with(1);
+        assert!(load_params(&mut dst, &blob[..blob.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_parameter() {
+        let src = store_with(1);
+        let blob = save_params(&src);
+        let mut dst = ParamStore::new();
+        dst.register("other", TensorData::zeros(1, 1));
+        assert!(load_params(&mut dst, &blob).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let src = store_with(1);
+        let blob = save_params(&src);
+        let mut dst = ParamStore::new();
+        dst.register("a.w", TensorData::zeros(4, 3));
+        dst.register("b.w", TensorData::zeros(2, 2));
+        assert!(load_params(&mut dst, &blob).is_err());
+    }
+}

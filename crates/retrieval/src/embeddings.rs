@@ -1,0 +1,144 @@
+//! Embedding-set storage.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of `n` embedding vectors of dimension `dim`, row-major.
+///
+/// The paper compares embeddings by cosine distance (§3.2.2); call
+/// [`Embeddings::l2_normalized`] once and compare by dot product afterwards —
+/// all search and evaluation code in this crate assumes normalised inputs
+/// where it matters and says so.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Embeddings {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Row-major `(n, dim)` data.
+    pub data: Vec<f32>,
+}
+
+impl Embeddings {
+    /// Creates a set from flat data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dim` or `dim == 0`.
+    pub fn new(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "Embeddings::new: zero dimension");
+        assert_eq!(data.len() % dim, 0, "Embeddings::new: ragged data");
+        Self { dim, data }
+    }
+
+    /// An empty set with capacity for `n` vectors.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "Embeddings::with_capacity: zero dimension");
+        Self { dim, data: Vec::with_capacity(n * dim) }
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// `true` when the set holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Vector `i`.
+    #[inline]
+    pub fn vector(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Appends a vector.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != dim`.
+    pub fn push(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "Embeddings::push: dimension mismatch");
+        self.data.extend_from_slice(v);
+    }
+
+    /// A copy with every row scaled to unit L2 norm (zero rows left as-is).
+    pub fn l2_normalized(&self) -> Embeddings {
+        let mut out = self.clone();
+        for i in 0..out.len() {
+            let row = &mut out.data[i * out.dim..(i + 1) * out.dim];
+            let norm = row.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32;
+            if norm > 0.0 {
+                for x in row {
+                    *x /= norm;
+                }
+            }
+        }
+        out
+    }
+
+    /// Gathers a subset of rows (for bag sampling).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index.
+    pub fn subset(&self, indices: &[usize]) -> Embeddings {
+        let mut out = Embeddings::with_capacity(self.dim, indices.len());
+        for &i in indices {
+            out.push(self.vector(i));
+        }
+        out
+    }
+
+    /// Dot product between row `i` and an external vector.
+    #[inline]
+    pub fn dot(&self, i: usize, v: &[f32]) -> f32 {
+        self.vector(i).iter().zip(v).map(|(a, b)| a * b).sum()
+    }
+}
+
+/// Cosine distance `1 − cos(a, b)` between two raw (not necessarily
+/// normalised) vectors.
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        1.0
+    } else {
+        1.0 - dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut e = Embeddings::with_capacity(2, 2);
+        e.push(&[1.0, 0.0]);
+        e.push(&[0.0, 2.0]);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.vector(1), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn normalization_gives_unit_rows() {
+        let e = Embeddings::new(2, vec![3.0, 4.0, 0.0, 0.0]);
+        let n = e.l2_normalized();
+        assert!((n.vector(0)[0] - 0.6).abs() < 1e-6);
+        assert!((n.vector(0)[1] - 0.8).abs() < 1e-6);
+        assert_eq!(n.vector(1), &[0.0, 0.0], "zero rows untouched");
+    }
+
+    #[test]
+    fn subset_gathers() {
+        let e = Embeddings::new(1, vec![10.0, 20.0, 30.0]);
+        let s = e.subset(&[2, 0]);
+        assert_eq!(s.data, vec![30.0, 10.0]);
+    }
+
+    #[test]
+    fn cosine_distance_basics() {
+        assert!((cosine_distance(&[1.0, 0.0], &[1.0, 0.0])).abs() < 1e-6);
+        assert!((cosine_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-6);
+        assert_eq!(cosine_distance(&[0.0], &[1.0]), 1.0, "zero vector convention");
+    }
+}

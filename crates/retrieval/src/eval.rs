@@ -1,0 +1,222 @@
+//! The Recipe1M bag evaluation protocol (§4.2).
+//!
+//! "We first sample 10 unique subsets of 1,000 (1k setup) or 5 unique
+//! subsets of 10,000 (10k setup) matching text recipe-image pairs in the
+//! test set. Then, we consider each item in a modality as a query […] and we
+//! rank items in the other modality according to the cosine distance."
+
+use crate::embeddings::Embeddings;
+use crate::metrics::{median_rank, ranks_of_matches, recall_at_k};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Bag-sampling configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BagConfig {
+    /// Pairs per bag (1,000 or 10,000 in the paper).
+    pub bag_size: usize,
+    /// Number of bags (10 for the 1k setup, 5 for the 10k setup).
+    pub n_bags: usize,
+}
+
+impl BagConfig {
+    /// The paper's 1k setup: 10 bags of 1,000 pairs.
+    pub fn paper_1k() -> Self {
+        Self { bag_size: 1000, n_bags: 10 }
+    }
+
+    /// The paper's 10k setup: 5 bags of 10,000 pairs.
+    pub fn paper_10k() -> Self {
+        Self { bag_size: 10_000, n_bags: 5 }
+    }
+
+    /// A scaled setup clamped to the available test-set size.
+    pub fn clamped(self, available: usize) -> Self {
+        Self { bag_size: self.bag_size.min(available), n_bags: self.n_bags }
+    }
+}
+
+/// Mean ± std of each metric over bags, for one retrieval direction.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct DirectionReport {
+    /// Median rank (lower is better).
+    pub medr_mean: f64,
+    /// Std of the median rank across bags.
+    pub medr_std: f64,
+    /// Recall@1 in percent.
+    pub r1_mean: f64,
+    /// Std of recall@1.
+    pub r1_std: f64,
+    /// Recall@5 in percent.
+    pub r5_mean: f64,
+    /// Std of recall@5.
+    pub r5_std: f64,
+    /// Recall@10 in percent.
+    pub r10_mean: f64,
+    /// Std of recall@10.
+    pub r10_std: f64,
+}
+
+/// Full protocol result: both retrieval directions.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ProtocolReport {
+    /// Image query → recipe gallery.
+    pub im2rec: DirectionReport,
+    /// Recipe query → image gallery.
+    pub rec2im: DirectionReport,
+}
+
+fn mean_std(values: &[f64]) -> (f64, f64) {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+struct BagAccumulator {
+    medr: Vec<f64>,
+    r1: Vec<f64>,
+    r5: Vec<f64>,
+    r10: Vec<f64>,
+}
+
+impl BagAccumulator {
+    fn new() -> Self {
+        Self { medr: Vec::new(), r1: Vec::new(), r5: Vec::new(), r10: Vec::new() }
+    }
+
+    fn push(&mut self, ranks: &[usize]) {
+        self.medr.push(median_rank(ranks));
+        self.r1.push(recall_at_k(ranks, 1));
+        self.r5.push(recall_at_k(ranks, 5));
+        self.r10.push(recall_at_k(ranks, 10));
+    }
+
+    fn report(&self) -> DirectionReport {
+        let (medr_mean, medr_std) = mean_std(&self.medr);
+        let (r1_mean, r1_std) = mean_std(&self.r1);
+        let (r5_mean, r5_std) = mean_std(&self.r5);
+        let (r10_mean, r10_std) = mean_std(&self.r10);
+        DirectionReport { medr_mean, medr_std, r1_mean, r1_std, r5_mean, r5_std, r10_mean, r10_std }
+    }
+}
+
+/// Evaluates one bag of already-paired embeddings in both directions.
+///
+/// Inputs are normalised internally, so raw model outputs are fine.
+///
+/// # Panics
+/// Panics if the sets are unpaired.
+pub fn evaluate_pairs(images: &Embeddings, recipes: &Embeddings) -> (Vec<usize>, Vec<usize>) {
+    let img = images.l2_normalized();
+    let rec = recipes.l2_normalized();
+    let im2rec = ranks_of_matches(&img, &rec);
+    let rec2im = ranks_of_matches(&rec, &img);
+    (im2rec, rec2im)
+}
+
+/// Runs the full bag protocol over a paired test set.
+///
+/// `images` row `i` and `recipes` row `i` must be the matching pair. Bags
+/// are sampled without replacement within a bag, independently across bags
+/// (the paper's "unique subsets").
+///
+/// # Panics
+/// Panics if the sets are unpaired, or smaller than `cfg.bag_size`.
+pub fn evaluate_bags(
+    images: &Embeddings,
+    recipes: &Embeddings,
+    cfg: BagConfig,
+    rng: &mut impl Rng,
+) -> ProtocolReport {
+    assert_eq!(images.len(), recipes.len(), "evaluate_bags: unpaired sets");
+    assert!(
+        images.len() >= cfg.bag_size,
+        "evaluate_bags: test set ({}) smaller than bag size ({})",
+        images.len(),
+        cfg.bag_size
+    );
+    let img = images.l2_normalized();
+    let rec = recipes.l2_normalized();
+
+    let mut acc_i2r = BagAccumulator::new();
+    let mut acc_r2i = BagAccumulator::new();
+    let mut indices: Vec<usize> = (0..img.len()).collect();
+    for _ in 0..cfg.n_bags {
+        indices.shuffle(rng);
+        let bag = &indices[..cfg.bag_size];
+        let bag_img = img.subset(bag);
+        let bag_rec = rec.subset(bag);
+        acc_i2r.push(&ranks_of_matches(&bag_img, &bag_rec));
+        acc_r2i.push(&ranks_of_matches(&bag_rec, &bag_img));
+    }
+    ProtocolReport { im2rec: acc_i2r.report(), rec2im: acc_r2i.report() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_embeddings(n: usize, dim: usize, seed: u64) -> Embeddings {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        Embeddings::new(dim, (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    /// Perfectly aligned embeddings give MedR 1 and R@1 = 100 in both
+    /// directions, whatever the bag sampling does.
+    #[test]
+    fn perfect_alignment_is_perfect_everywhere() {
+        let e = random_embeddings(50, 8, 1);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let rep = evaluate_bags(&e, &e, BagConfig { bag_size: 20, n_bags: 4 }, &mut rng);
+        assert_eq!(rep.im2rec.medr_mean, 1.0);
+        assert_eq!(rep.rec2im.r1_mean, 100.0);
+        assert_eq!(rep.im2rec.medr_std, 0.0);
+    }
+
+    /// Independent random embeddings: expected MedR ≈ bag_size / 2 (the
+    /// paper's "Random" row: MedR 499 on 1k bags).
+    #[test]
+    fn random_embeddings_have_chance_medr() {
+        let img = random_embeddings(300, 16, 3);
+        let rec = random_embeddings(300, 16, 4);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let rep = evaluate_bags(&img, &rec, BagConfig { bag_size: 200, n_bags: 5 }, &mut rng);
+        assert!(
+            (60.0..140.0).contains(&rep.im2rec.medr_mean),
+            "random MedR should be near 100, got {}",
+            rep.im2rec.medr_mean
+        );
+        assert!(rep.im2rec.r10_mean < 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than bag size")]
+    fn rejects_undersized_test_set() {
+        let e = random_embeddings(10, 4, 1);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        evaluate_bags(&e, &e, BagConfig { bag_size: 100, n_bags: 1 }, &mut rng);
+    }
+
+    #[test]
+    fn clamped_config_caps_bag_size() {
+        let cfg = BagConfig::paper_10k().clamped(3000);
+        assert_eq!(cfg.bag_size, 3000);
+        assert_eq!(cfg.n_bags, 5);
+    }
+
+    #[test]
+    fn evaluate_pairs_matches_manual_protocol() {
+        let img = random_embeddings(30, 8, 7);
+        let rec = random_embeddings(30, 8, 8);
+        let (i2r, r2i) = evaluate_pairs(&img, &rec);
+        assert_eq!(i2r.len(), 30);
+        assert_eq!(r2i.len(), 30);
+        assert!(i2r.iter().all(|&r| (1..=30).contains(&r)));
+    }
+}

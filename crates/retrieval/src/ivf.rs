@@ -1,0 +1,212 @@
+//! IVF-Flat approximate nearest-neighbour index.
+//!
+//! The paper positions itself as a *large-scale* retrieval system (§1,
+//! Recipe1M ≈ 1M pairs); an exhaustive scan per query is O(n·d) and stops
+//! being interactive well below that scale. This module adds the standard
+//! inverted-file index: k-means clusters the gallery into `nlist` coarse
+//! cells, a query scans only the `nprobe` nearest cells. It trades a small
+//! recall loss for a large speedup — quantified in `benches/retrieval.rs`
+//! and guarded by a property test comparing against exact search.
+
+use crate::embeddings::Embeddings;
+use crate::knn::{top_k, Hit};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An IVF-Flat index over L2-normalised embeddings.
+pub struct IvfIndex {
+    centroids: Embeddings,
+    /// Gallery row indices per cell.
+    cells: Vec<Vec<usize>>,
+    gallery: Embeddings,
+}
+
+impl IvfIndex {
+    /// Builds an index with `nlist` cells using `iters` Lloyd iterations.
+    ///
+    /// `gallery` must be L2-normalised (cosine similarity = dot product).
+    /// Spherical k-means is used: centroids are re-normalised after every
+    /// update, so assignment by maximum dot product is exact.
+    ///
+    /// # Panics
+    /// Panics if `nlist == 0` or the gallery has fewer vectors than `nlist`.
+    pub fn build(gallery: Embeddings, nlist: usize, iters: usize, rng: &mut impl Rng) -> Self {
+        assert!(nlist >= 1, "IvfIndex::build: nlist must be positive");
+        assert!(
+            gallery.len() >= nlist,
+            "IvfIndex::build: gallery ({}) smaller than nlist ({nlist})",
+            gallery.len()
+        );
+        let dim = gallery.dim;
+        let n = gallery.len();
+
+        // k-means++ style seeding: random distinct rows.
+        let mut seed_rows: Vec<usize> = (0..n).collect();
+        seed_rows.shuffle(rng);
+        let mut centroids = gallery.subset(&seed_rows[..nlist]);
+
+        let mut assignment = vec![0usize; n];
+        for _ in 0..iters.max(1) {
+            // Assign.
+            for (i, slot) in assignment.iter_mut().enumerate() {
+                let v = gallery.vector(i);
+                let mut best = 0usize;
+                let mut best_sim = f32::NEG_INFINITY;
+                for c in 0..nlist {
+                    let sim = centroids.dot(c, v);
+                    if sim > best_sim {
+                        best_sim = sim;
+                        best = c;
+                    }
+                }
+                *slot = best;
+            }
+            // Update (spherical: mean then re-normalise).
+            let mut sums = vec![0.0f32; nlist * dim];
+            let mut counts = vec![0usize; nlist];
+            for (i, &c) in assignment.iter().enumerate() {
+                counts[c] += 1;
+                for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(gallery.vector(i)) {
+                    *s += x;
+                }
+            }
+            for c in 0..nlist {
+                if counts[c] == 0 {
+                    // Dead cell: reseed from a random gallery row.
+                    let r = rng.gen_range(0..n);
+                    sums[c * dim..(c + 1) * dim].copy_from_slice(gallery.vector(r));
+                    counts[c] = 1;
+                }
+                let cell = &mut sums[c * dim..(c + 1) * dim];
+                let norm =
+                    cell.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32;
+                if norm > 0.0 {
+                    for x in cell.iter_mut() {
+                        *x /= norm;
+                    }
+                }
+            }
+            centroids = Embeddings::new(dim, sums);
+        }
+
+        let mut cells = vec![Vec::new(); nlist];
+        for (i, &c) in assignment.iter().enumerate() {
+            cells[c].push(i);
+        }
+        Self { centroids, cells, gallery }
+    }
+
+    /// Number of coarse cells.
+    pub fn nlist(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total indexed vectors.
+    pub fn len(&self) -> usize {
+        self.gallery.len()
+    }
+
+    /// `true` when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.gallery.is_empty()
+    }
+
+    /// Searches the `nprobe` nearest cells for the top-`k` hits.
+    ///
+    /// `query` must be L2-normalised.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `nprobe == 0`, or the dimension differs.
+    pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<Hit> {
+        assert!(k >= 1 && nprobe >= 1, "IvfIndex::search: k and nprobe must be positive");
+        assert_eq!(query.len(), self.gallery.dim, "IvfIndex::search: dimension mismatch");
+        let probes = top_k(&self.centroids, query, nprobe.min(self.nlist()));
+        let mut candidates: Vec<usize> = Vec::new();
+        for p in probes {
+            candidates.extend_from_slice(&self.cells[p.index]);
+        }
+        let sub = self.gallery.subset(&candidates);
+        top_k(&sub, query, k)
+            .into_iter()
+            .map(|h| Hit { index: candidates[h.index], similarity: h.similarity })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn clustered_gallery(
+        clusters: usize,
+        per: usize,
+        dim: usize,
+        seed: u64,
+    ) -> Embeddings {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut centers: Vec<Vec<f32>> = Vec::new();
+        for _ in 0..clusters {
+            centers.push((0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        }
+        let mut e = Embeddings::with_capacity(dim, clusters * per);
+        for c in &centers {
+            for _ in 0..per {
+                let v: Vec<f32> =
+                    c.iter().map(|&x| x + rng.gen_range(-0.1..0.1)).collect();
+                e.push(&v);
+            }
+        }
+        e.l2_normalized()
+    }
+
+    #[test]
+    fn probing_all_cells_equals_exact_search() {
+        let g = clustered_gallery(4, 25, 8, 1);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let index = IvfIndex::build(g.clone(), 4, 5, &mut rng);
+        for qi in [0usize, 13, 57, 99] {
+            let q = g.vector(qi).to_vec();
+            let exact = top_k(&g, &q, 5);
+            let approx = index.search(&q, 5, 4);
+            let exact_ids: Vec<usize> = exact.iter().map(|h| h.index).collect();
+            let approx_ids: Vec<usize> = approx.iter().map(|h| h.index).collect();
+            assert_eq!(exact_ids, approx_ids, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn recall_at_one_probe_is_reasonable_on_clustered_data() {
+        let g = clustered_gallery(8, 40, 16, 3);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let index = IvfIndex::build(g.clone(), 8, 8, &mut rng);
+        let mut hits = 0;
+        let n = g.len();
+        for qi in 0..n {
+            let q = g.vector(qi).to_vec();
+            let got = index.search(&q, 1, 1);
+            if got[0].index == qi {
+                hits += 1;
+            }
+        }
+        let recall = hits as f64 / n as f64;
+        assert!(recall > 0.9, "self-recall with 1 probe: {recall}");
+    }
+
+    #[test]
+    fn handles_nprobe_larger_than_nlist() {
+        let g = clustered_gallery(2, 10, 4, 5);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
+        let index = IvfIndex::build(g.clone(), 2, 3, &mut rng);
+        let hits = index.search(g.vector(0), 3, 100);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "gallery")]
+    fn rejects_nlist_larger_than_gallery() {
+        let g = clustered_gallery(1, 3, 4, 7);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(8);
+        IvfIndex::build(g, 10, 3, &mut rng);
+    }
+}

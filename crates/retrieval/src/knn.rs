@@ -1,0 +1,121 @@
+//! Exact top-k cosine search.
+
+use crate::embeddings::Embeddings;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A search hit: gallery index plus cosine similarity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Hit {
+    /// Gallery row index.
+    pub index: usize,
+    /// Cosine similarity to the query (higher is closer).
+    pub similarity: f32,
+}
+
+// Min-heap entry keyed on similarity, so the root is the worst retained hit.
+#[derive(PartialEq)]
+struct HeapEntry(Hit);
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the minimum on top.
+        other
+            .0
+            .similarity
+            .partial_cmp(&self.0.similarity)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.0.index.cmp(&self.0.index))
+    }
+}
+
+/// Exhaustive top-`k` search of `gallery` for the nearest rows to `query`
+/// by cosine similarity. Both the query and the gallery must already be
+/// L2-normalised. Results are ordered from most to least similar.
+///
+/// # Panics
+/// Panics if `k == 0` or the dimensions differ.
+pub fn top_k(gallery: &Embeddings, query: &[f32], k: usize) -> Vec<Hit> {
+    assert!(k >= 1, "top_k: k must be positive");
+    assert_eq!(query.len(), gallery.dim, "top_k: dimension mismatch");
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    for i in 0..gallery.len() {
+        let sim = gallery.dot(i, query);
+        if heap.len() < k {
+            heap.push(HeapEntry(Hit { index: i, similarity: sim }));
+        } else if let Some(worst) = heap.peek() {
+            if sim > worst.0.similarity {
+                heap.pop();
+                heap.push(HeapEntry(Hit { index: i, similarity: sim }));
+            }
+        }
+    }
+    let mut hits: Vec<Hit> = heap.into_iter().map(|e| e.0).collect();
+    hits.sort_by(|a, b| {
+        b.similarity.partial_cmp(&a.similarity).unwrap_or(Ordering::Equal)
+    });
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn gallery() -> Embeddings {
+        Embeddings::new(
+            2,
+            vec![
+                1.0, 0.0, // 0: east
+                0.0, 1.0, // 1: north
+                -1.0, 0.0, // 2: west
+                0.7, 0.7, // 3: north-east (≈ unit, exactness irrelevant)
+            ],
+        )
+    }
+
+    #[test]
+    fn finds_nearest_in_order() {
+        let hits = top_k(&gallery(), &[1.0, 0.0], 2);
+        assert_eq!(hits[0].index, 0);
+        assert_eq!(hits[1].index, 3);
+        assert!(hits[0].similarity > hits[1].similarity);
+    }
+
+    #[test]
+    fn k_larger_than_gallery_returns_all() {
+        let hits = top_k(&gallery(), &[0.0, 1.0], 10);
+        assert_eq!(hits.len(), 4);
+        assert_eq!(hits[0].index, 1);
+        assert_eq!(hits.last().unwrap().index, 2, "antipode ranks last");
+    }
+
+    proptest! {
+        /// top_k agrees with a full sort for random data.
+        #[test]
+        fn agrees_with_full_sort(seed in 0u64..200, n in 1usize..40, k in 1usize..10) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let dim = 3;
+            let g = Embeddings::new(dim, (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                .l2_normalized();
+            let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let hits = top_k(&g, &q, k);
+
+            let mut all: Vec<(usize, f32)> =
+                (0..n).map(|i| (i, g.dot(i, &q))).collect();
+            all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let expect: Vec<f32> = all.iter().take(k).map(|&(_, s)| s).collect();
+            let got: Vec<f32> = hits.iter().map(|h| h.similarity).collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # cmr-retrieval
+//!
+//! Cross-modal retrieval evaluation and search:
+//!
+//! * [`Embeddings`] — a flat set of L2-normalisable embedding vectors,
+//! * [`metrics`] — median rank (MedR) and recall@K, the paper's §4.2 metrics,
+//! * [`eval`] — the Recipe1M bag protocol: 10 bags of 1k / 5 bags of 10k test
+//!   pairs, both retrieval directions, mean ± std over bags,
+//! * [`knn`] — exact top-k cosine search,
+//! * [`ivf`] — an IVF-Flat approximate index (k-means coarse quantiser), the
+//!   "large-scale" extension: the paper motivates Recipe1M-scale retrieval,
+//!   and exact scan does not scale past a few million items.
+
+pub mod embeddings;
+pub mod eval;
+pub mod ivf;
+pub mod knn;
+pub mod metrics;
+
+pub use embeddings::Embeddings;
+pub use eval::{evaluate_bags, evaluate_pairs, BagConfig, DirectionReport, ProtocolReport};
+pub use ivf::IvfIndex;
+pub use knn::top_k;
+pub use metrics::{median_rank, ranks_of_matches, recall_at_k};

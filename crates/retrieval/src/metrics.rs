@@ -1,0 +1,136 @@
+//! Median rank and recall@K (§4.2 of the paper).
+
+use crate::embeddings::Embeddings;
+use rayon::prelude::*;
+
+/// For every query `i`, the 1-based rank of gallery item `i` (its matching
+/// counterpart) when the gallery is sorted by descending cosine similarity.
+///
+/// Inputs must be L2-normalised (dot product == cosine). Ties are resolved
+/// pessimistically for items ordered before the match and optimistically
+/// after — i.e. rank = 1 + number of *strictly closer* gallery items — which
+/// matches the common implementation of the Recipe1M protocol.
+///
+/// # Panics
+/// Panics if the two sets differ in size or dimension.
+pub fn ranks_of_matches(queries: &Embeddings, gallery: &Embeddings) -> Vec<usize> {
+    assert_eq!(queries.len(), gallery.len(), "ranks_of_matches: unpaired sets");
+    assert_eq!(queries.dim, gallery.dim, "ranks_of_matches: dimension mismatch");
+    let n = queries.len();
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let q = queries.vector(i);
+            let match_sim = gallery.dot(i, q);
+            let mut closer = 0usize;
+            for j in 0..n {
+                if j != i && gallery.dot(j, q) > match_sim {
+                    closer += 1;
+                }
+            }
+            closer + 1
+        })
+        .collect()
+}
+
+/// Median of a rank list. Even-length lists average the two middle values,
+/// so MedR can be fractional exactly as reported in the paper's tables.
+///
+/// # Panics
+/// Panics on an empty list.
+pub fn median_rank(ranks: &[usize]) -> f64 {
+    assert!(!ranks.is_empty(), "median_rank: empty rank list");
+    let mut sorted = ranks.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2] as f64
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) as f64 / 2.0
+    }
+}
+
+/// Percentage (0–100) of queries whose match ranks in the top `k`.
+///
+/// # Panics
+/// Panics on an empty list or `k == 0`.
+pub fn recall_at_k(ranks: &[usize], k: usize) -> f64 {
+    assert!(!ranks.is_empty(), "recall_at_k: empty rank list");
+    assert!(k >= 1, "recall_at_k: k must be positive");
+    let hits = ranks.iter().filter(|&&r| r <= k).count();
+    100.0 * hits as f64 / ranks.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// With identical query and gallery embeddings every match is rank 1.
+    #[test]
+    fn identity_embedding_is_perfect() {
+        let e = Embeddings::new(2, vec![1.0, 0.0, 0.0, 1.0, -1.0, 0.0]).l2_normalized();
+        let ranks = ranks_of_matches(&e, &e);
+        assert_eq!(ranks, vec![1, 1, 1]);
+        assert_eq!(median_rank(&ranks), 1.0);
+        assert_eq!(recall_at_k(&ranks, 1), 100.0);
+    }
+
+    /// Hand-constructed case where the match is rank 2.
+    #[test]
+    fn known_rank_two() {
+        // query 0 points at gallery 1 more than at its own match (gallery 0)
+        let queries = Embeddings::new(2, vec![1.0, 0.0, 0.0, 1.0]).l2_normalized();
+        let gallery = Embeddings::new(2, vec![0.8, 0.6, 1.0, 0.0]).l2_normalized();
+        let ranks = ranks_of_matches(&queries, &gallery);
+        assert_eq!(ranks[0], 2, "match sim 0.8 < distractor sim 1.0");
+        assert_eq!(ranks[1], 2, "match sim 0.0 < distractor sim 0.6");
+    }
+
+    #[test]
+    fn median_handles_even_lists() {
+        assert_eq!(median_rank(&[1, 2, 3, 10]), 2.5);
+        assert_eq!(median_rank(&[4]), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rank list")]
+    fn median_rejects_empty() {
+        median_rank(&[]);
+    }
+
+    proptest! {
+        /// Recall is monotonically non-decreasing in K and bounded by 100.
+        #[test]
+        fn recall_monotone_in_k(ranks in proptest::collection::vec(1usize..50, 1..100)) {
+            let mut prev = 0.0;
+            for k in 1..50 {
+                let r = recall_at_k(&ranks, k);
+                prop_assert!(r >= prev);
+                prop_assert!((0.0..=100.0).contains(&r));
+                prev = r;
+            }
+        }
+
+        /// Median is always between min and max of the list.
+        #[test]
+        fn median_within_bounds(ranks in proptest::collection::vec(1usize..1000, 1..200)) {
+            let m = median_rank(&ranks);
+            let lo = *ranks.iter().min().unwrap() as f64;
+            let hi = *ranks.iter().max().unwrap() as f64;
+            prop_assert!(m >= lo && m <= hi);
+        }
+
+        /// Ranks are within [1, n] whatever the embeddings are.
+        #[test]
+        fn ranks_are_bounded(seed in 0u64..200, n in 2usize..12) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let dim = 4;
+            let q = Embeddings::new(dim, (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).l2_normalized();
+            let g = Embeddings::new(dim, (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).l2_normalized();
+            let ranks = ranks_of_matches(&q, &g);
+            prop_assert!(ranks.iter().all(|&r| r >= 1 && r <= n));
+        }
+    }
+}

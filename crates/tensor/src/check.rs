@@ -1,0 +1,245 @@
+//! Numerical gradient checking.
+//!
+//! Every differentiable operator in this crate (and every composite layer in
+//! `cmr-nn`) is validated against central finite differences. This is the
+//! safety net that lets a from-scratch autodiff be trusted for the paper's
+//! training runs.
+
+use crate::data::TensorData;
+use crate::graph::{Graph, NodeId};
+
+/// Result of a gradient check: worst absolute and relative error observed.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// Largest `|analytic − numeric|` over all checked coordinates.
+    pub max_abs_err: f64,
+    /// Largest `|analytic − numeric| / max(1, |analytic|, |numeric|)`.
+    pub max_rel_err: f64,
+}
+
+impl GradCheckReport {
+    /// `true` when the relative error is below `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_rel_err <= tol
+    }
+}
+
+/// Checks the analytic gradient of a scalar function against central
+/// differences.
+///
+/// `build` receives a fresh [`Graph`] and the current parameter value as a
+/// trainable leaf and must return the scalar loss node. The check perturbs
+/// every coordinate of `param` by ±`eps` (default callers use `1e-3` for
+/// `f32` math) and compares.
+///
+/// # Panics
+/// Panics if `build` returns a non-scalar node.
+pub fn grad_check(
+    param: &TensorData,
+    eps: f32,
+    build: impl Fn(&mut Graph, NodeId) -> NodeId,
+) -> GradCheckReport {
+    // Analytic gradient.
+    let mut g = Graph::new();
+    let p = g.leaf(param.clone(), true);
+    let loss = build(&mut g, p);
+    g.backward(loss);
+    let analytic = g
+        .grad(p)
+        .cloned()
+        .unwrap_or_else(|| TensorData::zeros(param.rows, param.cols));
+
+    let eval = |data: &TensorData| -> f64 {
+        let mut g = Graph::new();
+        let p = g.leaf(data.clone(), true);
+        let loss = build(&mut g, p);
+        g.value(loss).scalar() as f64
+    };
+
+    let mut max_abs: f64 = 0.0;
+    let mut max_rel: f64 = 0.0;
+    for i in 0..param.len() {
+        let mut plus = param.clone();
+        plus.data[i] += eps;
+        let mut minus = param.clone();
+        minus.data[i] -= eps;
+        let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps as f64);
+        let a = analytic.data[i] as f64;
+        let abs = (a - numeric).abs();
+        let rel = abs / a.abs().max(numeric.abs()).max(1.0);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::SmallRng {
+        rand::rngs::SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn matmul_grad() {
+        let mut r = rng();
+        let w = init::normal(&mut r, 3, 4, 1.0);
+        let x = init::normal(&mut r, 2, 3, 1.0);
+        let rep = grad_check(&w, 1e-3, |g, p| {
+            let x = g.leaf(x.clone(), false);
+            let y = g.matmul(x, p);
+            g.sum_all(y)
+        });
+        assert!(rep.passes(1e-3), "{rep:?}");
+    }
+
+    #[test]
+    fn matmul_transb_grad_both_sides() {
+        let mut r = rng();
+        let a = init::normal(&mut r, 3, 4, 1.0);
+        let b = init::normal(&mut r, 5, 4, 1.0);
+        for side in 0..2 {
+            let (fixed, var) = if side == 0 { (&b, &a) } else { (&a, &b) };
+            let fixed = fixed.clone();
+            let rep = grad_check(var, 1e-3, |g, p| {
+                let f = g.leaf(fixed.clone(), false);
+                let y = if side == 0 { g.matmul_transb(p, f) } else { g.matmul_transb(f, p) };
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            });
+            assert!(rep.passes(6e-3), "side {side}: {rep:?}");
+        }
+    }
+
+    #[test]
+    fn activation_grads() {
+        let mut r = rng();
+        let x = init::normal(&mut r, 4, 5, 1.0);
+        for act in 0..3 {
+            let rep = grad_check(&x, 1e-3, |g, p| {
+                let y = match act {
+                    0 => g.sigmoid(p),
+                    1 => g.tanh(p),
+                    _ => {
+                        // shift away from the ReLU kink to keep finite
+                        // differences meaningful
+                        let s = g.add_scalar(p, 0.05);
+                        g.relu(s)
+                    }
+                };
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            });
+            assert!(rep.passes(5e-3), "act {act}: {rep:?}");
+        }
+    }
+
+    #[test]
+    fn broadcast_and_slice_grads() {
+        let mut r = rng();
+        let v = init::normal(&mut r, 1, 6, 1.0);
+        let x = init::normal(&mut r, 4, 6, 1.0);
+        let rep = grad_check(&v, 1e-3, |g, p| {
+            let x = g.leaf(x.clone(), false);
+            let y = g.add_row_broadcast(x, p);
+            let s = g.slice_cols(y, 1, 3);
+            let sq = g.mul(s, s);
+            g.sum_all(sq)
+        });
+        assert!(rep.passes(1e-3), "{rep:?}");
+
+        let c = init::normal(&mut r, 4, 1, 1.0);
+        let rep = grad_check(&c, 1e-3, |g, p| {
+            let x = g.leaf(x.clone(), false);
+            let y = g.add_col_broadcast(x, p);
+            let t = g.tanh(y);
+            g.mean_all(t)
+        });
+        assert!(rep.passes(1e-3), "{rep:?}");
+    }
+
+    #[test]
+    fn row_l2_normalize_grad() {
+        let mut r = rng();
+        let x = init::normal(&mut r, 3, 5, 1.0);
+        let target = init::normal(&mut r, 3, 5, 1.0);
+        let rep = grad_check(&x, 1e-3, |g, p| {
+            let n = g.row_l2_normalize(p);
+            let t = g.leaf(target.clone(), false);
+            let d = g.sub(n, t);
+            let sq = g.mul(d, d);
+            g.sum_all(sq)
+        });
+        assert!(rep.passes(2e-3), "{rep:?}");
+    }
+
+    #[test]
+    fn gather_grad() {
+        let mut r = rng();
+        let table = init::normal(&mut r, 6, 4, 1.0);
+        let rep = grad_check(&table, 1e-3, |g, p| {
+            let rows = g.gather(p, vec![0, 3, 3, 5]);
+            let sq = g.mul(rows, rows);
+            g.sum_all(sq)
+        });
+        assert!(rep.passes(1e-3), "{rep:?}");
+    }
+
+    #[test]
+    fn softmax_cross_entropy_grad() {
+        let mut r = rng();
+        let logits = init::normal(&mut r, 5, 4, 1.0);
+        let targets = vec![0i64, 3, -1, 2, 1]; // one ignored row
+        let rep = grad_check(&logits, 1e-3, |g, p| {
+            g.softmax_cross_entropy(p, targets.clone())
+        });
+        assert!(rep.passes(2e-3), "{rep:?}");
+    }
+
+    #[test]
+    fn diag_and_concat_grads() {
+        let mut r = rng();
+        let x = init::normal(&mut r, 4, 4, 1.0);
+        let rep = grad_check(&x, 1e-3, |g, p| {
+            let d = g.diag_to_col(p);
+            let cc = g.concat_cols(d, d);
+            let sq = g.mul(cc, cc);
+            g.sum_all(sq)
+        });
+        assert!(rep.passes(1e-3), "{rep:?}");
+    }
+
+    #[test]
+    fn triplet_style_composite_grad() {
+        // The exact shape of the AdaMine loss pipeline on a tiny batch:
+        // normalize → similarity matrix → hinge with diagonal broadcast.
+        let mut r = rng();
+        let img = init::normal(&mut r, 3, 4, 1.0);
+        let rec = init::normal(&mut r, 3, 4, 1.0);
+        let rep = grad_check(&img, 1e-3, |g, p| {
+            let rn = g.leaf(rec.clone(), false);
+            let a = g.row_l2_normalize(p);
+            let b = g.row_l2_normalize(rn);
+            let sim = g.matmul_transb(a, b);
+            let nsim = g.scale(sim, -1.0);
+            let dist = g.add_scalar(nsim, 1.0);
+            let dpos = g.diag_to_col(dist);
+            let neg = g.scale(dist, -1.0);
+            let margin = g.add_scalar(neg, 0.3);
+            let pre = g.add_col_broadcast(margin, dpos);
+            let hinge = g.relu(pre);
+            // mask off the diagonal
+            let mut mask = TensorData::full(3, 3, 1.0);
+            for i in 0..3 {
+                mask.set(i, i, 0.0);
+            }
+            let m = g.leaf(mask, false);
+            let masked = g.mul(hinge, m);
+            g.sum_all(masked)
+        });
+        assert!(rep.passes(5e-3), "{rep:?}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Flat row-major matrix storage.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense 2-D `f32` matrix stored row-major in a flat `Vec`.
+///
+/// All tensors in this workspace are 2-D: a batch of vectors is `(batch,
+/// dim)`, a single vector is `(1, dim)`, a scalar is `(1, 1)`. Flat storage
+/// (rather than `Vec<Vec<f32>>`) keeps the hot loops contiguous, which is the
+/// single biggest performance lever for the pure-CPU training runs in this
+/// reproduction.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorData {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major elements; `data[r * cols + c]` is element `(r, c)`.
+    pub data: Vec<f32>,
+}
+
+impl TensorData {
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "TensorData::new: buffer length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A matrix filled with a constant.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Builds a matrix from row slices (handy in tests and doctests).
+    ///
+    /// # Panics
+    /// Panics if rows are empty or ragged.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows: need at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "from_rows: row {i} has length {} != {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// A `(1, n)` row vector.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// The `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrow row `r` mutably.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transposed(&self) -> TensorData {
+        let mut out = TensorData::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> TensorData {
+        TensorData {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place `self += other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &TensorData) {
+        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &TensorData) {
+        assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sum of all elements (in `f64` for accuracy over large matrices).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&x| x as f64).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f32 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+    }
+
+    /// `true` when every element differs from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &TensorData, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Scalar value of a `(1, 1)` tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not `(1, 1)`.
+    pub fn scalar(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "scalar: tensor is {}x{}", self.rows, self.cols);
+        self.data[0]
+    }
+}
+
+impl fmt::Debug for TensorData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TensorData {}x{} [", self.rows, self.cols)?;
+        let max_rows = 6;
+        for r in 0..self.rows.min(max_rows) {
+            let row = self.row(r);
+            let shown: Vec<String> =
+                row.iter().take(8).map(|v| format!("{v:+.4}")).collect();
+            let ell = if self.cols > 8 { ", …" } else { "" };
+            writeln!(f, "  [{}{}]", shown.join(", "), ell)?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_checks_length() {
+        let t = TensorData::new(2, 3, vec![1.0; 6]);
+        assert_eq!(t.shape(), (2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn new_rejects_bad_length() {
+        TensorData::new(2, 3, vec![1.0; 5]);
+    }
+
+    #[test]
+    fn from_rows_layout() {
+        let t = TensorData::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(t.get(0, 1), 2.0);
+        assert_eq!(t.get(1, 0), 3.0);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let t = TensorData::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let tt = t.transposed();
+        assert_eq!(tt.shape(), (3, 2));
+        assert_eq!(tt.get(2, 1), 6.0);
+        assert!(tt.transposed().approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = TensorData::zeros(1, 3);
+        let b = TensorData::row_vector(&[1.0, 2.0, 3.0]);
+        a.axpy(0.5, &b);
+        a.axpy(0.5, &b);
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn sum_and_norm() {
+        let t = TensorData::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(t.sum(), 7.0);
+        assert!((t.frob_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scalar_extracts() {
+        assert_eq!(TensorData::full(1, 1, 2.5).scalar(), 2.5);
+    }
+}

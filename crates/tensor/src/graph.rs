@@ -1,0 +1,336 @@
+//! The eager autodiff tape.
+
+use crate::data::TensorData;
+use crate::op::Op;
+
+/// Handle to a node on a [`Graph`] tape.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeId(pub(crate) usize);
+
+struct Node {
+    op: Op,
+    inputs: Vec<NodeId>,
+    value: TensorData,
+    /// Whether a gradient must be propagated to/through this node.
+    needs_grad: bool,
+}
+
+/// An eager reverse-mode autodiff tape.
+///
+/// Every builder method evaluates its result immediately (so callers can
+/// inspect values while constructing the loss — required by AdaMine's
+/// adaptive normaliser) and records the operation for [`Graph::backward`].
+///
+/// A `Graph` is built per mini-batch and discarded afterwards; parameters
+/// live outside the tape (see `cmr-nn`) and are injected as leaves each step.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    grads: Vec<Option<TensorData>>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no node has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Inserts a leaf holding `value`; pass `requires_grad = true` for
+    /// trainable parameters and `false` for constants (inputs, masks).
+    pub fn leaf(&mut self, value: TensorData, requires_grad: bool) -> NodeId {
+        self.push(Op::Leaf { requires_grad }, vec![], value, requires_grad)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, id: NodeId) -> &TensorData {
+        &self.nodes[id.0].value
+    }
+
+    /// The gradient accumulated at a node by the last [`Graph::backward`]
+    /// call, or `None` if the node does not require / did not receive one.
+    pub fn grad(&self, id: NodeId) -> Option<&TensorData> {
+        self.grads.get(id.0).and_then(|g| g.as_ref())
+    }
+
+    fn push(
+        &mut self,
+        op: Op,
+        inputs: Vec<NodeId>,
+        value: TensorData,
+        needs_grad: bool,
+    ) -> NodeId {
+        self.nodes.push(Node { op, inputs, value, needs_grad });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    fn apply(&mut self, op: Op, inputs: &[NodeId]) -> NodeId {
+        let in_vals: Vec<&TensorData> = inputs.iter().map(|&i| &self.nodes[i.0].value).collect();
+        let value = op.forward(&in_vals);
+        let needs_grad = inputs.iter().any(|&i| self.nodes[i.0].needs_grad);
+        self.push(op, inputs.to_vec(), value, needs_grad)
+    }
+
+    // ----- builder methods -------------------------------------------------
+
+    /// `A · B`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(Op::MatMul, &[a, b])
+    }
+
+    /// `A · Bᵀ`.
+    pub fn matmul_transb(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(Op::MatMulTransB, &[a, b])
+    }
+
+    /// Element-wise `a + b`.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(Op::Add, &[a, b])
+    }
+
+    /// Element-wise `a - b`.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(Op::Sub, &[a, b])
+    }
+
+    /// Element-wise `a * b` (also used to apply constant masks).
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(Op::Mul, &[a, b])
+    }
+
+    /// Adds row vector `v: (1,n)` to every row of `a: (m,n)`.
+    pub fn add_row_broadcast(&mut self, a: NodeId, v: NodeId) -> NodeId {
+        self.apply(Op::AddRowBroadcast, &[a, v])
+    }
+
+    /// Adds column vector `v: (m,1)` to every column of `a: (m,n)`.
+    pub fn add_col_broadcast(&mut self, a: NodeId, v: NodeId) -> NodeId {
+        self.apply(Op::AddColBroadcast, &[a, v])
+    }
+
+    /// `a * s` for a constant scalar `s`.
+    pub fn scale(&mut self, a: NodeId, s: f32) -> NodeId {
+        self.apply(Op::Scale(s), &[a])
+    }
+
+    /// `a + s` for a constant scalar `s`.
+    pub fn add_scalar(&mut self, a: NodeId, s: f32) -> NodeId {
+        self.apply(Op::AddScalar(s), &[a])
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        self.apply(Op::Relu, &[a])
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        self.apply(Op::Sigmoid, &[a])
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        self.apply(Op::Tanh, &[a])
+    }
+
+    /// `[a | b]` column concatenation.
+    pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(Op::ConcatCols, &[a, b])
+    }
+
+    /// Column slice `[start, start + len)`.
+    pub fn slice_cols(&mut self, a: NodeId, start: usize, len: usize) -> NodeId {
+        self.apply(Op::SliceCols { start, len }, &[a])
+    }
+
+    /// Scalar sum of all elements.
+    pub fn sum_all(&mut self, a: NodeId) -> NodeId {
+        self.apply(Op::SumAll, &[a])
+    }
+
+    /// Scalar mean of all elements.
+    pub fn mean_all(&mut self, a: NodeId) -> NodeId {
+        self.apply(Op::MeanAll, &[a])
+    }
+
+    /// Per-row L2 normalisation with numerical floor `1e-12`.
+    pub fn row_l2_normalize(&mut self, a: NodeId) -> NodeId {
+        self.apply(Op::RowL2Normalize { eps: 1e-12 }, &[a])
+    }
+
+    /// Embedding lookup: output row `i` is `table` row `indices[i]`.
+    pub fn gather(&mut self, table: NodeId, indices: Vec<usize>) -> NodeId {
+        self.apply(Op::Gather { indices }, &[table])
+    }
+
+    /// Mean softmax cross-entropy of `logits` against `targets`
+    /// (`targets[i] < 0` rows are ignored).
+    pub fn softmax_cross_entropy(&mut self, logits: NodeId, targets: Vec<i64>) -> NodeId {
+        self.apply(Op::SoftmaxCrossEntropy { targets }, &[logits])
+    }
+
+    /// Main diagonal of a square matrix as an `(m,1)` column.
+    pub fn diag_to_col(&mut self, a: NodeId) -> NodeId {
+        self.apply(Op::DiagToCol, &[a])
+    }
+
+    /// Per-row sum as an `(m,1)` column.
+    pub fn row_sum(&mut self, a: NodeId) -> NodeId {
+        self.apply(Op::RowSum, &[a])
+    }
+
+    // ----- backward --------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from scalar node `root`.
+    ///
+    /// Gradients from a previous call are cleared. After the call,
+    /// [`Graph::grad`] returns `d root / d node` for every node that needed a
+    /// gradient.
+    ///
+    /// # Panics
+    /// Panics if `root` is not a `(1,1)` scalar.
+    pub fn backward(&mut self, root: NodeId) {
+        assert_eq!(
+            self.nodes[root.0].value.shape(),
+            (1, 1),
+            "backward: root must be a scalar node"
+        );
+        self.grads.clear();
+        self.grads.resize(self.nodes.len(), None);
+        if !self.nodes[root.0].needs_grad {
+            return; // nothing trainable upstream
+        }
+        self.grads[root.0] = Some(TensorData::full(1, 1, 1.0));
+
+        for i in (0..=root.0).rev() {
+            if self.grads[i].is_none() || !self.nodes[i].needs_grad {
+                continue;
+            }
+            // Allocate input gradient buffers for inputs that need them.
+            let input_ids = self.nodes[i].inputs.clone();
+            for &inp in &input_ids {
+                if self.nodes[inp.0].needs_grad && self.grads[inp.0].is_none() {
+                    let v = &self.nodes[inp.0].value;
+                    self.grads[inp.0] = Some(TensorData::zeros(v.rows, v.cols));
+                }
+            }
+            // Split-borrow: take the output grad, build &mut refs to inputs.
+            let grad = self.grads[i].take().expect("grad present");
+            {
+                let node = &self.nodes[i];
+                let inputs: Vec<&TensorData> =
+                    input_ids.iter().map(|&id| &self.nodes[id.0].value).collect();
+                // Safe split of self.grads into disjoint &mut: collect raw
+                // pointers, guaranteed unique because an op's inputs are
+                // distinct node ids except when an op uses the same node
+                // twice; handle that by sequential accumulation.
+                let mut taken: Vec<Option<TensorData>> = Vec::with_capacity(input_ids.len());
+                for (j, &id) in input_ids.iter().enumerate() {
+                    let duplicate = input_ids[..j].contains(&id);
+                    if duplicate && self.nodes[id.0].needs_grad {
+                        // Same node used twice by one op: give the second
+                        // occurrence its own buffer and merge on put-back.
+                        let v = &self.nodes[id.0].value;
+                        taken.push(Some(TensorData::zeros(v.rows, v.cols)));
+                    } else {
+                        taken.push(self.grads[id.0].take());
+                    }
+                }
+                {
+                    let mut refs: Vec<Option<&mut TensorData>> =
+                        taken.iter_mut().map(|g| g.as_mut()).collect();
+                    node.op.backward(&inputs, &node.value, &grad, &mut refs);
+                }
+                // Put back (accumulating if the same node appeared twice).
+                for (&id, g) in input_ids.iter().zip(taken) {
+                    if let Some(g) = g {
+                        match &mut self.grads[id.0] {
+                            slot @ None => *slot = Some(g),
+                            Some(existing) => existing.add_assign(&g),
+                        }
+                    }
+                }
+            }
+            self.grads[i] = Some(grad);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_rule_through_two_ops() {
+        // f(w) = sum(relu(x·w)), x = [1, -1], w = [[2],[3]] ⇒ x·w = -1, relu = 0
+        let mut g = Graph::new();
+        let x = g.leaf(TensorData::from_rows(&[&[1.0, -1.0]]), false);
+        let w = g.leaf(TensorData::from_rows(&[&[2.0], &[3.0]]), true);
+        let h = g.matmul(x, w);
+        let r = g.relu(h);
+        let loss = g.sum_all(r);
+        assert_eq!(g.value(loss).scalar(), 0.0);
+        g.backward(loss);
+        // relu saturated ⇒ zero grad
+        assert_eq!(g.grad(w).unwrap().data, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_over_fanout() {
+        // f(a) = sum(a + a) ⇒ df/da = 2
+        let mut g = Graph::new();
+        let a = g.leaf(TensorData::row_vector(&[1.0, 2.0]), true);
+        let s = g.add(a, a);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn constants_receive_no_grad() {
+        let mut g = Graph::new();
+        let a = g.leaf(TensorData::row_vector(&[1.0]), true);
+        let mask = g.leaf(TensorData::row_vector(&[0.5]), false);
+        let m = g.mul(a, mask);
+        let loss = g.sum_all(m);
+        g.backward(loss);
+        assert!(g.grad(mask).is_none());
+        assert_eq!(g.grad(a).unwrap().data, vec![0.5]);
+    }
+
+    #[test]
+    fn backward_without_trainables_is_noop() {
+        let mut g = Graph::new();
+        let a = g.leaf(TensorData::row_vector(&[1.0]), false);
+        let loss = g.sum_all(a);
+        g.backward(loss);
+        assert!(g.grad(a).is_none());
+    }
+
+    #[test]
+    fn second_backward_resets_grads() {
+        let mut g = Graph::new();
+        let a = g.leaf(TensorData::row_vector(&[3.0]), true);
+        let loss = g.sum_all(a);
+        g.backward(loss);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data, vec![1.0]); // not 2.0
+    }
+
+    #[test]
+    #[should_panic(expected = "root must be a scalar")]
+    fn backward_rejects_non_scalar_root() {
+        let mut g = Graph::new();
+        let a = g.leaf(TensorData::row_vector(&[1.0, 2.0]), true);
+        g.backward(a);
+    }
+}

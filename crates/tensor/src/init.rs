@@ -1,0 +1,70 @@
+//! Parameter initialisation schemes.
+
+use crate::data::TensorData;
+use rand::Rng;
+
+/// Glorot/Xavier uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The default for projection layers.
+pub fn xavier_uniform(rng: &mut impl Rng, rows: usize, cols: usize) -> TensorData {
+    let a = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    uniform(rng, rows, cols, -a, a)
+}
+
+/// Uniform initialisation over `[lo, hi)`.
+///
+/// # Panics
+/// Panics if `lo >= hi`.
+pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, lo: f32, hi: f32) -> TensorData {
+    assert!(lo < hi, "uniform: empty range [{lo}, {hi})");
+    TensorData::new(rows, cols, (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect())
+}
+
+/// Gaussian initialisation `N(0, std²)` via Box–Muller (avoids pulling a
+/// distributions crate for one function).
+pub fn normal(rng: &mut impl Rng, rows: usize, cols: usize, std: f32) -> TensorData {
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        data.push((r * theta.cos()) as f32 * std);
+        if data.len() < n {
+            data.push((r * theta.sin()) as f32 * std);
+        }
+    }
+    TensorData::new(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let t = xavier_uniform(&mut rng, 10, 20);
+        let a = (6.0f64 / 30.0).sqrt() as f32;
+        assert!(t.data.iter().all(|&x| x > -a && x < a));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let t = normal(&mut rng, 100, 100, 0.5);
+        let mean = t.sum() / t.len() as f64;
+        let var = t.data.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>()
+            / t.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut b = rand::rngs::SmallRng::seed_from_u64(7);
+        assert_eq!(normal(&mut a, 3, 3, 1.0).data, normal(&mut b, 3, 3, 1.0).data);
+    }
+}

@@ -1,0 +1,48 @@
+//! # cmr-tensor
+//!
+//! Dense 2-D `f32` tensors with reverse-mode automatic differentiation.
+//!
+//! This crate is the computational substrate of the AdaMine reproduction: it
+//! plays the role PyTorch plays in the original paper. It deliberately covers
+//! only what the paper's models need — 2-D matrices, a small set of
+//! differentiable operators (matrix products, element-wise maps, broadcasts,
+//! row L2-normalisation, softmax cross-entropy, gather) and an eager tape.
+//!
+//! ## Design
+//!
+//! * [`TensorData`] is a flat row-major `Vec<f32>` with `(rows, cols)` shape —
+//!   flat storage keeps hot loops cache-friendly and allocation-free.
+//! * [`Graph`] is an eager tape: every operator computes its value immediately
+//!   and records a node so [`Graph::backward`] can replay the
+//!   tape in reverse. Eagerness matters for AdaMine: the adaptive mining
+//!   normaliser β′ (Eq. 5 of the paper) is the *runtime* count of active
+//!   triplets, so the loss construction must be able to inspect forward values
+//!   mid-graph.
+//! * Gradients are accumulated per node; leaves created with
+//!   `requires_grad = true` expose their gradient after `backward`.
+//!
+//! ## Example
+//!
+//! ```
+//! use cmr_tensor::{Graph, TensorData};
+//!
+//! let mut g = Graph::new();
+//! let x = g.leaf(TensorData::from_rows(&[&[1.0, 2.0]]), true);
+//! let w = g.leaf(TensorData::from_rows(&[&[3.0], &[4.0]]), true);
+//! let y = g.matmul(x, w); // 1x1: [11]
+//! let loss = g.sum_all(y);
+//! g.backward(loss);
+//! assert_eq!(g.grad(w).unwrap().data, vec![1.0, 2.0]);
+//! ```
+
+pub mod check;
+pub mod data;
+pub mod graph;
+pub mod init;
+pub mod matmul;
+pub mod op;
+
+pub use check::grad_check;
+pub use data::TensorData;
+pub use graph::{Graph, NodeId};
+pub use op::Op;

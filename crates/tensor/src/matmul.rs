@@ -1,0 +1,187 @@
+//! Matrix-product kernels.
+//!
+//! Three variants cover every product the forward and backward passes need
+//! without ever materialising a transpose:
+//!
+//! * [`matmul`]        — `C = A · B`     for `(m,k)·(k,n)`
+//! * [`matmul_transb`] — `C = A · Bᵀ`    for `(m,k)·(n,k)`
+//! * [`matmul_transa`] — `C = Aᵀ · B`    for `(k,m)·(k,n)`
+//!
+//! `matmul` uses the classic `i-l-j` loop order so the innermost loop streams
+//! both a row of `B` and a row of `C` (unit stride); `matmul_transb` is a row
+//! dot-product; `matmul_transa` is an outer-product accumulation — all three
+//! touch memory contiguously, which is what the Rust Performance Book
+//! recommends for this kind of kernel.
+
+use crate::data::TensorData;
+
+/// `C = A · B` for `A: (m,k)`, `B: (k,n)`.
+///
+/// # Panics
+/// Panics if `A.cols != B.rows`.
+pub fn matmul(a: &TensorData, b: &TensorData) -> TensorData {
+    assert_eq!(
+        a.cols, b.rows,
+        "matmul: inner dimensions differ ({}x{} · {}x{})",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let mut c = TensorData::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (l, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b.data[l * n..(l + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+        let _ = k;
+    }
+    c
+}
+
+/// `C = A · Bᵀ` for `A: (m,k)`, `B: (n,k)` — a row-by-row dot product.
+///
+/// # Panics
+/// Panics if `A.cols != B.cols`.
+pub fn matmul_transb(a: &TensorData, b: &TensorData) -> TensorData {
+    assert_eq!(
+        a.cols, b.cols,
+        "matmul_transb: inner dimensions differ ({}x{} · ({}x{})ᵀ)",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    let (m, n) = (a.rows, b.rows);
+    let mut c = TensorData::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = b.row(j);
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *cv = acc;
+        }
+        let _ = n;
+    }
+    c
+}
+
+/// `C = Aᵀ · B` for `A: (k,m)`, `B: (k,n)` — outer-product accumulation.
+///
+/// # Panics
+/// Panics if `A.rows != B.rows`.
+pub fn matmul_transa(a: &TensorData, b: &TensorData) -> TensorData {
+    assert_eq!(
+        a.rows, b.rows,
+        "matmul_transa: inner dimensions differ (({}x{})ᵀ · {}x{})",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    let (k, m, n) = (a.rows, a.cols, b.cols);
+    let mut c = TensorData::zeros(m, n);
+    for l in 0..k {
+        let arow = a.row(l);
+        let brow = b.row(l);
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut c.data[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive(a: &TensorData, b: &TensorData) -> TensorData {
+        let mut c = TensorData::zeros(a.rows, b.cols);
+        for i in 0..a.rows {
+            for j in 0..b.cols {
+                let mut s = 0.0;
+                for l in 0..a.cols {
+                    s += a.get(i, l) * b.get(l, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn known_product() {
+        let a = TensorData::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = TensorData::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = matmul(&a, &b);
+        assert!(c.approx_eq(&TensorData::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]), 1e-6));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = TensorData::from_rows(&[&[1.0, -2.0, 0.5], &[3.0, 0.0, 4.0]]);
+        let mut id = TensorData::zeros(3, 3);
+        for i in 0..3 {
+            id.set(i, i, 1.0);
+        }
+        assert!(matmul(&a, &id).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn shape_mismatch_panics() {
+        matmul(&TensorData::zeros(2, 3), &TensorData::zeros(2, 3));
+    }
+
+    fn small_mat(rows: usize, cols: usize) -> impl Strategy<Value = TensorData> {
+        proptest::collection::vec(-2.0f32..2.0, rows * cols)
+            .prop_map(move |v| TensorData::new(rows, cols, v))
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive((m, k, n) in (1usize..6, 1usize..6, 1usize..6),
+                         seed in 0u64..1000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let a = TensorData::new(m, k, (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect());
+            let b = TensorData::new(k, n, (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect());
+            prop_assert!(matmul(&a, &b).approx_eq(&naive(&a, &b), 1e-4));
+        }
+
+        #[test]
+        fn transb_equals_explicit_transpose(a in small_mat(3, 4), b in small_mat(5, 4)) {
+            let direct = matmul_transb(&a, &b);
+            let explicit = matmul(&a, &b.transposed());
+            prop_assert!(direct.approx_eq(&explicit, 1e-4));
+        }
+
+        #[test]
+        fn transa_equals_explicit_transpose(a in small_mat(4, 3), b in small_mat(4, 5)) {
+            let direct = matmul_transa(&a, &b);
+            let explicit = matmul(&a.transposed(), &b);
+            prop_assert!(direct.approx_eq(&explicit, 1e-4));
+        }
+
+        #[test]
+        fn left_distributive(a in small_mat(3, 3), b in small_mat(3, 3), c in small_mat(3, 3)) {
+            // A(B + C) == AB + AC
+            let mut bc = b.clone();
+            bc.add_assign(&c);
+            let lhs = matmul(&a, &bc);
+            let mut rhs = matmul(&a, &b);
+            rhs.add_assign(&matmul(&a, &c));
+            prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! Differentiable operators: forward evaluation and vector-Jacobian products.
+
+use crate::data::TensorData;
+use crate::matmul::{matmul, matmul_transa, matmul_transb};
+
+/// The operator stored at each tape node.
+///
+/// Operators carry any non-differentiable attributes they need (scalar
+/// constants, slice offsets, gather indices, classification targets). The
+/// differentiable inputs are stored by the tape itself.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// A tape input; `requires_grad` marks trainable leaves.
+    Leaf { requires_grad: bool },
+    /// `A · B`.
+    MatMul,
+    /// `A · Bᵀ` (used for similarity matrices between two embedding sets).
+    MatMulTransB,
+    /// Element-wise sum of two same-shape tensors.
+    Add,
+    /// Element-wise difference.
+    Sub,
+    /// Element-wise (Hadamard) product.
+    Mul,
+    /// `(m,n) + (1,n)`: adds a row vector to every row (bias add).
+    AddRowBroadcast,
+    /// `(m,n) + (m,1)`: adds a column vector to every column.
+    AddColBroadcast,
+    /// Multiplication by a compile-time constant scalar.
+    Scale(f32),
+    /// Addition of a constant scalar to every element.
+    AddScalar(f32),
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Horizontal concatenation of two matrices with equal row counts.
+    ConcatCols,
+    /// Column slice `[start, start + len)`.
+    SliceCols { start: usize, len: usize },
+    /// Sum of all elements, producing a `(1,1)` scalar.
+    SumAll,
+    /// Mean of all elements, producing a `(1,1)` scalar.
+    MeanAll,
+    /// Per-row L2 normalisation `x / max(‖x‖, eps)`.
+    RowL2Normalize { eps: f32 },
+    /// Row gather: output row `i` is input row `indices[i]` (embedding lookup).
+    Gather { indices: Vec<usize> },
+    /// Mean softmax cross-entropy over rows of logits; `targets[i] < 0` rows
+    /// are ignored (the unlabeled half of an AdaMine batch).
+    SoftmaxCrossEntropy { targets: Vec<i64> },
+    /// Extracts the main diagonal of a square matrix as an `(m,1)` column.
+    DiagToCol,
+    /// Sums each row, producing an `(m,1)` column.
+    RowSum,
+}
+
+impl Op {
+    /// Human-readable operator name (used in shape-error messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf { .. } => "leaf",
+            Op::MatMul => "matmul",
+            Op::MatMulTransB => "matmul_transb",
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::AddRowBroadcast => "add_row_broadcast",
+            Op::AddColBroadcast => "add_col_broadcast",
+            Op::Scale(_) => "scale",
+            Op::AddScalar(_) => "add_scalar",
+            Op::Relu => "relu",
+            Op::Sigmoid => "sigmoid",
+            Op::Tanh => "tanh",
+            Op::ConcatCols => "concat_cols",
+            Op::SliceCols { .. } => "slice_cols",
+            Op::SumAll => "sum_all",
+            Op::MeanAll => "mean_all",
+            Op::RowL2Normalize { .. } => "row_l2_normalize",
+            Op::Gather { .. } => "gather",
+            Op::SoftmaxCrossEntropy { .. } => "softmax_cross_entropy",
+            Op::DiagToCol => "diag_to_col",
+            Op::RowSum => "row_sum",
+        }
+    }
+
+    /// Computes the operator's value from its input values.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on shape mismatch.
+    pub fn forward(&self, inputs: &[&TensorData]) -> TensorData {
+        match self {
+            Op::Leaf { .. } => unreachable!("leaf nodes carry their own value"),
+            Op::MatMul => matmul(inputs[0], inputs[1]),
+            Op::MatMulTransB => matmul_transb(inputs[0], inputs[1]),
+            Op::Add => {
+                let (a, b) = (inputs[0], inputs[1]);
+                assert_eq!(a.shape(), b.shape(), "add: shape mismatch");
+                let mut out = a.clone();
+                out.add_assign(b);
+                out
+            }
+            Op::Sub => {
+                let (a, b) = (inputs[0], inputs[1]);
+                assert_eq!(a.shape(), b.shape(), "sub: shape mismatch");
+                let mut out = a.clone();
+                out.axpy(-1.0, b);
+                out
+            }
+            Op::Mul => {
+                let (a, b) = (inputs[0], inputs[1]);
+                assert_eq!(a.shape(), b.shape(), "mul: shape mismatch");
+                TensorData {
+                    rows: a.rows,
+                    cols: a.cols,
+                    data: a.data.iter().zip(&b.data).map(|(x, y)| x * y).collect(),
+                }
+            }
+            Op::AddRowBroadcast => {
+                let (a, v) = (inputs[0], inputs[1]);
+                assert_eq!(v.rows, 1, "add_row_broadcast: second input must be (1,n)");
+                assert_eq!(a.cols, v.cols, "add_row_broadcast: column mismatch");
+                let mut out = a.clone();
+                for r in 0..out.rows {
+                    for (o, &b) in out.row_mut(r).iter_mut().zip(&v.data) {
+                        *o += b;
+                    }
+                }
+                out
+            }
+            Op::AddColBroadcast => {
+                let (a, v) = (inputs[0], inputs[1]);
+                assert_eq!(v.cols, 1, "add_col_broadcast: second input must be (m,1)");
+                assert_eq!(a.rows, v.rows, "add_col_broadcast: row mismatch");
+                let mut out = a.clone();
+                for r in 0..out.rows {
+                    let add = v.data[r];
+                    for o in out.row_mut(r) {
+                        *o += add;
+                    }
+                }
+                out
+            }
+            Op::Scale(s) => inputs[0].map(|x| x * s),
+            Op::AddScalar(s) => inputs[0].map(|x| x + s),
+            Op::Relu => inputs[0].map(|x| x.max(0.0)),
+            Op::Sigmoid => inputs[0].map(|x| 1.0 / (1.0 + (-x).exp())),
+            Op::Tanh => inputs[0].map(f32::tanh),
+            Op::ConcatCols => {
+                let (a, b) = (inputs[0], inputs[1]);
+                assert_eq!(a.rows, b.rows, "concat_cols: row mismatch");
+                let mut out = TensorData::zeros(a.rows, a.cols + b.cols);
+                for r in 0..a.rows {
+                    out.row_mut(r)[..a.cols].copy_from_slice(a.row(r));
+                    out.row_mut(r)[a.cols..].copy_from_slice(b.row(r));
+                }
+                out
+            }
+            Op::SliceCols { start, len } => {
+                let a = inputs[0];
+                assert!(
+                    start + len <= a.cols,
+                    "slice_cols: [{start}, {}) out of 0..{}",
+                    start + len,
+                    a.cols
+                );
+                let mut out = TensorData::zeros(a.rows, *len);
+                for r in 0..a.rows {
+                    out.row_mut(r).copy_from_slice(&a.row(r)[*start..start + len]);
+                }
+                out
+            }
+            Op::SumAll => TensorData::full(1, 1, inputs[0].sum() as f32),
+            Op::MeanAll => {
+                let a = inputs[0];
+                TensorData::full(1, 1, (a.sum() / a.len() as f64) as f32)
+            }
+            Op::RowL2Normalize { eps } => {
+                let a = inputs[0];
+                let mut out = a.clone();
+                for r in 0..out.rows {
+                    let row = out.row_mut(r);
+                    let norm =
+                        row.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32;
+                    let inv = 1.0 / norm.max(*eps);
+                    for x in row {
+                        *x *= inv;
+                    }
+                }
+                out
+            }
+            Op::Gather { indices } => {
+                let table = inputs[0];
+                let mut out = TensorData::zeros(indices.len(), table.cols);
+                for (r, &idx) in indices.iter().enumerate() {
+                    assert!(
+                        idx < table.rows,
+                        "gather: index {idx} out of 0..{}",
+                        table.rows
+                    );
+                    out.row_mut(r).copy_from_slice(table.row(idx));
+                }
+                out
+            }
+            Op::SoftmaxCrossEntropy { targets } => {
+                let logits = inputs[0];
+                assert_eq!(
+                    logits.rows,
+                    targets.len(),
+                    "softmax_cross_entropy: one target per row required"
+                );
+                let mut total = 0.0f64;
+                let mut n = 0usize;
+                for (r, &t) in targets.iter().enumerate() {
+                    if t < 0 {
+                        continue;
+                    }
+                    let t = t as usize;
+                    assert!(t < logits.cols, "softmax_cross_entropy: target {t} out of range");
+                    let row = logits.row(r);
+                    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    let logsum =
+                        (row.iter().map(|&x| ((x - max) as f64).exp()).sum::<f64>()).ln()
+                            + max as f64;
+                    total += logsum - row[t] as f64;
+                    n += 1;
+                }
+                TensorData::full(1, 1, if n == 0 { 0.0 } else { (total / n as f64) as f32 })
+            }
+            Op::DiagToCol => {
+                let a = inputs[0];
+                assert_eq!(a.rows, a.cols, "diag_to_col: matrix must be square");
+                let mut out = TensorData::zeros(a.rows, 1);
+                for r in 0..a.rows {
+                    out.data[r] = a.get(r, r);
+                }
+                out
+            }
+            Op::RowSum => {
+                let a = inputs[0];
+                let mut out = TensorData::zeros(a.rows, 1);
+                for r in 0..a.rows {
+                    out.data[r] = a.row(r).iter().sum();
+                }
+                out
+            }
+        }
+    }
+
+    /// Accumulates this op's vector-Jacobian product into `input_grads`.
+    ///
+    /// * `inputs` — forward input values,
+    /// * `output` — forward output value,
+    /// * `grad` — gradient flowing into the output,
+    /// * `input_grads` — per-input accumulators (`None` for inputs that do not
+    ///   require gradient).
+    pub fn backward(
+        &self,
+        inputs: &[&TensorData],
+        output: &TensorData,
+        grad: &TensorData,
+        input_grads: &mut [Option<&mut TensorData>],
+    ) {
+        match self {
+            Op::Leaf { .. } => {}
+            Op::MatMul => {
+                // C = A·B  ⇒  dA += dC·Bᵀ, dB += Aᵀ·dC
+                if let Some(ga) = input_grads[0].as_deref_mut() {
+                    ga.add_assign(&matmul_transb(grad, inputs[1]));
+                }
+                if let Some(gb) = input_grads[1].as_deref_mut() {
+                    gb.add_assign(&matmul_transa(inputs[0], grad));
+                }
+            }
+            Op::MatMulTransB => {
+                // C = A·Bᵀ ⇒ dA += dC·B, dB += dCᵀ·A
+                if let Some(ga) = input_grads[0].as_deref_mut() {
+                    ga.add_assign(&matmul(grad, inputs[1]));
+                }
+                if let Some(gb) = input_grads[1].as_deref_mut() {
+                    gb.add_assign(&matmul_transa(grad, inputs[0]));
+                }
+            }
+            Op::Add => {
+                for g in input_grads.iter_mut() {
+                    if let Some(g) = g.as_deref_mut() {
+                        g.add_assign(grad);
+                    }
+                }
+            }
+            Op::Sub => {
+                if let Some(g) = input_grads[0].as_deref_mut() {
+                    g.add_assign(grad);
+                }
+                if let Some(g) = input_grads[1].as_deref_mut() {
+                    g.axpy(-1.0, grad);
+                }
+            }
+            Op::Mul => {
+                if let Some(ga) = input_grads[0].as_deref_mut() {
+                    for ((g, &d), &b) in ga.data.iter_mut().zip(&grad.data).zip(&inputs[1].data) {
+                        *g += d * b;
+                    }
+                }
+                if let Some(gb) = input_grads[1].as_deref_mut() {
+                    for ((g, &d), &a) in gb.data.iter_mut().zip(&grad.data).zip(&inputs[0].data) {
+                        *g += d * a;
+                    }
+                }
+            }
+            Op::AddRowBroadcast => {
+                if let Some(ga) = input_grads[0].as_deref_mut() {
+                    ga.add_assign(grad);
+                }
+                if let Some(gv) = input_grads[1].as_deref_mut() {
+                    for r in 0..grad.rows {
+                        for (g, &d) in gv.data.iter_mut().zip(grad.row(r)) {
+                            *g += d;
+                        }
+                    }
+                }
+            }
+            Op::AddColBroadcast => {
+                if let Some(ga) = input_grads[0].as_deref_mut() {
+                    ga.add_assign(grad);
+                }
+                if let Some(gv) = input_grads[1].as_deref_mut() {
+                    for r in 0..grad.rows {
+                        gv.data[r] += grad.row(r).iter().sum::<f32>();
+                    }
+                }
+            }
+            Op::Scale(s) => {
+                if let Some(g) = input_grads[0].as_deref_mut() {
+                    g.axpy(*s, grad);
+                }
+            }
+            Op::AddScalar(_) => {
+                if let Some(g) = input_grads[0].as_deref_mut() {
+                    g.add_assign(grad);
+                }
+            }
+            Op::Relu => {
+                if let Some(g) = input_grads[0].as_deref_mut() {
+                    for ((g, &d), &x) in g.data.iter_mut().zip(&grad.data).zip(&inputs[0].data) {
+                        if x > 0.0 {
+                            *g += d;
+                        }
+                    }
+                }
+            }
+            Op::Sigmoid => {
+                if let Some(g) = input_grads[0].as_deref_mut() {
+                    for ((g, &d), &y) in g.data.iter_mut().zip(&grad.data).zip(&output.data) {
+                        *g += d * y * (1.0 - y);
+                    }
+                }
+            }
+            Op::Tanh => {
+                if let Some(g) = input_grads[0].as_deref_mut() {
+                    for ((g, &d), &y) in g.data.iter_mut().zip(&grad.data).zip(&output.data) {
+                        *g += d * (1.0 - y * y);
+                    }
+                }
+            }
+            Op::ConcatCols => {
+                let ac = inputs[0].cols;
+                if let Some(ga) = input_grads[0].as_deref_mut() {
+                    for r in 0..grad.rows {
+                        for (g, &d) in ga.row_mut(r).iter_mut().zip(&grad.row(r)[..ac]) {
+                            *g += d;
+                        }
+                    }
+                }
+                if let Some(gb) = input_grads[1].as_deref_mut() {
+                    for r in 0..grad.rows {
+                        for (g, &d) in gb.row_mut(r).iter_mut().zip(&grad.row(r)[ac..]) {
+                            *g += d;
+                        }
+                    }
+                }
+            }
+            Op::SliceCols { start, len } => {
+                if let Some(ga) = input_grads[0].as_deref_mut() {
+                    for r in 0..grad.rows {
+                        let dst = &mut ga.row_mut(r)[*start..start + len];
+                        for (g, &d) in dst.iter_mut().zip(grad.row(r)) {
+                            *g += d;
+                        }
+                    }
+                }
+            }
+            Op::SumAll => {
+                if let Some(g) = input_grads[0].as_deref_mut() {
+                    let d = grad.scalar();
+                    for x in &mut g.data {
+                        *x += d;
+                    }
+                }
+            }
+            Op::MeanAll => {
+                if let Some(g) = input_grads[0].as_deref_mut() {
+                    let d = grad.scalar() / inputs[0].len() as f32;
+                    for x in &mut g.data {
+                        *x += d;
+                    }
+                }
+            }
+            Op::RowL2Normalize { eps } => {
+                // y = x/‖x‖ ⇒ dx = (dy − y·(dy·y)) / max(‖x‖, eps)
+                if let Some(gx) = input_grads[0].as_deref_mut() {
+                    for r in 0..grad.rows {
+                        let x = inputs[0].row(r);
+                        let y = output.row(r);
+                        let dy = grad.row(r);
+                        let norm = (x.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>())
+                            .sqrt()
+                            .max(*eps as f64) as f32;
+                        let dot: f32 = dy.iter().zip(y).map(|(&a, &b)| a * b).sum();
+                        for ((g, &d), &yv) in gx.row_mut(r).iter_mut().zip(dy).zip(y) {
+                            *g += (d - yv * dot) / norm;
+                        }
+                    }
+                }
+            }
+            Op::Gather { indices } => {
+                if let Some(gt) = input_grads[0].as_deref_mut() {
+                    for (r, &idx) in indices.iter().enumerate() {
+                        for (g, &d) in gt.row_mut(idx).iter_mut().zip(grad.row(r)) {
+                            *g += d;
+                        }
+                    }
+                }
+            }
+            Op::SoftmaxCrossEntropy { targets } => {
+                if let Some(gl) = input_grads[0].as_deref_mut() {
+                    let n = targets.iter().filter(|&&t| t >= 0).count();
+                    if n == 0 {
+                        return;
+                    }
+                    let scale = grad.scalar() / n as f32;
+                    let logits = inputs[0];
+                    for (r, &t) in targets.iter().enumerate() {
+                        if t < 0 {
+                            continue;
+                        }
+                        let row = logits.row(r);
+                        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                        let sum: f64 = row.iter().map(|&x| ((x - max) as f64).exp()).sum();
+                        let grow = gl.row_mut(r);
+                        for (c, (g, &x)) in grow.iter_mut().zip(row).enumerate() {
+                            let p = (((x - max) as f64).exp() / sum) as f32;
+                            let indicator = if c == t as usize { 1.0 } else { 0.0 };
+                            *g += scale * (p - indicator);
+                        }
+                    }
+                }
+            }
+            Op::DiagToCol => {
+                if let Some(ga) = input_grads[0].as_deref_mut() {
+                    for r in 0..grad.rows {
+                        let c = ga.cols;
+                        ga.data[r * c + r] += grad.data[r];
+                    }
+                }
+            }
+            Op::RowSum => {
+                if let Some(ga) = input_grads[0].as_deref_mut() {
+                    for r in 0..grad.rows {
+                        let d = grad.data[r];
+                        for g in ga.row_mut(r) {
+                            *g += d;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

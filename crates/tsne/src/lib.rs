@@ -1,0 +1,13 @@
+//! # cmr-tsne
+//!
+//! Exact t-SNE (van der Maaten & Hinton, 2008) for visualising the learned
+//! latent space — Figure 3 of the paper embeds 400 matching recipe–image
+//! pairs from the 5 most frequent classes into 2-D and compares AdaMine_ins
+//! against AdaMine.
+//!
+//! The exact `O(n²)` formulation is used: the figure needs only ~800 points,
+//! where Barnes–Hut bookkeeping would cost more than it saves.
+
+pub mod tsne;
+
+pub use tsne::{run, TsneConfig};

@@ -1,0 +1,242 @@
+//! The exact t-SNE algorithm.
+
+use rand::Rng;
+
+/// t-SNE hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions (typical 5–50).
+    pub perplexity: f64,
+    /// Gradient step size (η).
+    pub learning_rate: f64,
+    /// Total gradient iterations.
+    pub n_iter: usize,
+    /// Early-exaggeration multiplier applied to `P` at the start.
+    pub early_exaggeration: f64,
+    /// Iterations during which the exaggeration is active.
+    pub exaggeration_iters: usize,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 30.0,
+            learning_rate: 100.0,
+            n_iter: 500,
+            early_exaggeration: 4.0,
+            exaggeration_iters: 100,
+        }
+    }
+}
+
+/// Embeds `n` points of dimension `dim` (row-major in `data`) into 2-D.
+///
+/// Returns `n` `(x, y)` coordinates. Deterministic for a given RNG state.
+///
+/// # Panics
+/// Panics if `data.len() != n * dim`, `n < 4`, or the perplexity is not
+/// achievable (`perplexity >= n`).
+pub fn run(data: &[f32], n: usize, dim: usize, cfg: &TsneConfig, rng: &mut impl Rng) -> Vec<(f64, f64)> {
+    assert_eq!(data.len(), n * dim, "tsne: data length mismatch");
+    assert!(n >= 4, "tsne: need at least 4 points");
+    assert!(
+        cfg.perplexity < n as f64,
+        "tsne: perplexity {} not achievable with {n} points",
+        cfg.perplexity
+    );
+
+    // --- pairwise squared distances in high-dim space -----------------
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let mut s = 0.0f64;
+            for k in 0..dim {
+                let diff = (data[i * dim + k] - data[j * dim + k]) as f64;
+                s += diff * diff;
+            }
+            d2[i * n + j] = s;
+            d2[j * n + i] = s;
+        }
+    }
+
+    // --- per-point sigma by binary search on perplexity ----------------
+    let target_entropy = cfg.perplexity.ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let mut beta = 1.0f64; // 1 / (2σ²)
+        let (mut beta_lo, mut beta_hi) = (0.0f64, f64::INFINITY);
+        let row = &d2[i * n..(i + 1) * n];
+        let mut probs = vec![0.0f64; n];
+        for _ in 0..64 {
+            let mut sum = 0.0;
+            for (j, &dd) in row.iter().enumerate() {
+                probs[j] = if j == i { 0.0 } else { (-beta * dd).exp() };
+                sum += probs[j];
+            }
+            if sum <= 0.0 {
+                beta /= 2.0;
+                continue;
+            }
+            // H = ln(sum) + beta * E[d²]
+            let mut ed = 0.0;
+            for (j, &dd) in row.iter().enumerate() {
+                ed += probs[j] * dd;
+            }
+            let entropy = sum.ln() + beta * ed / sum;
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_lo = beta;
+                beta = if beta_hi.is_finite() { (beta + beta_hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+        }
+        let sum: f64 = probs.iter().sum();
+        for (j, &pr) in probs.iter().enumerate() {
+            p[i * n + j] = if sum > 0.0 { pr / sum } else { 0.0 };
+        }
+    }
+
+    // --- symmetrise ----------------------------------------------------
+    let mut pij = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    // --- gradient descent -----------------------------------------------
+    let mut y: Vec<f64> = (0..2 * n).map(|_| rng.gen_range(-1e-2..1e-2)).collect();
+    let mut vel = vec![0.0f64; 2 * n];
+    let mut q = vec![0.0f64; n * n];
+
+    for iter in 0..cfg.n_iter {
+        let exaggeration =
+            if iter < cfg.exaggeration_iters { cfg.early_exaggeration } else { 1.0 };
+        let momentum = if iter < cfg.exaggeration_iters { 0.5 } else { 0.8 };
+
+        // Student-t affinities in 2-D.
+        let mut qsum = 0.0f64;
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = y[2 * i] - y[2 * j];
+                let dy = y[2 * i + 1] - y[2 * j + 1];
+                let w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                qsum += 2.0 * w;
+            }
+        }
+        qsum = qsum.max(1e-12);
+
+        for i in 0..n {
+            let mut gx = 0.0f64;
+            let mut gy = 0.0f64;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let pq = exaggeration * pij[i * n + j] - w / qsum;
+                let mult = 4.0 * pq * w;
+                gx += mult * (y[2 * i] - y[2 * j]);
+                gy += mult * (y[2 * i + 1] - y[2 * j + 1]);
+            }
+            vel[2 * i] = momentum * vel[2 * i] - cfg.learning_rate * gx;
+            vel[2 * i + 1] = momentum * vel[2 * i + 1] - cfg.learning_rate * gy;
+        }
+        for (yi, vi) in y.iter_mut().zip(&vel) {
+            *yi += vi;
+        }
+        // Re-centre to keep coordinates bounded.
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for i in 0..n {
+            cx += y[2 * i];
+            cy += y[2 * i + 1];
+        }
+        cx /= n as f64;
+        cy /= n as f64;
+        for i in 0..n {
+            y[2 * i] -= cx;
+            y[2 * i + 1] -= cy;
+        }
+    }
+
+    (0..n).map(|i| (y[2 * i], y[2 * i + 1])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Three well-separated Gaussian blobs in 10-D must stay separated in
+    /// 2-D: each point's nearest neighbours should come from its own blob.
+    #[test]
+    fn preserves_cluster_structure() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(21);
+        let per = 30;
+        let dim = 10;
+        let mut data = Vec::new();
+        for blob in 0..3 {
+            for _ in 0..per {
+                for k in 0..dim {
+                    let center = if k == blob { 8.0 } else { 0.0 };
+                    data.push(center + rng.gen_range(-0.5f32..0.5));
+                }
+            }
+        }
+        let n = 3 * per;
+        let cfg = TsneConfig { perplexity: 10.0, n_iter: 300, ..Default::default() };
+        let coords = run(&data, n, dim, &cfg, &mut rng);
+
+        // 5-NN purity
+        let mut pure = 0;
+        let mut total = 0;
+        for i in 0..n {
+            let mut dists: Vec<(usize, f64)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    let dx = coords[i].0 - coords[j].0;
+                    let dy = coords[i].1 - coords[j].1;
+                    (j, dx * dx + dy * dy)
+                })
+                .collect();
+            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            for &(j, _) in dists.iter().take(5) {
+                total += 1;
+                if j / per == i / per {
+                    pure += 1;
+                }
+            }
+        }
+        let purity = pure as f64 / total as f64;
+        assert!(purity > 0.9, "kNN purity {purity}");
+    }
+
+    #[test]
+    fn output_is_centred_and_finite() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(22);
+        let n = 20;
+        let dim = 4;
+        let data: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let cfg = TsneConfig { perplexity: 5.0, n_iter: 100, ..Default::default() };
+        let coords = run(&data, n, dim, &cfg, &mut rng);
+        assert_eq!(coords.len(), n);
+        let cx: f64 = coords.iter().map(|c| c.0).sum::<f64>() / n as f64;
+        assert!(cx.abs() < 1e-6, "not centred: {cx}");
+        assert!(coords.iter().all(|c| c.0.is_finite() && c.1.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "perplexity")]
+    fn rejects_unachievable_perplexity() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let data = vec![0.0f32; 5 * 2];
+        run(&data, 5, 2, &TsneConfig::default(), &mut rng);
+    }
+}

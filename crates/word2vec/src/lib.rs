@@ -1,0 +1,14 @@
+//! # cmr-word2vec
+//!
+//! Skip-gram with negative sampling (Mikolov et al., 2013), implemented from
+//! scratch. The paper's recipe branch runs a bidirectional LSTM over
+//! *pretrained word2vec embeddings* of the ingredient tokens and uses frozen
+//! word-level features for instructions (§3.2.1); this crate provides that
+//! pretraining stage, trained on the synthetic recipe corpus produced by
+//! `cmr-data`.
+
+pub mod sgns;
+pub mod vocab;
+
+pub use sgns::{train, SgnsConfig, WordVectors};
+pub use vocab::Vocab;

@@ -1,0 +1,280 @@
+//! Skip-gram negative-sampling training.
+
+use crate::vocab::PAD;
+use rand::Rng;
+
+/// Hyper-parameters for [`train`].
+#[derive(Clone, Debug)]
+pub struct SgnsConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Context window half-width.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Initial SGD learning rate (decays linearly to 10%).
+    pub lr: f32,
+    /// Passes over the corpus.
+    pub epochs: usize,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        Self { dim: 32, window: 3, negatives: 5, lr: 0.05, epochs: 5 }
+    }
+}
+
+/// A trained `(vocab, dim)` embedding table.
+#[derive(Clone)]
+pub struct WordVectors {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Row-major `(vocab, dim)` table; row = word id.
+    pub data: Vec<f32>,
+}
+
+impl WordVectors {
+    /// Number of rows (vocabulary size).
+    pub fn vocab(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Embedding of word `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of vocabulary.
+    pub fn vector(&self, id: usize) -> &[f32] {
+        &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Cosine similarity between two word ids.
+    pub fn cosine(&self, a: usize, b: usize) -> f32 {
+        let (va, vb) = (self.vector(a), self.vector(b));
+        let dot: f32 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// The `k` nearest words to `id` by cosine similarity (excluding itself
+    /// and `<pad>`).
+    pub fn nearest(&self, id: usize, k: usize) -> Vec<(usize, f32)> {
+        let mut sims: Vec<(usize, f32)> = (1..self.vocab())
+            .filter(|&j| j != id)
+            .map(|j| (j, self.cosine(id, j)))
+            .collect();
+        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarity"));
+        sims.truncate(k);
+        sims
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Trains skip-gram negative-sampling embeddings.
+///
+/// `corpus` is a list of sentences of word ids over a vocabulary of size
+/// `vocab` (id 0 = `<pad>` is never sampled). Negative samples follow the
+/// standard unigram^(3/4) distribution.
+///
+/// # Panics
+/// Panics if any token id is `>= vocab`.
+pub fn train(
+    corpus: &[Vec<usize>],
+    vocab: usize,
+    cfg: &SgnsConfig,
+    rng: &mut impl Rng,
+) -> WordVectors {
+    assert!(vocab > 1, "train: vocabulary too small");
+    for s in corpus {
+        assert!(s.iter().all(|&t| t < vocab), "train: token id out of vocabulary");
+    }
+
+    // Unigram^0.75 negative-sampling table.
+    let mut counts = vec![0u64; vocab];
+    for s in corpus {
+        for &t in s {
+            counts[t] += 1;
+        }
+    }
+    counts[PAD] = 0;
+    let table = build_unigram_table(&counts);
+
+    // Input and output tables, small random init.
+    let mut win: Vec<f32> = (0..vocab * cfg.dim)
+        .map(|_| (rng.gen_range(-0.5..0.5)) / cfg.dim as f32)
+        .collect();
+    let mut wout = vec![0.0f32; vocab * cfg.dim];
+
+    let total_steps = (cfg.epochs * corpus.len()).max(1);
+    let mut step = 0usize;
+    let mut grad_in = vec![0.0f32; cfg.dim];
+
+    for _epoch in 0..cfg.epochs {
+        for sent in corpus {
+            step += 1;
+            let progress = step as f32 / total_steps as f32;
+            let lr = cfg.lr * (1.0 - 0.9 * progress);
+            for (i, &center) in sent.iter().enumerate() {
+                if center == PAD {
+                    continue;
+                }
+                let lo = i.saturating_sub(cfg.window);
+                let hi = (i + cfg.window + 1).min(sent.len());
+                for (j, &ctx) in sent.iter().enumerate().take(hi).skip(lo) {
+                    if j == i || ctx == PAD {
+                        continue;
+                    }
+                    grad_in.iter_mut().for_each(|g| *g = 0.0);
+                    let vi = center * cfg.dim;
+                    // positive pair + negatives
+                    for neg in 0..=cfg.negatives {
+                        let (target, label) = if neg == 0 {
+                            (ctx, 1.0)
+                        } else {
+                            (table[rng.gen_range(0..table.len())], 0.0)
+                        };
+                        if neg > 0 && target == ctx {
+                            continue;
+                        }
+                        let vo = target * cfg.dim;
+                        let dot: f32 = win[vi..vi + cfg.dim]
+                            .iter()
+                            .zip(&wout[vo..vo + cfg.dim])
+                            .map(|(a, b)| a * b)
+                            .sum();
+                        let g = (sigmoid(dot) - label) * lr;
+                        for d in 0..cfg.dim {
+                            grad_in[d] += g * wout[vo + d];
+                            wout[vo + d] -= g * win[vi + d];
+                        }
+                    }
+                    for (d, g) in grad_in.iter().enumerate() {
+                        win[vi + d] -= g;
+                    }
+                }
+            }
+        }
+    }
+
+    WordVectors { dim: cfg.dim, data: win }
+}
+
+/// Builds the unigram^0.75 sampling table (size ≥ 8·vocab for resolution).
+fn build_unigram_table(counts: &[u64]) -> Vec<usize> {
+    let pow: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+    let total: f64 = pow.iter().sum();
+    let size = (counts.len() * 8).max(1024);
+    let mut table = Vec::with_capacity(size);
+    if total <= 0.0 {
+        // degenerate corpus: uniform over non-pad ids
+        for id in 1..counts.len() {
+            table.push(id);
+        }
+        return table;
+    }
+    for (id, &p) in pow.iter().enumerate() {
+        let slots = ((p / total) * size as f64).round() as usize;
+        for _ in 0..slots {
+            table.push(id);
+        }
+    }
+    if table.is_empty() {
+        table.push(1);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Two artificial "topics": words that co-occur must end up closer than
+    /// words that never do. This is the distributional hypothesis the paper
+    /// builds on (§1).
+    #[test]
+    fn cooccurring_words_are_closer() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(13);
+        // ids 1-5 = topic A, ids 6-10 = topic B
+        let mut corpus = Vec::new();
+        for i in 0..400 {
+            let base = if i % 2 == 0 { 1 } else { 6 };
+            let sent: Vec<usize> =
+                (0..6).map(|_| base + rng.gen_range(0..5usize)).collect();
+            corpus.push(sent);
+        }
+        let cfg = SgnsConfig { dim: 16, window: 3, negatives: 5, lr: 0.05, epochs: 8 };
+        let wv = train(&corpus, 11, &cfg, &mut rng);
+
+        let mut within = 0.0;
+        let mut across = 0.0;
+        let mut nw = 0;
+        let mut na = 0;
+        for a in 1..=5usize {
+            for b in 1..=5usize {
+                if a < b {
+                    within += wv.cosine(a, b);
+                    nw += 1;
+                }
+            }
+            for b in 6..=10usize {
+                across += wv.cosine(a, b);
+                na += 1;
+            }
+        }
+        let within = within / nw as f32;
+        let across = across / na as f32;
+        assert!(
+            within > across + 0.2,
+            "within-topic {within:.3} not clearly above across-topic {across:.3}"
+        );
+    }
+
+    #[test]
+    fn nearest_returns_topic_mates() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        let mut corpus = Vec::new();
+        for i in 0..300 {
+            let base = if i % 2 == 0 { 1 } else { 4 };
+            corpus.push(vec![base, base + 1, base + 2]);
+        }
+        let cfg = SgnsConfig { dim: 12, window: 2, negatives: 4, lr: 0.05, epochs: 10 };
+        let wv = train(&corpus, 7, &cfg, &mut rng);
+        let nn: Vec<usize> = wv.nearest(1, 2).into_iter().map(|(i, _)| i).collect();
+        assert!(nn.contains(&2) || nn.contains(&3), "neighbours of 1 were {nn:?}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let corpus = vec![vec![1, 2, 3], vec![2, 3, 1], vec![3, 1, 2]];
+        let cfg = SgnsConfig { dim: 8, epochs: 3, ..Default::default() };
+        let a = train(&corpus, 4, &cfg, &mut rand::rngs::SmallRng::seed_from_u64(1));
+        let b = train(&corpus, 4, &cfg, &mut rand::rngs::SmallRng::seed_from_u64(1));
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn rejects_oov_token() {
+        let cfg = SgnsConfig::default();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        train(&[vec![5]], 3, &cfg, &mut rng);
+    }
+
+    #[test]
+    fn unigram_table_prefers_frequent_words() {
+        let table = build_unigram_table(&[0, 100, 1]);
+        let ones = table.iter().filter(|&&t| t == 1).count();
+        let twos = table.iter().filter(|&&t| t == 2).count();
+        assert!(ones > twos * 5, "frequent word under-represented: {ones} vs {twos}");
+        assert!(!table.contains(&0), "pad must never be sampled");
+    }
+}

@@ -1,0 +1,117 @@
+//! Token vocabulary with frequency counts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bidirectional word↔id map with occurrence counts.
+///
+/// Id 0 is reserved for the padding token `"<pad>"`, which sequence encoders
+/// use to right-pad variable-length token lists.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    words: Vec<String>,
+    index: HashMap<String, usize>,
+    counts: Vec<u64>,
+}
+
+/// Id of the reserved padding token.
+pub const PAD: usize = 0;
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vocab {
+    /// Creates a vocabulary containing only the padding token.
+    pub fn new() -> Self {
+        let mut v = Self { words: Vec::new(), index: HashMap::new(), counts: Vec::new() };
+        v.add("<pad>");
+        v
+    }
+
+    /// Interns a word, bumping its count; returns its id.
+    pub fn add(&mut self, word: &str) -> usize {
+        if let Some(&id) = self.index.get(word) {
+            self.counts[id] += 1;
+            id
+        } else {
+            let id = self.words.len();
+            self.words.push(word.to_string());
+            self.index.insert(word.to_string(), id);
+            self.counts.push(1);
+            id
+        }
+    }
+
+    /// Looks a word up without modifying counts.
+    pub fn id(&self, word: &str) -> Option<usize> {
+        self.index.get(word).copied()
+    }
+
+    /// The word for an id.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range.
+    pub fn word(&self, id: usize) -> &str {
+        &self.words[id]
+    }
+
+    /// Occurrence count of an id.
+    pub fn count(&self, id: usize) -> u64 {
+        self.counts[id]
+    }
+
+    /// Number of distinct tokens (including `<pad>`).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when only the padding token exists.
+    pub fn is_empty(&self) -> bool {
+        self.words.len() <= 1
+    }
+
+    /// Iterates `(id, word, count)` excluding the padding token.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str, u64)> {
+        self.words
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(move |(i, w)| (i, w.as_str(), self.counts[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_is_zero() {
+        let v = Vocab::new();
+        assert_eq!(v.id("<pad>"), Some(PAD));
+        assert_eq!(v.len(), 1);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn interning_is_stable_and_counts() {
+        let mut v = Vocab::new();
+        let a = v.add("tomato");
+        let b = v.add("basil");
+        assert_eq!(v.add("tomato"), a);
+        assert_ne!(a, b);
+        assert_eq!(v.count(a), 2);
+        assert_eq!(v.count(b), 1);
+        assert_eq!(v.word(a), "tomato");
+    }
+
+    #[test]
+    fn iter_skips_pad() {
+        let mut v = Vocab::new();
+        v.add("x");
+        let items: Vec<_> = v.iter().collect();
+        assert_eq!(items, vec![(1, "x", 1)]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Large-scale retrieval with the IVF-Flat index: the paper motivates
+//! Recipe1M-scale search (§1); this example measures the recall/latency
+//! trade-off of approximate search against an exact scan on the learned
+//! embeddings.
+//!
+//! ```text
+//! cargo run --release --example ann_search
+//! ```
+
+use images_and_recipes::adamine::{Scenario, TrainConfig, Trainer};
+use images_and_recipes::data::{DataConfig, Dataset, Scale, Split};
+use images_and_recipes::retrieval::{top_k, IvfIndex};
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let dataset = Dataset::generate(&DataConfig::for_scale(Scale::Tiny));
+    let trained = Trainer::new(Scenario::AdaMine, TrainConfig::for_scale_tiny())
+        .quiet()
+        .run(&dataset);
+
+    let (imgs, recs) = trained.embed_split(&dataset, Split::Test);
+    let gallery = imgs.l2_normalized();
+    let queries = recs.l2_normalized();
+    let n = gallery.len();
+
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+    let t0 = Instant::now();
+    let index = IvfIndex::build(gallery.clone(), 16, 6, &mut rng);
+    println!("IVF index: {n} vectors, 16 cells, built in {:.1?}", t0.elapsed());
+
+    // Exact baseline.
+    let t0 = Instant::now();
+    let exact: Vec<usize> =
+        (0..n).map(|q| top_k(&gallery, queries.vector(q), 1)[0].index).collect();
+    let exact_time = t0.elapsed();
+
+    println!("\n{:>7} | {:>12} | {:>10} | {:>8}", "nprobe", "recall@1", "time", "speedup");
+    for nprobe in [1usize, 2, 4, 8, 16] {
+        let t0 = Instant::now();
+        let mut agree = 0;
+        for (q, &exact_hit) in exact.iter().enumerate() {
+            let hit = index.search(queries.vector(q), 1, nprobe)[0].index;
+            agree += usize::from(hit == exact_hit);
+        }
+        let t = t0.elapsed();
+        println!(
+            "{:>7} | {:>11.1}% | {:>10.1?} | {:>7.1}x",
+            nprobe,
+            100.0 * agree as f64 / n as f64,
+            t,
+            exact_time.as_secs_f64() / t.as_secs_f64()
+        );
+    }
+    println!("\nexact scan: {exact_time:.1?} for {n} queries");
+}

@@ -1,0 +1,53 @@
+//! Ingredient-to-image search (§5.3 of the paper): "what can I cook with
+//! what's in my fridge?" — query the shared latent space with a single
+//! ingredient word and retrieve dish images containing it.
+//!
+//! ```text
+//! cargo run --release --example ingredient_to_image [-- mushrooms]
+//! ```
+
+use images_and_recipes::adamine::{Scenario, TrainConfig, Trainer};
+use images_and_recipes::data::{DataConfig, Dataset, Scale, Split};
+use images_and_recipes::retrieval::top_k;
+
+fn main() {
+    let ingredient = std::env::args().nth(1).unwrap_or_else(|| "mushrooms".to_string());
+
+    let dataset = Dataset::generate(&DataConfig::for_scale(Scale::Tiny));
+    let tok = dataset
+        .world
+        .vocab
+        .id(&ingredient)
+        .unwrap_or_else(|| panic!("unknown ingredient {ingredient:?}"));
+
+    let trained = Trainer::new(Scenario::AdaMine, TrainConfig::for_scale_tiny())
+        .quiet()
+        .run(&dataset);
+
+    // Build the paper's single-ingredient query: the ingredient token plus
+    // the mean training-set instruction feature as a neutral instruction.
+    let mean_instr = trained.mean_instruction_feature(&dataset);
+    let q = trained.embed_recipe_parts(&[tok], &[mean_instr]);
+    let norm: f32 = q.iter().map(|v| v * v).sum::<f32>().sqrt();
+    let qn: Vec<f32> = q.iter().map(|v| v / norm.max(1e-12)).collect();
+
+    // Search the test-image gallery.
+    let test_ids: Vec<usize> = dataset.split_range(Split::Test).collect();
+    let (imgs, _) = trained.embed_split(&dataset, Split::Test);
+    let gallery = imgs.l2_normalized();
+
+    println!("top 10 dishes for ingredient {ingredient:?}:");
+    let mut with_it = 0;
+    for hit in top_k(&gallery, &qn, 10) {
+        let id = test_ids[hit.index];
+        let has = dataset.recipes[id].mentions(tok);
+        with_it += usize::from(has);
+        println!(
+            "  {:<26} cosine {:.3} {}",
+            dataset.recipes[id].title,
+            hit.similarity,
+            if has { "(contains it)" } else { "" }
+        );
+    }
+    println!("\n{with_it}/10 retrieved dishes contain {ingredient:?}.");
+}

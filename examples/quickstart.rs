@@ -1,0 +1,57 @@
+//! Quickstart: generate a synthetic Recipe1M-like world, train AdaMine, and
+//! run cross-modal retrieval in both directions.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use images_and_recipes::adamine::{Scenario, TrainConfig, Trainer};
+use images_and_recipes::data::{DataConfig, Dataset, Scale, Split};
+use images_and_recipes::retrieval::{evaluate_bags, top_k, BagConfig};
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A small synthetic world (seconds to generate; see `Scale::Default`
+    //    for the scale the experiment numbers use).
+    let dataset = Dataset::generate(&DataConfig::for_scale(Scale::Tiny));
+    println!(
+        "dataset: {} pairs, {} classes, vocabulary {}",
+        dataset.len(),
+        dataset.world.config().n_classes,
+        dataset.world.vocab.len()
+    );
+
+    // 2. Train the full AdaMine model: double-triplet loss + adaptive mining.
+    let trained = Trainer::new(Scenario::AdaMine, TrainConfig::for_scale_tiny()).run(&dataset);
+    println!(
+        "trained: best validation MedR {:.1} at epoch {}",
+        trained.best_val_medr, trained.best_epoch
+    );
+
+    // 3. Evaluate with the paper's bag protocol on the test split.
+    let (imgs, recs) = trained.embed_split(&dataset, Split::Test);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    let bags = BagConfig { bag_size: 200, n_bags: 5 };
+    let report = evaluate_bags(&imgs, &recs, bags, &mut rng);
+    println!(
+        "test (200-pair bags): MedR {:.1} im→rec / {:.1} rec→im, R@10 {:.1}% / {:.1}%",
+        report.im2rec.medr_mean,
+        report.rec2im.medr_mean,
+        report.im2rec.r10_mean,
+        report.rec2im.r10_mean
+    );
+
+    // 4. Use the latent space directly: query one recipe against the image
+    //    gallery and print what comes back.
+    let test_ids: Vec<usize> = dataset.split_range(Split::Test).collect();
+    let gallery = imgs.l2_normalized();
+    let queries = recs.l2_normalized();
+    let hits = top_k(&gallery, queries.vector(0), 3);
+    println!("\nquery: {}", dataset.recipes[test_ids[0]].title);
+    for hit in hits {
+        println!(
+            "  → image of {:<24} (cosine {:.3})",
+            dataset.recipes[test_ids[hit.index]].title, hit.similarity
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! The removing-ingredients task (§5.3, Table 5): edit a recipe to drop an
+//! ingredient and watch the retrieved images change accordingly — the basis
+//! for dietary-restriction-aware menu generation.
+//!
+//! ```text
+//! cargo run --release --example remove_ingredient
+//! ```
+
+use images_and_recipes::adamine::{Scenario, TrainConfig, Trainer};
+use images_and_recipes::data::{DataConfig, Dataset, Scale, Split};
+use images_and_recipes::retrieval::top_k;
+
+fn main() {
+    let dataset = Dataset::generate(&DataConfig::for_scale(Scale::Tiny));
+    let tok = dataset.world.vocab.id("broccoli").expect("broccoli in vocabulary");
+
+    let trained = Trainer::new(Scenario::AdaMine, TrainConfig::for_scale_tiny())
+        .quiet()
+        .run(&dataset);
+
+    // Pick a test recipe that lists broccoli.
+    let rid = dataset
+        .split_range(Split::Test)
+        .find(|&i| dataset.recipes[i].ingredient_tokens.contains(&tok))
+        .expect("a broccoli recipe in the test split");
+    let recipe = &dataset.recipes[rid];
+    println!("query recipe: {} ({} ingredients)", recipe.title, recipe.ingredient_tokens.len());
+
+    let test_ids: Vec<usize> = dataset.split_range(Split::Test).collect();
+    let (imgs, _) = trained.embed_split(&dataset, Split::Test);
+    let gallery = imgs.l2_normalized();
+
+    let search = |emb: Vec<f32>| -> Vec<usize> {
+        let n: f32 = emb.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let q: Vec<f32> = emb.iter().map(|v| v / n.max(1e-12)).collect();
+        top_k(&gallery, &q, 4).into_iter().map(|h| test_ids[h.index]).collect()
+    };
+
+    let show = |hits: &[usize], header: &str| {
+        println!("\n{header}");
+        for &id in hits {
+            println!(
+                "  {:<26} {}",
+                dataset.recipes[id].title,
+                if dataset.recipes[id].mentions(tok) { "[has broccoli]" } else { "" }
+            );
+        }
+    };
+
+    let before = search(trained.embed_recipe(recipe));
+    show(&before, "top 4 images, original recipe:");
+
+    // The Table-5 edit: drop broccoli from the list and every instruction
+    // sentence that mentions it.
+    let edited = recipe.without_ingredient(tok);
+    let after = search(trained.embed_recipe(&edited));
+    show(&after, "top 4 images, broccoli removed:");
+
+    let count = |hits: &[usize]| hits.iter().filter(|&&i| dataset.recipes[i].mentions(tok)).count();
+    println!("\nbroccoli hits: {} before → {} after", count(&before), count(&after));
+}

@@ -1,0 +1,32 @@
+//! # images-and-recipes
+//!
+//! Rust reproduction of **AdaMine** — *"Cross-Modal Retrieval in the Cooking
+//! Context: Learning Semantic Text-Image Embeddings"* (SIGIR 2018), the full
+//! version of the ICDE 2018 companion paper *"Images and Recipes: Retrieval in
+//! the Cooking Context"* by the same authors.
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`tensor`] — autodiff substrate,
+//! * [`nn`] — layers and optimisers,
+//! * [`linalg`] — f64 linear algebra,
+//! * [`word2vec`] — SGNS word embeddings,
+//! * [`data`] — the synthetic Recipe1M-like dataset,
+//! * [`retrieval`] — cross-modal evaluation protocol and ANN index,
+//! * [`cca`] — the CCA baseline,
+//! * [`tsne`] — t-SNE visualisation,
+//! * [`adamine`] — the paper's contribution: double-triplet losses with
+//!   adaptive mining, the two-branch model, baselines and the trainer.
+//!
+//! See `examples/quickstart.rs` for an end-to-end train-and-retrieve run.
+
+pub use cmr_adamine as adamine;
+pub use cmr_cca as cca;
+pub use cmr_data as data;
+pub use cmr_linalg as linalg;
+pub use cmr_nn as nn;
+pub use cmr_retrieval as retrieval;
+pub use cmr_tensor as tensor;
+pub use cmr_tsne as tsne;
+pub use cmr_word2vec as word2vec;

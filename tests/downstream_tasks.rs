@@ -1,0 +1,140 @@
+//! Integration tests for the §5.3 downstream tasks: ingredient-to-image and
+//! removing-ingredients, plus the out-of-dataset query pathways they rely on.
+
+use images_and_recipes::adamine::{Scenario, TrainConfig, TrainedModel, Trainer};
+use images_and_recipes::data::{DataConfig, Dataset, Scale, Split};
+use images_and_recipes::retrieval::top_k;
+
+fn setup() -> (Dataset, TrainedModel) {
+    let dataset = Dataset::generate(&DataConfig::for_scale(Scale::Tiny));
+    let trained =
+        Trainer::new(Scenario::AdaMine, TrainConfig::for_scale_tiny()).quiet().run(&dataset);
+    (dataset, trained)
+}
+
+/// Single-ingredient queries retrieve dishes containing that ingredient at
+/// a rate above its base frequency.
+#[test]
+fn ingredient_query_beats_base_rate() {
+    let (dataset, trained) = setup();
+    let test_ids: Vec<usize> = dataset.split_range(Split::Test).collect();
+    let (imgs, _) = trained.embed_split(&dataset, Split::Test);
+    let gallery = imgs.l2_normalized();
+    let mean_instr = trained.mean_instruction_feature(&dataset);
+
+    // aggregate precision vs aggregate base rate over common ingredients
+    // (tiny-scale models are too weak for a per-ingredient guarantee)
+    let mut precision_sum = 0.0f64;
+    let mut base_sum = 0.0f64;
+    let mut tried = 0usize;
+    for name in ["mushrooms", "tomato", "broccoli", "chicken", "eggs", "onion", "garlic"] {
+        let Some(tok) = dataset.world.vocab.id(name) else { continue };
+        let base = test_ids
+            .iter()
+            .filter(|&&id| dataset.recipes[id].mentions(tok))
+            .count() as f64
+            / test_ids.len() as f64;
+        if base == 0.0 {
+            continue;
+        }
+        let q = trained.embed_recipe_parts(&[tok], std::slice::from_ref(&mean_instr));
+        let n: f32 = q.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let qn: Vec<f32> = q.iter().map(|v| v / n.max(1e-12)).collect();
+        let k = 30;
+        let hits = top_k(&gallery, &qn, k);
+        let with = hits
+            .iter()
+            .filter(|h| dataset.recipes[test_ids[h.index]].mentions(tok))
+            .count() as f64
+            / k as f64;
+        tried += 1;
+        precision_sum += with;
+        base_sum += base;
+    }
+    assert!(tried >= 4, "not enough ingredients testable");
+    assert!(
+        precision_sum > base_sum,
+        "aggregate ingredient-query precision {precision_sum:.2} not above aggregate base {base_sum:.2} ({tried} ingredients)"
+    );
+}
+
+/// Removing an ingredient moves the recipe embedding away from images of
+/// dishes containing it — measured as mean similarity against
+/// ingredient-positive images, aggregated over queries.
+#[test]
+fn removal_reduces_similarity_to_ingredient_images() {
+    let (dataset, trained) = setup();
+    let tok = dataset.world.vocab.id("broccoli").expect("broccoli");
+    let test_ids: Vec<usize> = dataset.split_range(Split::Test).collect();
+    let (imgs, _) = trained.embed_split(&dataset, Split::Test);
+    let gallery = imgs.l2_normalized();
+    let positives: Vec<usize> = (0..test_ids.len())
+        .filter(|&i| dataset.recipes[test_ids[i]].mentions(tok))
+        .collect();
+    assert!(!positives.is_empty());
+
+    let queries: Vec<usize> = dataset
+        .split_range(Split::Test)
+        .filter(|&i| dataset.recipes[i].ingredient_tokens.contains(&tok))
+        .take(10)
+        .collect();
+    assert!(!queries.is_empty(), "no broccoli recipes in test split");
+
+    let mean_sim = |emb: Vec<f32>| -> f64 {
+        let n: f32 = emb.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let q: Vec<f32> = emb.iter().map(|v| v / n.max(1e-12)).collect();
+        positives.iter().map(|&i| gallery.dot(i, &q) as f64).sum::<f64>()
+            / positives.len() as f64
+    };
+
+    let mut drops = 0usize;
+    for &rid in &queries {
+        let before = mean_sim(trained.embed_recipe(&dataset.recipes[rid]));
+        let edited = dataset.recipes[rid].without_ingredient(tok);
+        let after = mean_sim(trained.embed_recipe(&edited));
+        if after < before {
+            drops += 1;
+        }
+    }
+    assert!(
+        drops * 3 >= queries.len() * 2,
+        "removal lowered similarity for only {drops}/{} queries",
+        queries.len()
+    );
+}
+
+/// Out-of-dataset image queries work: a freshly rendered image of a known
+/// recipe retrieves that recipe's neighbourhood.
+#[test]
+fn synthesised_image_query_retrieves_similar_recipes() {
+    let (dataset, trained) = setup();
+    let test_ids: Vec<usize> = dataset.split_range(Split::Test).collect();
+    let (_, recs) = trained.embed_split(&dataset, Split::Test);
+    let gallery = recs.l2_normalized();
+
+    // Render a brand-new image of the same dish as a test recipe.
+    let rid = test_ids[0];
+    let recipe = &dataset.recipes[rid];
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(9);
+    let img = dataset.render_new_image(recipe.class, &recipe.ingredient_idxs, &mut rng);
+    let emb = trained.embed_image(&img);
+    let n: f32 = emb.iter().map(|v| v * v).sum::<f32>().sqrt();
+    let q: Vec<f32> = emb.iter().map(|v| v / n.max(1e-12)).collect();
+
+    // The query's class should dominate the top hits.
+    let hits = top_k(&gallery, &q, 10);
+    let same_class = hits
+        .iter()
+        .filter(|h| dataset.recipes[test_ids[h.index]].class == recipe.class)
+        .count();
+    let base = test_ids
+        .iter()
+        .filter(|&&i| dataset.recipes[i].class == recipe.class)
+        .count() as f64
+        / test_ids.len() as f64;
+    assert!(
+        same_class as f64 / 10.0 > base,
+        "same-class fraction {}/10 not above base rate {base:.2}",
+        same_class
+    );
+}

@@ -1,0 +1,85 @@
+//! End-to-end integration: dataset generation → word2vec pretraining →
+//! two-branch training → bag-protocol evaluation, across crate boundaries.
+
+use images_and_recipes::adamine::{Scenario, TrainConfig, Trainer};
+use images_and_recipes::data::{DataConfig, Dataset, Scale, Split};
+use images_and_recipes::retrieval::{evaluate_bags, BagConfig};
+use rand::SeedableRng;
+
+fn tiny_dataset() -> Dataset {
+    Dataset::generate(&DataConfig::for_scale(Scale::Tiny))
+}
+
+/// The full pipeline must beat random retrieval by a wide margin on held-out
+/// test pairs (random MedR ≈ bag/2 = 100 here).
+#[test]
+fn trained_model_beats_random_on_test_bags() {
+    let dataset = tiny_dataset();
+    let trained =
+        Trainer::new(Scenario::AdaMine, TrainConfig::for_scale_tiny()).quiet().run(&dataset);
+    let (imgs, recs) = trained.embed_split(&dataset, Split::Test);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    let rep = evaluate_bags(&imgs, &recs, BagConfig { bag_size: 200, n_bags: 5 }, &mut rng);
+    assert!(
+        rep.im2rec.medr_mean < 40.0,
+        "test MedR {:.1} not clearly better than chance (~100)",
+        rep.im2rec.medr_mean
+    );
+    assert!(rep.rec2im.medr_mean < 40.0);
+    assert!(rep.im2rec.r10_mean > 15.0, "R@10 {:.1}", rep.im2rec.r10_mean);
+}
+
+/// Training is deterministic under a fixed seed: identical epoch-by-epoch
+/// validation MedR and identical final embeddings.
+#[test]
+fn training_is_deterministic_under_seed() {
+    let dataset = tiny_dataset();
+    let cfg = TrainConfig { epochs: 2, ..TrainConfig::for_scale_tiny() };
+    let a = Trainer::new(Scenario::AdaMineIns, cfg.clone()).quiet().run(&dataset);
+    let b = Trainer::new(Scenario::AdaMineIns, cfg).quiet().run(&dataset);
+    let medrs = |t: &images_and_recipes::adamine::TrainedModel| {
+        t.epochs.iter().map(|e| e.val_medr).collect::<Vec<_>>()
+    };
+    assert_eq!(medrs(&a), medrs(&b));
+    let (ia, _) = a.embed_ids(&dataset, &[0, 1, 2]);
+    let (ib, _) = b.embed_ids(&dataset, &[0, 1, 2]);
+    assert_eq!(ia.data, ib.data);
+}
+
+/// A different seed gives a different (but still working) model.
+#[test]
+fn seed_changes_the_model() {
+    let dataset = tiny_dataset();
+    let base = TrainConfig { epochs: 2, ..TrainConfig::for_scale_tiny() };
+    let a = Trainer::new(Scenario::AdaMineIns, base.clone()).quiet().run(&dataset);
+    let b = Trainer::new(Scenario::AdaMineIns, TrainConfig { seed: 999, ..base })
+        .quiet()
+        .run(&dataset);
+    let (ia, _) = a.embed_ids(&dataset, &[0]);
+    let (ib, _) = b.embed_ids(&dataset, &[0]);
+    assert_ne!(ia.data, ib.data);
+}
+
+/// The protocol report is well-formed: stds non-negative, recalls in
+/// [0, 100], MedR within [1, bag size], recall monotone in K.
+#[test]
+fn protocol_report_invariants() {
+    let dataset = tiny_dataset();
+    let trained = Trainer::new(
+        Scenario::AdaMineIns,
+        TrainConfig { epochs: 1, ..TrainConfig::for_scale_tiny() },
+    )
+    .quiet()
+    .run(&dataset);
+    let (imgs, recs) = trained.embed_split(&dataset, Split::Test);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+    let rep = evaluate_bags(&imgs, &recs, BagConfig { bag_size: 150, n_bags: 3 }, &mut rng);
+    for d in [rep.im2rec, rep.rec2im] {
+        assert!(d.medr_mean >= 1.0 && d.medr_mean <= 150.0);
+        assert!(d.medr_std >= 0.0);
+        for r in [d.r1_mean, d.r5_mean, d.r10_mean] {
+            assert!((0.0..=100.0).contains(&r));
+        }
+        assert!(d.r1_mean <= d.r5_mean && d.r5_mean <= d.r10_mean);
+    }
+}

@@ -1,0 +1,59 @@
+//! Cross-scenario shape checks at test scale: the coarse orderings the
+//! paper's tables rest on, verified on the tiny world with fixed seeds.
+//! (The fine-grained orderings are the experiment binaries' job at the
+//! default scale; these tests pin only the large, robust gaps.)
+
+use images_and_recipes::adamine::{Scenario, TrainConfig, Trainer};
+use images_and_recipes::data::{DataConfig, Dataset, Scale, Split};
+use images_and_recipes::retrieval::{median_rank, ranks_of_matches};
+
+fn test_medr(dataset: &Dataset, scenario: Scenario) -> f64 {
+    let trained = Trainer::new(scenario, TrainConfig::for_scale_tiny()).quiet().run(dataset);
+    let (imgs, recs) = trained.embed_split(dataset, Split::Test);
+    let i = imgs.l2_normalized();
+    let r = recs.l2_normalized();
+    let a = median_rank(&ranks_of_matches(&i, &r));
+    let b = median_rank(&ranks_of_matches(&r, &i));
+    (a + b) / 2.0
+}
+
+/// The semantic-only ablation cannot do instance retrieval: it must be far
+/// worse than any instance-trained variant (paper: AdaMine_sem 207 vs
+/// AdaMine 13 on the 10k setup).
+#[test]
+fn semantic_only_is_far_worse_than_instance_models() {
+    let dataset = Dataset::generate(&DataConfig::for_scale(Scale::Tiny));
+    let sem = test_medr(&dataset, Scenario::AdaMineSem);
+    let ins = test_medr(&dataset, Scenario::AdaMineIns);
+    // At tiny scale (8 classes) the within-class gallery is small, so the
+    // gap is smaller than the paper's 207-vs-13; require a clear margin.
+    assert!(
+        sem > 1.2 * ins,
+        "sem-only MedR {sem:.1} should be clearly worse than instance MedR {ins:.1}"
+    );
+}
+
+/// Pairwise learning (PWC*) must be clearly better than chance but worse
+/// than the triplet-based AdaMine (paper: PWC* 5.0 vs AdaMine 1.0 at 1k).
+#[test]
+fn pairwise_sits_between_chance_and_adamine() {
+    let dataset = Dataset::generate(&DataConfig::for_scale(Scale::Tiny));
+    let pwc = test_medr(&dataset, Scenario::PwcStar);
+    let full = test_medr(&dataset, Scenario::AdaMine);
+    let chance = dataset.split_range(Split::Test).len() as f64 / 2.0;
+    assert!(pwc < chance / 2.0, "PWC* MedR {pwc:.1} not better than chance {chance:.0}");
+    assert!(full < pwc, "AdaMine {full:.1} should beat PWC* {pwc:.1}");
+}
+
+/// Text ablations must degrade the full model (paper Table 3: both
+/// AdaMine_ingr and AdaMine_instr are clearly worse than AdaMine).
+#[test]
+fn text_ablations_degrade() {
+    let dataset = Dataset::generate(&DataConfig::for_scale(Scale::Tiny));
+    let full = test_medr(&dataset, Scenario::AdaMine);
+    let instr = test_medr(&dataset, Scenario::AdaMineInstr);
+    assert!(
+        instr > full,
+        "instructions-only {instr:.1} should be worse than full {full:.1}"
+    );
+}
