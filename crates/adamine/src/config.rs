@@ -1,9 +1,8 @@
 //! Model and training configuration.
 
-use serde::{Deserialize, Serialize};
 
 /// Gradient-aggregation strategy over the triplets of a mini-batch (§3.3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Strategy {
     /// AdaMine's adaptive mining: normalise by the number of *active*
     /// (loss-violating) triplets β′ (Eq. 4–5). An automatic curriculum from
@@ -16,7 +15,7 @@ pub enum Strategy {
 
 /// Which parts of the recipe text the model consumes (the `AdaMine_ingr` /
 /// `AdaMine_instr` ablations of Table 3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TextMode {
     /// Ingredients and instructions (the full model).
     Full,
@@ -27,7 +26,7 @@ pub enum TextMode {
 }
 
 /// The loss family a scenario trains with.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum LossKind {
     /// Triplet-based (AdaMine family).
     Triplet {
@@ -49,7 +48,7 @@ pub enum LossKind {
 
 /// Architecture dimensions. Defaults follow DESIGN.md's `default` scale —
 /// the paper-scale values are in the doc comments.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ModelConfig {
     /// Shared latent dimensionality (paper: 1024).
     pub latent_dim: usize,
@@ -113,7 +112,7 @@ impl ModelConfig {
 }
 
 /// Training-loop hyper-parameters (§4.4).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TrainConfig {
     /// Total epochs (paper: 80).
     pub epochs: usize,

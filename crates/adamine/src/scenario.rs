@@ -1,13 +1,12 @@
 //! The named model variants of Tables 1 and 3.
 
 use crate::config::{LossKind, ModelConfig, Strategy, TextMode, TrainConfig};
-use serde::{Deserialize, Serialize};
 
 /// Every trainable scenario evaluated in the paper (§4.3).
 ///
 /// `CCA` and `Random` are handled outside this enum (closed-form / no
 /// model); everything here goes through the same [`Trainer`](crate::Trainer).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scenario {
     /// Full model: instance + semantic triplet losses, adaptive mining.
     AdaMine,

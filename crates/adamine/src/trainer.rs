@@ -12,10 +12,9 @@ use cmr_tensor::Graph;
 use cmr_word2vec::{SgnsConfig, WordVectors};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Per-epoch training statistics.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct EpochStats {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -97,7 +96,7 @@ impl Trainer {
 
         let mut sampler = BatchSampler::new(dataset, Split::Train, tcfg.batch_size);
         let mut stats = Vec::with_capacity(tcfg.epochs);
-        let mut best: Option<(f64, usize, bytes::Bytes)> = None;
+        let mut best: Option<(f64, usize, Vec<u8>)> = None;
 
         for epoch in 0..tcfg.epochs {
             if epoch == tcfg.freeze_epochs {
@@ -262,7 +261,10 @@ fn embed_ids(
     let dim = model.config().latent_dim;
     let mut imgs = Embeddings::with_capacity(dim, ids.len());
     let mut recs = Embeddings::with_capacity(dim, ids.len());
-    for chunk in ids.chunks(128) {
+    // Wide chunks keep the row-parallel matmul kernels saturated: each
+    // forward pass splits its batch across the worker threads, so the
+    // chunk size bounds the available parallelism per call.
+    for chunk in ids.chunks(512) {
         let inputs = BatchInputs::gather(dataset, feats, chunk);
         let mut g = Graph::new();
         let mut binds = Bindings::new();

@@ -4,6 +4,7 @@
 //! motivates the index at Recipe1M scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cmr_retrieval::metrics::ranks_of_matches_reference;
 use cmr_retrieval::{ranks_of_matches, top_k, Embeddings, IvfIndex};
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -26,9 +27,14 @@ fn gallery(n: usize, dim: usize, seed: u64) -> Embeddings {
 fn bench_ranks(c: &mut Criterion) {
     let q = gallery(1000, 64, 1);
     let g = gallery(1000, 64, 2);
-    c.bench_function("ranks_of_matches_1k_x_1k_d64", |bench| {
+    let mut group = c.benchmark_group("ranks_of_matches_1k_x_1k_d64");
+    group.bench_function("similarity_matrix", |bench| {
         bench.iter(|| black_box(ranks_of_matches(&q, &g)))
     });
+    group.bench_function("per_pair_reference", |bench| {
+        bench.iter(|| black_box(ranks_of_matches_reference(&q, &g)))
+    });
+    group.finish();
 }
 
 fn bench_search(c: &mut Criterion) {

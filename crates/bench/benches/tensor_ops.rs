@@ -32,6 +32,36 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// Blocked/parallel kernels head-to-head against their serial scalar
+/// references, on a shape big enough for the threaded path to engage.
+fn bench_matmul_serial_vs_parallel(c: &mut Criterion) {
+    let (m, k, n) = (512usize, 256usize, 256usize);
+    let mut r = rng();
+    let a = init::normal(&mut r, m, k, 1.0);
+    let b = init::normal(&mut r, k, n, 1.0);
+    let bt = init::normal(&mut r, n, k, 1.0);
+    let at = init::normal(&mut r, k, m, 1.0);
+
+    let mut group = c.benchmark_group(format!("matmul_serial_vs_parallel_{m}x{k}x{n}"));
+    group.bench_function("a_b/serial", |bench| {
+        bench.iter(|| black_box(matmul::matmul_serial(&a, &b)))
+    });
+    group.bench_function("a_b/parallel", |bench| bench.iter(|| black_box(matmul::matmul(&a, &b))));
+    group.bench_function("a_bT/serial", |bench| {
+        bench.iter(|| black_box(matmul::matmul_transb_serial(&a, &bt)))
+    });
+    group.bench_function("a_bT/parallel", |bench| {
+        bench.iter(|| black_box(matmul::matmul_transb(&a, &bt)))
+    });
+    group.bench_function("aT_b/serial", |bench| {
+        bench.iter(|| black_box(matmul::matmul_transa_serial(&at, &b)))
+    });
+    group.bench_function("aT_b/parallel", |bench| {
+        bench.iter(|| black_box(matmul::matmul_transa(&at, &b)))
+    });
+    group.finish();
+}
+
 fn bench_graph_roundtrip(c: &mut Criterion) {
     // The shape of one loss pipeline on a 100-pair batch: normalise,
     // similarity, hinge, mask, reduce — forward + backward.
@@ -66,5 +96,5 @@ fn bench_graph_roundtrip(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_graph_roundtrip);
+criterion_group!(benches, bench_matmul, bench_matmul_serial_vs_parallel, bench_graph_roundtrip);
 criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Captures the serial-vs-parallel kernel speedups into a JSON artifact.
+//!
+//! Times the blocked/parallel matrix kernels against their serial scalar
+//! references, and the similarity-matrix ranker against the per-pair
+//! reference, on ≥1k-row inputs — then writes `BENCH_kernels.json` so the
+//! wins the kernel-equivalence suite locks down are also recorded as
+//! numbers. Usage: `cargo run --release --bin bench_kernels [--out DIR]`.
+
+use cmr_bench::json::{Json, ToJson};
+use cmr_retrieval::metrics::ranks_of_matches_reference;
+use cmr_retrieval::{ranks_of_matches, Embeddings};
+use cmr_tensor::{init, matmul, num_threads};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock seconds for `f`, after one warmup call.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Case {
+    name: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms
+    }
+}
+
+impl ToJson for Case {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.as_str().to_json()),
+            ("serial_ms", self.serial_ms.to_json()),
+            ("parallel_ms", self.parallel_ms.to_json()),
+            ("speedup", self.speedup().to_json()),
+        ])
+    }
+}
+
+fn embeddings(n: usize, dim: usize, seed: u64) -> Embeddings {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    Embeddings::new(dim, (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .l2_normalized()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out_dir = PathBuf::from("results");
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--out" && i + 1 < args.len() {
+            i += 1;
+            out_dir = PathBuf::from(&args[i]);
+        }
+        i += 1;
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let reps = 5;
+    let mut cases = Vec::new();
+    let mut r = rand::rngs::SmallRng::seed_from_u64(1);
+
+    // Matrix kernels on a training-scale shape: 1024 rows, word-dim depth.
+    let (m, k, n) = (1024usize, 256usize, 256usize);
+    let a = init::normal(&mut r, m, k, 1.0);
+    let b = init::normal(&mut r, k, n, 1.0);
+    let bt = init::normal(&mut r, n, k, 1.0);
+    let at = init::normal(&mut r, k, m, 1.0);
+    cases.push(Case {
+        name: format!("matmul_{m}x{k}x{n}"),
+        serial_ms: 1e3 * time_best(reps, || matmul::matmul_serial(&a, &b)),
+        parallel_ms: 1e3 * time_best(reps, || matmul::matmul(&a, &b)),
+    });
+    cases.push(Case {
+        name: format!("matmul_transb_{m}x{k}x{n}"),
+        serial_ms: 1e3 * time_best(reps, || matmul::matmul_transb_serial(&a, &bt)),
+        parallel_ms: 1e3 * time_best(reps, || matmul::matmul_transb(&a, &bt)),
+    });
+    cases.push(Case {
+        name: format!("matmul_transa_{m}x{k}x{n}"),
+        serial_ms: 1e3 * time_best(reps, || matmul::matmul_transa_serial(&at, &b)),
+        parallel_ms: 1e3 * time_best(reps, || matmul::matmul_transa(&at, &b)),
+    });
+
+    // Rank extraction at the paper's 1k bag size.
+    let q = embeddings(1000, 64, 2);
+    let g = embeddings(1000, 64, 3);
+    cases.push(Case {
+        name: "ranks_of_matches_1000x1000_d64".into(),
+        serial_ms: 1e3 * time_best(reps, || ranks_of_matches_reference(&q, &g)),
+        parallel_ms: 1e3 * time_best(reps, || ranks_of_matches(&q, &g)),
+    });
+
+    for c in &cases {
+        println!(
+            "{:<34} serial {:>9.3} ms   parallel {:>9.3} ms   speedup {:>5.2}x",
+            c.name,
+            c.serial_ms,
+            c.parallel_ms,
+            c.speedup()
+        );
+    }
+
+    let artifact = Json::obj([
+        ("artifact", "BENCH_kernels".to_json()),
+        ("threads", num_threads().to_json()),
+        ("reps_best_of", reps.to_json()),
+        ("cases", cases.to_json()),
+    ]);
+    let path = out_dir.join("BENCH_kernels.json");
+    cmr_bench::save_json(&path, &artifact);
+    println!("wrote {}", path.display());
+}

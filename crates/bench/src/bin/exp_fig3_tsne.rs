@@ -20,9 +20,8 @@ use cmr_data::Split;
 use cmr_tsne::TsneConfig;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::Serialize;
+use cmr_bench::json::{Json, ToJson};
 
-#[derive(Serialize)]
 struct TsnePoint {
     x: f64,
     y: f64,
@@ -31,11 +30,32 @@ struct TsnePoint {
     modality: &'static str,
 }
 
-#[derive(Serialize)]
+impl ToJson for TsnePoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("x", self.x.to_json()),
+            ("y", self.y.to_json()),
+            ("class", self.r#class.to_json()),
+            ("pair", self.pair.to_json()),
+            ("modality", self.modality.to_json()),
+        ])
+    }
+}
+
 struct Fig3Metrics {
     scenario: String,
     knn_class_purity: f64,
     mean_pair_distance: f64,
+}
+
+impl ToJson for Fig3Metrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", self.scenario.to_json()),
+            ("knn_class_purity", self.knn_class_purity.to_json()),
+            ("mean_pair_distance", self.mean_pair_distance.to_json()),
+        ])
+    }
 }
 
 fn main() {

@@ -13,13 +13,22 @@ use cmr_bench::{save_json, ExpContext};
 use cmr_data::Split;
 use cmr_retrieval::{evaluate_bags, BagConfig};
 use rand::SeedableRng;
-use serde::Serialize;
+use cmr_bench::json::{Json, ToJson};
 
-#[derive(Serialize)]
 struct LambdaPoint {
     lambda: f32,
     medr_im2rec: f64,
     medr_rec2im: f64,
+}
+
+impl ToJson for LambdaPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("lambda", self.lambda.to_json()),
+            ("medr_im2rec", self.medr_im2rec.to_json()),
+            ("medr_rec2im", self.medr_rec2im.to_json()),
+        ])
+    }
 }
 
 fn main() {

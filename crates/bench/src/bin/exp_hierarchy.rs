@@ -12,12 +12,20 @@ use cmr_adamine::Scenario;
 use cmr_bench::{print_table, save_json, table_artifact, ExpContext};
 use cmr_data::Split;
 use cmr_retrieval::top_k;
-use serde::Serialize;
+use cmr_bench::json::{Json, ToJson};
 
-#[derive(Serialize)]
 struct HierMetrics {
     scenario: String,
     group_purity: f64,
+}
+
+impl ToJson for HierMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", self.scenario.to_json()),
+            ("group_purity", self.group_purity.to_json()),
+        ])
+    }
 }
 
 fn group_purity(ctx: &ExpContext, trained: &cmr_adamine::TrainedModel) -> f64 {

@@ -15,15 +15,25 @@ use cmr_adamine::Scenario;
 use cmr_bench::{save_json, ExpContext};
 use cmr_data::Split;
 use cmr_retrieval::top_k;
-use serde::Serialize;
+use cmr_bench::json::{Json, ToJson};
 
-#[derive(Serialize)]
 struct Table2Row {
     query_title: String,
     query_class: usize,
     scenario: String,
     /// For each of the top-5 hits: "match", "same-class" or "other-class".
     top5: Vec<String>,
+}
+
+impl ToJson for Table2Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("query_title", self.query_title.to_json()),
+            ("query_class", self.query_class.to_json()),
+            ("scenario", self.scenario.to_json()),
+            ("top5", self.top5.to_json()),
+        ])
+    }
 }
 
 fn main() {

@@ -20,18 +20,29 @@ use cmr_adamine::Scenario;
 use cmr_bench::{save_json, ExpContext};
 use cmr_data::Split;
 use cmr_retrieval::top_k;
-use serde::Serialize;
+use cmr_bench::json::{Json, ToJson};
 
 const INGREDIENTS: [&str; 5] =
     ["mushrooms", "pineapple", "olives", "pepperoni", "strawberries"];
 
-#[derive(Serialize)]
 struct Table4Row {
     ingredient: String,
     hits_with_ingredient: usize,
     top_k: usize,
     base_rate: f64,
     precision: f64,
+}
+
+impl ToJson for Table4Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("ingredient", self.ingredient.to_json()),
+            ("hits_with_ingredient", self.hits_with_ingredient.to_json()),
+            ("top_k", self.top_k.to_json()),
+            ("base_rate", self.base_rate.to_json()),
+            ("precision", self.precision.to_json()),
+        ])
+    }
 }
 
 fn main() {

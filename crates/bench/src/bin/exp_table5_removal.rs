@@ -16,13 +16,22 @@ use cmr_data::Split;
 use cmr_retrieval::top_k;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::Serialize;
+use cmr_bench::json::{Json, ToJson};
 
-#[derive(Serialize)]
 struct RemovalCase {
     title: String,
     with_before: usize,
     with_after: usize,
+}
+
+impl ToJson for RemovalCase {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", self.title.to_json()),
+            ("with_before", self.with_before.to_json()),
+            ("with_after", self.with_after.to_json()),
+        ])
+    }
 }
 
 fn main() {

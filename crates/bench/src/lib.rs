@@ -17,8 +17,11 @@ use cmr_data::{DataConfig, Dataset, Scale, Split};
 use cmr_linalg::Mat;
 use cmr_retrieval::{evaluate_bags, BagConfig, DirectionReport, ProtocolReport};
 use rand::SeedableRng;
-use serde::Serialize;
 use std::path::{Path, PathBuf};
+
+pub mod json;
+
+use json::{Json, ToJson};
 
 /// Parsed command line shared by all experiment binaries.
 pub struct ExpContext {
@@ -148,7 +151,7 @@ impl ExpContext {
     }
 
     /// Writes a JSON artifact into the output directory.
-    pub fn save_json<T: Serialize>(&self, name: &str, value: &T) {
+    pub fn save_json<T: ToJson>(&self, name: &str, value: &T) {
         save_json(&self.out_dir.join(name), value);
     }
 }
@@ -157,9 +160,33 @@ impl ExpContext {
 ///
 /// # Panics
 /// Panics on IO errors (developer tooling).
-pub fn save_json<T: Serialize>(path: &Path, value: &T) {
-    let json = serde_json::to_string_pretty(value).expect("serializable");
-    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+pub fn save_json<T: ToJson>(path: &Path, value: &T) {
+    std::fs::write(path, value.to_json().pretty())
+        .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+}
+
+impl ToJson for DirectionReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("medr_mean", self.medr_mean.to_json()),
+            ("medr_std", self.medr_std.to_json()),
+            ("r1_mean", self.r1_mean.to_json()),
+            ("r1_std", self.r1_std.to_json()),
+            ("r5_mean", self.r5_mean.to_json()),
+            ("r5_std", self.r5_std.to_json()),
+            ("r10_mean", self.r10_mean.to_json()),
+            ("r10_std", self.r10_std.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ProtocolReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("im2rec", self.im2rec.to_json()),
+            ("rec2im", self.rec2im.to_json()),
+        ])
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -289,7 +316,6 @@ pub fn print_table(title: &str, rows: &[(String, ProtocolReport)]) {
 }
 
 /// A serialisable (name, report) row set for JSON artifacts.
-#[derive(Serialize)]
 pub struct TableArtifact<'a> {
     /// Experiment identifier, e.g. `"table3_1k"`.
     pub experiment: &'a str,
@@ -299,13 +325,31 @@ pub struct TableArtifact<'a> {
     pub rows: Vec<RowArtifact>,
 }
 
+impl ToJson for TableArtifact<'_> {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("experiment", self.experiment.to_json()),
+            ("scale", self.scale.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
 /// One serialised scenario row.
-#[derive(Serialize)]
 pub struct RowArtifact {
     /// Scenario display name.
     pub name: String,
     /// Both-direction metrics.
     pub report: ProtocolReport,
+}
+
+impl ToJson for RowArtifact {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("report", self.report.to_json()),
+        ])
+    }
 }
 
 /// Convenience constructor for [`TableArtifact`].

@@ -1,9 +1,8 @@
 //! Dataset configuration and scale presets.
 
-use serde::{Deserialize, Serialize};
 
 /// Named scale presets (see DESIGN.md, *Scales*).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
     /// Unit/integration-test scale: seconds on one core.
     Tiny,
@@ -15,7 +14,7 @@ pub enum Scale {
 }
 
 /// Full configuration of the synthetic world and splits.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DataConfig {
     /// Number of dish classes (paper: 1048).
     pub n_classes: usize,

@@ -1,6 +1,5 @@
 //! The recipe record.
 
-use serde::{Deserialize, Serialize};
 
 /// One recipe: structured text (ingredient tokens + instruction sentences),
 /// its ground-truth class, and the — possibly hidden — class label.
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// `label` is the observed annotation, present for roughly half the pairs
 /// as in Recipe1M (§4.1). Evaluation code that needs the true class (e.g.
 /// colouring Figure 3) reads `class`; training code must only read `label`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Recipe {
     /// Dataset-wide id; also the row of the matching image features.
     pub id: usize,

@@ -3,33 +3,65 @@
 //! The trainer keeps the best-validation-MedR model (§4.4 "model selection")
 //! as a checkpoint. Format: a small header, then per parameter its name,
 //! shape, freeze flag and raw little-endian `f32` payload — compact and
-//! byte-for-byte reproducible, built with the `bytes` buffer primitives.
+//! byte-for-byte reproducible, written into a plain `Vec<u8>`.
 
 use crate::param::{ParamId, ParamStore};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cmr_tensor::TensorData;
 use std::io;
 
 const MAGIC: &[u8; 8] = b"CMRCKPT1";
 
 /// Serialises every parameter (name, shape, freeze flag, payload).
-pub fn save_params(store: &ParamStore) -> Bytes {
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(store.len() as u32);
+pub fn save_params(store: &ParamStore) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(store.len() as u32).to_le_bytes());
     for id in store.ids() {
         let name = store.name(id).as_bytes();
-        buf.put_u16_le(name.len() as u16);
-        buf.put_slice(name);
+        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(name);
         let v = store.value(id);
-        buf.put_u32_le(v.rows as u32);
-        buf.put_u32_le(v.cols as u32);
-        buf.put_u8(u8::from(store.is_frozen(id)));
+        buf.extend_from_slice(&(v.rows as u32).to_le_bytes());
+        buf.extend_from_slice(&(v.cols as u32).to_le_bytes());
+        buf.push(u8::from(store.is_frozen(id)));
         for &x in &v.data {
-            buf.put_f32_le(x);
+            buf.extend_from_slice(&x.to_le_bytes());
         }
     }
-    buf.freeze()
+    buf
+}
+
+/// Little-endian read cursor over a checkpoint byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        head
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().unwrap())
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
 }
 
 /// Restores parameter values (and freeze flags) into an existing store.
@@ -43,13 +75,12 @@ pub fn save_params(store: &ParamStore) -> Bytes {
 /// name, or a shape mismatch.
 pub fn load_params(store: &mut ParamStore, bytes: &[u8]) -> io::Result<()> {
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
-    let mut buf = bytes;
+    let mut buf = Reader { buf: bytes };
     if buf.remaining() < MAGIC.len() + 4 {
         return Err(bad("checkpoint truncated".into()));
     }
-    let mut magic = [0u8; 8];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let magic = buf.take(MAGIC.len());
+    if magic != MAGIC {
         return Err(bad(format!("bad checkpoint magic {magic:?}")));
     }
     let count = buf.get_u32_le() as usize;
@@ -61,7 +92,7 @@ pub fn load_params(store: &mut ParamStore, bytes: &[u8]) -> io::Result<()> {
         if buf.remaining() < name_len + 9 {
             return Err(bad("checkpoint truncated".into()));
         }
-        let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+        let name = String::from_utf8(buf.take(name_len).to_vec())
             .map_err(|e| bad(format!("parameter name not utf-8: {e}")))?;
         let rows = buf.get_u32_le() as usize;
         let cols = buf.get_u32_le() as usize;

@@ -1,6 +1,5 @@
 //! Embedding-set storage.
 
-use serde::{Deserialize, Serialize};
 
 /// A set of `n` embedding vectors of dimension `dim`, row-major.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// [`Embeddings::l2_normalized`] once and compare by dot product afterwards —
 /// all search and evaluation code in this crate assumes normalised inputs
 /// where it matters and says so.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Embeddings {
     /// Vector dimensionality.
     pub dim: usize,

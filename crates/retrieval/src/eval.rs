@@ -9,7 +9,6 @@ use crate::embeddings::Embeddings;
 use crate::metrics::{median_rank, ranks_of_matches, recall_at_k};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Bag-sampling configuration.
 #[derive(Clone, Copy, Debug)]
@@ -38,7 +37,7 @@ impl BagConfig {
 }
 
 /// Mean ± std of each metric over bags, for one retrieval direction.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct DirectionReport {
     /// Median rank (lower is better).
     pub medr_mean: f64,
@@ -59,7 +58,7 @@ pub struct DirectionReport {
 }
 
 /// Full protocol result: both retrieval directions.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ProtocolReport {
     /// Image query → recipe gallery.
     pub im2rec: DirectionReport,

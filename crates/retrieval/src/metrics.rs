@@ -1,7 +1,24 @@
 //! Median rank and recall@K (§4.2 of the paper).
+//!
+//! Ranking is the evaluation hot loop: every bag ranks every query against
+//! every gallery item. [`ranks_of_matches`] therefore computes the whole
+//! similarity matrix `Q · Gᵀ` tile-by-tile with the blocked kernel from
+//! [`cmr_tensor::matmul`], splitting the query set across worker threads
+//! (see [`cmr_tensor::threading`]). The original per-pair loop survives as
+//! [`ranks_of_matches_reference`] for the equivalence suite.
 
 use crate::embeddings::Embeddings;
-use rayon::prelude::*;
+use cmr_tensor::matmul::matmul_transb_into;
+use cmr_tensor::threading;
+
+/// Queries per similarity-matrix tile: bounds the scratch buffer to
+/// `QUERY_TILE × n` floats per worker while keeping each kernel call large
+/// enough to amortise the blocked dot products.
+const QUERY_TILE: usize = 256;
+
+/// Below this many multiply-adds the whole problem runs on the calling
+/// thread.
+const PAR_MIN_FLOPS: usize = 64 * 1024;
 
 /// For every query `i`, the 1-based rank of gallery item `i` (its matching
 /// counterpart) when the gallery is sorted by descending cosine similarity.
@@ -17,8 +34,52 @@ pub fn ranks_of_matches(queries: &Embeddings, gallery: &Embeddings) -> Vec<usize
     assert_eq!(queries.len(), gallery.len(), "ranks_of_matches: unpaired sets");
     assert_eq!(queries.dim, gallery.dim, "ranks_of_matches: dimension mismatch");
     let n = queries.len();
+    let dim = queries.dim;
+    let mut ranks = vec![0usize; n];
+    if n == 0 {
+        return ranks;
+    }
+    let rank_span = |first: usize, span: &mut [usize]| {
+        // One query-tile of the similarity matrix at a time; the scratch
+        // buffer is reused across tiles.
+        let mut sims = vec![0.0f32; QUERY_TILE.min(span.len()) * n];
+        for t0 in (0..span.len()).step_by(QUERY_TILE) {
+            let t1 = (t0 + QUERY_TILE).min(span.len());
+            let q0 = first + t0;
+            let tile = &queries.data[q0 * dim..(first + t1) * dim];
+            let sims_tile = &mut sims[..(t1 - t0) * n];
+            matmul_transb_into(tile, &gallery.data, dim, sims_tile);
+            for (r, rank) in span[t0..t1].iter_mut().enumerate() {
+                let row = &sims_tile[r * n..(r + 1) * n];
+                let match_sim = row[q0 + r];
+                let closer = row
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, &s)| j != q0 + r && s > match_sim)
+                    .count();
+                *rank = closer + 1;
+            }
+        }
+    };
+    if n * n * dim < PAR_MIN_FLOPS || threading::num_threads() == 1 {
+        rank_span(0, &mut ranks);
+    } else {
+        threading::par_chunks_mut(&mut ranks, 1, rank_span);
+    }
+    ranks
+}
+
+/// The original per-pair rank computation: one sequential dot product per
+/// (query, gallery) pair, no tiling, no threads. This is the reference the
+/// kernel-equivalence suite holds [`ranks_of_matches`] against.
+///
+/// # Panics
+/// Panics if the two sets differ in size or dimension.
+pub fn ranks_of_matches_reference(queries: &Embeddings, gallery: &Embeddings) -> Vec<usize> {
+    assert_eq!(queries.len(), gallery.len(), "ranks_of_matches: unpaired sets");
+    assert_eq!(queries.dim, gallery.dim, "ranks_of_matches: dimension mismatch");
+    let n = queries.len();
     (0..n)
-        .into_par_iter()
         .map(|i| {
             let q = queries.vector(i);
             let match_sim = gallery.dot(i, q);
@@ -65,6 +126,13 @@ pub fn recall_at_k(ranks: &[usize], k: usize) -> f64 {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_embeddings(n: usize, dim: usize, seed: u64) -> Embeddings {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        Embeddings::new(dim, (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .l2_normalized()
+    }
 
     /// With identical query and gallery embeddings every match is rank 1.
     #[test]
@@ -87,6 +155,32 @@ mod tests {
         assert_eq!(ranks[1], 2, "match sim 0.0 < distractor sim 0.6");
     }
 
+    /// Exact ties with the match similarity do not count against the rank:
+    /// rank = 1 + strictly closer items (the Recipe1M convention).
+    #[test]
+    fn exact_ties_rank_optimistically() {
+        // All gallery items identical: every dot is the same, nothing is
+        // strictly closer, so every rank is 1.
+        let queries = Embeddings::new(2, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]).l2_normalized();
+        let gallery = Embeddings::new(2, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]).l2_normalized();
+        assert_eq!(ranks_of_matches(&queries, &gallery), vec![1, 1, 1]);
+        assert_eq!(ranks_of_matches_reference(&queries, &gallery), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn tiled_ranks_match_reference_across_tile_boundaries() {
+        // Sizes straddling the 256-query tile exercise partial tiles.
+        for &(n, seed) in &[(3usize, 10u64), (255, 11), (256, 12), (257, 13), (300, 14)] {
+            let q = random_embeddings(n, 12, seed);
+            let g = random_embeddings(n, 12, seed + 1000);
+            assert_eq!(
+                ranks_of_matches(&q, &g),
+                ranks_of_matches_reference(&q, &g),
+                "n = {n}"
+            );
+        }
+    }
+
     #[test]
     fn median_handles_even_lists() {
         assert_eq!(median_rank(&[1, 2, 3, 10]), 2.5);
@@ -94,9 +188,37 @@ mod tests {
     }
 
     #[test]
+    fn median_of_all_equal_ranks_is_that_rank() {
+        assert_eq!(median_rank(&[7, 7, 7, 7]), 7.0);
+        assert_eq!(median_rank(&[7, 7, 7]), 7.0);
+    }
+
+    #[test]
     #[should_panic(expected = "empty rank list")]
     fn median_rejects_empty() {
         median_rank(&[]);
+    }
+
+    /// Ranks exactly at K count as hits; K+1 does not (boundary inclusivity).
+    #[test]
+    fn recall_counts_rank_equal_to_k() {
+        let ranks = [5, 5, 5, 6];
+        assert_eq!(recall_at_k(&ranks, 4), 0.0);
+        assert_eq!(recall_at_k(&ranks, 5), 75.0);
+        assert_eq!(recall_at_k(&ranks, 6), 100.0);
+    }
+
+    #[test]
+    fn recall_with_all_ranks_equal_is_all_or_nothing() {
+        let ranks = [3; 10];
+        assert_eq!(recall_at_k(&ranks, 2), 0.0);
+        assert_eq!(recall_at_k(&ranks, 3), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn recall_rejects_zero_k() {
+        recall_at_k(&[1, 2], 0);
     }
 
     proptest! {
@@ -124,13 +246,18 @@ mod tests {
         /// Ranks are within [1, n] whatever the embeddings are.
         #[test]
         fn ranks_are_bounded(seed in 0u64..200, n in 2usize..12) {
-            use rand::{Rng, SeedableRng};
-            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-            let dim = 4;
-            let q = Embeddings::new(dim, (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).l2_normalized();
-            let g = Embeddings::new(dim, (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).l2_normalized();
+            let q = random_embeddings(n, 4, seed);
+            let g = random_embeddings(n, 4, seed + 5000);
             let ranks = ranks_of_matches(&q, &g);
             prop_assert!(ranks.iter().all(|&r| r >= 1 && r <= n));
+        }
+
+        /// The similarity-matrix path agrees with the per-pair reference.
+        #[test]
+        fn matrix_ranks_match_reference(seed in 0u64..150, n in 1usize..40) {
+            let q = random_embeddings(n, 8, seed);
+            let g = random_embeddings(n, 8, seed + 7000);
+            prop_assert_eq!(ranks_of_matches(&q, &g), ranks_of_matches_reference(&q, &g));
         }
     }
 }

@@ -1,6 +1,5 @@
 //! Flat row-major matrix storage.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense 2-D `f32` matrix stored row-major in a flat `Vec`.
@@ -10,7 +9,7 @@ use std::fmt;
 /// (rather than `Vec<Vec<f32>>`) keeps the hot loops contiguous, which is the
 /// single biggest performance lever for the pure-CPU training runs in this
 /// reproduction.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct TensorData {
     /// Number of rows.
     pub rows: usize,

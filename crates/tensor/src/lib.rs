@@ -41,8 +41,10 @@ pub mod graph;
 pub mod init;
 pub mod matmul;
 pub mod op;
+pub mod threading;
 
 pub use check::grad_check;
 pub use data::TensorData;
 pub use graph::{Graph, NodeId};
 pub use op::Op;
+pub use threading::{num_threads, set_num_threads};

@@ -7,15 +7,101 @@
 //! * [`matmul_transb`] — `C = A · Bᵀ`    for `(m,k)·(n,k)`
 //! * [`matmul_transa`] — `C = Aᵀ · B`    for `(k,m)·(k,n)`
 //!
-//! `matmul` uses the classic `i-l-j` loop order so the innermost loop streams
-//! both a row of `B` and a row of `C` (unit stride); `matmul_transb` is a row
-//! dot-product; `matmul_transa` is an outer-product accumulation — all three
-//! touch memory contiguously, which is what the Rust Performance Book
-//! recommends for this kind of kernel.
+//! Each is a cache-blocked, row-parallel kernel: the output matrix is split
+//! into contiguous row spans handed to scoped worker threads (see
+//! [`crate::threading`]), rows are walked in small tiles so the reused panel
+//! of the other operand stays in cache, and the innermost loop is an
+//! eight-wide `axpy` or four-accumulator dot product. The original scalar
+//! kernels survive as [`matmul_serial`], [`matmul_transb_serial`] and
+//! [`matmul_transa_serial`] — they are the references the equivalence suite
+//! checks the blocked kernels against.
+//!
+//! Determinism: a given output element is always computed by exactly one
+//! thread, with an inner-loop order that does not depend on where the span
+//! boundaries fall, so results are bit-identical at any thread count.
+//! `matmul` and `matmul_transa` accumulate in the same order as their serial
+//! references and match them bit-for-bit; `matmul_transb` splits its dot
+//! product across four accumulators, which reassociates the sum and may
+//! differ from the serial kernel in the last ulps.
 
 use crate::data::TensorData;
+use crate::threading;
 
-/// `C = A · B` for `A: (m,k)`, `B: (k,n)`.
+/// Row tile: output rows processed together so the reused panel of the other
+/// operand is shared across them.
+const ROW_TILE: usize = 32;
+/// Depth tile for `matmul`: this many rows of `B` (a `DEPTH_TILE × n` panel)
+/// stay hot while a row tile of `C` accumulates.
+const DEPTH_TILE: usize = 32;
+/// Column tile for `matmul_transb`: this many rows of `B` (each a length-`k`
+/// vector) stay hot while a row tile of `A` is dotted against them.
+const COL_TILE: usize = 32;
+/// Below this many multiply-adds the spawn overhead dominates; run the
+/// blocked kernel inline on the calling thread instead.
+const PAR_MIN_FLOPS: usize = 64 * 1024;
+
+/// `y += a * b` over equal-length slices, eight elements per step.
+///
+/// One add per element per call, in index order — the accumulation order of a
+/// kernel built on `axpy` matches the plain scalar loop exactly.
+#[inline]
+fn axpy(y: &mut [f32], a: f32, b: &[f32]) {
+    debug_assert_eq!(y.len(), b.len());
+    let mut yc = y.chunks_exact_mut(8);
+    let mut bc = b.chunks_exact(8);
+    for (yv, bv) in (&mut yc).zip(&mut bc) {
+        yv[0] += a * bv[0];
+        yv[1] += a * bv[1];
+        yv[2] += a * bv[2];
+        yv[3] += a * bv[3];
+        yv[4] += a * bv[4];
+        yv[5] += a * bv[5];
+        yv[6] += a * bv[6];
+        yv[7] += a * bv[7];
+    }
+    for (yv, bv) in yc.into_remainder().iter_mut().zip(bc.remainder()) {
+        *yv += a * bv;
+    }
+}
+
+/// Dot product with four independent accumulators (breaks the sequential
+/// addition dependency so the loop pipelines/vectorises).
+#[inline]
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = [0.0f32; 4];
+    let mut xc = x.chunks_exact(4);
+    let mut yc = y.chunks_exact(4);
+    for (xv, yv) in (&mut xc).zip(&mut yc) {
+        acc[0] += xv[0] * yv[0];
+        acc[1] += xv[1] * yv[1];
+        acc[2] += xv[2] * yv[2];
+        acc[3] += xv[3] * yv[3];
+    }
+    let mut tail = 0.0f32;
+    for (xv, yv) in xc.remainder().iter().zip(yc.remainder()) {
+        tail += xv * yv;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Dispatches a row-span kernel over `c` (rows of width `n`): inline when the
+/// problem is small or one worker is configured, scoped threads otherwise.
+fn run_row_spans<F>(c: &mut [f32], n: usize, flops: usize, kernel: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if c.is_empty() || n == 0 {
+        return;
+    }
+    if flops < PAR_MIN_FLOPS || threading::num_threads() == 1 {
+        kernel(0, c);
+    } else {
+        threading::par_chunks_mut(c, n, kernel);
+    }
+}
+
+/// `C = A · B` for `A: (m,k)`, `B: (k,n)` — blocked and row-parallel.
 ///
 /// # Panics
 /// Panics if `A.cols != B.rows`.
@@ -26,6 +112,138 @@ pub fn matmul(a: &TensorData, b: &TensorData) -> TensorData {
         a.rows, a.cols, b.rows, b.cols
     );
     let (m, k, n) = (a.rows, a.cols, b.cols);
+    let mut c = TensorData::zeros(m, n);
+    run_row_spans(&mut c.data, n, m * k * n, |row0, span| {
+        matmul_rows(&a.data, &b.data, k, n, row0, span);
+    });
+    c
+}
+
+/// `A · B` restricted to the output rows in `c` (rows `row0..` of `A`).
+fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, c: &mut [f32]) {
+    let rows = c.len() / n;
+    for i0 in (0..rows).step_by(ROW_TILE) {
+        let i1 = (i0 + ROW_TILE).min(rows);
+        for l0 in (0..k).step_by(DEPTH_TILE) {
+            let l1 = (l0 + DEPTH_TILE).min(k);
+            for i in i0..i1 {
+                let arow = &a[(row0 + i) * k..][..k];
+                let crow = &mut c[i * n..][..n];
+                for l in l0..l1 {
+                    let av = arow[l];
+                    if av != 0.0 {
+                        axpy(crow, av, &b[l * n..][..n]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C = A · Bᵀ` for `A: (m,k)`, `B: (n,k)` — blocked, row-parallel dot
+/// products.
+///
+/// # Panics
+/// Panics if `A.cols != B.cols`.
+pub fn matmul_transb(a: &TensorData, b: &TensorData) -> TensorData {
+    assert_eq!(
+        a.cols, b.cols,
+        "matmul_transb: inner dimensions differ ({}x{} · ({}x{})ᵀ)",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    let (m, k, n) = (a.rows, a.cols, b.rows);
+    let mut c = TensorData::zeros(m, n);
+    run_row_spans(&mut c.data, n, m * k * n, |row0, span| {
+        matmul_transb_rows(&a.data, &b.data, k, n, row0, span);
+    });
+    c
+}
+
+/// `A · Bᵀ` restricted to the output rows in `c` (rows `row0..` of `A`).
+fn matmul_transb_rows(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, c: &mut [f32]) {
+    let rows = c.len() / n;
+    for j0 in (0..n).step_by(COL_TILE) {
+        let j1 = (j0 + COL_TILE).min(n);
+        for i in 0..rows {
+            let arow = &a[(row0 + i) * k..][..k];
+            let crow = &mut c[i * n..][..n];
+            for j in j0..j1 {
+                crow[j] = dot(arow, &b[j * k..][..k]);
+            }
+        }
+    }
+}
+
+/// `C = A · Bᵀ` on raw row-major slices, written into a caller-owned buffer —
+/// no allocation, no threading. `A` is `(m,k)`, `B` is `(n,k)` and `C` is
+/// `(m,n)` with `m`, `n` inferred from the slice lengths. Callers that
+/// already parallelise an outer loop (e.g. the retrieval ranker tiling its
+/// query set) use this directly so worker threads don't nest.
+///
+/// # Panics
+/// Panics if `k == 0`, a slice length is not a multiple of `k`, or `c` has
+/// the wrong length.
+pub fn matmul_transb_into(a: &[f32], b: &[f32], k: usize, c: &mut [f32]) {
+    assert!(k > 0, "matmul_transb_into: k must be positive");
+    assert_eq!(a.len() % k, 0, "matmul_transb_into: A length not a multiple of k");
+    assert_eq!(b.len() % k, 0, "matmul_transb_into: B length not a multiple of k");
+    let (m, n) = (a.len() / k, b.len() / k);
+    assert_eq!(c.len(), m * n, "matmul_transb_into: C has the wrong length");
+    if n == 0 {
+        return;
+    }
+    matmul_transb_rows(a, b, k, n, 0, c);
+}
+
+/// `C = Aᵀ · B` for `A: (k,m)`, `B: (k,n)` — blocked, row-parallel
+/// outer-product accumulation.
+///
+/// # Panics
+/// Panics if `A.rows != B.rows`.
+pub fn matmul_transa(a: &TensorData, b: &TensorData) -> TensorData {
+    assert_eq!(
+        a.rows, b.rows,
+        "matmul_transa: inner dimensions differ (({}x{})ᵀ · {}x{})",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    let (k, m, n) = (a.rows, a.cols, b.cols);
+    let mut c = TensorData::zeros(m, n);
+    run_row_spans(&mut c.data, n, m * k * n, |row0, span| {
+        matmul_transa_rows(&a.data, &b.data, k, m, n, row0, span);
+    });
+    c
+}
+
+/// `Aᵀ · B` restricted to the output rows in `c` (columns `col0..` of `A`).
+fn matmul_transa_rows(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, col0: usize, c: &mut [f32]) {
+    let rows = c.len() / n;
+    for i0 in (0..rows).step_by(ROW_TILE) {
+        let i1 = (i0 + ROW_TILE).min(rows);
+        for l in 0..k {
+            let arow = &a[l * m..][..m];
+            let brow = &b[l * n..][..n];
+            for i in i0..i1 {
+                let av = arow[col0 + i];
+                if av != 0.0 {
+                    axpy(&mut c[i * n..][..n], av, brow);
+                }
+            }
+        }
+    }
+}
+
+/// `C = A · B` — the original single-threaded scalar kernel, kept as the
+/// reference implementation for the equivalence suite.
+///
+/// # Panics
+/// Panics if `A.cols != B.rows`.
+pub fn matmul_serial(a: &TensorData, b: &TensorData) -> TensorData {
+    assert_eq!(
+        a.cols, b.rows,
+        "matmul: inner dimensions differ ({}x{} · {}x{})",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    let (m, n) = (a.rows, b.cols);
     let mut c = TensorData::zeros(m, n);
     for i in 0..m {
         let arow = a.row(i);
@@ -39,16 +257,16 @@ pub fn matmul(a: &TensorData, b: &TensorData) -> TensorData {
                 *cv += av * bv;
             }
         }
-        let _ = k;
     }
     c
 }
 
-/// `C = A · Bᵀ` for `A: (m,k)`, `B: (n,k)` — a row-by-row dot product.
+/// `C = A · Bᵀ` — the original single-threaded scalar kernel (sequential
+/// row dot products), kept as the reference implementation.
 ///
 /// # Panics
 /// Panics if `A.cols != B.cols`.
-pub fn matmul_transb(a: &TensorData, b: &TensorData) -> TensorData {
+pub fn matmul_transb_serial(a: &TensorData, b: &TensorData) -> TensorData {
     assert_eq!(
         a.cols, b.cols,
         "matmul_transb: inner dimensions differ ({}x{} · ({}x{})ᵀ)",
@@ -67,16 +285,16 @@ pub fn matmul_transb(a: &TensorData, b: &TensorData) -> TensorData {
             }
             *cv = acc;
         }
-        let _ = n;
     }
     c
 }
 
-/// `C = Aᵀ · B` for `A: (k,m)`, `B: (k,n)` — outer-product accumulation.
+/// `C = Aᵀ · B` — the original single-threaded scalar kernel (outer-product
+/// accumulation), kept as the reference implementation.
 ///
 /// # Panics
 /// Panics if `A.rows != B.rows`.
-pub fn matmul_transa(a: &TensorData, b: &TensorData) -> TensorData {
+pub fn matmul_transa_serial(a: &TensorData, b: &TensorData) -> TensorData {
     assert_eq!(
         a.rows, b.rows,
         "matmul_transa: inner dimensions differ (({}x{})ᵀ · {}x{})",
@@ -104,6 +322,7 @@ pub fn matmul_transa(a: &TensorData, b: &TensorData) -> TensorData {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
 
     fn naive(a: &TensorData, b: &TensorData) -> TensorData {
         let mut c = TensorData::zeros(a.rows, b.cols);
@@ -117,6 +336,10 @@ mod tests {
             }
         }
         c
+    }
+
+    fn random_mat(rng: &mut rand::rngs::SmallRng, rows: usize, cols: usize) -> TensorData {
+        TensorData::new(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
     }
 
     #[test]
@@ -143,6 +366,55 @@ mod tests {
         matmul(&TensorData::zeros(2, 3), &TensorData::zeros(2, 3));
     }
 
+    /// Shapes that stress the tiling: degenerate rows/columns, exact tile
+    /// multiples, and off-by-one around every tile boundary.
+    const EDGE_SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 7, 1),
+        (1, 40, 65),
+        (65, 40, 1),
+        (8, 8, 8),
+        (32, 32, 32),
+        (33, 31, 33),
+        (31, 33, 9),
+        (5, 64, 5),
+        (40, 65, 3),
+    ];
+
+    #[test]
+    fn blocked_matches_serial_on_edge_shapes() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        for &(m, k, n) in EDGE_SHAPES {
+            let a = random_mat(&mut rng, m, k);
+            let b = random_mat(&mut rng, k, n);
+            let bt = random_mat(&mut rng, n, k);
+            let at = random_mat(&mut rng, k, m);
+            // matmul / matmul_transa accumulate in the serial order: exact.
+            assert_eq!(matmul(&a, &b).data, matmul_serial(&a, &b).data, "matmul {m}x{k}x{n}");
+            assert_eq!(
+                matmul_transa(&at, &b).data,
+                matmul_transa_serial(&at, &b).data,
+                "transa {m}x{k}x{n}"
+            );
+            // matmul_transb reassociates the dot product: tolerance.
+            assert!(
+                matmul_transb(&a, &bt).approx_eq(&matmul_transb_serial(&a, &bt), 1e-4),
+                "transb {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn transb_into_matches_tensor_variant() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let (m, k, n) = (9, 33, 17);
+        let a = random_mat(&mut rng, m, k);
+        let b = random_mat(&mut rng, n, k);
+        let mut c = vec![0.0f32; m * n];
+        matmul_transb_into(&a.data, &b.data, k, &mut c);
+        assert_eq!(c, matmul_transb(&a, &b).data);
+    }
+
     fn small_mat(rows: usize, cols: usize) -> impl Strategy<Value = TensorData> {
         proptest::collection::vec(-2.0f32..2.0, rows * cols)
             .prop_map(move |v| TensorData::new(rows, cols, v))
@@ -152,11 +424,23 @@ mod tests {
         #[test]
         fn matches_naive((m, k, n) in (1usize..6, 1usize..6, 1usize..6),
                          seed in 0u64..1000) {
-            use rand::{Rng, SeedableRng};
             let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-            let a = TensorData::new(m, k, (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect());
-            let b = TensorData::new(k, n, (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect());
+            let a = random_mat(&mut rng, m, k);
+            let b = random_mat(&mut rng, k, n);
             prop_assert!(matmul(&a, &b).approx_eq(&naive(&a, &b), 1e-4));
+        }
+
+        #[test]
+        fn parallel_blocked_matches_serial((m, k, n) in (1usize..70, 1usize..70, 1usize..70),
+                                           seed in 0u64..1000) {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let a = random_mat(&mut rng, m, k);
+            let b = random_mat(&mut rng, k, n);
+            prop_assert_eq!(&matmul(&a, &b).data, &matmul_serial(&a, &b).data);
+            let bt = random_mat(&mut rng, n, k);
+            prop_assert!(matmul_transb(&a, &bt).approx_eq(&matmul_transb_serial(&a, &bt), 1e-4));
+            let at = random_mat(&mut rng, k, m);
+            prop_assert_eq!(&matmul_transa(&at, &b).data, &matmul_transa_serial(&at, &b).data);
         }
 
         #[test]

@@ -1,0 +1,149 @@
+//! Worker-thread control for the parallel kernels.
+//!
+//! The matrix kernels in [`crate::matmul`] split their output across scoped
+//! worker threads. This module owns the single process-wide knob that says
+//! how many threads they may use:
+//!
+//! 1. [`set_num_threads`] — explicit programmatic override, wins over all;
+//! 2. the `CMR_NUM_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`] as the fallback.
+//!
+//! Pinning `CMR_NUM_THREADS=1` makes every run single-threaded, which is the
+//! reproducibility switch the experiment harness documents. The kernels are
+//! written so that each output element is computed entirely within one thread
+//! in a fixed inner-loop order, so results are bit-identical across thread
+//! counts either way — the knob exists for benchmarking and for debugging
+//! under a deterministic schedule, not to change numerics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = not yet resolved; otherwise the active thread count.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn detect() -> usize {
+    if let Ok(v) = std::env::var("CMR_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Number of worker threads the kernels will use.
+pub fn num_threads() -> usize {
+    let n = THREADS.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let d = detect();
+    // A racing set_num_threads may overwrite this; detect() is deterministic
+    // per-process so the race is benign.
+    let _ = THREADS.compare_exchange(0, d, Ordering::Relaxed, Ordering::Relaxed);
+    THREADS.load(Ordering::Relaxed)
+}
+
+/// Overrides the worker-thread count for the rest of the process (until the
+/// next call). Takes precedence over `CMR_NUM_THREADS`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn set_num_threads(n: usize) {
+    assert!(n >= 1, "set_num_threads: thread count must be at least 1");
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Splits `data` into contiguous spans of whole `chunk`-sized items — one
+/// span per worker — and runs `f(first_item_index, span)` on each span from
+/// its own scoped thread. With one worker (or one item) it runs inline.
+///
+/// Spans never split an item, so a kernel that treats each item (e.g. an
+/// output row) independently produces identical results at any thread count.
+///
+/// # Panics
+/// Panics if `chunk == 0` or `data.len()` is not a multiple of `chunk`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "par_chunks_mut: chunk must be positive");
+    assert_eq!(
+        data.len() % chunk,
+        0,
+        "par_chunks_mut: data length {} is not a multiple of chunk {}",
+        data.len(),
+        chunk
+    );
+    let items = data.len() / chunk;
+    if items == 0 {
+        return;
+    }
+    let workers = num_threads().min(items);
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+    let per_span = items.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut first = 0usize;
+        while !rest.is_empty() {
+            let take = (per_span * chunk).min(rest.len());
+            let (span, tail) = rest.split_at_mut(take);
+            if tail.is_empty() {
+                // Run the final span on the calling thread.
+                f(first, span);
+                break;
+            }
+            rest = tail;
+            let start = first;
+            let fr = &f;
+            scope.spawn(move || fr(start, span));
+            first += take / chunk;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_cover_all_items_exactly_once() {
+        let mut data = vec![0u32; 4 * 101]; // chunk 4, 101 items
+        par_chunks_mut(&mut data, 4, |first, span| {
+            for (i, item) in span.chunks_exact_mut(4).enumerate() {
+                for x in item.iter_mut() {
+                    *x += (first + i) as u32 + 1;
+                }
+            }
+        });
+        let expect: Vec<u32> = (0..101).flat_map(|i| [i + 1; 4]).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn inline_when_single_item() {
+        let mut data = vec![1.0f32; 8];
+        par_chunks_mut(&mut data, 8, |first, span| {
+            assert_eq!(first, 0);
+            span.iter_mut().for_each(|x| *x *= 2.0);
+        });
+        assert_eq!(data, vec![2.0f32; 8]);
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let mut data: Vec<f32> = Vec::new();
+        par_chunks_mut(&mut data, 3, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn rejects_ragged_chunks() {
+        let mut data = vec![0.0f32; 7];
+        par_chunks_mut(&mut data, 2, |_, _| {});
+    }
+}

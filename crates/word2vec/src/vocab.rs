@@ -1,13 +1,12 @@
 //! Token vocabulary with frequency counts.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A bidirectional word↔id map with occurrence counts.
 ///
 /// Id 0 is reserved for the padding token `"<pad>"`, which sequence encoders
 /// use to right-pad variable-length token lists.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Vocab {
     words: Vec<String>,
     index: HashMap<String, usize>,

@@ -1,0 +1,176 @@
+//! Kernel-equivalence suite: the parallel blocked kernels must agree with
+//! their serial scalar references, the similarity-matrix ranker must agree
+//! with the per-query reference, and the full bag protocol must be invariant
+//! to the worker-thread count.
+//!
+//! These are the invariants that let the rest of the workspace swap the fast
+//! kernels in everywhere without re-validating numerics: `matmul` and
+//! `matmul_transa` accumulate in the serial order (exact equality);
+//! `matmul_transb` reassociates its dot product across four accumulators
+//! (1e-4 tolerance); rank extraction and the protocol reports are exact.
+
+use cmr_retrieval::{
+    evaluate_bags, metrics::ranks_of_matches_reference, ranks_of_matches, BagConfig, Embeddings,
+};
+use cmr_tensor::matmul::{
+    matmul, matmul_serial, matmul_transa, matmul_transa_serial, matmul_transb,
+    matmul_transb_into, matmul_transb_serial,
+};
+use cmr_tensor::{set_num_threads, TensorData};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn random_mat(rng: &mut rand::rngs::SmallRng, rows: usize, cols: usize) -> TensorData {
+    TensorData::new(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+}
+
+fn random_embeddings(n: usize, dim: usize, seed: u64) -> Embeddings {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    Embeddings::new(dim, (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .l2_normalized()
+}
+
+fn check_all_kernels(m: usize, k: usize, n: usize, seed: u64) {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let a = random_mat(&mut rng, m, k);
+    let b = random_mat(&mut rng, k, n);
+    let bt = random_mat(&mut rng, n, k);
+    let at = random_mat(&mut rng, k, m);
+    assert_eq!(
+        matmul(&a, &b).data,
+        matmul_serial(&a, &b).data,
+        "matmul {m}x{k}·{k}x{n} diverged from serial"
+    );
+    assert_eq!(
+        matmul_transa(&at, &b).data,
+        matmul_transa_serial(&at, &b).data,
+        "matmul_transa ({k}x{m})ᵀ·{k}x{n} diverged from serial"
+    );
+    assert!(
+        matmul_transb(&a, &bt).approx_eq(&matmul_transb_serial(&a, &bt), 1e-4),
+        "matmul_transb {m}x{k}·({n}x{k})ᵀ diverged from serial beyond 1e-4"
+    );
+}
+
+/// Degenerate and tile-straddling shapes: single rows/columns, exact tile
+/// multiples (the row/depth/col tiles are 32), and off-by-one around them.
+#[test]
+fn kernels_match_serial_on_degenerate_and_tile_boundary_shapes() {
+    let shapes = [
+        (1, 1, 1),
+        (1, 13, 1),
+        (1, 50, 97), // 1×N
+        (97, 50, 1), // N×1
+        (1, 1, 200),
+        (200, 1, 1),
+        (32, 32, 32),  // exact tile multiple
+        (64, 64, 64),  // two full tiles each way
+        (33, 31, 33),  // one past / one short of a tile
+        (31, 33, 65),
+        (63, 65, 31),
+        (100, 7, 100), // thin inner dimension
+        (7, 130, 7),   // deep inner dimension, several depth tiles
+    ];
+    for (i, &(m, k, n)) in shapes.iter().enumerate() {
+        check_all_kernels(m, k, n, 1000 + i as u64);
+    }
+}
+
+/// Large enough that the parallel dispatch path (not the inline fallback)
+/// definitely runs, at a thread count > 1.
+#[test]
+fn kernels_match_serial_on_large_inputs_across_thread_counts() {
+    for threads in [1, 2, 5, 8] {
+        set_num_threads(threads);
+        check_all_kernels(150, 80, 130, 42);
+    }
+    set_num_threads(std::thread::available_parallelism().map_or(1, |n| n.get()));
+}
+
+/// The raw-slice entry point agrees with the tensor-level kernel.
+#[test]
+fn transb_into_matches_tensor_kernel() {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+    for &(m, k, n) in &[(1usize, 5usize, 40usize), (40, 33, 1), (70, 64, 70)] {
+        let a = random_mat(&mut rng, m, k);
+        let b = random_mat(&mut rng, n, k);
+        let mut c = vec![0.0f32; m * n];
+        matmul_transb_into(&a.data, &b.data, k, &mut c);
+        assert_eq!(c, matmul_transb(&a, &b).data, "{m}x{k}x{n}");
+    }
+}
+
+/// The similarity-matrix ranker returns exactly the ranks the per-query
+/// reference computes, including across the 256-query tile boundary and for
+/// a gallery large enough to take the threaded path.
+#[test]
+fn similarity_matrix_ranks_equal_reference() {
+    for &(n, dim, seed) in &[
+        (1usize, 6usize, 20u64),
+        (2, 6, 21),
+        (255, 16, 22),
+        (256, 16, 23),
+        (257, 16, 24),
+        (400, 24, 25),
+    ] {
+        let q = random_embeddings(n, dim, seed);
+        let g = random_embeddings(n, dim, seed + 500);
+        assert_eq!(
+            ranks_of_matches(&q, &g),
+            ranks_of_matches_reference(&q, &g),
+            "n = {n}, dim = {dim}"
+        );
+    }
+}
+
+/// The bag protocol is bit-identical at 1 and N worker threads: every output
+/// element is computed wholly within one thread in a fixed order, so the
+/// thread count must not leak into the report.
+#[test]
+fn evaluate_bags_is_invariant_to_thread_count() {
+    let images = random_embeddings(300, 16, 30);
+    let recipes = random_embeddings(300, 16, 31);
+    let cfg = BagConfig { bag_size: 250, n_bags: 4 };
+
+    set_num_threads(1);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+    let single = evaluate_bags(&images, &recipes, cfg, &mut rng);
+
+    for threads in [2, 4, 8] {
+        set_num_threads(threads);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+        let multi = evaluate_bags(&images, &recipes, cfg, &mut rng);
+        assert_eq!(single, multi, "report changed between 1 and {threads} threads");
+    }
+    set_num_threads(std::thread::available_parallelism().map_or(1, |n| n.get()));
+}
+
+proptest! {
+    /// Randomized shapes, including non-multiples of every tile size.
+    #[test]
+    fn kernels_match_serial_on_random_shapes(
+        (m, k, n) in (1usize..80, 1usize..80, 1usize..80),
+        seed in 0u64..500,
+    ) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let a = random_mat(&mut rng, m, k);
+        let b = random_mat(&mut rng, k, n);
+        prop_assert_eq!(&matmul(&a, &b).data, &matmul_serial(&a, &b).data);
+        let bt = random_mat(&mut rng, n, k);
+        prop_assert!(matmul_transb(&a, &bt).approx_eq(&matmul_transb_serial(&a, &bt), 1e-4));
+        let at = random_mat(&mut rng, k, m);
+        prop_assert_eq!(&matmul_transa(&at, &b).data, &matmul_transa_serial(&at, &b).data);
+    }
+
+    /// Randomized rank equivalence over query/gallery sizes and dimensions.
+    #[test]
+    fn ranks_match_reference_on_random_sets(
+        n in 1usize..60,
+        dim in 1usize..20,
+        seed in 0u64..300,
+    ) {
+        let q = random_embeddings(n, dim, seed);
+        let g = random_embeddings(n, dim, seed.wrapping_add(9000));
+        prop_assert_eq!(ranks_of_matches(&q, &g), ranks_of_matches_reference(&q, &g));
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this path crate
+//! implements the benchmarking subset the workspace's `harness = false`
+//! bench targets use: [`Criterion`], [`criterion_group!`],
+//! [`criterion_main!`], benchmark groups, [`BenchmarkId`], and
+//! `Bencher::iter`. Measurement is deliberately simple — warm up, then
+//! time several batches and report the median per-iteration time — which
+//! is enough to compare kernels on the same machine in the same run.
+//!
+//! `--save-baseline`, HTML reports, and statistical regression analysis
+//! are not implemented; unknown CLI flags are ignored so `cargo bench`
+//! invocations with extra arguments still run.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Median per-iteration nanoseconds for a closure, measured over
+/// `samples` batches after a short warm-up.
+fn measure<O, F: FnMut() -> O>(mut f: F, samples: usize, target: Duration) -> f64 {
+    // Warm-up: find an iteration count that takes roughly `target` per batch.
+    let mut iters = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt >= target / 4 || iters >= 1 << 24 {
+            let per_iter = dt.as_nanos().max(1) as f64 / iters as f64;
+            iters = ((target.as_nanos() as f64 / per_iter).ceil() as u64).clamp(1, 1 << 24);
+            break;
+        }
+        iters *= 2;
+    }
+    let mut per_iter: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    per_iter[per_iter.len() / 2]
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times one benchmark body via [`Bencher::iter`].
+pub struct Bencher {
+    result_ns: Option<f64>,
+    samples: usize,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Measures `f` and records the median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, f: F) {
+        self.result_ns = Some(measure(f, self.samples, self.target));
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20, measurement_time: Duration::from_millis(100) }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-batch time budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            result_ns: None,
+            samples: self.sample_size,
+            target: self.measurement_time,
+        };
+        f(&mut b);
+        match b.result_ns {
+            Some(ns) => println!("{name:<50} time: {}", fmt_ns(ns)),
+            None => println!("{name:<50} (no measurement)"),
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into() }
+    }
+}
+
+/// Identifier for one case inside a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{function}/{parameter}") }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        self.parent.run_one(&name, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.id);
+        self.parent.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to do).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group: plain `criterion_group!(name, target, …)` or
+/// the `name = …; config = …; targets = …` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive_time() {
+        let ns = measure(|| std::hint::black_box(3u64.wrapping_mul(7)), 3, Duration::from_millis(2));
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn bench_api_smoke() {
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(1));
+        c.bench_function("smoke", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("f", 3), &3usize, |b, &x| b.iter(|| x * 2));
+        g.bench_with_input(BenchmarkId::from_parameter(5), &5usize, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2_000_000_000.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this path crate
+//! implements the subset of proptest used by the workspace's property
+//! tests: the [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`],
+//! the [`Strategy`] trait with numeric ranges, tuples, `prop_map` and
+//! [`collection::vec`]. Differences from upstream: no shrinking (a failing
+//! case panics with its case number; rerunning is deterministic because
+//! seeds derive from the test's module path), and a fixed case count of
+//! [`CASES`] per test.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Randomized cases run per `proptest!` test function.
+pub const CASES: u64 = 96;
+
+/// Deterministic per-test, per-case generator: the seed mixes an FNV-1a
+/// hash of the fully qualified test name with the case index, so every
+/// `cargo test` run replays the same cases.
+pub fn test_rng(test_path: &str, case: u64) -> SmallRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+/// A generator of random values for one test parameter.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy that always yields a clone of one value (proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// How many elements a [`vec`] strategy produces: a fixed length or a
+    /// uniformly drawn one.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn pick(&self, rng: &mut SmallRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut SmallRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// A `Vec` of values drawn from `element`, with length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    /// The [`vec`] strategy.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `use proptest::prelude::*;` consumer expects.
+
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies;
+/// each runs [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..$crate::CASES {
+                    let mut __rng = $crate::test_rng(__path, __case);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    (|| -> () { $body })();
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a name the proptest bodies already use.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a name the proptest bodies already use.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a name the proptest bodies already use.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_rng("self::check", 0);
+        for case in 0..200 {
+            let mut rng2 = crate::test_rng("self::check", case);
+            let (a, b) = (1usize..6, -1.0f32..1.0).generate(&mut rng2);
+            assert!((1..6).contains(&a));
+            assert!((-1.0..1.0).contains(&b));
+            let v = crate::collection::vec(0u64..10, 3usize).generate(&mut rng);
+            assert_eq!(v.len(), 3);
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn same_case_replays_identically() {
+        let mut a = crate::test_rng("x::y", 7);
+        let mut b = crate::test_rng("x::y", 7);
+        let s = crate::collection::vec(0.0f64..1.0, 2usize..20);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::test_rng("m", 1);
+        let doubled = (1usize..10).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = doubled.generate(&mut rng);
+            assert_eq!(v % 2, 0);
+            assert!((2..20).contains(&v));
+        }
+    }
+
+    proptest! {
+        /// The macro itself: attributes pass through, patterns destructure.
+        #[test]
+        fn macro_smoke((x, y) in (0usize..5, 0usize..5), flip in 0u64..2) {
+            prop_assert!(x < 5 && y < 5);
+            prop_assert_eq!(flip == 0 || flip == 1, true);
+        }
+    }
+}
