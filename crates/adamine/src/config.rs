@@ -143,6 +143,12 @@ pub struct TrainConfig {
     pub w2v_epochs: usize,
     /// Run seed (batching, negative subsampling, val sampling).
     pub seed: u64,
+    /// Consecutive non-finite (NaN/∞ loss) batches tolerated before the
+    /// trainer rolls the epoch back to its last good state. Skipped batches
+    /// below this threshold are counted in
+    /// [`EpochStats::skipped_batches`](crate::EpochStats) and otherwise
+    /// ignored.
+    pub max_bad_batches: usize,
 }
 
 impl Default for TrainConfig {
@@ -160,6 +166,7 @@ impl Default for TrainConfig {
             val_subset: 500,
             w2v_epochs: 4,
             seed: 37,
+            max_bad_batches: 8,
         }
     }
 }
@@ -188,6 +195,7 @@ impl TrainConfig {
         assert!(self.lr > 0.0, "bad learning rate");
         assert!(self.margin > 0.0, "margin must be positive");
         assert!(self.lambda >= 0.0, "lambda must be non-negative");
+        assert!(self.max_bad_batches >= 1, "max_bad_batches must be at least 1");
         if let LossKind::Pairwise { pos_margin, neg_margin } = self.loss {
             assert!(
                 pos_margin >= 0.0 && neg_margin > pos_margin,

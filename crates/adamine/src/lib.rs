@@ -42,4 +42,4 @@ pub use config::{LossKind, ModelConfig, Strategy, TextMode, TrainConfig};
 pub use model::{BatchInputs, TwoBranchModel};
 pub use precompute::{RecipeFeatures, SentenceFeaturizer};
 pub use scenario::Scenario;
-pub use trainer::{EpochStats, TrainedModel, Trainer};
+pub use trainer::{EpochStats, FaultPlan, TrainError, TrainedModel, Trainer};

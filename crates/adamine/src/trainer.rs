@@ -1,4 +1,24 @@
-//! The training loop (§4.4) and the trained-model inference API.
+//! The training loop (§4.4), crash-safe checkpointing, and the
+//! trained-model inference API.
+//!
+//! ## Robustness
+//!
+//! [`Trainer::fit`] is the hardened entry point: it returns a typed
+//! [`TrainError`] instead of panicking, optionally persists a full
+//! `CMRCKPT2` training-state checkpoint (parameters, Adam moments, RNG,
+//! sampler order, epoch stats, best-model blob) to disk after every epoch
+//! via [`CheckpointStore`], and can resume an interrupted run from that
+//! checkpoint **bit-identically** — the resumed run ends with exactly the
+//! parameters and statistics of an uninterrupted one. The step loop guards
+//! against non-finite losses: a NaN/∞ batch is skipped (no backward pass,
+//! no Adam update, moments untouched) and counted in
+//! [`EpochStats::skipped_batches`]; after
+//! [`TrainConfig::max_bad_batches`](crate::TrainConfig) *consecutive* bad
+//! batches the epoch is rolled back to its last good state and retried
+//! once before the run fails with [`TrainError::Diverged`].
+//!
+//! [`FaultPlan`] injects faults (NaN losses, kills between epochs) for the
+//! fault-injection test suite.
 
 use crate::config::{LossKind, ModelConfig, TrainConfig};
 use crate::losses;
@@ -6,19 +26,23 @@ use crate::model::{BatchInputs, TwoBranchModel};
 use crate::precompute::{RecipeFeatures, SentenceFeaturizer};
 use crate::scenario::Scenario;
 use cmr_data::{BatchSampler, Dataset, Recipe, Split};
-use cmr_nn::{serialize, Adam, Bindings};
+use cmr_nn::{serialize, Adam, Bindings, CheckpointStore, Slot, TrainState};
 use cmr_retrieval::{median_rank, ranks_of_matches, Embeddings};
 use cmr_tensor::Graph;
 use cmr_word2vec::{SgnsConfig, WordVectors};
+use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
 
 /// Per-epoch training statistics.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EpochStats {
     /// Epoch index (0-based).
     pub epoch: usize,
-    /// Mean training loss over the epoch's batches.
+    /// Mean training loss over the epoch's applied (non-skipped) batches.
     pub mean_loss: f64,
     /// Validation median rank (mean of both directions) — the model
     /// selection criterion.
@@ -27,6 +51,98 @@ pub struct EpochStats {
     /// curriculum signal (starts near 1, decays as constraints are
     /// satisfied).
     pub active_fraction: f64,
+    /// Batches skipped by the non-finite-loss guard this epoch.
+    pub skipped_batches: usize,
+}
+
+/// Why a training run failed. Returned by [`Trainer::fit`].
+#[derive(Debug)]
+pub enum TrainError {
+    /// The epoch loop never produced a model (zero scheduled epochs and no
+    /// checkpointed best to fall back on).
+    NoEpochs,
+    /// Saving or loading a checkpoint failed (IO error, corrupt blob, or
+    /// an architecture mismatch against the checkpoint).
+    Checkpoint(io::Error),
+    /// The non-finite guard tripped `max_bad_batches` times in a row and a
+    /// rollback retry of the epoch diverged again.
+    Diverged {
+        /// Epoch that could not be completed.
+        epoch: usize,
+        /// Non-finite batches skipped in the failing pass.
+        skipped: usize,
+    },
+    /// A [`FaultPlan`] kill fired after the given epoch (its checkpoint,
+    /// when checkpointing is enabled, is already durable on disk).
+    Interrupted {
+        /// Last completed epoch.
+        epoch: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::NoEpochs => write!(f, "training produced no epochs and no model"),
+            TrainError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            TrainError::Diverged { epoch, skipped } => write!(
+                f,
+                "epoch {epoch} diverged: {skipped} consecutive non-finite batches survived a rollback retry"
+            ),
+            TrainError::Interrupted { epoch } => {
+                write!(f, "training interrupted after epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Deterministic fault injection for the robustness test suite.
+///
+/// All hooks default to "never fire". Closures are `Fn` so a plan can be
+/// consulted repeatedly; use interior mutability (e.g. [`std::cell::Cell`])
+/// for one-shot transient faults.
+#[derive(Default)]
+pub struct FaultPlan {
+    nan_loss: Option<Box<dyn Fn(usize, usize) -> bool>>,
+    kill_after_epoch: Option<Box<dyn Fn(usize) -> bool>>,
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the computed loss of every `(epoch, batch)` the predicate
+    /// selects with NaN, exercising the non-finite guard.
+    pub fn with_nan_loss(mut self, f: impl Fn(usize, usize) -> bool + 'static) -> Self {
+        self.nan_loss = Some(Box::new(f));
+        self
+    }
+
+    /// Simulates a kill: after each epoch the predicate selects (post
+    /// checkpoint write), `fit` aborts with [`TrainError::Interrupted`].
+    pub fn with_kill_after_epoch(mut self, f: impl Fn(usize) -> bool + 'static) -> Self {
+        self.kill_after_epoch = Some(Box::new(f));
+        self
+    }
+
+    fn injects_nan(&self, epoch: usize, batch: usize) -> bool {
+        self.nan_loss.as_ref().is_some_and(|f| f(epoch, batch))
+    }
+
+    fn kills_after(&self, epoch: usize) -> bool {
+        self.kill_after_epoch.as_ref().is_some_and(|f| f(epoch))
+    }
 }
 
 /// Drives one scenario's training run end to end: word2vec pretraining,
@@ -37,12 +153,23 @@ pub struct Trainer {
     tcfg: TrainConfig,
     mcfg: ModelConfig,
     quiet: bool,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    faults: FaultPlan,
 }
 
 impl Trainer {
     /// Creates a trainer for a scenario with default model dimensions.
     pub fn new(scenario: Scenario, tcfg: TrainConfig) -> Self {
-        Self { scenario, tcfg, mcfg: ModelConfig::default(), quiet: false }
+        Self {
+            scenario,
+            tcfg,
+            mcfg: ModelConfig::default(),
+            quiet: false,
+            checkpoint_dir: None,
+            resume: false,
+            faults: FaultPlan::none(),
+        }
     }
 
     /// Overrides the architecture configuration.
@@ -57,14 +184,52 @@ impl Trainer {
         self
     }
 
+    /// Enables durable checkpointing: after every epoch the full training
+    /// state is written to `dir` (rotating `latest`/`best` pairs, atomic
+    /// renames).
+    pub fn with_checkpoints(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Resume from the checkpoint directory's `latest` state (requires
+    /// [`with_checkpoints`](Self::with_checkpoints)). A missing checkpoint
+    /// is a cold start, a corrupt `latest` falls back to the previous good
+    /// file, and a legacy v1 param-only blob restores weights but restarts
+    /// the schedule at epoch 0.
+    pub fn resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Installs a fault-injection plan (tests only).
+    pub fn with_fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Runs the full §4.4 pipeline and returns the best-validation model.
+    ///
+    /// Compatibility wrapper over [`fit`](Self::fit).
+    ///
+    /// # Panics
+    /// Panics on any [`TrainError`]; call `fit` to handle failures.
     pub fn run(&self, dataset: &Dataset) -> TrainedModel {
+        self.fit(dataset).unwrap_or_else(|e| panic!("training failed: {e}"))
+    }
+
+    /// Runs the full §4.4 pipeline with crash-safety: typed errors, durable
+    /// checkpoints, resume, and non-finite-loss guards.
+    ///
+    /// # Errors
+    /// See [`TrainError`].
+    pub fn fit(&self, dataset: &Dataset) -> Result<TrainedModel, TrainError> {
         let tcfg = self.scenario.apply_to(self.tcfg.clone());
         tcfg.validate();
         let n_classes = dataset.world.config().n_classes;
         let mcfg = self.scenario.apply_to_model(self.mcfg.clone(), n_classes);
 
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(tcfg.seed);
+        let mut rng = SmallRng::seed_from_u64(tcfg.seed);
 
         // 1. word2vec pretraining on the training corpus (§3.2.1).
         let w2v_cfg = SgnsConfig {
@@ -95,133 +260,128 @@ impl Trainer {
         val_ids.truncate(tcfg.val_subset.max(10).min(val_ids.len()));
 
         let mut sampler = BatchSampler::new(dataset, Split::Train, tcfg.batch_size);
-        let mut stats = Vec::with_capacity(tcfg.epochs);
+        let mut stats: Vec<EpochStats> = Vec::with_capacity(tcfg.epochs);
         let mut best: Option<(f64, usize, Vec<u8>)> = None;
+        let mut start_epoch = 0usize;
 
-        for epoch in 0..tcfg.epochs {
+        // 5. durable checkpointing / resume.
+        let ckpts = match &self.checkpoint_dir {
+            Some(dir) => Some(CheckpointStore::open(dir).map_err(TrainError::Checkpoint)?),
+            None => None,
+        };
+        if self.resume {
+            if let Some(cs) = &ckpts {
+                let loaded = cs
+                    .load(Slot::Latest, |bytes| {
+                        serialize::load_checkpoint(&mut model.store, &mut adam, bytes)
+                    })
+                    .map_err(TrainError::Checkpoint)?;
+                match loaded {
+                    Some(Some(ts)) => {
+                        apply_train_state(&ts, &mut rng, &mut stats, &mut best, &mut sampler)
+                            .map_err(TrainError::Checkpoint)?;
+                        start_epoch = ts.next_epoch as usize;
+                        if !self.quiet {
+                            eprintln!(
+                                "[{}] resuming at epoch {start_epoch} (best val MedR {:.1} @ epoch {})",
+                                self.scenario.name(),
+                                ts.best_val,
+                                ts.best_epoch
+                            );
+                        }
+                    }
+                    Some(None) => {
+                        // v1 param-only blob: weights restored, schedule
+                        // restarts — re-impose the phase-one freeze.
+                        model.set_backbone_frozen(tcfg.freeze_epochs > 0);
+                        if !self.quiet {
+                            eprintln!(
+                                "[{}] resuming from a v1 param-only checkpoint: restarting at epoch 0",
+                                self.scenario.name()
+                            );
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
+
+        for epoch in start_epoch..tcfg.epochs {
             if epoch == tcfg.freeze_epochs {
                 model.set_backbone_frozen(false);
             }
-            let mut loss_sum = 0.0f64;
-            let mut loss_n = 0usize;
-            let mut active_sum = 0.0f64;
-            let mut active_n = 0usize;
+            // Epoch-start snapshot: the rollback target if the non-finite
+            // guard trips `max_bad_batches` times in a row.
+            let epoch_start = snapshot(&model, &adam, &rng, epoch, &stats, &best, &sampler);
+            let mut retried = false;
 
-            for _ in 0..sampler.batches_per_epoch() {
-                let ids = sampler.next_batch(&mut rng);
-                let labels: Vec<Option<usize>> =
-                    ids.iter().map(|&i| dataset.recipes[i].label).collect();
-                let inputs = BatchInputs::gather(dataset, &feats, &ids);
-
-                let mut g = Graph::new();
-                let mut binds = Bindings::new();
-                let (img, rec) = model.forward_batch(&mut g, &mut binds, &inputs);
-                let d_ir = losses::cosine_distance_matrix(&mut g, img, rec);
-                let d_ri = losses::cosine_distance_matrix(&mut g, rec, img);
-
-                let mut total = None;
-                match tcfg.loss {
-                    LossKind::Triplet { semantic, classification } => {
-                        if !self.scenario.semantic_only() {
-                            let a = losses::instance_hinge(&mut g, d_ir, tcfg.margin);
-                            let b = losses::instance_hinge(&mut g, d_ri, tcfg.margin);
-                            active_sum += (a.active + b.active) as f64
-                                / (a.total + b.total).max(1) as f64;
-                            active_n += 1;
-                            total = losses::combine_directions(&mut g, a, b, tcfg.strategy);
-                        }
-                        if semantic {
-                            let sem_ir = losses::semantic_masks(&labels, &mut rng);
-                            let sem_ri = losses::semantic_masks(&labels, &mut rng);
-                            if let (Some((p1, n1)), Some((p2, n2))) = (sem_ir, sem_ri) {
-                                let a = losses::semantic_hinge(&mut g, d_ir, &p1, &n1, tcfg.margin);
-                                let b = losses::semantic_hinge(&mut g, d_ri, &p2, &n2, tcfg.margin);
-                                if let Some(sem) =
-                                    losses::combine_directions(&mut g, a, b, tcfg.strategy)
-                                {
-                                    let weighted = g.scale(sem, tcfg.lambda);
-                                    total = Some(match total {
-                                        Some(t) => g.add(t, weighted),
-                                        None => weighted,
-                                    });
-                                }
-                            }
-                        }
-                        if self.scenario.hierarchical() {
-                            // Future-work extension: a coarser semantic level
-                            // over class super-groups, with a doubled margin
-                            // (groups must separate further than classes) at
-                            // half the semantic weight.
-                            let groups: Vec<Option<usize>> = labels
-                                .iter()
-                                .map(|l| l.map(|c| dataset.world.class_group(c)))
-                                .collect();
-                            let g_ir = losses::semantic_masks(&groups, &mut rng);
-                            let g_ri = losses::semantic_masks(&groups, &mut rng);
-                            if let (Some((p1, n1)), Some((p2, n2))) = (g_ir, g_ri) {
-                                let margin = 2.0 * tcfg.margin;
-                                let a = losses::semantic_hinge(&mut g, d_ir, &p1, &n1, margin);
-                                let b = losses::semantic_hinge(&mut g, d_ri, &p2, &n2, margin);
-                                if let Some(hier) =
-                                    losses::combine_directions(&mut g, a, b, tcfg.strategy)
-                                {
-                                    let weighted = g.scale(hier, 0.5 * tcfg.lambda);
-                                    total = Some(match total {
-                                        Some(t) => g.add(t, weighted),
-                                        None => weighted,
-                                    });
-                                }
-                            }
-                        }
-                        if classification {
-                            let cls = self.classification_term(&mut g, &mut binds, &model, img, rec, &labels);
-                            let weighted = g.scale(cls, tcfg.cls_weight);
-                            total = Some(match total {
-                                Some(t) => g.add(t, weighted),
-                                None => weighted,
-                            });
-                        }
+            let (mean_loss, active_fraction, skipped) = loop {
+                match self.run_epoch(
+                    epoch, &tcfg, dataset, &feats, &mut model, &mut adam, &mut sampler, &mut rng,
+                ) {
+                    EpochOutcome::Done { mean_loss, active_fraction, skipped } => {
+                        break (mean_loss, active_fraction, skipped);
                     }
-                    LossKind::Pairwise { pos_margin, neg_margin } => {
-                        let pw = losses::pairwise_loss(&mut g, d_ir, pos_margin, neg_margin);
-                        let cls = self.classification_term(&mut g, &mut binds, &model, img, rec, &labels);
-                        let weighted = g.scale(cls, tcfg.cls_weight);
-                        total = Some(g.add(pw, weighted));
+                    EpochOutcome::Aborted { skipped } => {
+                        if retried {
+                            return Err(TrainError::Diverged { epoch, skipped });
+                        }
+                        if !self.quiet {
+                            eprintln!(
+                                "[{}] epoch {epoch}: {skipped} consecutive non-finite batches — rolling back to last good state",
+                                self.scenario.name()
+                            );
+                        }
+                        restore_snapshot(
+                            &epoch_start, &mut model, &mut adam, &mut rng, &mut stats, &mut best,
+                            &mut sampler,
+                        )
+                        .map_err(TrainError::Checkpoint)?;
+                        retried = true;
                     }
                 }
-
-                if let Some(loss) = total {
-                    loss_sum += g.value(loss).scalar() as f64;
-                    loss_n += 1;
-                    g.backward(loss);
-                    adam.step(&mut model.store, &g, &binds);
-                }
-            }
+            };
 
             // model selection on validation MedR
             let (vi, vr) = embed_ids(&model, dataset, &feats, &val_ids);
             let medr = val_medr(&vi, &vr);
-            let mean_loss = if loss_n > 0 { loss_sum / loss_n as f64 } else { 0.0 };
-            let active_fraction =
-                if active_n > 0 { active_sum / active_n as f64 } else { 0.0 };
-            stats.push(EpochStats { epoch, mean_loss, val_medr: medr, active_fraction });
+            stats.push(EpochStats {
+                epoch,
+                mean_loss,
+                val_medr: medr,
+                active_fraction,
+                skipped_batches: skipped,
+            });
             if !self.quiet {
+                let skip_note =
+                    if skipped > 0 { format!("  skipped {skipped}") } else { String::new() };
                 eprintln!(
-                    "[{}] epoch {epoch:>2}: loss {mean_loss:.4}  val MedR {medr:.1}  active {:.0}%",
+                    "[{}] epoch {epoch:>2}: loss {mean_loss:.4}  val MedR {medr:.1}  active {:.0}%{skip_note}",
                     self.scenario.name(),
                     active_fraction * 100.0
                 );
             }
-            if best.as_ref().is_none_or(|(m, _, _)| medr < *m) {
+            let improved = best.as_ref().is_none_or(|(m, _, _)| medr < *m);
+            if improved {
                 best = Some((medr, epoch, serialize::save_params(&model.store)));
+            }
+            if let Some(cs) = &ckpts {
+                let blob = snapshot(&model, &adam, &rng, epoch + 1, &stats, &best, &sampler);
+                cs.save(Slot::Latest, &blob).map_err(TrainError::Checkpoint)?;
+                if improved {
+                    cs.save(Slot::Best, &blob).map_err(TrainError::Checkpoint)?;
+                }
+            }
+            if self.faults.kills_after(epoch) {
+                return Err(TrainError::Interrupted { epoch });
             }
         }
 
         // restore the best-validation checkpoint (§4.4 model selection)
-        let (best_val_medr, best_epoch, blob) = best.expect("at least one epoch");
-        serialize::load_params(&mut model.store, &blob).expect("own checkpoint reloads");
+        let (best_val_medr, best_epoch, blob) = best.ok_or(TrainError::NoEpochs)?;
+        serialize::load_params(&mut model.store, &blob).map_err(TrainError::Checkpoint)?;
 
-        TrainedModel {
+        Ok(TrainedModel {
             scenario: self.scenario,
             model,
             wv,
@@ -230,7 +390,145 @@ impl Trainer {
             epochs: stats,
             best_val_medr,
             best_epoch,
+        })
+    }
+
+    /// One pass over the epoch's batches with the non-finite guard.
+    #[allow(clippy::too_many_arguments)]
+    fn run_epoch(
+        &self,
+        epoch: usize,
+        tcfg: &TrainConfig,
+        dataset: &Dataset,
+        feats: &RecipeFeatures,
+        model: &mut TwoBranchModel,
+        adam: &mut Adam,
+        sampler: &mut BatchSampler,
+        rng: &mut SmallRng,
+    ) -> EpochOutcome {
+        let mut loss_sum = 0.0f64;
+        let mut loss_n = 0usize;
+        let mut active_sum = 0.0f64;
+        let mut active_n = 0usize;
+        let mut skipped = 0usize;
+        let mut consecutive_bad = 0usize;
+
+        for batch_idx in 0..sampler.batches_per_epoch() {
+            let ids = sampler.next_batch(rng);
+            let labels: Vec<Option<usize>> =
+                ids.iter().map(|&i| dataset.recipes[i].label).collect();
+            let inputs = BatchInputs::gather(dataset, feats, &ids);
+
+            let mut g = Graph::new();
+            let mut binds = Bindings::new();
+            let (img, rec) = model.forward_batch(&mut g, &mut binds, &inputs);
+            let d_ir = losses::cosine_distance_matrix(&mut g, img, rec);
+            let d_ri = losses::cosine_distance_matrix(&mut g, rec, img);
+
+            let mut total = None;
+            // Active-triplet accounting is deferred until the batch passes
+            // the finite check — skipped batches contribute no statistics.
+            let mut batch_active: Option<(usize, usize)> = None;
+            match tcfg.loss {
+                LossKind::Triplet { semantic, classification } => {
+                    if !self.scenario.semantic_only() {
+                        let a = losses::instance_hinge(&mut g, d_ir, tcfg.margin);
+                        let b = losses::instance_hinge(&mut g, d_ri, tcfg.margin);
+                        batch_active = Some((a.active + b.active, a.total + b.total));
+                        total = losses::combine_directions(&mut g, a, b, tcfg.strategy);
+                    }
+                    if semantic {
+                        let sem_ir = losses::semantic_masks(&labels, rng);
+                        let sem_ri = losses::semantic_masks(&labels, rng);
+                        if let (Some((p1, n1)), Some((p2, n2))) = (sem_ir, sem_ri) {
+                            let a = losses::semantic_hinge(&mut g, d_ir, &p1, &n1, tcfg.margin);
+                            let b = losses::semantic_hinge(&mut g, d_ri, &p2, &n2, tcfg.margin);
+                            if let Some(sem) =
+                                losses::combine_directions(&mut g, a, b, tcfg.strategy)
+                            {
+                                let weighted = g.scale(sem, tcfg.lambda);
+                                total = Some(match total {
+                                    Some(t) => g.add(t, weighted),
+                                    None => weighted,
+                                });
+                            }
+                        }
+                    }
+                    if self.scenario.hierarchical() {
+                        // Future-work extension: a coarser semantic level
+                        // over class super-groups, with a doubled margin
+                        // (groups must separate further than classes) at
+                        // half the semantic weight.
+                        let groups: Vec<Option<usize>> = labels
+                            .iter()
+                            .map(|l| l.map(|c| dataset.world.class_group(c)))
+                            .collect();
+                        let g_ir = losses::semantic_masks(&groups, rng);
+                        let g_ri = losses::semantic_masks(&groups, rng);
+                        if let (Some((p1, n1)), Some((p2, n2))) = (g_ir, g_ri) {
+                            let margin = 2.0 * tcfg.margin;
+                            let a = losses::semantic_hinge(&mut g, d_ir, &p1, &n1, margin);
+                            let b = losses::semantic_hinge(&mut g, d_ri, &p2, &n2, margin);
+                            if let Some(hier) =
+                                losses::combine_directions(&mut g, a, b, tcfg.strategy)
+                            {
+                                let weighted = g.scale(hier, 0.5 * tcfg.lambda);
+                                total = Some(match total {
+                                    Some(t) => g.add(t, weighted),
+                                    None => weighted,
+                                });
+                            }
+                        }
+                    }
+                    if classification {
+                        let cls =
+                            self.classification_term(&mut g, &mut binds, model, img, rec, &labels);
+                        let weighted = g.scale(cls, tcfg.cls_weight);
+                        total = Some(match total {
+                            Some(t) => g.add(t, weighted),
+                            None => weighted,
+                        });
+                    }
+                }
+                LossKind::Pairwise { pos_margin, neg_margin } => {
+                    let pw = losses::pairwise_loss(&mut g, d_ir, pos_margin, neg_margin);
+                    let cls =
+                        self.classification_term(&mut g, &mut binds, model, img, rec, &labels);
+                    let weighted = g.scale(cls, tcfg.cls_weight);
+                    total = Some(g.add(pw, weighted));
+                }
+            }
+
+            if let Some(loss) = total {
+                let mut lv = g.value(loss).scalar();
+                if self.faults.injects_nan(epoch, batch_idx) {
+                    lv = f32::NAN;
+                }
+                if !lv.is_finite() {
+                    // Non-finite guard: no backward pass, no Adam step —
+                    // parameters and moments stay untouched.
+                    skipped += 1;
+                    consecutive_bad += 1;
+                    if consecutive_bad >= tcfg.max_bad_batches {
+                        return EpochOutcome::Aborted { skipped };
+                    }
+                    continue;
+                }
+                consecutive_bad = 0;
+                if let Some((active, total_triplets)) = batch_active {
+                    active_sum += active as f64 / total_triplets.max(1) as f64;
+                    active_n += 1;
+                }
+                loss_sum += lv as f64;
+                loss_n += 1;
+                g.backward(loss);
+                adam.step(&mut model.store, &g, &binds);
+            }
         }
+
+        let mean_loss = if loss_n > 0 { loss_sum / loss_n as f64 } else { 0.0 };
+        let active_fraction = if active_n > 0 { active_sum / active_n as f64 } else { 0.0 };
+        EpochOutcome::Done { mean_loss, active_fraction, skipped }
     }
 
     fn classification_term(
@@ -250,6 +548,178 @@ impl Trainer {
         let s = g.add(ce_i, ce_r);
         g.scale(s, 0.5)
     }
+}
+
+/// How one pass over an epoch's batches ended.
+enum EpochOutcome {
+    /// All batches consumed (some possibly skipped by the guard).
+    Done { mean_loss: f64, active_fraction: f64, skipped: usize },
+    /// `max_bad_batches` consecutive non-finite batches — roll back.
+    Aborted { skipped: usize },
+}
+
+// ---------------------------------------------------------------------------
+// Full-training-state snapshots (the trainer-owned `extra` section of a
+// CMRCKPT2 blob: epoch stats, best-model blob, sampler order).
+// ---------------------------------------------------------------------------
+
+/// Minimal checked little-endian reader for the trainer's `extra` section.
+struct Wire<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Wire<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trainer state truncated: wanted {n} bytes, {} left", self.buf.len()),
+            ));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn encode_extra(
+    stats: &[EpochStats],
+    best: &Option<(f64, usize, Vec<u8>)>,
+    sampler: &BatchSampler,
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(stats.len() as u32).to_le_bytes());
+    for s in stats {
+        buf.extend_from_slice(&(s.epoch as u64).to_le_bytes());
+        buf.extend_from_slice(&s.mean_loss.to_le_bytes());
+        buf.extend_from_slice(&s.val_medr.to_le_bytes());
+        buf.extend_from_slice(&s.active_fraction.to_le_bytes());
+        buf.extend_from_slice(&(s.skipped_batches as u64).to_le_bytes());
+    }
+    match best {
+        Some((_, _, blob)) => {
+            buf.push(1);
+            buf.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+            buf.extend_from_slice(blob);
+        }
+        None => buf.push(0),
+    }
+    let (order, cursor) = sampler.state();
+    let cursor = if cursor == usize::MAX { u64::MAX } else { cursor as u64 };
+    buf.extend_from_slice(&cursor.to_le_bytes());
+    buf.extend_from_slice(&(order.len() as u32).to_le_bytes());
+    for id in order {
+        buf.extend_from_slice(&(id as u64).to_le_bytes());
+    }
+    buf
+}
+
+type DecodedExtra = (Vec<EpochStats>, Option<Vec<u8>>, Vec<usize>, usize);
+
+fn decode_extra(extra: &[u8]) -> io::Result<DecodedExtra> {
+    let mut w = Wire { buf: extra };
+    let n_stats = w.u32()? as usize;
+    let mut stats = Vec::with_capacity(n_stats);
+    for _ in 0..n_stats {
+        stats.push(EpochStats {
+            epoch: w.u64()? as usize,
+            mean_loss: w.f64()?,
+            val_medr: w.f64()?,
+            active_fraction: w.f64()?,
+            skipped_batches: w.u64()? as usize,
+        });
+    }
+    let best_blob = if w.u8()? != 0 {
+        let len = w.u32()? as usize;
+        Some(w.take(len)?.to_vec())
+    } else {
+        None
+    };
+    let cursor = w.u64()?;
+    let cursor = if cursor == u64::MAX { usize::MAX } else { cursor as usize };
+    let n_order = w.u32()? as usize;
+    let mut order = Vec::with_capacity(n_order);
+    for _ in 0..n_order {
+        order.push(w.u64()? as usize);
+    }
+    if !w.buf.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} trailing bytes in trainer state", w.buf.len()),
+        ));
+    }
+    Ok((stats, best_blob, order, cursor))
+}
+
+/// Serialises the complete training state — model, optimiser, RNG, stats,
+/// best model, sampler — as one CMRCKPT2 blob.
+fn snapshot(
+    model: &TwoBranchModel,
+    adam: &Adam,
+    rng: &SmallRng,
+    next_epoch: usize,
+    stats: &[EpochStats],
+    best: &Option<(f64, usize, Vec<u8>)>,
+    sampler: &BatchSampler,
+) -> Vec<u8> {
+    let state = TrainState {
+        rng: rng.state(),
+        next_epoch: next_epoch as u64,
+        best_epoch: best.as_ref().map(|&(_, e, _)| e as u64).unwrap_or(0),
+        best_val: best.as_ref().map(|&(v, _, _)| v).unwrap_or(f64::INFINITY),
+        extra: encode_extra(stats, best, sampler),
+    };
+    serialize::save_checkpoint(&model.store, adam, &state)
+}
+
+fn apply_train_state(
+    ts: &TrainState,
+    rng: &mut SmallRng,
+    stats: &mut Vec<EpochStats>,
+    best: &mut Option<(f64, usize, Vec<u8>)>,
+    sampler: &mut BatchSampler,
+) -> io::Result<()> {
+    let (decoded_stats, best_blob, order, cursor) = decode_extra(&ts.extra)?;
+    sampler
+        .restore_state(&order, cursor)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    *rng = SmallRng::from_state(ts.rng);
+    *stats = decoded_stats;
+    *best = best_blob.map(|blob| (ts.best_val, ts.best_epoch as usize, blob));
+    Ok(())
+}
+
+/// Restores a full in-memory snapshot produced by [`snapshot`] (the
+/// rollback path of the non-finite guard).
+fn restore_snapshot(
+    bytes: &[u8],
+    model: &mut TwoBranchModel,
+    adam: &mut Adam,
+    rng: &mut SmallRng,
+    stats: &mut Vec<EpochStats>,
+    best: &mut Option<(f64, usize, Vec<u8>)>,
+    sampler: &mut BatchSampler,
+) -> io::Result<()> {
+    let ts = serialize::load_checkpoint(&mut model.store, adam, bytes)?.ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "snapshot is not a v2 checkpoint")
+    })?;
+    apply_train_state(&ts, rng, stats, best, sampler)
 }
 
 fn embed_ids(
@@ -424,6 +894,8 @@ mod tests {
         let first = trained.epochs.first().unwrap().active_fraction;
         let last = trained.epochs.last().unwrap().active_fraction;
         assert!(last < first, "active triplets should decay: {first} → {last}");
+        // no fault injection: nothing skipped
+        assert!(trained.epochs.iter().all(|e| e.skipped_batches == 0));
     }
 
     /// The classification-head scenario must build a head and still learn.
@@ -462,5 +934,15 @@ mod tests {
         for (a, b) in imgs.vector(1).iter().zip(&solo_img) {
             assert!((a - b).abs() < 1e-4, "image path diverged");
         }
+    }
+
+    /// `fit` and `run` agree — the compat wrapper changes nothing.
+    #[test]
+    fn fit_returns_ok_and_matches_run() {
+        let d = tiny_dataset();
+        let a = tiny_trainer(Scenario::AdaMineIns).fit(&d).expect("fit succeeds");
+        let b = tiny_trainer(Scenario::AdaMineIns).run(&d);
+        assert_eq!(a.best_val_medr, b.best_val_medr);
+        assert_eq!(a.epochs, b.epochs);
     }
 }

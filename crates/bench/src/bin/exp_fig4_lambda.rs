@@ -41,10 +41,16 @@ fn main() {
         let mut tcfg = ctx.tcfg.clone();
         tcfg.lambda = lambda;
         let t0 = std::time::Instant::now();
-        let trained = Trainer::new(Scenario::AdaMine, tcfg)
+        let mut trainer = Trainer::new(Scenario::AdaMine, tcfg)
             .with_model_config(ctx.mcfg.clone())
-            .quiet()
-            .run(&ctx.dataset);
+            .quiet();
+        if let Some(root) = &ctx.checkpoint_dir {
+            trainer = trainer.with_checkpoints(root.join(format!("fig4_lambda_{lambda}")));
+            if ctx.resume {
+                trainer = trainer.resume();
+            }
+        }
+        let trained = trainer.run(&ctx.dataset);
         let (imgs, recs) = trained.embed_split(&ctx.dataset, Split::Val);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(4242);
         let rep = evaluate_bags(&imgs, &recs, bags, &mut rng);

@@ -7,7 +7,11 @@
 //!
 //! * `--scale tiny|default|paper` — dataset/model scale (DESIGN.md),
 //! * `--epochs N` / `--seed N` — training overrides,
-//! * `--out DIR` — where JSON artifacts land (default `results/`).
+//! * `--out DIR` — where JSON artifacts land (default `results/`),
+//! * `--checkpoint-dir DIR` — durable per-scenario training checkpoints
+//!   (write-to-temp + fsync + atomic rename, rotating `latest`/`best`),
+//! * `--resume` — continue interrupted runs from those checkpoints
+//!   bit-identically instead of restarting.
 //!
 //! Run everything with `cargo run --release -p cmr-bench --bin exp_all`.
 
@@ -35,6 +39,11 @@ pub struct ExpContext {
     pub mcfg: ModelConfig,
     /// Output directory for JSON artifacts.
     pub out_dir: PathBuf,
+    /// Durable training-checkpoint root (one subdirectory per scenario);
+    /// `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume interrupted training runs from `checkpoint_dir`.
+    pub resume: bool,
 }
 
 impl ExpContext {
@@ -48,6 +57,8 @@ impl ExpContext {
         let mut epochs: Option<usize> = None;
         let mut seed: Option<u64> = None;
         let mut out_dir = PathBuf::from("results");
+        let mut checkpoint_dir: Option<PathBuf> = None;
+        let mut resume = false;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -72,11 +83,25 @@ impl ExpContext {
                     i += 1;
                     out_dir = PathBuf::from(&args[i]);
                 }
+                "--checkpoint-dir" => {
+                    i += 1;
+                    checkpoint_dir = Some(PathBuf::from(&args[i]));
+                }
+                "--resume" => {
+                    resume = true;
+                }
                 other => panic!("unknown argument {other:?}"),
             }
             i += 1;
         }
-        Self::for_scale(scale, epochs, seed, out_dir)
+        assert!(
+            !resume || checkpoint_dir.is_some(),
+            "--resume requires --checkpoint-dir"
+        );
+        let mut ctx = Self::for_scale(scale, epochs, seed, out_dir);
+        ctx.checkpoint_dir = checkpoint_dir;
+        ctx.resume = resume;
+        ctx
     }
 
     /// Builds a context without touching the process arguments (tests).
@@ -122,14 +147,23 @@ impl ExpContext {
             tcfg.seed = s;
         }
         std::fs::create_dir_all(&out_dir).expect("create output directory");
-        Self { dataset, scale, tcfg, mcfg, out_dir }
+        Self { dataset, scale, tcfg, mcfg, out_dir, checkpoint_dir: None, resume: false }
     }
 
-    /// Trains one scenario with this context's configuration.
+    /// Trains one scenario with this context's configuration. When a
+    /// checkpoint directory is configured, the run checkpoints after every
+    /// epoch into a per-scenario subdirectory and — with `--resume` —
+    /// continues an interrupted run from where it stopped.
     pub fn train(&self, scenario: Scenario) -> TrainedModel {
-        Trainer::new(scenario, self.tcfg.clone())
-            .with_model_config(self.mcfg.clone())
-            .run(&self.dataset)
+        let mut trainer =
+            Trainer::new(scenario, self.tcfg.clone()).with_model_config(self.mcfg.clone());
+        if let Some(root) = &self.checkpoint_dir {
+            trainer = trainer.with_checkpoints(root.join(scenario_dir_name(scenario)));
+            if self.resume {
+                trainer = trainer.resume();
+            }
+        }
+        trainer.run(&self.dataset)
     }
 
     /// The paper's 1k bag setup, clamped to the available test set.
@@ -156,12 +190,24 @@ impl ExpContext {
     }
 }
 
-/// Serialises a value as pretty JSON to `path`.
+/// Filesystem-safe directory name for a scenario's checkpoints
+/// (`"PWC*"` → `"PWC_"`, `"AdaMine_ins+cls"` → `"AdaMine_ins_cls"`).
+pub fn scenario_dir_name(scenario: Scenario) -> String {
+    scenario
+        .name()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// Serialises a value as pretty JSON to `path`, atomically: a killed
+/// experiment never leaves a half-written `results/*.json` (the write goes
+/// to a temp sibling, is fsynced, then renamed over the target).
 ///
 /// # Panics
 /// Panics on IO errors (developer tooling).
 pub fn save_json<T: ToJson>(path: &Path, value: &T) {
-    std::fs::write(path, value.to_json().pretty())
+    cmr_nn::atomic_write(path, value.to_json().pretty().as_bytes())
         .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
 }
 

@@ -1,0 +1,240 @@
+//! Durable, crash-safe checkpoint files.
+//!
+//! [`CheckpointStore`] manages a rotating `latest`/`best` pair of
+//! checkpoint files inside one directory. Every write goes through
+//! [`atomic_write`] — write to a temporary sibling, `fsync`, then an atomic
+//! rename (plus a directory sync on Unix) — so a kill at any instant leaves
+//! either the old file or the new file, never a torn one. Before a `latest`
+//! write, the previous `latest` is rotated to `latest.prev.ckpt`; loading
+//! tries `latest` first and falls back to the previous good file with a
+//! warning when `latest` is corrupt or truncated.
+//!
+//! The store is format-agnostic: it moves bytes, and the caller supplies a
+//! parse/validate closure (normally
+//! [`serialize::load_checkpoint`](crate::serialize::load_checkpoint), whose
+//! CRC footer is what makes corruption detectable).
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// `fsync`, rename over the target, then best-effort directory sync so the
+/// rename itself is durable.
+///
+/// # Errors
+/// Any underlying IO error; on error the target file is untouched.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Some(dir) = dir {
+        // Directory fsync is what persists the rename; failure here only
+        // weakens durability, never correctness, so it is best-effort.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Which of the two rotated slots a file belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Slot {
+    /// The most recent end-of-epoch state (resume point).
+    Latest,
+    /// The best-validation state (model selection).
+    Best,
+}
+
+impl Slot {
+    fn stem(self) -> &'static str {
+        match self {
+            Slot::Latest => "latest",
+            Slot::Best => "best",
+        }
+    }
+}
+
+/// A directory of rotating checkpoint files.
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a slot's current file (`latest.ckpt` / `best.ckpt`).
+    pub fn path(&self, slot: Slot) -> PathBuf {
+        self.dir.join(format!("{}.ckpt", slot.stem()))
+    }
+
+    /// Path of a slot's rotated previous file (`latest.prev.ckpt` …).
+    pub fn prev_path(&self, slot: Slot) -> PathBuf {
+        self.dir.join(format!("{}.prev.ckpt", slot.stem()))
+    }
+
+    /// Durably writes a slot: the current file (if any) is rotated to the
+    /// `.prev` name, then the new bytes land via [`atomic_write`]. A crash
+    /// between the two steps leaves only the rotated previous file, which
+    /// [`load`](Self::load) finds on fallback.
+    ///
+    /// # Errors
+    /// Any underlying IO error.
+    pub fn save(&self, slot: Slot, bytes: &[u8]) -> io::Result<()> {
+        let current = self.path(slot);
+        if current.exists() {
+            fs::rename(&current, self.prev_path(slot))?;
+        }
+        atomic_write(&current, bytes)
+    }
+
+    /// Loads a slot through a caller-supplied parser, falling back from a
+    /// corrupt or unreadable current file to the rotated previous one with
+    /// a warning on stderr.
+    ///
+    /// Returns `Ok(None)` when neither file exists.
+    ///
+    /// # Errors
+    /// The *last* parse/read error when every existing candidate is bad.
+    pub fn load<T>(
+        &self,
+        slot: Slot,
+        mut parse: impl FnMut(&[u8]) -> io::Result<T>,
+    ) -> io::Result<Option<T>> {
+        let mut last_err: Option<io::Error> = None;
+        for path in [self.path(slot), self.prev_path(slot)] {
+            if !path.exists() {
+                continue;
+            }
+            let attempt = fs::read(&path).and_then(|bytes| parse(&bytes));
+            match attempt {
+                Ok(v) => {
+                    if last_err.is_some() {
+                        eprintln!(
+                            "[checkpoint] recovered from previous good file {}",
+                            path.display()
+                        );
+                    }
+                    return Ok(Some(v));
+                }
+                Err(e) => {
+                    eprintln!(
+                        "[checkpoint] warning: {} unusable ({e}); trying fallback",
+                        path.display()
+                    );
+                    last_err = Some(e);
+                }
+            }
+        }
+        match last_err {
+            Some(e) => Err(e),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!(
+            "cmr-ckpt-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn parse_ok(bytes: &[u8]) -> io::Result<Vec<u8>> {
+        // Toy format: payload must start with a magic byte.
+        if bytes.first() == Some(&0xAB) {
+            Ok(bytes.to_vec())
+        } else {
+            Err(io::Error::new(io::ErrorKind::InvalidData, "bad toy magic"))
+        }
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = scratch_dir("aw");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("file.bin");
+        atomic_write(&p, b"one").unwrap();
+        atomic_write(&p, b"two").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"two");
+        let names: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(names, vec!["file.bin"], "no temp litter");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_rotates_and_load_prefers_latest() {
+        let dir = scratch_dir("rot");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.load(Slot::Latest, parse_ok).unwrap().is_none());
+
+        store.save(Slot::Latest, &[0xAB, 1]).unwrap();
+        store.save(Slot::Latest, &[0xAB, 2]).unwrap();
+        assert_eq!(fs::read(store.prev_path(Slot::Latest)).unwrap(), vec![0xAB, 1]);
+        assert_eq!(store.load(Slot::Latest, parse_ok).unwrap().unwrap(), vec![0xAB, 2]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_falls_back_to_previous_good_file() {
+        let dir = scratch_dir("fb");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(Slot::Latest, &[0xAB, 1]).unwrap();
+        store.save(Slot::Latest, &[0xAB, 2]).unwrap();
+        // Corrupt latest: the parser rejects it, prev must win.
+        fs::write(store.path(Slot::Latest), [0x00, 9]).unwrap();
+        assert_eq!(store.load(Slot::Latest, parse_ok).unwrap().unwrap(), vec![0xAB, 1]);
+
+        // Both corrupt: surface the error instead of inventing data.
+        fs::write(store.prev_path(Slot::Latest), [0x00]).unwrap();
+        assert!(store.load(Slot::Latest, parse_ok).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let dir = scratch_dir("slots");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(Slot::Latest, &[0xAB, 1]).unwrap();
+        store.save(Slot::Best, &[0xAB, 9]).unwrap();
+        assert_eq!(store.load(Slot::Best, parse_ok).unwrap().unwrap(), vec![0xAB, 9]);
+        assert_eq!(store.load(Slot::Latest, parse_ok).unwrap().unwrap(), vec![0xAB, 1]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,66 @@
+//! First-party CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) —
+//! the integrity footer of the `CMRCKPT2` checkpoint format.
+//!
+//! The build environment has no crates.io access, so this is a small
+//! table-driven implementation rather than a dependency. It matches the
+//! ubiquitous zlib/`cksum -o 3` CRC: `crc32(b"123456789") == 0xCBF43926`.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial, built at
+/// compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (initial value `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical check value every CRC-32 implementation must produce.
+    #[test]
+    fn check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    /// Any single-bit flip must change the checksum — the property the
+    /// checkpoint footer relies on.
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = b"CMRCKPT2 payload with some parameter bytes".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut corrupted = base.clone();
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), reference, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

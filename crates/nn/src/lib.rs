@@ -34,6 +34,8 @@
 //! ```
 
 pub mod adam;
+pub mod checkpoint;
+pub mod crc32;
 pub mod embedding;
 pub mod linear;
 pub mod lstm;
@@ -42,8 +44,10 @@ pub mod param;
 pub mod serialize;
 
 pub use adam::Adam;
+pub use checkpoint::{atomic_write, CheckpointStore, Slot};
 pub use embedding::Embedding;
 pub use linear::Linear;
 pub use lstm::{BiLstm, Lstm};
 pub use mlp::{Activation, Mlp};
 pub use param::{Bindings, ParamId, ParamStore};
+pub use serialize::TrainState;

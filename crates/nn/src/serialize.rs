@@ -1,20 +1,102 @@
-//! Binary checkpointing of a [`ParamStore`].
+//! Binary checkpointing: parameter blobs (v1) and full training state (v2).
 //!
-//! The trainer keeps the best-validation-MedR model (§4.4 "model selection")
-//! as a checkpoint. Format: a small header, then per parameter its name,
-//! shape, freeze flag and raw little-endian `f32` payload — compact and
-//! byte-for-byte reproducible, written into a plain `Vec<u8>`.
+//! Two on-disk formats share one file family:
+//!
+//! * **`CMRCKPT1`** — the legacy param-only blob: a small header, then per
+//!   parameter its name, shape, freeze flag and raw little-endian `f32`
+//!   payload. Still written for in-memory best-model snapshots and still
+//!   accepted on load.
+//! * **`CMRCKPT2`** — the crash-safe full-training-state format: the same
+//!   parameter body, then the [`Adam`] optimiser state (moments + step
+//!   count), then trainer state (RNG words, epoch counter, best-validation
+//!   tracking, and an opaque trainer-owned `extra` section), terminated by
+//!   a CRC-32 integrity footer ([`crate::crc32`]). The CRC is verified
+//!   *before* any field is parsed, so a truncated or bit-flipped file is
+//!   rejected without mutating the destination store.
+//!
+//! Both formats are byte-for-byte reproducible: saving, loading and saving
+//! again yields an identical blob (moments are written in parameter-id
+//! order, never hash order).
 
+use crate::adam::Adam;
+use crate::crc32::crc32;
 use crate::param::{ParamId, ParamStore};
 use cmr_tensor::TensorData;
+use std::collections::HashSet;
 use std::io;
 
-const MAGIC: &[u8; 8] = b"CMRCKPT1";
+const MAGIC_V1: &[u8; 8] = b"CMRCKPT1";
+const MAGIC_V2: &[u8; 8] = b"CMRCKPT2";
 
-/// Serialises every parameter (name, shape, freeze flag, payload).
-pub fn save_params(store: &ParamStore) -> Vec<u8> {
-    let mut buf = Vec::new();
-    buf.extend_from_slice(MAGIC);
+pub(crate) fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Little-endian read cursor over a checkpoint byte slice. Every accessor
+/// is bounds-checked and fails with `InvalidData` instead of panicking.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(bad(format!(
+                "checkpoint truncated: wanted {n} bytes, {} left",
+                self.buf.len()
+            )));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    pub(crate) fn get_u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn get_u16_le(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn get_u32_le(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn get_u64_le(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn get_f32_le(&mut self) -> io::Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn get_f64_le(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32` length prefix followed by that many raw bytes.
+    pub(crate) fn get_len_prefixed(&mut self) -> io::Result<&'a [u8]> {
+        let n = self.get_u32_le()? as usize;
+        self.take(n)
+    }
+}
+
+/// Appends a `u32` length prefix and the bytes themselves.
+pub(crate) fn put_len_prefixed(buf: &mut Vec<u8>, bytes: &[u8]) {
+    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+fn write_params_body(store: &ParamStore, buf: &mut Vec<u8>) {
     buf.extend_from_slice(&(store.len() as u32).to_le_bytes());
     for id in store.ids() {
         let name = store.name(id).as_bytes();
@@ -28,82 +110,28 @@ pub fn save_params(store: &ParamStore) -> Vec<u8> {
             buf.extend_from_slice(&x.to_le_bytes());
         }
     }
-    buf
 }
 
-/// Little-endian read cursor over a checkpoint byte slice.
-struct Reader<'a> {
-    buf: &'a [u8],
-}
-
-impl<'a> Reader<'a> {
-    fn remaining(&self) -> usize {
-        self.buf.len()
-    }
-
-    fn take(&mut self, n: usize) -> &'a [u8] {
-        let (head, tail) = self.buf.split_at(n);
-        self.buf = tail;
-        head
-    }
-
-    fn get_u8(&mut self) -> u8 {
-        self.take(1)[0]
-    }
-
-    fn get_u16_le(&mut self) -> u16 {
-        u16::from_le_bytes(self.take(2).try_into().unwrap())
-    }
-
-    fn get_u32_le(&mut self) -> u32 {
-        u32::from_le_bytes(self.take(4).try_into().unwrap())
-    }
-
-    fn get_f32_le(&mut self) -> f32 {
-        f32::from_le_bytes(self.take(4).try_into().unwrap())
-    }
-}
-
-/// Restores parameter values (and freeze flags) into an existing store.
-///
-/// The store must already contain a parameter for every name in the
-/// checkpoint, with a matching shape — checkpoints restore *values*, not
-/// architecture.
-///
-/// # Errors
-/// Returns `InvalidData` on a bad magic/truncation, an unknown parameter
-/// name, or a shape mismatch.
-pub fn load_params(store: &mut ParamStore, bytes: &[u8]) -> io::Result<()> {
-    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
-    let mut buf = Reader { buf: bytes };
-    if buf.remaining() < MAGIC.len() + 4 {
-        return Err(bad("checkpoint truncated".into()));
-    }
-    let magic = buf.take(MAGIC.len());
-    if magic != MAGIC {
-        return Err(bad(format!("bad checkpoint magic {magic:?}")));
-    }
-    let count = buf.get_u32_le() as usize;
+fn read_params_body(store: &mut ParamStore, buf: &mut Reader) -> io::Result<()> {
+    let count = buf.get_u32_le()? as usize;
+    let mut seen: HashSet<String> = HashSet::with_capacity(count);
     for _ in 0..count {
-        if buf.remaining() < 2 {
-            return Err(bad("checkpoint truncated".into()));
-        }
-        let name_len = buf.get_u16_le() as usize;
-        if buf.remaining() < name_len + 9 {
-            return Err(bad("checkpoint truncated".into()));
-        }
-        let name = String::from_utf8(buf.take(name_len).to_vec())
+        let name_len = buf.get_u16_le()? as usize;
+        let name = String::from_utf8(buf.take(name_len)?.to_vec())
             .map_err(|e| bad(format!("parameter name not utf-8: {e}")))?;
-        let rows = buf.get_u32_le() as usize;
-        let cols = buf.get_u32_le() as usize;
-        let frozen = buf.get_u8() != 0;
+        let rows = buf.get_u32_le()? as usize;
+        let cols = buf.get_u32_le()? as usize;
+        let frozen = buf.get_u8()? != 0;
         let n = rows * cols;
         if buf.remaining() < n * 4 {
             return Err(bad(format!("checkpoint truncated inside {name}")));
         }
         let mut data = Vec::with_capacity(n);
         for _ in 0..n {
-            data.push(buf.get_f32_le());
+            data.push(buf.get_f32_le()?);
+        }
+        if !seen.insert(name.clone()) {
+            return Err(bad(format!("duplicate parameter {name:?} in checkpoint")));
         }
         let id: ParamId = store
             .by_name(&name)
@@ -121,10 +149,128 @@ pub fn load_params(store: &mut ParamStore, bytes: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
+/// Serialises every parameter (name, shape, freeze flag, payload) as a v1
+/// `CMRCKPT1` blob.
+pub fn save_params(store: &ParamStore) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC_V1);
+    write_params_body(store, &mut buf);
+    buf
+}
+
+/// Restores parameter values (and freeze flags) from a v1 blob into an
+/// existing store.
+///
+/// The store must already contain a parameter for every name in the
+/// checkpoint, with a matching shape — checkpoints restore *values*, not
+/// architecture.
+///
+/// # Errors
+/// Returns `InvalidData` on a bad magic/truncation, an unknown or duplicate
+/// parameter name, or a shape mismatch.
+pub fn load_params(store: &mut ParamStore, bytes: &[u8]) -> io::Result<()> {
+    let mut buf = Reader::new(bytes);
+    let magic = buf.take(MAGIC_V1.len())?;
+    if magic != MAGIC_V1 {
+        return Err(bad(format!("bad checkpoint magic {magic:?}")));
+    }
+    read_params_body(store, &mut buf)
+}
+
+/// Trainer-side state carried by a v2 checkpoint alongside the parameters
+/// and optimiser moments.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrainState {
+    /// Raw xoshiro256++ words of the training RNG at the epoch boundary.
+    pub rng: [u64; 4],
+    /// The next epoch to run (epochs `0..next_epoch` are complete).
+    pub next_epoch: u64,
+    /// Epoch of the best-validation model so far.
+    pub best_epoch: u64,
+    /// Best validation MedR so far (`f64::INFINITY` when none).
+    pub best_val: f64,
+    /// Opaque trainer-owned section (epoch stats, best-model blob, sampler
+    /// order…). The format layer stores and checksums it without
+    /// interpreting it.
+    pub extra: Vec<u8>,
+}
+
+/// Serialises the full training state — parameters, optimiser, trainer
+/// state — as a v2 `CMRCKPT2` blob with a CRC-32 footer.
+pub fn save_checkpoint(store: &ParamStore, adam: &Adam, state: &TrainState) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC_V2);
+    write_params_body(store, &mut buf);
+    put_len_prefixed(&mut buf, &adam.save_state());
+    for w in state.rng {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+    buf.extend_from_slice(&state.next_epoch.to_le_bytes());
+    buf.extend_from_slice(&state.best_epoch.to_le_bytes());
+    buf.extend_from_slice(&state.best_val.to_le_bytes());
+    put_len_prefixed(&mut buf, &state.extra);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Loads either checkpoint version into `store` (and, for v2, `adam`).
+///
+/// Returns `Ok(Some(state))` for a v2 blob and `Ok(None)` for a legacy v1
+/// param-only blob (parameters restored, optimiser and trainer state left
+/// untouched — a resume from v1 restarts the schedule at epoch 0).
+///
+/// For v2 the CRC-32 footer is verified before anything is parsed, so a
+/// corrupt file leaves `store` and `adam` unmodified.
+///
+/// # Errors
+/// `InvalidData` on bad magic, truncation, CRC mismatch, unknown/duplicate
+/// parameter names, or shape mismatches.
+pub fn load_checkpoint(
+    store: &mut ParamStore,
+    adam: &mut Adam,
+    bytes: &[u8],
+) -> io::Result<Option<TrainState>> {
+    if bytes.len() >= 8 && &bytes[..8] == MAGIC_V1 {
+        load_params(store, bytes)?;
+        return Ok(None);
+    }
+    if bytes.len() < MAGIC_V2.len() + 4 {
+        return Err(bad("checkpoint truncated before footer".into()));
+    }
+    if &bytes[..8] != MAGIC_V2 {
+        return Err(bad(format!("bad checkpoint magic {:?}", &bytes[..8.min(bytes.len())])));
+    }
+    let (payload, footer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(footer.try_into().unwrap());
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(bad(format!(
+            "checkpoint CRC mismatch: footer {stored:#010x}, payload {actual:#010x}"
+        )));
+    }
+    let mut buf = Reader::new(&payload[MAGIC_V2.len()..]);
+    read_params_body(store, &mut buf)?;
+    let adam_bytes = buf.get_len_prefixed()?;
+    adam.load_state(adam_bytes)?;
+    let mut rng = [0u64; 4];
+    for w in &mut rng {
+        *w = buf.get_u64_le()?;
+    }
+    let next_epoch = buf.get_u64_le()?;
+    let best_epoch = buf.get_u64_le()?;
+    let best_val = buf.get_f64_le()?;
+    let extra = buf.get_len_prefixed()?.to_vec();
+    if buf.remaining() != 0 {
+        return Err(bad(format!("{} trailing bytes after checkpoint", buf.remaining())));
+    }
+    Ok(Some(TrainState { rng, next_epoch, best_epoch, best_val, extra }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cmr_tensor::init;
+    use cmr_tensor::{init, Graph};
     use rand::SeedableRng;
 
     fn store_with(seed: u64) -> ParamStore {
@@ -133,6 +279,28 @@ mod tests {
         s.register("a.w", init::normal(&mut rng, 3, 4, 1.0));
         s.register("b.w", init::normal(&mut rng, 2, 2, 1.0));
         s
+    }
+
+    /// Runs a few Adam steps so the optimiser has non-trivial moments.
+    fn stepped_adam(store: &mut ParamStore, steps: usize) -> Adam {
+        let mut adam = Adam::new(0.05);
+        for _ in 0..steps {
+            let mut g = Graph::new();
+            let mut binds = crate::Bindings::new();
+            let ids: Vec<ParamId> = store.ids().collect();
+            let mut nodes = Vec::new();
+            for id in ids {
+                nodes.push(store.bind(&mut g, &mut binds, id));
+            }
+            let mut loss = g.sum_all(nodes[0]);
+            for &n in &nodes[1..] {
+                let s = g.sum_all(n);
+                loss = g.add(loss, s);
+            }
+            g.backward(loss);
+            adam.step(store, &g, &binds);
+        }
+        adam
     }
 
     #[test]
@@ -182,5 +350,101 @@ mod tests {
         dst.register("a.w", TensorData::zeros(4, 3));
         dst.register("b.w", TensorData::zeros(2, 2));
         assert!(load_params(&mut dst, &blob).is_err());
+    }
+
+    /// A hand-built blob listing the same parameter twice must be rejected
+    /// rather than silently applying last-wins (regression: duplicates used
+    /// to overwrite).
+    #[test]
+    fn rejects_duplicate_parameter_entries() {
+        let mut src = ParamStore::new();
+        src.register("a.w", TensorData::full(1, 2, 1.0));
+        let blob = save_params(&src);
+        // Double the single entry: header count 2, entry bytes repeated.
+        let entry = blob[MAGIC_V1.len() + 4..].to_vec();
+        let mut doubled = Vec::new();
+        doubled.extend_from_slice(MAGIC_V1);
+        doubled.extend_from_slice(&2u32.to_le_bytes());
+        doubled.extend_from_slice(&entry);
+        doubled.extend_from_slice(&entry);
+
+        let mut dst = ParamStore::new();
+        dst.register("a.w", TensorData::zeros(1, 2));
+        let err = load_params(&mut dst, &doubled).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn v2_roundtrip_restores_everything_bit_identically() {
+        let mut src = store_with(3);
+        let adam = stepped_adam(&mut src, 4);
+        let state = TrainState {
+            rng: [1, 2, 3, 4],
+            next_epoch: 7,
+            best_epoch: 5,
+            best_val: 12.5,
+            extra: vec![9, 8, 7],
+        };
+        let blob = save_checkpoint(&src, &adam, &state);
+
+        let mut dst = store_with(4);
+        let mut dst_adam = Adam::new(0.05);
+        let loaded = load_checkpoint(&mut dst, &mut dst_adam, &blob).unwrap().unwrap();
+        assert_eq!(loaded, state);
+        assert_eq!(dst_adam.steps(), adam.steps());
+        // save→load→save bit-identity
+        assert_eq!(save_checkpoint(&dst, &dst_adam, &loaded), blob);
+    }
+
+    #[test]
+    fn v2_detects_any_single_byte_corruption() {
+        let mut src = store_with(5);
+        let adam = stepped_adam(&mut src, 2);
+        let state = TrainState { best_val: 3.0, ..TrainState::default() };
+        let blob = save_checkpoint(&src, &adam, &state);
+        // Flip one byte in each region: magic, params, adam, state, footer.
+        for &i in &[0, 12, blob.len() / 2, blob.len() - 20, blob.len() - 1] {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x40;
+            let mut dst = store_with(5);
+            let mut dst_adam = Adam::new(0.05);
+            assert!(
+                load_checkpoint(&mut dst, &mut dst_adam, &bad).is_err(),
+                "byte {i} flip undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_rejects_truncation() {
+        let mut src = store_with(6);
+        let adam = stepped_adam(&mut src, 1);
+        let blob = save_checkpoint(&src, &adam, &TrainState::default());
+        for cut in [blob.len() - 1, blob.len() / 2, 9, 3] {
+            let mut dst = store_with(6);
+            let mut dst_adam = Adam::new(0.05);
+            assert!(
+                load_checkpoint(&mut dst, &mut dst_adam, &blob[..cut]).is_err(),
+                "truncation to {cut} bytes undetected"
+            );
+        }
+    }
+
+    /// v1 blobs still load through the v2 entry point: parameters restored,
+    /// `None` returned, optimiser untouched.
+    #[test]
+    fn v1_blob_loads_as_param_only() {
+        let src = store_with(7);
+        let blob = save_params(&src);
+        let mut dst = store_with(8);
+        let mut adam = Adam::new(0.1);
+        let loaded = load_checkpoint(&mut dst, &mut adam, &blob).unwrap();
+        assert!(loaded.is_none());
+        assert_eq!(adam.steps(), 0);
+        for name in ["a.w", "b.w"] {
+            let i = src.by_name(name).unwrap();
+            let j = dst.by_name(name).unwrap();
+            assert_eq!(src.value(i).data, dst.value(j).data, "{name}");
+        }
     }
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repo verification gate: the tier-1 build/test gate plus the robustness
+# suites (fault injection + checkpoint round-trip properties).
+#
+#   ./scripts/verify.sh
+#
+# Exits non-zero on the first failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: release build =="
+cargo build --release
+
+echo "== tier 1: workspace tests =="
+cargo test -q
+
+echo "== robustness: fault-injection suite =="
+cargo test --test fault_injection -q
+
+echo "== robustness: checkpoint round-trip properties =="
+cargo test --test checkpoint_roundtrip -q
+
+echo "verify: all gates green"

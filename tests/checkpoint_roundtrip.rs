@@ -1,0 +1,159 @@
+//! Property tests for the CMRCKPT2 checkpoint format: randomized
+//! parameter stores and optimizer trajectories must round-trip
+//! bit-identically, any single corrupted byte must be detected, and v1
+//! param-only blobs must keep loading through the v2 entry point.
+
+use images_and_recipes::nn::serialize::{
+    load_checkpoint, save_checkpoint, save_params, TrainState,
+};
+use images_and_recipes::nn::{Adam, Bindings, ParamStore};
+use images_and_recipes::tensor::{Graph, TensorData};
+use proptest::prelude::*;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A store with `n` randomly-shaped, randomly-valued parameters plus an
+/// Adam optimizer that has taken `steps` real steps over them.
+fn random_training_state(seed: u64, n: usize, steps: usize) -> (ParamStore, Adam) {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let mut ids = Vec::new();
+    for i in 0..n {
+        let (rows, cols) = (rng.gen_range(1usize..5), rng.gen_range(1usize..5));
+        let data = (0..rows * cols).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        ids.push(store.register(format!("p{i}.w"), TensorData::new(rows, cols, data)));
+    }
+    let mut adam = Adam::new(0.05);
+    for _ in 0..steps {
+        let mut g = Graph::new();
+        let mut binds = Bindings::new();
+        let mut loss = None;
+        for &id in &ids {
+            let x = store.bind(&mut g, &mut binds, id);
+            let sq = g.mul(x, x);
+            let s = g.sum_all(sq);
+            loss = Some(match loss {
+                None => s,
+                Some(acc) => g.add(acc, s),
+            });
+        }
+        g.backward(loss.unwrap());
+        adam.step(&mut store, &g, &binds);
+    }
+    (store, adam)
+}
+
+/// A destination store with the same names/shapes but zeroed values, as a
+/// model constructor would produce before loading.
+fn blank_like(src: &ParamStore) -> ParamStore {
+    let mut dst = ParamStore::new();
+    for id in src.ids() {
+        let v = src.value(id);
+        dst.register(src.name(id).to_string(), TensorData::zeros(v.rows, v.cols));
+    }
+    dst
+}
+
+fn random_state(rng: &mut rand::rngs::SmallRng) -> TrainState {
+    TrainState {
+        rng: [rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()],
+        next_epoch: rng.gen_range(0u64..100),
+        best_epoch: rng.gen_range(0u64..100),
+        best_val: rng.gen_range(0.0f64..50.0),
+        extra: (0..rng.gen_range(0usize..64)).map(|_| rng.next_u64() as u8).collect(),
+    }
+}
+
+proptest! {
+    /// save → load into a blank store/optimizer → save again is the exact
+    /// same byte sequence, for arbitrary stores and Adam trajectories.
+    #[test]
+    fn save_load_save_is_bit_identical(
+        seed in 0u64..1000,
+        n in 1usize..5,
+        steps in 0usize..6,
+    ) {
+        let (store, adam) = random_training_state(seed, n, steps);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
+        let state = random_state(&mut rng);
+        let blob = save_checkpoint(&store, &adam, &state);
+
+        let mut dst = blank_like(&store);
+        let mut dst_adam = Adam::new(0.999); // wrong lr, must be overwritten
+        let loaded = load_checkpoint(&mut dst, &mut dst_adam, &blob)
+            .expect("well-formed checkpoint loads")
+            .expect("v2 blobs carry a TrainState");
+        prop_assert_eq!(save_checkpoint(&dst, &dst_adam, &loaded), blob);
+    }
+
+    /// Corrupting any single byte of the blob is detected — magic, body,
+    /// Adam section, extra payload, or the CRC footer itself — and the
+    /// destination store is left untouched.
+    #[test]
+    fn any_single_byte_corruption_is_detected(
+        seed in 0u64..400,
+        n in 1usize..4,
+        flip_seed in 0u64..1000,
+    ) {
+        let (store, adam) = random_training_state(seed, n, 3);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xBEEF);
+        let state = random_state(&mut rng);
+        let mut blob = save_checkpoint(&store, &adam, &state);
+
+        let mut frng = rand::rngs::SmallRng::seed_from_u64(flip_seed);
+        let offset = frng.gen_range(0..blob.len());
+        let bit = 1u8 << frng.gen_range(0u32..8);
+        blob[offset] ^= bit;
+
+        let mut dst = blank_like(&store);
+        let mut dst_adam = Adam::new(0.05);
+        prop_assert!(
+            load_checkpoint(&mut dst, &mut dst_adam, &blob).is_err(),
+            "flip of bit {} at offset {}/{} went undetected",
+            bit, offset, blob.len()
+        );
+        for id in dst.ids() {
+            prop_assert!(dst.value(id).data.iter().all(|&x| x == 0.0),
+                "corrupt load mutated the destination store");
+        }
+    }
+
+    /// Any truncation of the blob is rejected.
+    #[test]
+    fn any_truncation_is_detected(
+        seed in 0u64..400,
+        cut_seed in 0u64..1000,
+    ) {
+        let (store, adam) = random_training_state(seed, 2, 2);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xF00D);
+        let state = random_state(&mut rng);
+        let blob = save_checkpoint(&store, &adam, &state);
+
+        let mut crng = rand::rngs::SmallRng::seed_from_u64(cut_seed);
+        let keep = crng.gen_range(0..blob.len());
+        let mut dst = blank_like(&store);
+        let mut dst_adam = Adam::new(0.05);
+        prop_assert!(
+            load_checkpoint(&mut dst, &mut dst_adam, &blob[..keep]).is_err(),
+            "truncation to {keep}/{} bytes went undetected", blob.len()
+        );
+    }
+
+    /// v1 param-only blobs load through the v2 entry point: parameters are
+    /// restored bit-identically and the absence of training state is
+    /// reported as `None`.
+    #[test]
+    fn v1_blobs_load_through_the_v2_path(seed in 0u64..500, n in 1usize..5) {
+        let (store, _) = random_training_state(seed, n, 0);
+        let blob = save_params(&store);
+
+        let mut dst = blank_like(&store);
+        let mut dst_adam = Adam::new(0.05);
+        let state = load_checkpoint(&mut dst, &mut dst_adam, &blob)
+            .expect("v1 blob loads");
+        prop_assert!(state.is_none(), "v1 blobs carry no training state");
+        for (a, b) in store.ids().zip(dst.ids()) {
+            prop_assert_eq!(&store.value(a).data, &dst.value(b).data);
+        }
+        prop_assert_eq!(dst_adam.steps(), 0, "v1 load must not invent optimizer state");
+    }
+}

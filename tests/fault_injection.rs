@@ -1,0 +1,235 @@
+//! Fault-injection suite for the crash-safe training subsystem: simulated
+//! kills between epochs, truncated and bit-flipped checkpoint files, and
+//! injected-NaN batches.
+//!
+//! The central invariant is **resume-equivalence**: a run interrupted after
+//! epoch *k* and resumed from disk must end bit-identical (parameters and
+//! per-epoch statistics) to the same run left uninterrupted.
+
+use images_and_recipes::adamine::{
+    FaultPlan, Scenario, TrainConfig, TrainError, TrainedModel, Trainer,
+};
+use images_and_recipes::data::{DataConfig, Dataset, Scale};
+use std::cell::Cell;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tiny_dataset() -> Dataset {
+    Dataset::generate(&DataConfig::for_scale(Scale::Tiny))
+}
+
+fn cfg() -> TrainConfig {
+    TrainConfig { epochs: 4, ..TrainConfig::for_scale_tiny() }
+}
+
+fn trainer() -> Trainer {
+    Trainer::new(Scenario::AdaMine, cfg()).quiet()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("cmr-fault-{tag}-{}-{n}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+/// Every parameter tensor by name — the bit-identity comparison surface.
+fn params_of(m: &TrainedModel) -> Vec<(String, Vec<f32>)> {
+    let store = &m.model.store;
+    store
+        .ids()
+        .map(|id| (store.name(id).to_string(), store.value(id).data.clone()))
+        .collect()
+}
+
+fn assert_bit_identical(a: &TrainedModel, b: &TrainedModel) {
+    assert_eq!(a.best_val_medr, b.best_val_medr, "best val MedR differs");
+    assert_eq!(a.best_epoch, b.best_epoch, "best epoch differs");
+    assert_eq!(a.epochs, b.epochs, "per-epoch statistics differ");
+    let (pa, pb) = (params_of(a), params_of(b));
+    assert_eq!(pa.len(), pb.len());
+    for ((name_a, data_a), (name_b, data_b)) in pa.iter().zip(&pb) {
+        assert_eq!(name_a, name_b);
+        let bits_a: Vec<u32> = data_a.iter().map(|x| x.to_bits()).collect();
+        let bits_b: Vec<u32> = data_b.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "parameter {name_a} is not bit-identical");
+    }
+}
+
+/// Kill after epoch `k`, resume from disk, and demand bit-identity with the
+/// uninterrupted run — the headline crash-safety guarantee. Also proves
+/// checkpointing itself perturbs nothing (run A writes no checkpoints).
+#[test]
+fn kill_and_resume_is_bit_identical_to_uninterrupted() {
+    let d = tiny_dataset();
+    let uninterrupted = trainer().fit(&d).expect("uninterrupted run");
+
+    let dir = scratch_dir("kill");
+    let err = trainer()
+        .with_checkpoints(&dir)
+        .with_fault_plan(FaultPlan::none().with_kill_after_epoch(|e| e == 1))
+        .fit(&d)
+        .err().expect("kill must interrupt the run");
+    assert!(matches!(err, TrainError::Interrupted { epoch: 1 }), "{err}");
+
+    let resumed = trainer().with_checkpoints(&dir).resume().fit(&d).expect("resumed run");
+    assert_bit_identical(&uninterrupted, &resumed);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A truncated `latest.ckpt` is detected (CRC/length) and the store falls
+/// back to `latest.prev.ckpt`; the resumed run redoes one epoch and still
+/// ends bit-identical to the uninterrupted run.
+#[test]
+fn truncated_latest_falls_back_to_previous_good_checkpoint() {
+    let d = tiny_dataset();
+    let uninterrupted = trainer().fit(&d).expect("uninterrupted run");
+
+    let dir = scratch_dir("trunc");
+    trainer()
+        .with_checkpoints(&dir)
+        .with_fault_plan(FaultPlan::none().with_kill_after_epoch(|e| e == 2))
+        .fit(&d)
+        .err().expect("interrupted");
+
+    let latest = dir.join("latest.ckpt");
+    let bytes = fs::read(&latest).unwrap();
+    fs::write(&latest, &bytes[..bytes.len() / 2]).unwrap();
+
+    let resumed = trainer().with_checkpoints(&dir).resume().fit(&d).expect("fallback resume");
+    assert_bit_identical(&uninterrupted, &resumed);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A single flipped bit anywhere in `latest.ckpt` is caught by the CRC
+/// footer and the previous checkpoint is used instead.
+#[test]
+fn bitflipped_latest_falls_back_to_previous_good_checkpoint() {
+    let d = tiny_dataset();
+    let uninterrupted = trainer().fit(&d).expect("uninterrupted run");
+
+    let dir = scratch_dir("flip");
+    trainer()
+        .with_checkpoints(&dir)
+        .with_fault_plan(FaultPlan::none().with_kill_after_epoch(|e| e == 2))
+        .fit(&d)
+        .err().expect("interrupted");
+
+    let latest = dir.join("latest.ckpt");
+    let mut bytes = fs::read(&latest).unwrap();
+    // Flip bits in the payload middle and in the CRC footer itself.
+    for idx in [bytes.len() / 3, bytes.len() - 2] {
+        bytes[idx] ^= 0x10;
+    }
+    fs::write(&latest, &bytes).unwrap();
+
+    let resumed = trainer().with_checkpoints(&dir).resume().fit(&d).expect("fallback resume");
+    assert_bit_identical(&uninterrupted, &resumed);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// When both the latest and the rotated previous checkpoint are corrupt,
+/// resume surfaces a typed checkpoint error instead of panicking or
+/// silently cold-starting.
+#[test]
+fn doubly_corrupt_checkpoints_surface_a_typed_error() {
+    let d = tiny_dataset();
+    let dir = scratch_dir("double");
+    trainer()
+        .with_checkpoints(&dir)
+        .with_fault_plan(FaultPlan::none().with_kill_after_epoch(|e| e == 2))
+        .fit(&d)
+        .err().expect("interrupted");
+
+    for name in ["latest.ckpt", "latest.prev.ckpt"] {
+        let p = dir.join(name);
+        let mut bytes = fs::read(&p).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&p, &bytes).unwrap();
+    }
+
+    let err = trainer().with_checkpoints(&dir).resume().fit(&d).err().expect("both corrupt");
+    assert!(matches!(err, TrainError::Checkpoint(_)), "{err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Resuming a run that already finished returns the checkpointed best model
+/// without retraining a single epoch.
+#[test]
+fn resume_of_a_completed_run_retrains_nothing() {
+    let d = tiny_dataset();
+    let dir = scratch_dir("done");
+    let full = trainer().with_checkpoints(&dir).fit(&d).expect("full run");
+    let resumed = trainer().with_checkpoints(&dir).resume().fit(&d).expect("no-op resume");
+    assert_bit_identical(&full, &resumed);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Injected-NaN batches are skipped — no Adam step, no parameter poisoning
+/// — and the skip count lands in `EpochStats`.
+#[test]
+fn nan_batches_are_skipped_and_counted() {
+    let d = tiny_dataset();
+    let trained = trainer()
+        .with_fault_plan(FaultPlan::none().with_nan_loss(|e, b| e == 1 && (b == 2 || b == 5)))
+        .fit(&d)
+        .expect("training survives isolated NaN batches");
+
+    assert_eq!(trained.epochs[1].skipped_batches, 2, "both injected batches counted");
+    for (i, ep) in trained.epochs.iter().enumerate() {
+        if i != 1 {
+            assert_eq!(ep.skipped_batches, 0, "epoch {i} skipped spuriously");
+        }
+        assert!(ep.mean_loss.is_finite() && ep.val_medr.is_finite());
+    }
+    for (name, data) in params_of(&trained) {
+        assert!(data.iter().all(|x| x.is_finite()), "{name} poisoned by NaN batch");
+    }
+    assert!(trained.best_val_medr < 30.0, "model still learns: {}", trained.best_val_medr);
+}
+
+/// A transient storm of `max_bad_batches` consecutive NaN batches triggers
+/// a rollback to the epoch-start state; the retried epoch replays cleanly
+/// and the run ends bit-identical to a fault-free run.
+#[test]
+fn transient_nan_storm_rolls_back_and_recovers_exactly() {
+    let d = tiny_dataset();
+    let clean = trainer().fit(&d).expect("clean run");
+
+    let k = cfg().max_bad_batches;
+    let fired = Cell::new(0usize);
+    let stormy = trainer()
+        .with_fault_plan(FaultPlan::none().with_nan_loss(move |e, _| {
+            if e == 1 && fired.get() < k {
+                fired.set(fired.get() + 1);
+                true
+            } else {
+                false
+            }
+        }))
+        .fit(&d)
+        .expect("storm is transient — rollback must recover");
+    assert_bit_identical(&clean, &stormy);
+}
+
+/// A persistent NaN source exhausts the rollback retry and fails with
+/// `Diverged` instead of looping or corrupting state.
+#[test]
+fn persistent_nan_storm_diverges_gracefully() {
+    let d = tiny_dataset();
+    let err = trainer()
+        .with_fault_plan(FaultPlan::none().with_nan_loss(|e, _| e == 1))
+        .fit(&d)
+        .err().expect("persistent NaNs cannot be trained through");
+    let k = cfg().max_bad_batches;
+    match err {
+        TrainError::Diverged { epoch, skipped } => {
+            assert_eq!(epoch, 1);
+            assert_eq!(skipped, k, "aborts exactly at the consecutive-bad threshold");
+        }
+        other => panic!("expected Diverged, got {other}"),
+    }
+}

@@ -179,6 +179,25 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state — four 64-bit words. Together with
+        /// [`from_state`](Self::from_state) this lets checkpointing code
+        /// persist a generator mid-stream and resume it bit-exactly.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`state`](Self::state). An all-zero state (invalid for xoshiro)
+        /// is remapped to the same fallback constants as `from_seed`.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                return <Self as SeedableRng>::from_seed([0u8; 32]);
+            }
+            Self { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
@@ -306,6 +325,18 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
         assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left slice in order");
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut a = SmallRng::seed_from_u64(99);
+        for _ in 0..10 {
+            a.gen_range(0u64..1000);
+        }
+        let mut b = SmallRng::from_state(a.state());
+        let xs: Vec<u64> = (0..16).map(|_| a.gen_range(0u64..1_000_000)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen_range(0u64..1_000_000)).collect();
+        assert_eq!(xs, ys, "restored generator must continue the same stream");
     }
 
     #[test]
