@@ -31,6 +31,8 @@
 //! let (imgs, recs) = trained.embed_split(&dataset, cmr_data::Split::Test);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod losses;
 pub mod model;

@@ -114,6 +114,7 @@ pub struct TwoBranchModel {
     /// All trainable parameters.
     pub store: ParamStore,
     cfg: ModelConfig,
+    image_dim: usize,
     word_emb: Embedding,
     ingr_lstm: BiLstm,
     sent_lstm: Lstm,
@@ -162,6 +163,7 @@ impl TwoBranchModel {
         Self {
             store,
             cfg: cfg.clone(),
+            image_dim,
             word_emb,
             ingr_lstm,
             sent_lstm,
@@ -175,6 +177,12 @@ impl TwoBranchModel {
     /// The architecture configuration.
     pub fn config(&self) -> &ModelConfig {
         &self.cfg
+    }
+
+    /// Input dimensionality of the image backbone features the adapter was
+    /// built for.
+    pub fn image_dim(&self) -> usize {
+        self.image_dim
     }
 
     /// Freezes / unfreezes the image backbone adapter — the paper's
@@ -245,6 +253,7 @@ impl TwoBranchModel {
         let head = self
             .cls_head
             .as_ref()
+            // cmr-lint: allow(no-panic-lib) documented # Panics; callers gate on has_head()
             .expect("TwoBranchModel::classify: model has no classification head");
         head.forward(g, binds, &self.store, emb)
     }

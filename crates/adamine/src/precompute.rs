@@ -63,6 +63,7 @@ impl SentenceFeaturizer {
         }
         let mut out = vec![0.0f32; self.out_dim];
         for (i, &mi) in mean.iter().enumerate() {
+            // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
             if mi == 0.0 {
                 continue;
             }

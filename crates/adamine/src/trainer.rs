@@ -26,7 +26,7 @@ use crate::model::{BatchInputs, TwoBranchModel};
 use crate::precompute::{RecipeFeatures, SentenceFeaturizer};
 use crate::scenario::Scenario;
 use cmr_data::{BatchSampler, Dataset, Recipe, Split};
-use cmr_nn::{serialize, Adam, Bindings, CheckpointStore, Slot, TrainState};
+use cmr_nn::{serialize, Adam, Bindings, CheckpointError, CheckpointStore, Slot, TrainState};
 use cmr_retrieval::{median_rank, ranks_of_matches, Embeddings};
 use cmr_tensor::Graph;
 use cmr_word2vec::{SgnsConfig, WordVectors};
@@ -63,7 +63,7 @@ pub enum TrainError {
     NoEpochs,
     /// Saving or loading a checkpoint failed (IO error, corrupt blob, or
     /// an architecture mismatch against the checkpoint).
-    Checkpoint(io::Error),
+    Checkpoint(CheckpointError),
     /// The non-finite guard tripped `max_bad_batches` times in a row and a
     /// rollback retry of the epoch diverged again.
     Diverged {
@@ -215,6 +215,7 @@ impl Trainer {
     /// # Panics
     /// Panics on any [`TrainError`]; call `fit` to handle failures.
     pub fn run(&self, dataset: &Dataset) -> TrainedModel {
+        // cmr-lint: allow(no-panic-lib) documented panicking compatibility wrapper over fit()
         self.fit(dataset).unwrap_or_else(|e| panic!("training failed: {e}"))
     }
 
@@ -279,9 +280,12 @@ impl Trainer {
                 match loaded {
                     Some(Some(ts)) => {
                         apply_train_state(&ts, &mut rng, &mut stats, &mut best, &mut sampler)
-                            .map_err(TrainError::Checkpoint)?;
+                            .map_err(|source| {
+                                TrainError::Checkpoint(CheckpointError::Decode { source })
+                            })?;
                         start_epoch = ts.next_epoch as usize;
                         if !self.quiet {
+                            // cmr-lint: allow(no-println-lib) progress logging, suppressed by quiet()
                             eprintln!(
                                 "[{}] resuming at epoch {start_epoch} (best val MedR {:.1} @ epoch {})",
                                 self.scenario.name(),
@@ -295,6 +299,7 @@ impl Trainer {
                         // restarts — re-impose the phase-one freeze.
                         model.set_backbone_frozen(tcfg.freeze_epochs > 0);
                         if !self.quiet {
+                            // cmr-lint: allow(no-println-lib) progress logging, suppressed by quiet()
                             eprintln!(
                                 "[{}] resuming from a v1 param-only checkpoint: restarting at epoch 0",
                                 self.scenario.name()
@@ -327,6 +332,7 @@ impl Trainer {
                             return Err(TrainError::Diverged { epoch, skipped });
                         }
                         if !self.quiet {
+                            // cmr-lint: allow(no-println-lib) progress logging, suppressed by quiet()
                             eprintln!(
                                 "[{}] epoch {epoch}: {skipped} consecutive non-finite batches — rolling back to last good state",
                                 self.scenario.name()
@@ -336,7 +342,9 @@ impl Trainer {
                             &epoch_start, &mut model, &mut adam, &mut rng, &mut stats, &mut best,
                             &mut sampler,
                         )
-                        .map_err(TrainError::Checkpoint)?;
+                        .map_err(|source| {
+                            TrainError::Checkpoint(CheckpointError::Decode { source })
+                        })?;
                         retried = true;
                     }
                 }
@@ -355,6 +363,7 @@ impl Trainer {
             if !self.quiet {
                 let skip_note =
                     if skipped > 0 { format!("  skipped {skipped}") } else { String::new() };
+                // cmr-lint: allow(no-println-lib) progress logging, suppressed by quiet()
                 eprintln!(
                     "[{}] epoch {epoch:>2}: loss {mean_loss:.4}  val MedR {medr:.1}  active {:.0}%{skip_note}",
                     self.scenario.name(),
@@ -379,7 +388,8 @@ impl Trainer {
 
         // restore the best-validation checkpoint (§4.4 model selection)
         let (best_val_medr, best_epoch, blob) = best.ok_or(TrainError::NoEpochs)?;
-        serialize::load_params(&mut model.store, &blob).map_err(TrainError::Checkpoint)?;
+        serialize::load_params(&mut model.store, &blob)
+            .map_err(|source| TrainError::Checkpoint(CheckpointError::Decode { source }))?;
 
         Ok(TrainedModel {
             scenario: self.scenario,
@@ -585,16 +595,25 @@ impl<'a> Wire<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Consumes exactly `N` bytes as an array; no panic path once `take`
+    /// succeeds.
+    fn array<const N: usize>(&mut self) -> io::Result<[u8; N]> {
+        let head = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(head);
+        Ok(out)
+    }
+
     fn u32(&mut self) -> io::Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> io::Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f64(&mut self) -> io::Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.array()?))
     }
 }
 
@@ -807,10 +826,7 @@ impl TrainedModel {
     /// sentence features (e.g. the mean training-set instruction feature
     /// used by the ingredient-to-image protocol, §5.3).
     pub fn embed_recipe_parts(&self, ingr_tokens: &[usize], sent_feats: &[Vec<f32>]) -> Vec<f32> {
-        let img_dim = self.model.store.value(
-            self.model.store.by_name("image.adapter.w").expect("adapter"),
-        ).rows;
-        let dummy_img = vec![0.0f32; img_dim];
+        let dummy_img = vec![0.0f32; self.model.image_dim()];
         let inputs = BatchInputs::from_parts(
             &[&dummy_img],
             &[ingr_tokens],

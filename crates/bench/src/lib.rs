@@ -15,6 +15,8 @@
 //!
 //! Run everything with `cargo run --release -p cmr-bench --bin exp_all`.
 
+#![forbid(unsafe_code)]
+
 use cmr_adamine::{ModelConfig, Scenario, TrainConfig, TrainedModel, Trainer};
 use cmr_cca::Cca;
 use cmr_data::{DataConfig, Dataset, Scale, Split};
@@ -68,15 +70,18 @@ impl ExpContext {
                         "tiny" => Scale::Tiny,
                         "default" => Scale::Default,
                         "paper" => Scale::Paper,
+                        // cmr-lint: allow(no-panic-lib) CLI fails fast on a bad flag
                         other => panic!("unknown scale {other:?} (tiny|default|paper)"),
                     };
                 }
                 "--epochs" => {
                     i += 1;
+                    // cmr-lint: allow(no-panic-lib) CLI fails fast on a bad flag
                     epochs = Some(args[i].parse().expect("--epochs takes a number"));
                 }
                 "--seed" => {
                     i += 1;
+                    // cmr-lint: allow(no-panic-lib) CLI fails fast on a bad flag
                     seed = Some(args[i].parse().expect("--seed takes a number"));
                 }
                 "--out" => {
@@ -90,6 +95,7 @@ impl ExpContext {
                 "--resume" => {
                     resume = true;
                 }
+                // cmr-lint: allow(no-panic-lib) CLI fails fast on a bad flag
                 other => panic!("unknown argument {other:?}"),
             }
             i += 1;
@@ -146,6 +152,7 @@ impl ExpContext {
         if let Some(s) = seed {
             tcfg.seed = s;
         }
+        // cmr-lint: allow(no-panic-lib) dev harness: unwritable output dir is unrecoverable
         std::fs::create_dir_all(&out_dir).expect("create output directory");
         Self { dataset, scale, tcfg, mcfg, out_dir, checkpoint_dir: None, resume: false }
     }
@@ -208,6 +215,7 @@ pub fn scenario_dir_name(scenario: Scenario) -> String {
 /// Panics on IO errors (developer tooling).
 pub fn save_json<T: ToJson>(path: &Path, value: &T) {
     cmr_nn::atomic_write(path, value.to_json().pretty().as_bytes())
+        // cmr-lint: allow(no-panic-lib) documented # Panics; developer tooling writes
         .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
 }
 
@@ -316,7 +324,8 @@ pub fn cca_baseline(
     let x = image_features(dataset, &train_ids);
     let y = cca_text_features(trained, dataset, &train_ids);
     let k = 32.min(x.cols.min(y.cols));
-    let cca = Cca::fit(&x, &y, k, 1e-2);
+    // cmr-lint: allow(no-panic-lib) bench harness fails fast on degenerate features
+    let cca = Cca::fit(&x, &y, k, 1e-2).expect("CCA fit on ridge-regularised features");
 
     let test_ids: Vec<usize> = dataset.split_range(Split::Test).collect();
     let px = cca.project_x(&image_features(dataset, &test_ids));

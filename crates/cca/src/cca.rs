@@ -5,6 +5,30 @@ use cmr_linalg::{
     solve_upper_triangular, Mat,
 };
 
+/// Why a [`Cca::fit`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CcaError {
+    /// The regularised auto-covariance of the named modality is not positive
+    /// definite; raise `reg`.
+    NotPositiveDefinite {
+        /// `"x"` or `"y"` — which modality's covariance failed.
+        modality: &'static str,
+    },
+}
+
+impl std::fmt::Display for CcaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CcaError::NotPositiveDefinite { modality } => write!(
+                f,
+                "Cca::fit: regularised Σ{modality}{modality} is not positive definite — raise reg"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CcaError {}
+
 /// A fitted CCA model.
 ///
 /// Given paired samples `X: (n, dx)`, `Y: (n, dy)`, finds `Wx: (dx, k)`,
@@ -27,10 +51,13 @@ impl Cca {
     /// Fits CCA with `k` components and ridge regularisation `reg` on both
     /// auto-covariances (needed whenever `n < d` or features are collinear).
     ///
+    /// Returns [`CcaError::NotPositiveDefinite`] when a regularised
+    /// covariance has no Cholesky factor (increase `reg`).
+    ///
     /// # Panics
-    /// Panics if the samples are unpaired, `k` exceeds `min(dx, dy)`, or the
-    /// regularised covariances are not positive definite (increase `reg`).
-    pub fn fit(x: &Mat, y: &Mat, k: usize, reg: f64) -> Self {
+    /// Panics if the samples are unpaired or `k` exceeds `min(dx, dy)` —
+    /// caller bugs, not data conditions.
+    pub fn fit(x: &Mat, y: &Mat, k: usize, reg: f64) -> Result<Self, CcaError> {
         assert_eq!(x.rows, y.rows, "Cca::fit: unpaired samples");
         assert!(
             k >= 1 && k <= x.cols.min(y.cols),
@@ -46,8 +73,10 @@ impl Cca {
         cxx.add_diag(reg);
         cyy.add_diag(reg);
 
-        let lx = cholesky(&cxx).expect("Cca::fit: Σxx not PD — raise reg");
-        let ly = cholesky(&cyy).expect("Cca::fit: Σyy not PD — raise reg");
+        let lx = cholesky(&cxx)
+            .ok_or(CcaError::NotPositiveDefinite { modality: "x" })?;
+        let ly = cholesky(&cyy)
+            .ok_or(CcaError::NotPositiveDefinite { modality: "y" })?;
 
         // M = Lx⁻¹ · Σxy · Ly⁻ᵀ  (whitened cross-covariance)
         let m_left = solve_lower_triangular(&lx, &cxy); // Lx⁻¹ Σxy : (dx, dy)
@@ -79,7 +108,7 @@ impl Cca {
         let wx = solve_upper_triangular(&lx.t(), &u);
         let wy = solve_upper_triangular(&ly.t(), &v);
 
-        Self { mean_x, mean_y, wx, wy, correlations, weight_by_correlation: true }
+        Ok(Self { mean_x, mean_y, wx, wy, correlations, weight_by_correlation: true })
     }
 
     /// Number of canonical components.
@@ -159,7 +188,7 @@ mod tests {
     #[test]
     fn recovers_strong_correlations() {
         let (x, y) = correlated_pair(400, 3, 6, 5, 0.05, 1);
-        let cca = Cca::fit(&x, &y, 3, 1e-4);
+        let cca = Cca::fit(&x, &y, 3, 1e-4).unwrap();
         assert!(
             cca.correlations[0] > 0.95,
             "top canonical correlation {:?}",
@@ -171,7 +200,7 @@ mod tests {
     #[test]
     fn projections_of_pairs_correlate() {
         let (x, y) = correlated_pair(300, 2, 5, 4, 0.1, 2);
-        let cca = Cca::fit(&x, &y, 2, 1e-4);
+        let cca = Cca::fit(&x, &y, 2, 1e-4).unwrap();
         let px = cca.project_x(&x);
         let py = cca.project_y(&y);
         // empirical correlation of the first component
@@ -192,7 +221,7 @@ mod tests {
     #[test]
     fn retrieval_beats_chance() {
         let (x, y) = correlated_pair(200, 4, 8, 7, 0.1, 3);
-        let cca = Cca::fit(&x, &y, 4, 1e-4);
+        let cca = Cca::fit(&x, &y, 4, 1e-4).unwrap();
         let px = cca.project_x(&x);
         let py = cca.project_y(&y);
         // median rank by cosine distance
@@ -215,10 +244,20 @@ mod tests {
     }
 
     #[test]
+    fn non_positive_definite_is_a_typed_error() {
+        // Zero data with zero regularisation: Σxx is singular.
+        let x = Mat::zeros(10, 3);
+        let y = Mat::zeros(10, 2);
+        let err = Cca::fit(&x, &y, 2, 0.0).err().expect("singular covariance");
+        assert_eq!(err, CcaError::NotPositiveDefinite { modality: "x" });
+        assert!(err.to_string().contains("raise reg"), "{err}");
+    }
+
+    #[test]
     #[should_panic(expected = "unpaired")]
     fn rejects_unpaired() {
         let x = Mat::zeros(10, 3);
         let y = Mat::zeros(9, 3);
-        Cca::fit(&x, &y, 2, 1e-3);
+        let _ = Cca::fit(&x, &y, 2, 1e-3);
     }
 }

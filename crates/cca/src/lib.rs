@@ -10,6 +10,8 @@
 //! Cholesky whitening, and the symmetric eigenproblem of the whitened
 //! cross-covariance.
 
+#![forbid(unsafe_code)]
+
 pub mod cca;
 
-pub use cca::Cca;
+pub use cca::{Cca, CcaError};

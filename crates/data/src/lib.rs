@@ -23,6 +23,8 @@
 //! mini-batches = 50 unlabeled + 50 labeled pairs) and the word corpus that
 //! `cmr-word2vec` pretrains on.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod dataset;
 pub mod names;

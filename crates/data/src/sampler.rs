@@ -49,6 +49,7 @@ impl BatchSampler {
         let n_classes = dataset.world.config().n_classes;
         let mut by_class = vec![Vec::new(); n_classes];
         for &i in &labeled {
+            // cmr-lint: allow(no-panic-lib) ids come from the labeled set built above
             let c = dataset.recipes[i].label.expect("labeled id");
             by_class[c].push(i);
         }

@@ -51,6 +51,7 @@ impl FrozenCnn {
         assert_eq!(z.len(), self.in_dim, "FrozenCnn::forward: latent dim mismatch");
         let mut h = self.b1.clone();
         for (i, &zi) in z.iter().enumerate() {
+            // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
             if zi == 0.0 {
                 continue;
             }
@@ -64,6 +65,7 @@ impl FrozenCnn {
         }
         let mut out = vec![0.0f32; self.out_dim];
         for (i, &hv) in h.iter().enumerate() {
+            // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
             if hv == 0.0 {
                 continue;
             }

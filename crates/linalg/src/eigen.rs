@@ -79,7 +79,7 @@ pub fn eigh(a: &Mat) -> EighResult {
 
     // Sort descending by eigenvalue.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m.get(j, j).partial_cmp(&m.get(i, i)).expect("finite eigenvalues"));
+    order.sort_by(|&i, &j| m.get(j, j).total_cmp(&m.get(i, i)));
     let values: Vec<f64> = order.iter().map(|&i| m.get(i, i)).collect();
     let mut vectors = Mat::zeros(n, n);
     for (new_c, &old_c) in order.iter().enumerate() {

@@ -9,6 +9,8 @@
 //! `f64` is used throughout: CCA whitens covariance matrices, which squares
 //! condition numbers, and `f32` loses too much precision there.
 
+#![forbid(unsafe_code)]
+
 pub mod decomp;
 pub mod eigen;
 pub mod matrix;

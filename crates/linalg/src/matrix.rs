@@ -105,6 +105,7 @@ impl Mat {
         for i in 0..m {
             for l in 0..k {
                 let a = self.data[i * k + l];
+                // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
                 if a == 0.0 {
                     continue;
                 }

@@ -45,6 +45,7 @@ pub fn cross_covariance(x: &Mat, y: &Mat) -> Mat {
         let yr = y.row(r);
         for i in 0..x.cols {
             let xc = xr[i] - mx[i];
+            // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
             if xc == 0.0 {
                 continue;
             }

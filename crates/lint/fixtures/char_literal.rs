@@ -1,0 +1,18 @@
+//! Fixture: a `'"'` char literal must not open a string — if the lexer
+//! desyncs here, the `real_violation` below is swallowed and the fixture
+//! test catches it (the violation must still be reported).
+
+/// The double-quote char: deadly for quote-counting lexers.
+pub fn quote_char() -> char {
+    '"'
+}
+
+/// More chars that look like openers: escapes, lifetimes nearby.
+pub fn tricky<'a>(s: &'a str) -> (char, char, char, &'a str) {
+    ('\'', '\\', '\n', s)
+}
+
+/// This one IS a violation and must be found despite the chars above.
+pub fn real_violation(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -1,0 +1,15 @@
+//! Fixture: nested block comments hide code from the rules.
+
+/* outer /* inner x.unwrap() */ still a comment: panic!("not code") */
+
+/// Doc examples are comments, so their `unwrap()` is exempt:
+///
+/// ```
+/// let v: Option<u32> = Some(1);
+/// let x = v.unwrap();
+/// println!("{x}");
+/// ```
+pub fn documented() -> u32 {
+    /* one more /* level /* deep */ todo!() */ */
+    7
+}

@@ -1,0 +1,29 @@
+//! Fixture: the matching grad-check suite for `op_enum.rs`. Only identifiers
+//! inside `#[cfg(test)]` regions count as coverage.
+
+/// Not coverage: `uncovered` outside a test module must not count.
+pub fn uncovered() {}
+
+#[cfg(test)]
+mod tests {
+    fn grad_check(_f: impl Fn()) {}
+
+    #[test]
+    fn covers_matmuls() {
+        grad_check(|| {
+            let _ = "g.matmul(a, b)";
+        });
+        // identifiers, not strings, are what count:
+        let (matmul, matmul_transb) = (1, 2);
+        assert!(matmul < matmul_transb);
+    }
+
+    #[test]
+    fn covers_elementwise() {
+        grad_check(|| {});
+        let scale = 1.0f32;
+        let slice_cols = (0usize, 1usize);
+        let row_l2_normalize = scale;
+        assert!(slice_cols.0 < 1 && row_l2_normalize > 0.0);
+    }
+}

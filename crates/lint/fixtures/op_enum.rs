@@ -1,0 +1,22 @@
+//! Fixture: a miniature `Op` enum for the op-coverage rule. Variant names
+//! exercise the CamelCase↔snake_case normalisation (`MatMulTransB` must
+//! match a `matmul_transb` builder call, not `mat_mul_trans_b`).
+
+/// The operator enum (mirrors the real one's shape).
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Covered via `matmul`.
+    MatMul,
+    /// Covered via `matmul_transb` — irregular snake form.
+    MatMulTransB,
+    /// Covered, carries a payload.
+    Scale(f32),
+    /// Covered, struct-like variant.
+    SliceCols { start: usize, len: usize },
+    /// Covered with a digit in the name.
+    RowL2Normalize { eps: f32 },
+    /// NOT covered: the fixture test expects exactly this finding.
+    Uncovered,
+    /// Allowlisted: not a differentiable computation.
+    Leaf { requires_grad: bool }, // cmr-lint: allow(op-coverage) tape input, not an operator
+}

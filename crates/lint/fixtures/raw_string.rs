@@ -1,0 +1,19 @@
+//! Fixture: panic-looking text inside string literals must not be findings.
+//! A naive grep flags every line of this file; the lexer flags none.
+
+/// Strings that merely *mention* the banned constructs.
+pub fn strings_are_not_code() -> Vec<String> {
+    vec![
+        "x.unwrap()".to_string(),
+        "please do not panic!".to_string(),
+        r"raw: value.expect(boom) and x.unwrap()".to_string(),
+        r#"raw-hash: thing.unwrap() and panic!("no") and dbg!(x)"#.to_string(),
+        r##"deeper "# nesting: todo!() "##.to_string(),
+        String::from("println!(\"not a real print\")"),
+    ]
+}
+
+/// Byte strings too.
+pub fn byte_strings() -> (&'static [u8], &'static [u8]) {
+    (b"a.unwrap()", br#"b.expect("nope") unimplemented!()"#)
+}

@@ -1,0 +1,39 @@
+//! Fixture: exactly one violation of each per-file rule, in order.
+
+/// no-panic-lib: method form.
+pub fn v1(v: Option<u32>) -> u32 {
+    v.expect("boom")
+}
+
+/// no-panic-lib: macro form.
+pub fn v2() {
+    todo!()
+}
+
+/// env-centralization.
+pub fn v3() -> Option<String> {
+    std::env::var("SOME_KNOB").ok()
+}
+
+/// no-println-lib.
+pub fn v4() {
+    println!("library noise");
+}
+
+/// float-eq.
+pub fn v5(x: f32) -> bool {
+    x == 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from every per-file rule.
+    #[test]
+    fn exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        println!("fine in tests");
+        let knob = std::env::var("ANYTHING");
+        assert!(knob.is_err() || 0.5 == 0.5);
+    }
+}

@@ -1,0 +1,570 @@
+//! A hand-rolled Rust lexer, just deep enough for lint rules.
+//!
+//! This is deliberately **not** a parser: the lint rules only need a reliable
+//! token stream with line/column positions. What the lexer must get right —
+//! and what breaks naive grep-based linting — is *what is not code*:
+//!
+//! * string literals (`"…"`, raw `r#"…"#` with any `#` depth, byte strings),
+//! * char literals (including `'"'` and escapes) vs. lifetimes (`'a`),
+//! * line comments, doc comments, and **nested** block comments,
+//! * attributes (`#[…]` / `#![…]`), captured as single tokens so rules can
+//!   inspect `#[cfg(test)]` without tripping over the tokens inside.
+//!
+//! A `r#"…"#` raw string containing `unwrap()` must lex as one string token,
+//! not an `unwrap` identifier — the fixture suite locks this in.
+
+use std::fmt;
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A lifetime such as `'a` (quote included in the text).
+    Lifetime,
+    /// Integer literal (including hex/octal/binary, any suffix).
+    Int,
+    /// Float literal (`1.0`, `1e-3`, `2f32`, …).
+    Float,
+    /// String or byte-string literal, quotes included.
+    Str,
+    /// Raw (byte-)string literal, `r`/`b` prefix and hashes included.
+    RawStr,
+    /// Char or byte-char literal, quotes included.
+    Char,
+    /// Punctuation / operator; multi-char operators are one token.
+    Punct,
+    /// A whole attribute. `inner` is true for `#![…]`.
+    Attr {
+        /// `true` for inner attributes (`#![…]`).
+        inner: bool,
+    },
+    /// A `//` comment. `doc` is true for `///` and `//!`.
+    LineComment {
+        /// `true` for doc comments.
+        doc: bool,
+    },
+    /// A `/* … */` comment (nesting handled). `doc` is true for `/**`/`/*!`.
+    BlockComment {
+        /// `true` for doc comments.
+        doc: bool,
+    },
+}
+
+/// One lexeme with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` for comment tokens (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment { .. } | TokenKind::BlockComment { .. })
+    }
+
+    /// `true` when this is a punctuation token with exactly this text.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == p
+    }
+
+    /// `true` when this is an identifier token with exactly this text.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// A lexing failure (unterminated literal or comment).
+#[derive(Debug)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line where the offending construct started.
+    pub line: u32,
+    /// 1-based column where the offending construct started.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Self { chars: src.chars().collect(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, message: &str, line: u32, col: u32) -> LexError {
+        LexError { message: message.to_string(), line, col }
+    }
+
+    fn text_since(&self, start: usize) -> String {
+        self.chars[start..self.pos].iter().collect()
+    }
+
+    /// Consumes ident-continue characters (`[A-Za-z0-9_]`).
+    fn eat_ident_continue(&mut self) {
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+    }
+
+    /// Consumes a `"…"` body after the opening quote; escapes respected.
+    fn eat_string_body(&mut self, line: u32, col: u32) -> Result<(), LexError> {
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump(); // whatever is escaped, skip it
+                }
+                Some('"') => return Ok(()),
+                Some(_) => {}
+                None => return Err(self.err("unterminated string literal", line, col)),
+            }
+        }
+    }
+
+    /// Consumes a raw-string body after `r##…#` once the opening `"` is next.
+    fn eat_raw_string(&mut self, hashes: usize, line: u32, col: u32) -> Result<(), LexError> {
+        match self.bump() {
+            Some('"') => {}
+            _ => return Err(self.err("malformed raw string opener", line, col)),
+        }
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        return Ok(());
+                    }
+                }
+                Some(_) => {}
+                None => return Err(self.err("unterminated raw string literal", line, col)),
+            }
+        }
+    }
+
+    /// Consumes a char/byte-char body after the opening `'`.
+    fn eat_char_body(&mut self, line: u32, col: u32) -> Result<(), LexError> {
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump();
+                }
+                Some('\'') => return Ok(()),
+                Some(_) => {}
+                None => return Err(self.err("unterminated char literal", line, col)),
+            }
+        }
+    }
+
+    /// Consumes a (possibly nested) block comment after the opening `/*`.
+    /// Returns the nesting-aware body.
+    fn eat_block_comment(&mut self, line: u32, col: u32) -> Result<(), LexError> {
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                Some('/') if self.peek(0) == Some('*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some('*') if self.peek(0) == Some('/') => {
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {}
+                None => return Err(self.err("unterminated block comment", line, col)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes an attribute body after `#` (and optional `!`), starting at
+    /// the `[`. Brackets nest; strings/chars/comments inside are respected.
+    fn eat_attr(&mut self, line: u32, col: u32) -> Result<(), LexError> {
+        match self.bump() {
+            Some('[') => {}
+            _ => return Err(self.err("malformed attribute", line, col)),
+        }
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                Some('[') => depth += 1,
+                Some(']') => depth -= 1,
+                Some('"') => self.eat_string_body(line, col)?,
+                Some('\'') => {
+                    // lifetime or char inside an attr: treat like main loop
+                    if matches!(self.peek(0), Some(c) if c.is_alphabetic() || c == '_')
+                        && self.peek(1) != Some('\'')
+                    {
+                        self.bump();
+                        self.eat_ident_continue();
+                    } else {
+                        self.eat_char_body(line, col)?;
+                    }
+                }
+                Some('/') if self.peek(0) == Some('*') => {
+                    self.bump();
+                    self.eat_block_comment(line, col)?;
+                }
+                Some(_) => {}
+                None => return Err(self.err("unterminated attribute", line, col)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Lexes a numeric literal starting at the current digit.
+    fn eat_number(&mut self) -> TokenKind {
+        let mut is_float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            self.bump();
+            self.bump();
+            self.eat_ident_continue(); // hex digits + any suffix
+            return TokenKind::Int;
+        }
+        while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+        // Fractional part only when `.` is followed by a digit — keeps `0..n`
+        // ranges and `x.0` tuple indexing out of the literal.
+        if self.peek(0) == Some('.') && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                self.bump();
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let sign = usize::from(matches!(self.peek(1), Some('+' | '-')));
+            if matches!(self.peek(1 + sign), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                self.bump(); // e
+                if sign == 1 {
+                    self.bump();
+                }
+                while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+        }
+        // Suffix (`f32`, `u64`, …).
+        if matches!(self.peek(0), Some(c) if c.is_alphabetic()) {
+            if self.peek(0) == Some('f') {
+                is_float = true;
+            }
+            self.eat_ident_continue();
+        }
+        if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+}
+
+/// Lexes `src` into a token stream (comments and attributes included).
+///
+/// # Errors
+/// Returns a [`LexError`] for unterminated strings, chars, block comments,
+/// or attributes — anything that would also fail `rustc`'s lexer.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace.
+        while matches!(lx.peek(0), Some(c) if c.is_whitespace()) {
+            lx.bump();
+        }
+        let (line, col, start) = (lx.line, lx.col, lx.pos);
+        let c = match lx.peek(0) {
+            Some(c) => c,
+            None => return Ok(out),
+        };
+        let kind = match c {
+            '/' if lx.peek(1) == Some('/') => {
+                lx.bump();
+                lx.bump();
+                let doc = matches!(lx.peek(0), Some('/' | '!'));
+                while !matches!(lx.peek(0), Some('\n') | None) {
+                    lx.bump();
+                }
+                TokenKind::LineComment { doc }
+            }
+            '/' if lx.peek(1) == Some('*') => {
+                lx.bump();
+                lx.bump();
+                let doc = matches!(lx.peek(0), Some('*' | '!'))
+                    // `/**/` is an empty plain comment, not a doc comment
+                    && !(lx.peek(0) == Some('*') && lx.peek(1) == Some('/'));
+                lx.eat_block_comment(line, col)?;
+                TokenKind::BlockComment { doc }
+            }
+            '#' if lx.peek(1) == Some('[') || (lx.peek(1) == Some('!') && lx.peek(2) == Some('[')) => {
+                lx.bump(); // '#'
+                let inner = lx.peek(0) == Some('!');
+                if inner {
+                    lx.bump();
+                }
+                lx.eat_attr(line, col)?;
+                TokenKind::Attr { inner }
+            }
+            '"' => {
+                lx.bump();
+                lx.eat_string_body(line, col)?;
+                TokenKind::Str
+            }
+            '\'' => {
+                lx.bump();
+                // Lifetime: `'` + ident-start not closed by another quote.
+                if matches!(lx.peek(0), Some(ch) if ch.is_alphabetic() || ch == '_')
+                    && lx.peek(1) != Some('\'')
+                {
+                    lx.bump();
+                    lx.eat_ident_continue();
+                    TokenKind::Lifetime
+                } else {
+                    lx.eat_char_body(line, col)?;
+                    TokenKind::Char
+                }
+            }
+            'r' if lx.peek(1) == Some('"')
+                || (lx.peek(1) == Some('#') && raw_string_follows(&lx, 1)) =>
+            {
+                lx.bump(); // r
+                let mut hashes = 0usize;
+                while lx.peek(0) == Some('#') {
+                    lx.bump();
+                    hashes += 1;
+                }
+                lx.eat_raw_string(hashes, line, col)?;
+                TokenKind::RawStr
+            }
+            'b' if lx.peek(1) == Some('"') => {
+                lx.bump();
+                lx.bump();
+                lx.eat_string_body(line, col)?;
+                TokenKind::Str
+            }
+            'b' if lx.peek(1) == Some('\'') => {
+                lx.bump();
+                lx.bump();
+                lx.eat_char_body(line, col)?;
+                TokenKind::Char
+            }
+            'b' if lx.peek(1) == Some('r')
+                && (lx.peek(2) == Some('"')
+                    || (lx.peek(2) == Some('#') && raw_string_follows(&lx, 2))) =>
+            {
+                lx.bump(); // b
+                lx.bump(); // r
+                let mut hashes = 0usize;
+                while lx.peek(0) == Some('#') {
+                    lx.bump();
+                    hashes += 1;
+                }
+                lx.eat_raw_string(hashes, line, col)?;
+                TokenKind::RawStr
+            }
+            ch if ch.is_alphabetic() || ch == '_' => {
+                // `r#raw_ident` — skip the hash, lex as ident.
+                if ch == 'r' && lx.peek(1) == Some('#') {
+                    lx.bump();
+                    lx.bump();
+                }
+                lx.bump();
+                lx.eat_ident_continue();
+                TokenKind::Ident
+            }
+            ch if ch.is_ascii_digit() => lx.eat_number(),
+            _ => {
+                let mut matched = false;
+                for p in PUNCTS {
+                    if lx.chars[lx.pos..].starts_with(&p.chars().collect::<Vec<_>>()[..]) {
+                        for _ in 0..p.len() {
+                            lx.bump();
+                        }
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    lx.bump();
+                }
+                TokenKind::Punct
+            }
+        };
+        out.push(Token { kind, text: lx.text_since(start), line, col });
+    }
+}
+
+/// After an `r` (at `chars[pos + off]` == `#`), does a `#…#"` raw-string
+/// opener follow? Distinguishes `r#"…"#` from the raw identifier `r#ident`.
+fn raw_string_follows(lx: &Lexer, off: usize) -> bool {
+    let mut i = off;
+    while lx.peek(i) == Some('#') {
+        i += 1;
+    }
+    lx.peek(i) == Some('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lex").into_iter().map(|t| t.kind).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .expect("lex")
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_with_unwrap_is_one_token() {
+        let src = r###"let s = r#"x.unwrap() panic!("no")"#;"###;
+        assert_eq!(idents(src), vec!["let", "s"]);
+        let toks = lex(src).expect("lex");
+        let raw = toks.iter().find(|t| t.kind == TokenKind::RawStr).expect("raw string token");
+        assert_eq!(raw.text, r###"r#"x.unwrap() panic!("no")"#"###);
+    }
+
+    #[test]
+    fn raw_byte_string_and_deeper_hashes() {
+        let src = r####"let a = br#"x.expect("no")"#; let b = r##"quote "# inside"##;"####;
+        let toks = lex(src).expect("lex");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::RawStr).count(), 2);
+        assert!(!idents(src).contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comment_hides_code() {
+        let src = "/* a /* b.unwrap() */ panic!() */ fn ok() {}";
+        assert_eq!(idents(src), vec!["fn", "ok"]);
+    }
+
+    #[test]
+    fn double_quote_char_literal_does_not_open_a_string() {
+        let src = "let c = '\"'; let v = x.unwrap();";
+        assert!(idents(src).contains(&"unwrap".to_string()));
+        let toks = lex(src).expect("lex");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Char && t.text == "'\"'"));
+        assert!(!toks.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let toks = lex(src).expect("lex");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count(), 3);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 0);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let src = "let a = 1.5; let b = 2e-3; let c = 4f32; let d = 7; for i in 0..n {} t.0";
+        let k = kinds(src);
+        assert_eq!(k.iter().filter(|k| **k == TokenKind::Float).count(), 3);
+        // `0..n` stays Int + `..` + ident; `t.0` is Punct + Int.
+        assert!(k.contains(&TokenKind::Int));
+    }
+
+    #[test]
+    fn attributes_are_single_tokens() {
+        let src = "#[cfg(all(test, feature = \"x\"))] mod t {} #![deny(missing_docs)]";
+        let toks = lex(src).expect("lex");
+        let attrs: Vec<_> =
+            toks.iter().filter(|t| matches!(t.kind, TokenKind::Attr { .. })).collect();
+        assert_eq!(attrs.len(), 2);
+        assert!(attrs[0].text.contains("cfg(all(test"));
+        assert!(matches!(attrs[1].kind, TokenKind::Attr { inner: true }));
+    }
+
+    #[test]
+    fn doc_comments_flagged() {
+        let src = "/// doc\n//! inner doc\n// plain\n/** block doc */\n/* plain */";
+        let toks = lex(src).expect("lex");
+        let docs: Vec<bool> = toks
+            .iter()
+            .map(|t| match t.kind {
+                TokenKind::LineComment { doc } | TokenKind::BlockComment { doc } => doc,
+                _ => unreachable!("only comments in this source"),
+            })
+            .collect();
+        assert_eq!(docs, vec![true, true, false, true, false]);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let src = "fn a() {}\n  let x = 1;";
+        let toks = lex(src).expect("lex");
+        let x = toks.iter().find(|t| t.is_ident("x")).expect("x token");
+        assert_eq!((x.line, x.col), (2, 7));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("let s = \"oops").is_err());
+        assert!(lex("/* never closed").is_err());
+        // `'x` alone is a lifetime; an escape with no closing quote is the
+        // genuinely unterminated char case.
+        assert!(lex("let c = '\\n").is_err());
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let src = "let r#fn = 1; let rr = r#type;";
+        let ids = idents(src);
+        assert!(ids.contains(&"r#fn".to_string()));
+        assert!(ids.contains(&"r#type".to_string()));
+    }
+}

@@ -1,0 +1,34 @@
+//! # cmr-lint
+//!
+//! First-party static analysis for this workspace. The build environment has
+//! no crates.io access, so instead of clippy plugins or external linters the
+//! repo carries its own: a hand-rolled Rust lexer ([`lexer`]) feeding a
+//! small, repo-specific rule engine ([`rules`]).
+//!
+//! The rules encode the conventions the reproduction's correctness rests on:
+//!
+//! * **op-coverage** — every autodiff operator must have a
+//!   central-finite-difference gradient check, so new operators cannot ship
+//!   untested;
+//! * **no-panic-lib** — library crates return typed errors instead of
+//!   panicking on untrusted input;
+//! * **env-centralization** — runtime knobs stay discoverable in one place;
+//! * **no-println-lib** — libraries don't write to stdio behind callers'
+//!   backs;
+//! * **float-eq** — float comparisons go through tolerance helpers.
+//!
+//! Violations that are intentional carry an inline
+//! `// cmr-lint: allow(rule-id) reason` comment; the reason is mandatory.
+//!
+//! Run it with `cargo run -p cmr-lint --release -- --workspace` (the
+//! `scripts/verify.sh` gate does) and see the README's "Static analysis"
+//! section for the rule table and how to add a rule.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use rules::{run, Finding, SourceFile};

@@ -1,0 +1,165 @@
+//! The `cmr-lint` binary: walks the workspace sources, applies the rule set,
+//! prints findings as `file:line:col [rule] message`, and exits non-zero when
+//! anything is found.
+//!
+//! ```text
+//! cargo run -p cmr-lint --release -- --workspace
+//! cargo run -p cmr-lint --release -- --workspace --json results/LINT_report.json
+//! cargo run -p cmr-lint --release -- crates/tensor/src/op.rs
+//! ```
+
+use cmr_lint::report::{render_json, render_text};
+use cmr_lint::rules::{run, SourceFile, RULES};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directory names never descended into: build output, the lint's own
+/// intentionally-violating fixtures, vendored stand-in crates, VCS metadata.
+const SKIP_DIRS: &[&str] = &["target", "fixtures", "vendor", ".git"];
+
+/// Roots walked by `--workspace`, relative to the repo root.
+const WORKSPACE_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+fn usage() -> String {
+    let mut s = String::from(
+        "usage: cmr-lint [--workspace] [--root DIR] [--json PATH] [PATH...]\n\n\
+         Walks the given files/directories (or, with --workspace, the repo's\n\
+         crates/, src/, tests/ and examples/ trees) and reports rule\n\
+         violations as `file:line:col [rule] message`. Exits 1 when findings\n\
+         exist, 2 on usage or IO errors.\n\nrules:\n",
+    );
+    for (id, desc) in RULES {
+        s.push_str(&format!("  {id:<22} {desc}\n"));
+    }
+    s
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Repo-relative unix-style path for rule matching and reporting.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut out = String::new();
+    for c in rel.components() {
+        match c {
+            std::path::Component::RootDir => out.push('/'),
+            other => {
+                if !out.is_empty() && !out.ends_with('/') {
+                    out.push('/');
+                }
+                out.push_str(&other.as_os_str().to_string_lossy());
+            }
+        }
+    }
+    out
+}
+
+struct Args {
+    workspace: bool,
+    root: PathBuf,
+    json: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: PathBuf::from("."),
+        json: None,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next().ok_or_else(|| "--root takes a directory".to_string())?,
+                );
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--json takes a file path".to_string())?,
+                ));
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other:?}\n\n{}", usage()));
+            }
+            other => args.paths.push(PathBuf::from(other)),
+        }
+    }
+    if !args.workspace && args.paths.is_empty() {
+        return Err(format!("nothing to lint\n\n{}", usage()));
+    }
+    Ok(args)
+}
+
+fn run_cli() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let mut files: Vec<PathBuf> = Vec::new();
+    if args.workspace {
+        for root in WORKSPACE_ROOTS {
+            let dir = args.root.join(root);
+            if dir.is_dir() {
+                walk(&dir, &mut files)?;
+            }
+        }
+    }
+    for p in &args.paths {
+        if p.is_dir() {
+            walk(p, &mut files)?;
+        } else {
+            files.push(p.clone());
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut sources = Vec::with_capacity(files.len());
+    for path in &files {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        sources.push(SourceFile { path: rel_path(&args.root, path), src });
+    }
+
+    let findings = run(&sources);
+    print!("{}", render_text(&findings, sources.len()));
+    if let Some(json_path) = &args.json {
+        if let Some(dir) = json_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+        std::fs::write(json_path, render_json(&findings, sources.len()))
+            .map_err(|e| format!("write {}: {e}", json_path.display()))?;
+    }
+    Ok(if findings.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn main() -> ExitCode {
+    match run_cli() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Rendering findings as text and as a machine-readable JSON report.
+//!
+//! The JSON report (`--json PATH`, normally `results/LINT_report.json`)
+//! carries per-rule counts so successive PRs can diff finding totals.
+
+use crate::rules::{Finding, RULES};
+use std::collections::BTreeMap;
+
+/// Canonical text output: one `file:line:col [rule] message` line per
+/// finding, plus a summary line.
+pub fn render_text(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.render());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "cmr-lint: {} finding{} in {} file{} scanned\n",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" },
+        files_scanned,
+        if files_scanned == 1 { "" } else { "s" },
+    ));
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the JSON report: scanned-file count, per-rule finding counts
+/// (every rule listed, zero or not, so diffs are stable), and the findings.
+pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut counts: BTreeMap<&str, usize> = RULES.iter().map(|&(r, _)| (r, 0)).collect();
+    for f in findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
+    }
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"total_findings\": {},\n", findings.len()));
+    out.push_str("  \"counts\": {\n");
+    let n = counts.len();
+    for (i, (rule, count)) in counts.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            escape(rule),
+            count,
+            if i + 1 < n { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n  \"findings\": [\n");
+    let m = findings.len();
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+            escape(&f.file),
+            f.line,
+            f.col,
+            escape(f.rule),
+            escape(&f.message),
+            if i + 1 < m { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

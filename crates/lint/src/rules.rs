@@ -1,0 +1,560 @@
+//! The repo-specific rule set and the engine that applies it.
+//!
+//! Rules operate on the token stream produced by [`crate::lexer`], so string
+//! literals, comments and doc examples can never trip them. Each finding is
+//! anchored to a `file:line:col` and carries its rule id; inline
+//! `// cmr-lint: allow(rule-id) reason` comments suppress findings of that
+//! rule on the same line or the line directly below the comment — and the
+//! reason is mandatory (a missing reason is itself a finding).
+//!
+//! | id | what it enforces |
+//! |----|------------------|
+//! | `op-coverage` | every `Op` variant in `crates/tensor/src/op.rs` has a `grad_check` test in `check.rs` |
+//! | `no-panic-lib` | no `unwrap()/expect()/panic!/todo!/unimplemented!` in non-test library code |
+//! | `env-centralization` | `env::var` only in `crates/tensor/src/threading.rs` and `crates/bench` |
+//! | `no-println-lib` | no `println!/eprintln!/dbg!` outside `crates/bench`, binaries, examples, tests |
+//! | `float-eq` | no `==`/`!=` against float literals — use a tolerance helper |
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Every rule id with a one-line description (drives `--help` and the
+/// unknown-rule check on allow comments).
+pub const RULES: &[(&str, &str)] = &[
+    ("op-coverage", "every Op enum variant needs a grad_check test in crates/tensor/src/check.rs"),
+    ("no-panic-lib", "unwrap()/expect()/panic!/todo!/unimplemented! banned in non-test library code"),
+    ("env-centralization", "std::env::var only in crates/tensor/src/threading.rs and crates/bench"),
+    ("no-println-lib", "println!/eprintln!/dbg! banned outside crates/bench, binaries, examples, tests"),
+    ("float-eq", "direct ==/!= against a float literal; compare with a tolerance instead"),
+    ("allow-missing-reason", "a cmr-lint allow comment must carry a reason after the rule id"),
+    ("allow-unknown-rule", "a cmr-lint allow comment names a rule id that does not exist"),
+    ("lex-error", "the file could not be lexed (unterminated literal or comment)"),
+];
+
+/// Path of the operator enum R1 audits.
+pub const OP_PATH: &str = "crates/tensor/src/op.rs";
+/// Path of the gradient-check suite R1 audits against.
+pub const CHECK_PATH: &str = "crates/tensor/src/check.rs";
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Repo-relative path (unix separators).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule id from [`RULES`].
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Renders the finding in the canonical `file:line:col [rule] message`
+    /// form.
+    pub fn render(&self) -> String {
+        format!("{}:{}:{} [{}] {}", self.file, self.line, self.col, self.rule, self.message)
+    }
+}
+
+/// A source file handed to the engine.
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// Full file contents.
+    pub src: String,
+}
+
+/// A parsed, valid `// cmr-lint: allow(rule) reason` directive.
+struct Allow {
+    rule: String,
+    line: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Path classification
+// ---------------------------------------------------------------------------
+
+fn has_component(path: &str, comp: &str) -> bool {
+    path.split('/').any(|c| c == comp)
+}
+
+fn is_test_path(path: &str) -> bool {
+    has_component(path, "tests") || has_component(path, "benches")
+}
+
+fn is_example_path(path: &str) -> bool {
+    has_component(path, "examples")
+}
+
+fn is_bin_path(path: &str) -> bool {
+    path.contains("/src/bin/") || path.ends_with("/main.rs") || path == "src/main.rs"
+}
+
+fn is_bench_crate(path: &str) -> bool {
+    path.starts_with("crates/bench/")
+}
+
+fn env_var_allowed(path: &str) -> bool {
+    path == "crates/tensor/src/threading.rs" || is_bench_crate(path)
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------------
+
+/// Does an attribute token mark the following item as test-only?
+/// Matches `#[test]` and any `#[cfg(…test…)]` that is not `not(test)`.
+fn attr_is_test(text: &str) -> bool {
+    let inner = text
+        .trim_start_matches('#')
+        .trim_start_matches('!')
+        .trim_start_matches('[')
+        .trim_end_matches(']')
+        .trim();
+    if inner == "test" || inner.starts_with("test(") {
+        return true;
+    }
+    if let Some(rest) = inner.strip_prefix("cfg") {
+        let compact: String = rest.chars().filter(|c| !c.is_whitespace()).collect();
+        return compact.contains("test") && !compact.contains("not(test)");
+    }
+    false
+}
+
+/// Token-index ranges (inclusive start, exclusive end) covered by test-only
+/// items: a `#[test]`/`#[cfg(test)]` attribute followed by a braced item.
+fn test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if let TokenKind::Attr { inner: false } = t.kind {
+            if attr_is_test(&t.text) {
+                // Find the item's opening brace; a `;` first means the item
+                // has no body (e.g. `#[cfg(test)] use …;` / `mod tests;`).
+                let mut j = i + 1;
+                let mut open = None;
+                while j < tokens.len() {
+                    let u = &tokens[j];
+                    if u.is_punct("{") {
+                        open = Some(j);
+                        break;
+                    }
+                    if u.is_punct(";") {
+                        break;
+                    }
+                    j += 1;
+                }
+                if let Some(start) = open {
+                    let mut depth = 0isize;
+                    let mut k = start;
+                    while k < tokens.len() {
+                        if tokens[k].is_punct("{") {
+                            depth += 1;
+                        } else if tokens[k].is_punct("}") {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    regions.push((i, (k + 1).min(tokens.len())));
+                    i = k + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
+    regions.iter().any(|&(s, e)| idx >= s && idx < e)
+}
+
+// ---------------------------------------------------------------------------
+// Allow-comment parsing
+// ---------------------------------------------------------------------------
+
+fn comment_body(text: &str) -> &str {
+    let t = text.trim_start();
+    if let Some(rest) = t.strip_prefix("//") {
+        rest.trim_start_matches(['/', '!']).trim()
+    } else if let Some(rest) = t.strip_prefix("/*") {
+        rest.trim_start_matches(['*', '!']).trim_end_matches("*/").trim()
+    } else {
+        t
+    }
+}
+
+fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|&(r, _)| r == id)
+}
+
+/// Extracts allow directives from comment tokens; malformed directives
+/// become findings instead of silently suppressing anything.
+fn collect_allows(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for t in tokens.iter().filter(|t| t.is_comment()) {
+        let body = comment_body(&t.text);
+        let Some(directive) = body.strip_prefix("cmr-lint:") else { continue };
+        let directive = directive.trim();
+        let mut fail = |rule: &'static str, message: String| {
+            findings.push(Finding { file: path.to_string(), line: t.line, col: t.col, rule, message });
+        };
+        let Some(rest) = directive.strip_prefix("allow(") else {
+            fail(
+                "allow-unknown-rule",
+                format!("malformed cmr-lint directive {directive:?}: expected `allow(rule-id) reason`"),
+            );
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            fail("allow-unknown-rule", "unclosed `allow(` in cmr-lint directive".to_string());
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let reason = rest[close + 1..].trim();
+        if !known_rule(&rule) {
+            fail("allow-unknown-rule", format!("allow names unknown rule {rule:?}"));
+            continue;
+        }
+        if reason.is_empty() {
+            fail(
+                "allow-missing-reason",
+                format!("allow({rule}) has no reason; write `// cmr-lint: allow({rule}) <why>`"),
+            );
+            continue;
+        }
+        allows.push(Allow { rule, line: t.line });
+    }
+    allows
+}
+
+/// A finding is suppressed by a valid allow for its rule on the same line or
+/// on the line directly above (a stand-alone allow comment).
+fn suppressed(allows: &[Allow], finding: &Finding) -> bool {
+    allows
+        .iter()
+        .any(|a| a.rule == finding.rule && (a.line == finding.line || a.line + 1 == finding.line))
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rules
+// ---------------------------------------------------------------------------
+
+/// Banned `.method()` calls for `no-panic-lib`.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+/// Banned macros for `no-panic-lib`.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+/// Banned macros for `no-println-lib`.
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "dbg"];
+
+fn code_tokens(tokens: &[Token]) -> Vec<usize> {
+    (0..tokens.len()).filter(|&i| !tokens[i].is_comment()).collect()
+}
+
+struct FileCtx<'a> {
+    path: &'a str,
+    tokens: &'a [Token],
+    /// Indices into `tokens` of non-comment tokens, in order.
+    code: Vec<usize>,
+    regions: Vec<(usize, usize)>,
+    test_file: bool,
+    example: bool,
+    bin: bool,
+}
+
+impl<'a> FileCtx<'a> {
+    fn exempt_panic(&self, tok_idx: usize) -> bool {
+        self.test_file
+            || self.example
+            || self.bin
+            || in_regions(&self.regions, tok_idx)
+    }
+
+    fn exempt_print(&self, tok_idx: usize) -> bool {
+        self.exempt_panic(tok_idx) || is_bench_crate(self.path)
+    }
+
+    fn finding(&self, tok: &Token, rule: &'static str, message: String) -> Finding {
+        Finding { file: self.path.to_string(), line: tok.line, col: tok.col, rule, message }
+    }
+}
+
+fn rule_no_panic_lib(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for (ci, &i) in ctx.code.iter().enumerate() {
+        if ctx.exempt_panic(i) {
+            continue;
+        }
+        let t = &ctx.tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev = ci.checked_sub(1).map(|p| &ctx.tokens[ctx.code[p]]);
+        let next = ctx.code.get(ci + 1).map(|&n| &ctx.tokens[n]);
+        if PANIC_METHODS.contains(&t.text.as_str())
+            && prev.is_some_and(|p| p.is_punct("."))
+            && next.is_some_and(|n| n.is_punct("("))
+        {
+            findings.push(ctx.finding(
+                t,
+                "no-panic-lib",
+                format!(".{}() can panic; return a typed error instead", t.text),
+            ));
+        }
+        if PANIC_MACROS.contains(&t.text.as_str()) && next.is_some_and(|n| n.is_punct("!")) {
+            findings.push(ctx.finding(
+                t,
+                "no-panic-lib",
+                format!("{}! in library code; return a typed error instead", t.text),
+            ));
+        }
+    }
+}
+
+fn rule_env_centralization(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    if env_var_allowed(ctx.path) {
+        return;
+    }
+    for (ci, &i) in ctx.code.iter().enumerate() {
+        if ctx.test_file || in_regions(&ctx.regions, i) {
+            continue;
+        }
+        let t = &ctx.tokens[i];
+        if !(t.is_ident("var") || t.is_ident("var_os")) {
+            continue;
+        }
+        let Some(p1) = ci.checked_sub(1).map(|p| &ctx.tokens[ctx.code[p]]) else { continue };
+        let Some(p2) = ci.checked_sub(2).map(|p| &ctx.tokens[ctx.code[p]]) else { continue };
+        if p1.is_punct("::") && p2.is_ident("env") {
+            findings.push(ctx.finding(
+                t,
+                "env-centralization",
+                "env::var outside crates/tensor/src/threading.rs and crates/bench; \
+                 route runtime knobs through the threading module"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn rule_no_println_lib(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for (ci, &i) in ctx.code.iter().enumerate() {
+        if ctx.exempt_print(i) {
+            continue;
+        }
+        let t = &ctx.tokens[i];
+        if t.kind == TokenKind::Ident
+            && PRINT_MACROS.contains(&t.text.as_str())
+            && ctx.code.get(ci + 1).is_some_and(|&n| ctx.tokens[n].is_punct("!"))
+        {
+            findings.push(ctx.finding(
+                t,
+                "no-println-lib",
+                format!("{}! in library code; only crates/bench, binaries and tests may print", t.text),
+            ));
+        }
+    }
+}
+
+fn rule_float_eq(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for (ci, &i) in ctx.code.iter().enumerate() {
+        if ctx.test_file || ctx.example || in_regions(&ctx.regions, i) {
+            continue;
+        }
+        let t = &ctx.tokens[i];
+        if !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let prev_float = ci
+            .checked_sub(1)
+            .is_some_and(|p| ctx.tokens[ctx.code[p]].kind == TokenKind::Float);
+        let next_float =
+            ctx.code.get(ci + 1).is_some_and(|&n| ctx.tokens[n].kind == TokenKind::Float);
+        if prev_float || next_float {
+            findings.push(ctx.finding(
+                t,
+                "float-eq",
+                format!("`{}` against a float literal; compare with a tolerance helper", t.text),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R1: op-coverage (cross-file)
+// ---------------------------------------------------------------------------
+
+/// `MatMulTransB` and `matmul_transb` both normalise to `matmultransb`,
+/// which is what makes variant↔builder-method matching robust to the
+/// repo's `matmul` (not `mat_mul`) naming.
+fn normalize(name: &str) -> String {
+    name.chars().filter(|&c| c != '_').collect::<String>().to_lowercase()
+}
+
+/// Extracts the variant names (with positions) of `pub enum Op { … }`.
+fn op_variants(tokens: &[Token]) -> Vec<(String, u32, u32)> {
+    let code = code_tokens(tokens);
+    let mut variants = Vec::new();
+    let mut ci = 0usize;
+    // Find `enum Op {`.
+    let mut body_start = None;
+    while ci + 2 < code.len() {
+        if tokens[code[ci]].is_ident("enum")
+            && tokens[code[ci + 1]].is_ident("Op")
+            && tokens[code[ci + 2]].is_punct("{")
+        {
+            body_start = Some(ci + 3);
+            break;
+        }
+        ci += 1;
+    }
+    let Some(start) = body_start else { return variants };
+    let mut brace = 1isize;
+    let mut paren = 0isize;
+    let mut prev_sig: Option<String> = Some("{".to_string());
+    for &idx in &code[start..] {
+        let t = &tokens[idx];
+        match t.kind {
+            TokenKind::Punct => match t.text.as_str() {
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        break;
+                    }
+                }
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                _ => {}
+            },
+            TokenKind::Attr { .. } => continue, // attrs don't affect position
+            _ => {}
+        }
+        if brace == 1
+            && paren == 0
+            && t.kind == TokenKind::Ident
+            && t.text.chars().next().is_some_and(char::is_uppercase)
+            && matches!(prev_sig.as_deref(), Some("{" | ","))
+        {
+            variants.push((t.text.clone(), t.line, t.col));
+        }
+        prev_sig = Some(t.text.clone());
+    }
+    variants
+}
+
+/// Identifiers appearing inside the test regions of `check.rs`, normalised.
+fn check_coverage_idents(tokens: &[Token]) -> (Vec<String>, bool) {
+    let regions = test_regions(tokens);
+    let mut idents = Vec::new();
+    let mut has_grad_check = false;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Ident && in_regions(&regions, i) {
+            if t.text == "grad_check" {
+                has_grad_check = true;
+            }
+            idents.push(normalize(&t.text));
+        }
+    }
+    (idents, has_grad_check)
+}
+
+/// Runs R1 given the two relevant token streams. Findings anchor at the
+/// variant declaration in `op.rs`, so an inline allow there suppresses them.
+fn rule_op_coverage(
+    op_tokens: &[Token],
+    check_tokens: Option<&[Token]>,
+    findings: &mut Vec<Finding>,
+) {
+    let variants = op_variants(op_tokens);
+    let (covered, has_grad_check) =
+        check_tokens.map(check_coverage_idents).unwrap_or_default();
+    for (name, line, col) in variants {
+        let ok = has_grad_check && covered.contains(&normalize(&name));
+        if !ok {
+            findings.push(Finding {
+                file: OP_PATH.to_string(),
+                line,
+                col,
+                rule: "op-coverage",
+                message: format!(
+                    "Op::{name} has no grad_check coverage in {CHECK_PATH}; \
+                     add a finite-difference test or an inline allow with a reason"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Lints a set of files and returns every unsuppressed finding, sorted by
+/// file, line, column.
+///
+/// The cross-file `op-coverage` rule runs when the set contains
+/// [`OP_PATH`]; its findings are suppressible by allow comments in that
+/// file like any other finding.
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut op_tokens: Option<Vec<Token>> = None;
+    let mut check_tokens: Option<Vec<Token>> = None;
+    let mut op_allows: Vec<Allow> = Vec::new();
+
+    for file in files {
+        let tokens = match lex(&file.src) {
+            Ok(t) => t,
+            Err(e) => {
+                findings.push(Finding {
+                    file: file.path.clone(),
+                    line: e.line,
+                    col: e.col,
+                    rule: "lex-error",
+                    message: e.message,
+                });
+                continue;
+            }
+        };
+        let mut raw = Vec::new();
+        let allows = collect_allows(&file.path, &tokens, &mut raw);
+        let ctx = FileCtx {
+            path: &file.path,
+            code: code_tokens(&tokens),
+            regions: test_regions(&tokens),
+            test_file: is_test_path(&file.path),
+            example: is_example_path(&file.path),
+            bin: is_bin_path(&file.path),
+            tokens: &tokens,
+        };
+        rule_no_panic_lib(&ctx, &mut raw);
+        rule_env_centralization(&ctx, &mut raw);
+        rule_no_println_lib(&ctx, &mut raw);
+        rule_float_eq(&ctx, &mut raw);
+        findings.extend(raw.into_iter().filter(|f| !suppressed(&allows, f)));
+
+        if file.path == OP_PATH {
+            op_allows = allows;
+            op_tokens = Some(tokens);
+        } else if file.path == CHECK_PATH {
+            check_tokens = Some(tokens);
+        }
+    }
+
+    if let Some(op) = &op_tokens {
+        let mut raw = Vec::new();
+        rule_op_coverage(op, check_tokens.as_deref(), &mut raw);
+        findings.extend(raw.into_iter().filter(|f| !suppressed(&op_allows, f)));
+    }
+
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+    });
+    findings
+}

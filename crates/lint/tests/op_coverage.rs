@@ -1,0 +1,158 @@
+//! Tests for the cross-file `op-coverage` rule (R1): every `Op` variant
+//! needs a `grad_check` test — including against the *real* tensor-crate
+//! sources, where deleting any one grad-check test must trip the rule.
+
+use cmr_lint::rules::{run, Finding, SourceFile, CHECK_PATH, OP_PATH};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn real(rel: &str) -> String {
+    // crates/lint/ → repo root is two levels up.
+    let path = format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn lint_pair(op_src: String, check_src: String) -> Vec<Finding> {
+    run(&[
+        SourceFile { path: OP_PATH.to_string(), src: op_src },
+        SourceFile { path: CHECK_PATH.to_string(), src: check_src },
+    ])
+    .into_iter()
+    .filter(|f| f.rule == "op-coverage")
+    .collect()
+}
+
+#[test]
+fn fixture_enum_flags_exactly_the_uncovered_variant() {
+    let findings = lint_pair(fixture("op_enum.rs"), fixture("op_checks.rs"));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("Op::Uncovered"), "{findings:?}");
+    // Findings anchor at the variant declaration in op.rs.
+    assert_eq!(findings[0].file, OP_PATH);
+}
+
+#[test]
+fn coverage_only_counts_inside_test_modules() {
+    // `uncovered()` exists as a plain function in op_checks.rs — if
+    // non-test identifiers counted, Uncovered would wrongly pass.
+    let findings = lint_pair(fixture("op_enum.rs"), fixture("op_checks.rs"));
+    assert_eq!(findings.len(), 1, "non-test ident must not grant coverage");
+}
+
+#[test]
+fn missing_check_file_flags_every_unallowed_variant() {
+    let findings = run(&[SourceFile { path: OP_PATH.to_string(), src: fixture("op_enum.rs") }])
+        .into_iter()
+        .filter(|f| f.rule == "op-coverage")
+        .collect::<Vec<_>>();
+    // 6 variants minus the allowlisted Leaf.
+    assert_eq!(findings.len(), 6, "{findings:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Against the real workspace sources
+// ---------------------------------------------------------------------------
+
+#[test]
+fn real_op_enum_is_fully_covered() {
+    let findings = lint_pair(real(OP_PATH), real(CHECK_PATH));
+    assert!(
+        findings.is_empty(),
+        "every real Op variant needs a grad_check test or an allow entry: {findings:?}"
+    );
+}
+
+/// The acceptance-criterion demonstration: deleting any one grad-check
+/// coverage identifier from the real `check.rs` makes R1 fail. This is what
+/// guarantees a new operator cannot ship without a finite-difference test.
+#[test]
+fn deleting_any_grad_check_coverage_trips_the_rule() {
+    let op_src = real(OP_PATH);
+    let check_src = real(CHECK_PATH);
+
+    // Recover the variant list from the op source the same way the rule
+    // does: every `g.<method>` coverage ident derives from a variant name.
+    let variants: Vec<String> = run(&[SourceFile {
+        path: OP_PATH.to_string(),
+        src: op_src.clone(),
+    }])
+    .into_iter()
+    .filter(|f| f.rule == "op-coverage")
+    .map(|f| {
+        f.message
+            .split("Op::")
+            .nth(1)
+            .and_then(|s| s.split(' ').next())
+            .unwrap_or_default()
+            .to_string()
+    })
+    .collect();
+    assert!(variants.len() >= 20, "expected the full Op enum, got {variants:?}");
+
+    let normalize =
+        |s: &str| s.chars().filter(|&c| c != '_').collect::<String>().to_lowercase();
+    let mut checked = 0usize;
+    for variant in &variants {
+        let norm = normalize(variant);
+        // Strip every identifier in check.rs that would grant this variant
+        // coverage (e.g. drop `matmul_transb` for Op::MatMulTransB).
+        let mutated: String = check_src
+            .split('\n')
+            .map(|line| {
+                let mut out = String::new();
+                let mut word = String::new();
+                for c in line.chars().chain(std::iter::once('\0')) {
+                    if c.is_alphanumeric() || c == '_' {
+                        word.push(c);
+                    } else {
+                        if !word.is_empty() && normalize(&word) == norm {
+                            out.push_str("zz_deleted");
+                        } else {
+                            out.push_str(&word);
+                        }
+                        word.clear();
+                        if c != '\0' {
+                            out.push(c);
+                        }
+                    }
+                }
+                out
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        if mutated == check_src {
+            // Variant covered via an allow entry, not an identifier — the
+            // deletion experiment does not apply (e.g. Op::Leaf).
+            continue;
+        }
+        let findings = lint_pair(op_src.clone(), mutated);
+        assert!(
+            findings.iter().any(|f| f.message.contains(&format!("Op::{variant}"))),
+            "deleting {variant} coverage from check.rs must trip op-coverage, got {findings:?}"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 20, "deletion experiment ran for only {checked} variants");
+}
+
+#[test]
+fn grad_check_itself_is_required() {
+    // A check.rs whose test module never calls grad_check grants nothing,
+    // even if the method names appear.
+    let fake_check = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mentions_everything_but_checks_nothing() {
+        let (matmul, add, relu) = (1, 2, 3);
+        assert!(matmul + add + relu > 0);
+    }
+}
+"#;
+    let findings = lint_pair(fixture("op_enum.rs"), fake_check.to_string());
+    // every non-allowlisted variant flagged
+    assert_eq!(findings.len(), 6, "{findings:?}");
+}

@@ -127,7 +127,7 @@ impl Adam {
             }
             let floats = |raw: &[u8]| -> Vec<f32> {
                 raw.chunks_exact(4)
-                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                     .collect()
             };
             let m = TensorData::new(rows, cols, floats(&tensor[..len * 4]));

@@ -48,6 +48,71 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
+/// Why a [`CheckpointStore`] operation failed, with the path that failed.
+///
+/// Wraps the underlying [`io::Error`] so callers can still inspect the OS
+/// error kind via [`std::error::Error::source`].
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The store directory could not be created or opened.
+    OpenDir {
+        /// The directory handed to [`CheckpointStore::open`].
+        dir: PathBuf,
+        /// The underlying IO failure.
+        source: io::Error,
+    },
+    /// Rotating or atomically writing a slot file failed.
+    Save {
+        /// The slot file being written.
+        path: PathBuf,
+        /// The underlying IO failure.
+        source: io::Error,
+    },
+    /// Every existing candidate file for a slot was unreadable or corrupt.
+    Load {
+        /// The last candidate tried.
+        path: PathBuf,
+        /// The last read/parse failure.
+        source: io::Error,
+    },
+    /// A checkpoint blob read fine but could not be decoded into the
+    /// caller's state (format or architecture mismatch).
+    Decode {
+        /// The underlying decode failure.
+        source: io::Error,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::OpenDir { dir, source } => {
+                write!(f, "cannot open checkpoint directory {}: {source}", dir.display())
+            }
+            CheckpointError::Save { path, source } => {
+                write!(f, "cannot save checkpoint {}: {source}", path.display())
+            }
+            CheckpointError::Load { path, source } => {
+                write!(f, "cannot load checkpoint {}: {source}", path.display())
+            }
+            CheckpointError::Decode { source } => {
+                write!(f, "cannot decode checkpoint: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::OpenDir { source, .. }
+            | CheckpointError::Save { source, .. }
+            | CheckpointError::Load { source, .. }
+            | CheckpointError::Decode { source } => Some(source),
+        }
+    }
+}
+
 /// Which of the two rotated slots a file belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Slot {
@@ -75,10 +140,13 @@ impl CheckpointStore {
     /// Opens (creating if needed) a checkpoint directory.
     ///
     /// # Errors
-    /// Propagates directory-creation failures.
-    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+    /// [`CheckpointError::OpenDir`] when the directory cannot be created —
+    /// e.g. the path (or a parent) is an existing file, or permissions
+    /// forbid it.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CheckpointError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
+        fs::create_dir_all(&dir)
+            .map_err(|source| CheckpointError::OpenDir { dir: dir.clone(), source })?;
         Ok(Self { dir })
     }
 
@@ -103,13 +171,14 @@ impl CheckpointStore {
     /// [`load`](Self::load) finds on fallback.
     ///
     /// # Errors
-    /// Any underlying IO error.
-    pub fn save(&self, slot: Slot, bytes: &[u8]) -> io::Result<()> {
+    /// [`CheckpointError::Save`] naming the slot file on any IO failure.
+    pub fn save(&self, slot: Slot, bytes: &[u8]) -> Result<(), CheckpointError> {
         let current = self.path(slot);
+        let wrap = |source| CheckpointError::Save { path: current.clone(), source };
         if current.exists() {
-            fs::rename(&current, self.prev_path(slot))?;
+            fs::rename(&current, self.prev_path(slot)).map_err(wrap)?;
         }
-        atomic_write(&current, bytes)
+        atomic_write(&current, bytes).map_err(wrap)
     }
 
     /// Loads a slot through a caller-supplied parser, falling back from a
@@ -119,13 +188,14 @@ impl CheckpointStore {
     /// Returns `Ok(None)` when neither file exists.
     ///
     /// # Errors
-    /// The *last* parse/read error when every existing candidate is bad.
+    /// [`CheckpointError::Load`] carrying the *last* parse/read error when
+    /// every existing candidate is bad.
     pub fn load<T>(
         &self,
         slot: Slot,
         mut parse: impl FnMut(&[u8]) -> io::Result<T>,
-    ) -> io::Result<Option<T>> {
-        let mut last_err: Option<io::Error> = None;
+    ) -> Result<Option<T>, CheckpointError> {
+        let mut last_err: Option<(PathBuf, io::Error)> = None;
         for path in [self.path(slot), self.prev_path(slot)] {
             if !path.exists() {
                 continue;
@@ -134,6 +204,7 @@ impl CheckpointStore {
             match attempt {
                 Ok(v) => {
                     if last_err.is_some() {
+                        // cmr-lint: allow(no-println-lib) operator-visible recovery warning
                         eprintln!(
                             "[checkpoint] recovered from previous good file {}",
                             path.display()
@@ -142,16 +213,17 @@ impl CheckpointStore {
                     return Ok(Some(v));
                 }
                 Err(e) => {
+                    // cmr-lint: allow(no-println-lib) operator-visible fallback warning
                     eprintln!(
                         "[checkpoint] warning: {} unusable ({e}); trying fallback",
                         path.display()
                     );
-                    last_err = Some(e);
+                    last_err = Some((path, e));
                 }
             }
         }
         match last_err {
-            Some(e) => Err(e),
+            Some((path, source)) => Err(CheckpointError::Load { path, source }),
             None => Ok(None),
         }
     }
@@ -224,6 +296,41 @@ mod tests {
         // Both corrupt: surface the error instead of inventing data.
         fs::write(store.prev_path(Slot::Latest), [0x00]).unwrap();
         assert!(store.load(Slot::Latest, parse_ok).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_store_dir_is_a_typed_error() {
+        let dir = scratch_dir("bad");
+        fs::create_dir_all(&dir).unwrap();
+        // A plain file squatting where the store directory should be: the
+        // kernel refuses the directory no matter who asks (unlike a
+        // permission bit, which root would bypass).
+        let file = dir.join("occupied");
+        fs::write(&file, b"x").unwrap();
+
+        let err = CheckpointStore::open(&file).err().expect("open must fail");
+        assert!(matches!(&err, CheckpointError::OpenDir { .. }), "{err:?}");
+        assert!(err.to_string().contains("occupied"), "{err}");
+        assert!(std::error::Error::source(&err).is_some(), "io cause preserved");
+
+        // Nesting under the file can never be created either.
+        assert!(CheckpointStore::open(file.join("sub")).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_error_names_the_failing_file() {
+        let dir = scratch_dir("name");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(Slot::Latest, &[0x00, 1]).unwrap(); // bad toy magic
+        let err = store.load(Slot::Latest, parse_ok).err().expect("corrupt");
+        match err {
+            CheckpointError::Load { ref path, .. } => {
+                assert!(path.ends_with("latest.ckpt"), "{path:?}")
+            }
+            other => panic!("expected Load error, got {other:?}"),
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

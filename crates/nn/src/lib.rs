@@ -33,6 +33,9 @@
 //! adam.step(&mut store, &g, &binds);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod adam;
 pub mod checkpoint;
 pub mod crc32;
@@ -44,7 +47,7 @@ pub mod param;
 pub mod serialize;
 
 pub use adam::Adam;
-pub use checkpoint::{atomic_write, CheckpointStore, Slot};
+pub use checkpoint::{atomic_write, CheckpointError, CheckpointStore, Slot};
 pub use embedding::Embedding;
 pub use linear::Linear;
 pub use lstm::{BiLstm, Lstm};

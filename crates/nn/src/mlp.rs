@@ -83,6 +83,7 @@ impl Mlp {
 
     /// Output dimensionality.
     pub fn out_dim(&self) -> usize {
+        // cmr-lint: allow(no-panic-lib) constructor asserts at least one layer
         self.layers.last().expect("non-empty").out_dim()
     }
 

@@ -59,28 +59,37 @@ impl<'a> Reader<'a> {
         Ok(head)
     }
 
+    /// Consumes exactly `N` bytes as a fixed-size array. Infallible once
+    /// `take` succeeds, so no panic path is reachable.
+    fn take_array<const N: usize>(&mut self) -> io::Result<[u8; N]> {
+        let head = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(head);
+        Ok(out)
+    }
+
     pub(crate) fn get_u8(&mut self) -> io::Result<u8> {
         Ok(self.take(1)?[0])
     }
 
     pub(crate) fn get_u16_le(&mut self) -> io::Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     pub(crate) fn get_u32_le(&mut self) -> io::Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     pub(crate) fn get_u64_le(&mut self) -> io::Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     pub(crate) fn get_f32_le(&mut self) -> io::Result<f32> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.take_array()?))
     }
 
     pub(crate) fn get_f64_le(&mut self) -> io::Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a `u32` length prefix followed by that many raw bytes.
@@ -242,7 +251,7 @@ pub fn load_checkpoint(
         return Err(bad(format!("bad checkpoint magic {:?}", &bytes[..8.min(bytes.len())])));
     }
     let (payload, footer) = bytes.split_at(bytes.len() - 4);
-    let stored = u32::from_le_bytes(footer.try_into().unwrap());
+    let stored = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]);
     let actual = crc32(payload);
     if stored != actual {
         return Err(bad(format!(

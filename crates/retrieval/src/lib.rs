@@ -11,6 +11,9 @@
 //!   "large-scale" extension: the paper motivates Recipe1M-scale retrieval,
 //!   and exact scan does not scale past a few million items.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod embeddings;
 pub mod eval;
 pub mod ivf;

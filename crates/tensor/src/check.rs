@@ -213,6 +213,21 @@ mod tests {
     }
 
     #[test]
+    fn add_and_row_sum_grads() {
+        let mut r = rng();
+        let x = init::normal(&mut r, 4, 5, 1.0);
+        let other = init::normal(&mut r, 4, 5, 1.0);
+        let rep = grad_check(&x, 1e-3, |g, p| {
+            let o = g.leaf(other.clone(), false);
+            let y = g.add(p, o);
+            let s = g.row_sum(y);
+            let sq = g.mul(s, s);
+            g.sum_all(sq)
+        });
+        assert!(rep.passes(1e-3), "{rep:?}");
+    }
+
+    #[test]
     fn triplet_style_composite_grad() {
         // The exact shape of the AdaMine loss pipeline on a tiny batch:
         // normalize → similarity matrix → hinge with diagonal broadcast.

@@ -224,6 +224,7 @@ impl Graph {
                 }
             }
             // Split-borrow: take the output grad, build &mut refs to inputs.
+            // cmr-lint: allow(no-panic-lib) backward seeds every reachable grad before this walk
             let grad = self.grads[i].take().expect("grad present");
             {
                 let node = &self.nodes[i];

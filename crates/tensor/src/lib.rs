@@ -35,6 +35,9 @@
 //! assert_eq!(g.grad(w).unwrap().data, vec![1.0, 2.0]);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod check;
 pub mod data;
 pub mod graph;

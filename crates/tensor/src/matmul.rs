@@ -131,6 +131,7 @@ fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, c: &mut [f
                 let crow = &mut c[i * n..][..n];
                 for l in l0..l1 {
                     let av = arow[l];
+                    // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
                     if av != 0.0 {
                         axpy(crow, av, &b[l * n..][..n]);
                     }
@@ -224,6 +225,7 @@ fn matmul_transa_rows(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, col0: 
             let brow = &b[l * n..][..n];
             for i in i0..i1 {
                 let av = arow[col0 + i];
+                // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
                 if av != 0.0 {
                     axpy(&mut c[i * n..][..n], av, brow);
                 }
@@ -249,6 +251,7 @@ pub fn matmul_serial(a: &TensorData, b: &TensorData) -> TensorData {
         let arow = a.row(i);
         let crow = c.row_mut(i);
         for (l, &av) in arow.iter().enumerate() {
+            // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
             if av == 0.0 {
                 continue;
             }
@@ -306,6 +309,7 @@ pub fn matmul_transa_serial(a: &TensorData, b: &TensorData) -> TensorData {
         let arow = a.row(l);
         let brow = b.row(l);
         for (i, &av) in arow.iter().enumerate() {
+            // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
             if av == 0.0 {
                 continue;
             }

@@ -11,7 +11,10 @@ use crate::matmul::{matmul, matmul_transa, matmul_transb};
 #[derive(Clone, Debug)]
 pub enum Op {
     /// A tape input; `requires_grad` marks trainable leaves.
-    Leaf { requires_grad: bool },
+    Leaf {
+        /// Whether backward should accumulate a gradient for this leaf.
+        requires_grad: bool,
+    },
     /// `A · B`.
     MatMul,
     /// `A · Bᵀ` (used for similarity matrices between two embedding sets).
@@ -39,18 +42,32 @@ pub enum Op {
     /// Horizontal concatenation of two matrices with equal row counts.
     ConcatCols,
     /// Column slice `[start, start + len)`.
-    SliceCols { start: usize, len: usize },
+    SliceCols {
+        /// First column of the slice.
+        start: usize,
+        /// Number of columns taken.
+        len: usize,
+    },
     /// Sum of all elements, producing a `(1,1)` scalar.
     SumAll,
     /// Mean of all elements, producing a `(1,1)` scalar.
     MeanAll,
     /// Per-row L2 normalisation `x / max(‖x‖, eps)`.
-    RowL2Normalize { eps: f32 },
+    RowL2Normalize {
+        /// Norm floor guarding against division by zero.
+        eps: f32,
+    },
     /// Row gather: output row `i` is input row `indices[i]` (embedding lookup).
-    Gather { indices: Vec<usize> },
+    Gather {
+        /// Source row per output row.
+        indices: Vec<usize>,
+    },
     /// Mean softmax cross-entropy over rows of logits; `targets[i] < 0` rows
     /// are ignored (the unlabeled half of an AdaMine batch).
-    SoftmaxCrossEntropy { targets: Vec<i64> },
+    SoftmaxCrossEntropy {
+        /// Class index per row; negative = ignore the row.
+        targets: Vec<i64>,
+    },
     /// Extracts the main diagonal of a square matrix as an `(m,1)` column.
     DiagToCol,
     /// Sums each row, producing an `(m,1)` column.

@@ -20,15 +20,35 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// 0 = not yet resolved; otherwise the active thread count.
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// Caps a requested thread count at `4 × hardware`: oversubscription beyond
+/// that only adds scheduler churn, and an absurd value is almost always a
+/// typo (`CMR_NUM_THREADS=1000000`).
+fn clamp_requested(n: usize, hardware: usize) -> (usize, bool) {
+    let cap = hardware.saturating_mul(4).max(1);
+    if n > cap {
+        (cap, true)
+    } else {
+        (n, false)
+    }
+}
+
 fn detect() -> usize {
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
     if let Ok(v) = std::env::var("CMR_NUM_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n >= 1 {
+                let (n, clamped) = clamp_requested(n, hardware);
+                if clamped {
+                    // cmr-lint: allow(no-println-lib) one-shot misconfiguration warning
+                    eprintln!(
+                        "warning: CMR_NUM_THREADS={v} exceeds 4x available parallelism; clamping to {n}"
+                    );
+                }
                 return n;
             }
         }
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    hardware
 }
 
 /// Number of worker threads the kernels will use.
@@ -38,10 +58,13 @@ pub fn num_threads() -> usize {
         return n;
     }
     let d = detect();
-    // A racing set_num_threads may overwrite this; detect() is deterministic
-    // per-process so the race is benign.
-    let _ = THREADS.compare_exchange(0, d, Ordering::Relaxed, Ordering::Relaxed);
-    THREADS.load(Ordering::Relaxed)
+    // First writer wins. On a lost race return what the winner (either
+    // another detect, which is deterministic, or a concurrent
+    // set_num_threads) published — never a value the caller did not install.
+    match THREADS.compare_exchange(0, d, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => d,
+        Err(existing) => existing,
+    }
 }
 
 /// Overrides the worker-thread count for the rest of the process (until the
@@ -109,6 +132,16 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn clamp_caps_at_four_times_hardware() {
+        assert_eq!(clamp_requested(1, 8), (1, false));
+        assert_eq!(clamp_requested(32, 8), (32, false));
+        assert_eq!(clamp_requested(33, 8), (32, true));
+        assert_eq!(clamp_requested(1_000_000, 8), (32, true));
+        // degenerate hardware report still yields a sane cap
+        assert_eq!(clamp_requested(usize::MAX, usize::MAX), (usize::MAX, false));
+    }
 
     #[test]
     fn spans_cover_all_items_exactly_once() {

@@ -8,6 +8,8 @@
 //! The exact `O(n²)` formulation is used: the figure needs only ~800 points,
 //! where Barnes–Hut bookkeeping would cost more than it saves.
 
+#![forbid(unsafe_code)]
+
 pub mod tsne;
 
 pub use tsne::{run, TsneConfig};

@@ -7,6 +7,8 @@
 //! pretraining stage, trained on the synthetic recipe corpus produced by
 //! `cmr-data`.
 
+#![forbid(unsafe_code)]
+
 pub mod sgns;
 pub mod vocab;
 

@@ -53,6 +53,7 @@ impl WordVectors {
         let dot: f32 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
         let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
         let nb: f32 = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
+        // cmr-lint: allow(float-eq) exact-zero norm guard before division
         if na == 0.0 || nb == 0.0 {
             0.0
         } else {
@@ -67,7 +68,7 @@ impl WordVectors {
             .filter(|&j| j != id)
             .map(|j| (j, self.cosine(id, j)))
             .collect();
-        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarity"));
+        sims.sort_by(|a, b| b.1.total_cmp(&a.1));
         sims.truncate(k);
         sims
     }

@@ -12,6 +12,10 @@ cd "$(dirname "$0")/.."
 echo "== tier 1: release build =="
 cargo build --release
 
+echo "== static analysis: cmr-lint =="
+mkdir -p results
+cargo run -p cmr-lint --release -q -- --workspace --json results/LINT_report.json
+
 echo "== tier 1: workspace tests =="
 cargo test -q
 

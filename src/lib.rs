@@ -21,6 +21,8 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end train-and-retrieve run.
 
+#![forbid(unsafe_code)]
+
 pub use cmr_adamine as adamine;
 pub use cmr_cca as cca;
 pub use cmr_data as data;

@@ -30,6 +30,6 @@ fn all_subsystems_are_reachable() {
     // cca on a toy problem
     let x = ir::linalg::Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, 0.5]]);
     let y = x.clone();
-    let cca = ir::cca::Cca::fit(&x, &y, 1, 1e-2);
+    let cca = ir::cca::Cca::fit(&x, &y, 1, 1e-2).unwrap();
     assert!(cca.correlations[0] > 0.9, "self-CCA must correlate");
 }
