@@ -186,24 +186,50 @@ impl TrainConfig {
 
     /// Validates internal consistency.
     ///
-    /// # Panics
-    /// Panics on nonsense (zero epochs, odd batch, margin ≤ 0 …).
-    pub fn validate(&self) {
-        assert!(self.epochs >= 1, "epochs must be positive");
-        assert!(self.freeze_epochs <= self.epochs, "freeze phase longer than training");
-        assert!(self.batch_size >= 4 && self.batch_size.is_multiple_of(2), "bad batch size");
-        assert!(self.lr > 0.0, "bad learning rate");
-        assert!(self.margin > 0.0, "margin must be positive");
-        assert!(self.lambda >= 0.0, "lambda must be non-negative");
-        assert!(self.max_bad_batches >= 1, "max_bad_batches must be at least 1");
+    /// # Errors
+    /// Returns a [`ConfigError`] naming the first violated constraint
+    /// (zero epochs, odd batch, margin ≤ 0 …).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let check = |ok: bool, constraint: &str| {
+            if ok {
+                Ok(())
+            } else {
+                Err(ConfigError { constraint: constraint.to_string() })
+            }
+        };
+        check(self.epochs >= 1, "epochs must be positive")?;
+        check(self.freeze_epochs <= self.epochs, "freeze phase longer than training")?;
+        check(self.batch_size >= 4 && self.batch_size.is_multiple_of(2), "bad batch size")?;
+        check(self.lr > 0.0, "bad learning rate")?;
+        check(self.margin > 0.0, "margin must be positive")?;
+        check(self.lambda >= 0.0, "lambda must be non-negative")?;
+        check(self.max_bad_batches >= 1, "max_bad_batches must be at least 1")?;
         if let LossKind::Pairwise { pos_margin, neg_margin } = self.loss {
-            assert!(
+            check(
                 pos_margin >= 0.0 && neg_margin > pos_margin,
-                "pairwise margins must satisfy 0 <= pos < neg"
-            );
+                "pairwise margins must satisfy 0 <= pos < neg",
+            )?;
         }
+        Ok(())
     }
 }
+
+/// A [`TrainConfig`] constraint violation, reported by
+/// [`TrainConfig::validate`] instead of a panic so callers (and the
+/// trainer's [`fit`](crate::Trainer::fit) path) can surface it as data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The violated constraint, in the words of the config documentation.
+    pub constraint: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid training configuration: {}", self.constraint)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 #[cfg(test)]
 mod tests {
@@ -211,24 +237,24 @@ mod tests {
 
     #[test]
     fn defaults_validate() {
-        TrainConfig::default().validate();
-        TrainConfig::for_scale_tiny().validate();
+        TrainConfig::default().validate().unwrap();
+        TrainConfig::for_scale_tiny().validate().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "freeze phase")]
     fn rejects_overlong_freeze() {
         let cfg = TrainConfig { freeze_epochs: 100, ..Default::default() };
-        cfg.validate();
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("freeze phase"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "pairwise margins")]
     fn rejects_inverted_margins() {
         let cfg = TrainConfig {
             loss: LossKind::Pairwise { pos_margin: 0.9, neg_margin: 0.3 },
             ..Default::default()
         };
-        cfg.validate();
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("pairwise margins"), "{err}");
     }
 }

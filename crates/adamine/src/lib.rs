@@ -32,6 +32,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod losses;
@@ -40,7 +41,7 @@ pub mod precompute;
 pub mod scenario;
 pub mod trainer;
 
-pub use config::{LossKind, ModelConfig, Strategy, TextMode, TrainConfig};
+pub use config::{ConfigError, LossKind, ModelConfig, Strategy, TextMode, TrainConfig};
 pub use model::{BatchInputs, TwoBranchModel};
 pub use precompute::{RecipeFeatures, SentenceFeaturizer};
 pub use scenario::Scenario;

@@ -47,6 +47,7 @@ pub fn cosine_distance_matrix(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
 /// Panics if `dist` is not square.
 pub fn instance_hinge(g: &mut Graph, dist: NodeId, margin: f32) -> TripletTerm {
     let n = g.value(dist).rows;
+    // cmr-lint: allow(panic-path) documented precondition: the caller built dist as a square batch matrix
     assert_eq!(g.value(dist).cols, n, "instance_hinge: distance matrix must be square");
     let dpos = g.diag_to_col(dist);
     let neg = g.scale(dist, -1.0);
@@ -76,6 +77,7 @@ pub fn instance_hinge(g: &mut Graph, dist: NodeId, margin: f32) -> TripletTerm {
 ///
 /// Returns `None` when no query yields a complete triplet. Unlabeled items
 /// never participate (their class is unknown).
+// cmr-lint: allow(panic-path) every index ranges over 0..labels.len() or enumerates vecs sized to it
 pub fn semantic_masks(
     labels: &[Option<usize>],
     rng: &mut impl Rng,
@@ -89,14 +91,17 @@ pub fn semantic_masks(
     for (i, li) in labels.iter().enumerate() {
         let Some(c) = li else { continue };
         let positives: Vec<usize> = (0..n)
+            // cmr-lint: allow(panic-path) j ranges over 0..n == labels.len()
             .filter(|&j| j != i && labels[j] == Some(*c))
             .collect();
         let negatives: Vec<usize> = (0..n)
+            // cmr-lint: allow(panic-path) j ranges over 0..n == labels.len()
             .filter(|&j| matches!(labels[j], Some(cj) if cj != *c))
             .collect();
         if positives.is_empty() || negatives.is_empty() {
             continue;
         }
+        // cmr-lint: allow(panic-path) i enumerates labels, and both per-row vecs were sized to labels.len()
         pos_choices[i] = positives.choose(rng).copied();
         cap = cap.min(negatives.len());
         neg_pools[i] = negatives;
@@ -188,6 +193,7 @@ pub fn pairwise_loss(
     neg_margin: f32,
 ) -> NodeId {
     let n = g.value(dist).rows;
+    // cmr-lint: allow(panic-path) documented precondition: the caller built dist as a square batch matrix
     assert_eq!(g.value(dist).cols, n, "pairwise_loss: distance matrix must be square");
     // positive pairs: diagonal
     let dpos = g.diag_to_col(dist);

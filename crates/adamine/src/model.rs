@@ -31,6 +31,7 @@ impl BatchInputs {
     ///
     /// # Panics
     /// Panics if `ids` is empty.
+    // cmr-lint: allow(panic-path) documented precondition; ids are pair ids of the same dataset the features were built from
     pub fn gather(dataset: &Dataset, feats: &RecipeFeatures, ids: &[usize]) -> Self {
         assert!(!ids.is_empty(), "BatchInputs::gather: empty batch");
         let image_rows: Vec<&[f32]> = ids.iter().map(|&i| dataset.image(i)).collect();
@@ -46,6 +47,7 @@ impl BatchInputs {
     ///
     /// # Panics
     /// Panics on empty inputs or mismatched row counts.
+    // cmr-lint: allow(panic-path) documented precondition; all row indexing happens after the row-count asserts
     pub fn from_parts(
         image_rows: &[&[f32]],
         ingr_lists: &[&[usize]],
@@ -131,6 +133,7 @@ impl TwoBranchModel {
     /// # Panics
     /// Panics if the word-vector dimensionality disagrees with the config.
     pub fn new(cfg: &ModelConfig, word_vectors: &WordVectors, image_dim: usize) -> Self {
+        // cmr-lint: allow(panic-path) documented precondition: config and pretrained vectors must agree on word_dim
         assert_eq!(cfg.word_dim, word_vectors.dim, "TwoBranchModel: word dim mismatch");
         let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();

@@ -46,6 +46,7 @@ impl SentenceFeaturizer {
     /// # Panics
     /// Panics if the word-vector dimensionality differs from `word_dim`.
     pub fn featurize(&self, sentence: &[usize], wv: &WordVectors) -> Vec<f32> {
+        // cmr-lint: allow(panic-path) documented precondition: featurizer and word vectors must agree on dim
         assert_eq!(wv.dim, self.in_dim, "SentenceFeaturizer: word dim mismatch");
         let mut mean = vec![0.0f32; self.in_dim];
         let mut wsum = 0.0f32;
@@ -63,10 +64,10 @@ impl SentenceFeaturizer {
         }
         let mut out = vec![0.0f32; self.out_dim];
         for (i, &mi) in mean.iter().enumerate() {
-            // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
             if mi == 0.0 {
                 continue;
             }
+            // cmr-lint: allow(panic-path) proj is allocated as in_dim rows of out_dim and i enumerates mean (len in_dim)
             let row = &self.proj[i * self.out_dim..(i + 1) * self.out_dim];
             for (o, &p) in out.iter_mut().zip(row) {
                 *o += mi * p;

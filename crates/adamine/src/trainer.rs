@@ -20,7 +20,7 @@
 //! [`FaultPlan`] injects faults (NaN losses, kills between epochs) for the
 //! fault-injection test suite.
 
-use crate::config::{LossKind, ModelConfig, TrainConfig};
+use crate::config::{ConfigError, LossKind, ModelConfig, TrainConfig};
 use crate::losses;
 use crate::model::{BatchInputs, TwoBranchModel};
 use crate::precompute::{RecipeFeatures, SentenceFeaturizer};
@@ -58,6 +58,9 @@ pub struct EpochStats {
 /// Why a training run failed. Returned by [`Trainer::fit`].
 #[derive(Debug)]
 pub enum TrainError {
+    /// The training configuration violates one of its documented
+    /// constraints (caught before any work starts).
+    Config(ConfigError),
     /// The epoch loop never produced a model (zero scheduled epochs and no
     /// checkpointed best to fall back on).
     NoEpochs,
@@ -83,6 +86,7 @@ pub enum TrainError {
 impl fmt::Display for TrainError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            TrainError::Config(e) => write!(f, "{e}"),
             TrainError::NoEpochs => write!(f, "training produced no epochs and no model"),
             TrainError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             TrainError::Diverged { epoch, skipped } => write!(
@@ -99,6 +103,7 @@ impl fmt::Display for TrainError {
 impl std::error::Error for TrainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            TrainError::Config(e) => Some(e),
             TrainError::Checkpoint(e) => Some(e),
             _ => None,
         }
@@ -226,7 +231,7 @@ impl Trainer {
     /// See [`TrainError`].
     pub fn fit(&self, dataset: &Dataset) -> Result<TrainedModel, TrainError> {
         let tcfg = self.scenario.apply_to(self.tcfg.clone());
-        tcfg.validate();
+        tcfg.validate().map_err(TrainError::Config)?;
         let n_classes = dataset.world.config().n_classes;
         let mcfg = self.scenario.apply_to_model(self.mcfg.clone(), n_classes);
 
@@ -426,6 +431,7 @@ impl Trainer {
         for batch_idx in 0..sampler.batches_per_epoch() {
             let ids = sampler.next_batch(rng);
             let labels: Vec<Option<usize>> =
+                // cmr-lint: allow(panic-path) batch ids come from the sampler built over this same dataset
                 ids.iter().map(|&i| dataset.recipes[i].label).collect();
             let inputs = BatchInputs::gather(dataset, feats, &ids);
 
@@ -623,6 +629,7 @@ fn encode_extra(
     sampler: &BatchSampler,
 ) -> Vec<u8> {
     let mut buf = Vec::new();
+    // cmr-lint: allow(lossy-cast) checkpoint format length field; param count never nears 2^32
     buf.extend_from_slice(&(stats.len() as u32).to_le_bytes());
     for s in stats {
         buf.extend_from_slice(&(s.epoch as u64).to_le_bytes());
@@ -634,6 +641,7 @@ fn encode_extra(
     match best {
         Some((_, _, blob)) => {
             buf.push(1);
+            // cmr-lint: allow(lossy-cast) checkpoint format length field; moment blobs are MBs, not GBs
             buf.extend_from_slice(&(blob.len() as u32).to_le_bytes());
             buf.extend_from_slice(blob);
         }
@@ -642,6 +650,7 @@ fn encode_extra(
     let (order, cursor) = sampler.state();
     let cursor = if cursor == usize::MAX { u64::MAX } else { cursor as u64 };
     buf.extend_from_slice(&cursor.to_le_bytes());
+    // cmr-lint: allow(lossy-cast) checkpoint format length field; sampler order is bounded by the dataset size
     buf.extend_from_slice(&(order.len() as u32).to_le_bytes());
     for id in order {
         buf.extend_from_slice(&(id as u64).to_le_bytes());
@@ -862,6 +871,7 @@ impl TrainedModel {
         let mut mean = vec![0.0f32; self.feats.sent_dim];
         let mut n = 0usize;
         for i in dataset.split_range(Split::Train) {
+            // cmr-lint: allow(panic-path) feats were precomputed over every pair id of this same dataset
             for s in &self.feats.sent_feats[i] {
                 for (m, &v) in mean.iter_mut().zip(s) {
                     *m += v;

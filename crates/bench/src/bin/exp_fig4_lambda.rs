@@ -53,7 +53,8 @@ fn main() {
         let trained = trainer.run(&ctx.dataset);
         let (imgs, recs) = trained.embed_split(&ctx.dataset, Split::Val);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(4242);
-        let rep = evaluate_bags(&imgs, &recs, bags, &mut rng);
+        let rep = evaluate_bags(&imgs, &recs, bags, &mut rng)
+            .expect("bag config fits the validation split");
         eprintln!("λ = {lambda}: trained in {:.0?}", t0.elapsed());
         points.push(LambdaPoint {
             lambda,

@@ -34,7 +34,8 @@ fn main() {
     }
     let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
     for (name, t) in [("class-blind", &text), ("class-aware", &text_cls)] {
-        let rep = evaluate_bags(&imgs, t, ctx.bags_10k(), &mut rng);
+        let rep = evaluate_bags(&imgs, t, ctx.bags_10k(), &mut rng)
+            .expect("bag config fits the test split");
         println!(
             "{name} oracle (gallery {}): MedR {:.1}/{:.1}  R@1 {:.1}/{:.1}  R@10 {:.1}/{:.1}",
             ids.len(),

@@ -16,6 +16,7 @@
 //! Run everything with `cargo run --release -p cmr-bench --bin exp_all`.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use cmr_adamine::{ModelConfig, Scenario, TrainConfig, TrainedModel, Trainer};
 use cmr_cca::Cca;
@@ -53,6 +54,7 @@ impl ExpContext {
     ///
     /// # Panics
     /// Panics on malformed arguments (these are developer tools).
+    // cmr-lint: allow(panic-path) documented contract: the experiment CLI aborts on malformed arguments
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut scale = Scale::Default;
@@ -188,7 +190,8 @@ impl ExpContext {
     pub fn eval(&self, trained: &TrainedModel, bags: BagConfig) -> ProtocolReport {
         let (imgs, recs) = trained.embed_split(&self.dataset, Split::Test);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(4242);
-        evaluate_bags(&imgs, &recs, bags, &mut rng)
+        // cmr-lint: allow(no-panic-lib) bag configs come from BagConfig::clamped against this same split
+        evaluate_bags(&imgs, &recs, bags, &mut rng).expect("bag config fits the test split")
     }
 
     /// Writes a JSON artifact into the output directory.
@@ -261,18 +264,21 @@ pub fn random_baseline(ctx: &ExpContext, bags: BagConfig) -> ProtocolReport {
     };
     let imgs = mk(&mut rng);
     let recs = mk(&mut rng);
-    evaluate_bags(&imgs, &recs, bags, &mut rng)
+    // cmr-lint: allow(no-panic-lib) both sets are freshly sampled at n >= bag_size
+    evaluate_bags(&imgs, &recs, bags, &mut rng).expect("bag config fits the sampled sets")
 }
 
 /// Frozen hand-crafted text features for the CCA baseline: mean ingredient
 /// word2vec ∥ mean instruction-sentence feature. CCA is a *linear global
 /// alignment* method, so it gets the same frozen inputs the neural recipe
 /// branch starts from.
+// cmr-lint: allow(panic-path) ids are pair ids of this same dataset; rows were allocated wdim + sdim wide
 fn cca_text_features(trained: &TrainedModel, dataset: &Dataset, ids: &[usize]) -> Mat {
     let wdim = trained.wv.dim;
     let sdim = trained.feats.sent_dim;
     let mut m = Mat::zeros(ids.len(), wdim + sdim);
     for (r, &i) in ids.iter().enumerate() {
+        // cmr-lint: allow(panic-path) ids are pair ids of this same dataset; m was sized over ids and dims
         let recipe = &dataset.recipes[i];
         let row = m.row_mut(r);
         let k = recipe.ingredient_tokens.len().max(1);
@@ -292,6 +298,7 @@ fn cca_text_features(trained: &TrainedModel, dataset: &Dataset, ids: &[usize]) -
     m
 }
 
+// cmr-lint: allow(panic-path) ids are pair ids of this same dataset and rows were allocated image_dim wide
 fn image_features(dataset: &Dataset, ids: &[usize]) -> Mat {
     let dim = dataset.image_dim;
     let mut m = Mat::zeros(ids.len(), dim);
@@ -338,6 +345,8 @@ pub fn cca_baseline(
     };
     let mut rng = rand::rngs::SmallRng::seed_from_u64(4242);
     evaluate_bags(&to_emb(&px), &to_emb(&py), bags, &mut rng)
+        // cmr-lint: allow(no-panic-lib) CCA projections are paired rows of the same test split
+        .expect("bag config fits the projected test split")
 }
 
 // ---------------------------------------------------------------------------

@@ -57,6 +57,7 @@ impl Cca {
     /// # Panics
     /// Panics if the samples are unpaired or `k` exceeds `min(dx, dy)` —
     /// caller bugs, not data conditions.
+    // cmr-lint: allow(panic-path) documented split: caller bugs panic, data conditions return CcaError
     pub fn fit(x: &Mat, y: &Mat, k: usize, reg: f64) -> Result<Self, CcaError> {
         assert_eq!(x.rows, y.rows, "Cca::fit: unpaired samples");
         assert!(
@@ -117,6 +118,7 @@ impl Cca {
     }
 
     fn project(&self, data: &Mat, mean: &[f64], w: &Mat) -> Mat {
+        // cmr-lint: allow(panic-path) the fitted model carries the dims the public transform APIs document
         assert_eq!(data.cols, mean.len(), "Cca::project: dimension mismatch");
         let mut centred = data.clone();
         for r in 0..centred.rows {

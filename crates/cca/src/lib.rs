@@ -11,6 +11,7 @@
 //! cross-covariance.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod cca;
 

@@ -166,6 +166,7 @@ impl DataConfig {
     ///
     /// # Panics
     /// Panics with a descriptive message on an inconsistent configuration.
+    // cmr-lint: allow(panic-path) documented contract: validation is the panicking gate for nonsense configs
     pub fn validate(&self) {
         assert!(self.n_classes >= 2, "need at least 2 classes");
         assert!(

@@ -1,5 +1,7 @@
 //! Materialised dataset: recipes + image features + splits.
 
+// cmr-lint: allow-file(panic-path) pair ids come from split_range() and the feature tables are sized rows*dim at construction
+
 use crate::config::DataConfig;
 use crate::recipe::Recipe;
 use crate::world::World;

@@ -24,6 +24,7 @@
 //! `cmr-word2vec` pretrains on.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod dataset;

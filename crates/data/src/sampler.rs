@@ -36,6 +36,7 @@ impl BatchSampler {
     /// # Panics
     /// Panics if the batch size is odd or zero, either pool is smaller than
     /// half a batch, or no class has two labeled pairs.
+    // cmr-lint: allow(panic-path) documented precondition: pool sizes are checked once at construction
     pub fn new(dataset: &Dataset, split: Split, batch_size: usize) -> Self {
         assert!(batch_size >= 2 && batch_size.is_multiple_of(2), "batch size must be even");
         let labeled = dataset.labeled_ids(split);
@@ -114,6 +115,7 @@ impl BatchSampler {
 
     /// Draws the next mini-batch of pair ids: first half unlabeled, second
     /// half labeled in same-class groups of two.
+    // cmr-lint: allow(panic-path) pool sizes and cursor bounds are established by the constructor asserts and the reshuffle resets
     pub fn next_batch(&mut self, rng: &mut impl Rng) -> Vec<usize> {
         let half = self.batch_size / 2;
         if self.cursor_u == usize::MAX || self.cursor_u + half > self.unlabeled.len() {
@@ -121,12 +123,14 @@ impl BatchSampler {
             self.cursor_u = 0;
         }
         let mut batch = Vec::with_capacity(self.batch_size);
+        // cmr-lint: allow(panic-path) cursor_u + half <= len is re-established by the shuffle reset above
         batch.extend_from_slice(&self.unlabeled[self.cursor_u..self.cursor_u + half]);
         self.cursor_u += half;
 
         while batch.len() < self.batch_size {
             let u: f64 = rng.gen_range(0.0..1.0);
             let c = self.class_cdf.partition_point(|&x| x < u).min(self.class_pools.len() - 1);
+            // cmr-lint: allow(panic-path) c is clamped to the pool count on the line above; pools are non-empty by construction
             let pool = &self.class_pools[c];
             let a = rng.gen_range(0..pool.len());
             let mut b = rng.gen_range(0..pool.len() - 1);

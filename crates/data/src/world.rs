@@ -1,5 +1,7 @@
 //! The generative world model and the frozen CNN feature extractor.
 
+// cmr-lint: allow-file(panic-path) the generator mints every id and table index it later dereferences; ranges are sized in the same module
+
 use crate::config::DataConfig;
 use crate::names;
 use crate::recipe::Recipe;
@@ -51,7 +53,6 @@ impl FrozenCnn {
         assert_eq!(z.len(), self.in_dim, "FrozenCnn::forward: latent dim mismatch");
         let mut h = self.b1.clone();
         for (i, &zi) in z.iter().enumerate() {
-            // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
             if zi == 0.0 {
                 continue;
             }
@@ -65,7 +66,6 @@ impl FrozenCnn {
         }
         let mut out = vec![0.0f32; self.out_dim];
         for (i, &hv) in h.iter().enumerate() {
-            // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
             if hv == 0.0 {
                 continue;
             }
@@ -254,6 +254,7 @@ impl World {
         let ld = self.cfg.latent_dim;
         let mut z = self.class_prototype(class).to_vec();
         if !ingredient_idxs.is_empty() {
+            // cmr-lint: allow(lossy-cast) ingredient count per recipe is tens, far below 2^24
             let scale = 1.0 / (ingredient_idxs.len() as f32).sqrt();
             for &ing in ingredient_idxs {
                 for (zv, &gv) in z.iter_mut().zip(self.ingredient_vector(ing)) {

@@ -1,5 +1,7 @@
 //! Cholesky factorisation and triangular solves.
 
+// cmr-lint: allow-file(panic-path) dimension and definiteness preconditions are the documented Panics contract of these factorisation kernels
+
 use crate::matrix::Mat;
 
 /// Cholesky factorisation `A = L·Lᵀ` of a symmetric positive-definite
@@ -46,7 +48,6 @@ pub fn solve_lower_triangular(l: &Mat, b: &Mat) -> Mat {
                 s -= l.get(i, k) * x.get(k, col);
             }
             let d = l.get(i, i);
-            // cmr-lint: allow(float-eq) exact singularity guard; any nonzero pivot is usable
             assert!(d != 0.0, "solve_lower_triangular: singular L");
             x.set(i, col, s / d);
         }
@@ -71,7 +72,6 @@ pub fn solve_upper_triangular(u: &Mat, b: &Mat) -> Mat {
                 s -= u.get(i, k) * x.get(k, col);
             }
             let d = u.get(i, i);
-            // cmr-lint: allow(float-eq) exact singularity guard; any nonzero pivot is usable
             assert!(d != 0.0, "solve_upper_triangular: singular U");
             x.set(i, col, s / d);
         }

@@ -5,6 +5,8 @@
 //! hundred at most), and it is simple enough to trust when written from
 //! scratch.
 
+// cmr-lint: allow-file(panic-path) square-matrix precondition is the documented Panics contract; sweep indices stay within n
+
 use crate::matrix::Mat;
 
 /// Result of [`eigh`]: `a = V · diag(λ) · Vᵀ`.

@@ -10,6 +10,7 @@
 //! condition numbers, and `f32` loses too much precision there.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod decomp;
 pub mod eigen;

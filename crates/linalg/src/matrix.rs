@@ -1,5 +1,7 @@
 //! Dense row-major `f64` matrix.
 
+// cmr-lint: allow-file(panic-path) dimension preconditions are the documented contract; indexing stays within dims the asserts establish
+
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
@@ -105,7 +107,6 @@ impl Mat {
         for i in 0..m {
             for l in 0..k {
                 let a = self.data[i * k + l];
-                // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
                 if a == 0.0 {
                     continue;
                 }

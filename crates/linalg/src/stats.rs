@@ -1,5 +1,7 @@
 //! Sample statistics for CCA: means and (cross-)covariance matrices.
 
+// cmr-lint: allow-file(panic-path) sample-count preconditions are the documented Panics contract; column loops stay within mat dims
+
 use crate::matrix::Mat;
 
 /// Column means of an `(n, d)` sample matrix.
@@ -45,7 +47,6 @@ pub fn cross_covariance(x: &Mat, y: &Mat) -> Mat {
         let yr = y.row(r);
         for i in 0..x.cols {
             let xc = xr[i] - mx[i];
-            // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
             if xc == 0.0 {
                 continue;
             }

@@ -1,16 +1,17 @@
 //! Fixture: allow comments that are themselves findings.
 
 /// Missing reason: the allow must NOT suppress, and must be reported.
-pub fn missing_reason(v: Option<u32>) -> u32 {
+fn missing_reason(v: Option<u32>) -> u32 {
     v.unwrap() // cmr-lint: allow(no-panic-lib)
 }
 
 /// Unknown rule id: reported, nothing suppressed.
-pub fn unknown_rule(v: Option<u32>) -> u32 {
+fn unknown_rule(v: Option<u32>) -> u32 {
     v.unwrap() // cmr-lint: allow(no-such-rule) because reasons
 }
 
-/// A valid allow for contrast: suppressed, no findings here.
+/// A valid allow for contrast: suppressed, no findings here — and the
+/// same allow defuses the panic site, so `panic-path` stays quiet too.
 pub fn valid_allow(v: Option<u32>) -> u32 {
     v.unwrap() // cmr-lint: allow(no-panic-lib) fixture: documented invariant
 }

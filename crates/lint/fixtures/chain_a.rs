@@ -1,0 +1,8 @@
+//! Fixture: entry module of the seeded transitive-panic chain. The public
+//! API here looks perfectly clean — the panic is three calls away, planted
+//! in `chain_b.rs`.
+
+/// Clean-looking embed wrapper; panics only transitively.
+pub fn embed(m: Mlp, i: usize) -> f32 {
+    m.forward(i)
+}

@@ -1,0 +1,17 @@
+//! Fixture: kernel module carrying the seeded panic — a raw slice index
+//! two frames below the public surface.
+
+/// A tiny fake model.
+pub struct Mlp;
+
+impl Mlp {
+    /// One level down from the public entry point.
+    pub fn forward(&self, i: usize) -> f32 {
+        self.layer(i)
+    }
+
+    fn layer(&self, i: usize) -> f32 {
+        let w = [0.0, 1.0];
+        w[i]
+    }
+}

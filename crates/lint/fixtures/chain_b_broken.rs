@@ -1,0 +1,18 @@
+//! Fixture: the same kernel module as `chain_b.rs` with the chain broken —
+//! the indexing panic replaced by a total `get().unwrap_or()` access, so
+//! `panic-path` must go completely quiet.
+
+/// A tiny fake model.
+pub struct Mlp;
+
+impl Mlp {
+    /// One level down from the public entry point.
+    pub fn forward(&self, i: usize) -> f32 {
+        self.layer(i)
+    }
+
+    fn layer(&self, i: usize) -> f32 {
+        let w = [0.0, 1.0];
+        w.get(i).copied().unwrap_or(0.0)
+    }
+}

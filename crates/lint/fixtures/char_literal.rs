@@ -13,6 +13,7 @@ pub fn tricky<'a>(s: &'a str) -> (char, char, char, &'a str) {
 }
 
 /// This one IS a violation and must be found despite the chars above.
-pub fn real_violation(v: Option<u32>) -> u32 {
+/// (Private so the token rule, not panic-path, is what is under test.)
+fn real_violation(v: Option<u32>) -> u32 {
     v.unwrap()
 }

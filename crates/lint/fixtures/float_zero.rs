@@ -1,0 +1,17 @@
+//! Fixture: `==`/`!=` against the literal zero is the sparsity/norm-guard
+//! idiom and allowed by construction; any other literal is still flagged.
+
+/// Allowed: exact-zero sparsity guard.
+pub fn is_zero(x: f32) -> bool {
+    x == 0.0
+}
+
+/// Allowed: exact-zero in the other position and negated.
+pub fn is_nonzero(x: f64) -> bool {
+    0.0 != x
+}
+
+/// Still flagged: a non-zero literal needs a tolerance helper.
+pub fn is_half(x: f32) -> bool {
+    x != 0.5
+}

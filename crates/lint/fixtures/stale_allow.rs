@@ -1,0 +1,12 @@
+//! Fixture: an allow directive that suppresses nothing is itself a finding.
+
+/// Perfectly clean function; the allow below it is dead weight.
+// cmr-lint: allow(no-println-lib) leftover from a deleted debug print
+pub fn clean() -> u32 {
+    1
+}
+
+/// This allow earns its keep and must NOT be flagged.
+pub fn guarded(v: Option<u32>) -> u32 {
+    v.unwrap() // cmr-lint: allow(no-panic-lib) fixture: documented invariant
+}

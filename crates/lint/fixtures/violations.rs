@@ -1,12 +1,15 @@
 //! Fixture: exactly one violation of each per-file rule, in order.
+//! The fns with direct panics are private so `panic-path` (which only
+//! reports `pub` fns) does not double-report the `no-panic-lib` lines;
+//! `v8` is the dedicated panic-path violation.
 
 /// no-panic-lib: method form.
-pub fn v1(v: Option<u32>) -> u32 {
+fn v1(v: Option<u32>) -> u32 {
     v.expect("boom")
 }
 
 /// no-panic-lib: macro form.
-pub fn v2() {
+fn v2() {
     todo!()
 }
 
@@ -23,6 +26,30 @@ pub fn v4() {
 /// float-eq.
 pub fn v5(x: f32) -> bool {
     x == 0.5
+}
+
+/// lossy-cast: usize → u32 narrows.
+pub fn v6(n: usize) -> u32 {
+    n as u32
+}
+
+/// unused-result: the `Result` from `save` is dropped on the floor.
+pub fn v7() {
+    save();
+}
+
+fn save() -> Result<(), String> {
+    Ok(())
+}
+
+/// panic-path: no panic here, but the private helper indexes — the chain
+/// `v8 → pick → slice index` is reported at this declaration.
+pub fn v8(v: &[f32]) -> f32 {
+    pick(v)
+}
+
+fn pick(v: &[f32]) -> f32 {
+    v[0]
 }
 
 #[cfg(test)]

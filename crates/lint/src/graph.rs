@@ -1,0 +1,815 @@
+//! Workspace-wide call graph and transitive panic reachability.
+//!
+//! [`build`] resolves every call site recovered by [`crate::parser`] into a
+//! graph over all function definitions in the scanned file set, then runs a
+//! multi-source BFS from every *panic source* (panic/assert macro,
+//! `.unwrap()`/`.expect()`, slice index) backwards over the call edges, so
+//! each function knows whether it can transitively reach a panic and via
+//! which shortest witness chain.
+//!
+//! ## Resolution strategy (deterministic, documented heuristics)
+//!
+//! * `Type::method(…)` / `Self::method(…)` → `impl` fns of that type name.
+//! * `module::func(…)` → free fns whose module or crate matches the last
+//!   qualifier segment.
+//! * `recv.method(…)` → the receiver's type when known (a typed `let`, a
+//!   parameter, or `self`), else *all* workspace methods of that name —
+//!   unless the name collides with ubiquitous `std` methods
+//!   ([`STD_METHOD_COLLISIONS`]), in which case the call is treated as
+//!   external rather than over-linking half the workspace.
+//! * Bare `func(…)` → free fns, preferring same module, then same crate.
+//!
+//! Unresolved calls are assumed external (std) and do not propagate taint;
+//! this under-approximates across type-erased call sites and is the
+//! documented trade-off of a first-party analyzer with no type inference.
+//!
+//! ## Allows
+//!
+//! A panic source is *defused* (does not taint its function or callers) by
+//! an inline `allow(panic-path)`/`allow(no-panic-lib)` on its line; a
+//! function is a *barrier* (proven/documented — never taints callers) when
+//! an `allow(panic-path)` is attached to its declaration or a file-scope
+//! `allow-file(panic-path)` covers its file. [`Graph::used_allow_lines`]
+//! reports which of those directives were load-bearing so the `stale-allow`
+//! rule can flag the rest.
+
+// cmr-lint: allow-file(panic-path) node ids are arena indices minted by build(); every dereference uses an id the arena issued
+
+use crate::parser::{CallSite, FnDef, ParsedFile, PanicKind, Receiver};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Schema version stamped into `CALLGRAPH.json`.
+pub const CALLGRAPH_SCHEMA_VERSION: u32 = 1;
+
+/// Method names so common on `std` types that an unknown-receiver call must
+/// not be linked to same-named workspace methods (over-approximation would
+/// drown the analysis in false paths through `Vec::len`-alikes).
+pub const STD_METHOD_COLLISIONS: &[&str] = &[
+    "abs", "all", "and_then", "any", "as_bytes", "as_mut", "as_ref", "as_slice", "as_str",
+    "borrow", "bytes", "capacity", "ceil", "chars", "chunks", "clamp", "clear", "clone",
+    "cloned", "cmp", "collect", "contains", "contains_key", "copied", "copy_from_slice",
+    "compare_exchange", "compare_exchange_weak", "cos", "count", "dedup", "drain", "entry",
+    "enumerate", "eq", "exp", "extend", "fetch_add", "fetch_max", "fetch_min", "fetch_sub",
+    "fill",
+    "filter", "filter_map", "find", "first", "flat_map", "flatten", "floor", "flush",
+    "fold", "fmt", "from_bits", "get", "get_mut", "get_or_init", "get_or_insert_with",
+    "hash", "insert", "into_iter", "is_empty", "is_finite", "is_nan", "is_none", "is_some",
+    "iter", "iter_mut", "join", "keys", "last", "len", "lines", "ln", "load", "lock",
+    "map", "map_err", "max", "max_by", "min", "min_by", "next", "ok", "ok_or",
+    "ok_or_else", "or_else", "parse",
+    "partial_cmp", "pop", "position", "powf", "powi", "push", "push_str", "read",
+    "read_exact", "read_to_end", "read_to_string", "remove", "reserve", "resize", "rev",
+    "round", "seek", "set_len", "sin", "skip", "sort", "sort_by", "sort_by_key",
+    "sort_unstable", "sort_unstable_by", "split", "split_at", "split_at_mut",
+    "split_whitespace", "sqrt", "starts_with", "ends_with", "sum", "swap", "take", "tanh",
+    "to_bits", "to_owned", "to_string", "to_vec", "trim", "try_into", "unwrap_or",
+    "unwrap_or_default", "unwrap_or_else", "values", "windows", "with_capacity", "write",
+    "write_all", "zip",
+];
+
+/// One scanned file handed to [`build`].
+pub struct FileUnit<'a> {
+    /// Repo-relative path with `/` separators.
+    pub path: &'a str,
+    /// Parser output for the file.
+    pub parsed: &'a ParsedFile,
+    /// Library code (not under `tests/`, `examples/`, `src/bin/`, `main.rs`).
+    pub in_lib: bool,
+}
+
+/// Panic-relevant allow directives of one file (prepared by the rule
+/// engine from the shared allow-comment set).
+#[derive(Default, Clone)]
+pub struct PanicAllows {
+    /// Lines carrying `allow(panic-path)` or `allow(no-panic-lib)`; each
+    /// covers its own line and the line directly below (site defusing) and
+    /// any `fn` whose declaration starts on/under it (barrier).
+    pub lines: BTreeSet<u32>,
+    /// A file-scope `allow-file(panic-path)` exists: every fn in the file
+    /// is a barrier.
+    pub file_scope: bool,
+}
+
+/// What made a function a barrier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BarrierFrom {
+    /// A fn-scoped `allow(panic-path)` at this allow-comment line.
+    Line(u32),
+    /// The file-scope `allow-file(panic-path)` directive.
+    File,
+}
+
+/// One undefused panic source inside a function.
+#[derive(Clone, Debug)]
+pub struct SourceSite {
+    /// 1-based line.
+    pub line: u32,
+    /// Short description (`panic!`, `.unwrap()`, `slice index`, …).
+    pub what: String,
+}
+
+/// Shortest-witness taint data for a reachable function.
+#[derive(Clone, Debug)]
+pub struct Taint {
+    /// Chain length in functions (1 = the panic is in this fn itself).
+    pub dist: u32,
+    /// Next function on the shortest chain (`None` for the source fn).
+    pub via: Option<usize>,
+    /// Description + location of the witness panic site.
+    pub site: String,
+}
+
+/// One function node in the call graph.
+pub struct Node {
+    /// Stable display id, e.g. `adamine::Model::embed`.
+    pub id: String,
+    /// Repo-relative file.
+    pub file: String,
+    /// Line of the fn name token.
+    pub line: u32,
+    /// Column of the fn name token.
+    pub col: u32,
+    /// Short crate name (workspace dir name).
+    pub krate: String,
+    /// Bare-`pub` function.
+    pub is_pub: bool,
+    /// Inside a test region or a test-path file.
+    pub is_test: bool,
+    /// Library code (see [`FileUnit::in_lib`]).
+    pub in_lib: bool,
+    /// Declared to return `Result<…>`.
+    pub returns_result: bool,
+    /// Barrier fn: proven/documented, never taints callers.
+    pub barrier: Option<BarrierFrom>,
+    /// Panic sources before defusing, by kind: `[macro, assert, unwrap, index]`.
+    pub sources_by_kind: [usize; 4],
+    /// Sites still live after allows.
+    pub live_sources: Vec<SourceSite>,
+    /// How many sites allows defused.
+    pub defused: usize,
+    /// Resolved callee node indices (sorted, deduped).
+    pub callees: Vec<usize>,
+    /// Call sites that could not be resolved to a workspace fn.
+    pub unresolved_calls: usize,
+    /// Transitive panic reachability (filled by propagation).
+    pub taint: Option<Taint>,
+}
+
+/// A statement-discarded call (`let _ = f();` or bare `f();`) whose every
+/// resolved workspace candidate returns `Result`.
+#[derive(Clone, Debug)]
+pub struct DiscardedResult {
+    /// Repo-relative file of the call site.
+    pub file: String,
+    /// 1-based line of the call site.
+    pub line: u32,
+    /// 1-based column of the call site.
+    pub col: u32,
+    /// Node index of the calling function.
+    pub caller: usize,
+    /// Name of the discarded callee.
+    pub callee_name: String,
+}
+
+/// The resolved workspace call graph.
+pub struct Graph {
+    /// All function nodes, in deterministic (file, line) order.
+    pub nodes: Vec<Node>,
+    /// `(file, allow-line)` pairs of panic allows that defused a source or
+    /// erected a load-bearing barrier.
+    pub used_allow_lines: BTreeSet<(String, u32)>,
+    /// Files whose `allow-file(panic-path)` was load-bearing.
+    pub used_file_allows: BTreeSet<String>,
+    /// Discarded calls resolving only to `Result`-returning workspace fns.
+    pub discarded_results: Vec<DiscardedResult>,
+}
+
+/// Short crate name from a repo-relative path.
+pub fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("?").to_string(),
+        Some("src") => "facade".to_string(),
+        Some(first) => first.to_string(),
+        None => "?".to_string(),
+    }
+}
+
+/// Index of `FnDef`s across files plus receiver-type context.
+struct FnRef<'a> {
+    unit: usize,
+    def: &'a FnDef,
+}
+
+impl Graph {
+    /// Renders the deterministic `CALLGRAPH.json` artifact.
+    pub fn render_json(&self) -> String {
+        let stats = self.crate_stats();
+        let esc = crate::report::escape;
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {CALLGRAPH_SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"functions\": {},\n", self.nodes.len()));
+        let edge_count: usize = self.nodes.iter().map(|n| n.callees.len()).sum();
+        out.push_str(&format!("  \"edges\": {edge_count},\n"));
+        out.push_str("  \"crates\": {\n");
+        let n = stats.len();
+        for (i, (name, s)) in stats.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {{\"fns\": {}, \"pub_fns\": {}, \"panic_sources\": {{\"macro\": {}, \"assert\": {}, \"unwrap_expect\": {}, \"index\": {}}}, \"defused_sources\": {}, \"barrier_fns\": {}, \"panic_surface\": {}}}{}\n",
+                esc(name), s.fns, s.pub_fns, s.sources[0], s.sources[1], s.sources[2],
+                s.sources[3], s.defused, s.barriers, s.panic_surface,
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        out.push_str("  },\n  \"nodes\": [\n");
+        let m = self.nodes.len();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let chain = node
+                .taint
+                .as_ref()
+                .map(|_| format!(", \"panic_chain\": \"{}\"", esc(&self.chain_of(i))))
+                .unwrap_or_default();
+            let barrier = match node.barrier {
+                Some(_) => ", \"barrier\": true",
+                None => "",
+            };
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"file\": \"{}\", \"line\": {}, \"pub\": {}, \"test\": {}, \"sources\": {}, \"defused\": {}{}{}}}{}\n",
+                esc(&node.id),
+                esc(&node.file),
+                node.line,
+                node.is_pub,
+                node.is_test,
+                node.live_sources.len(),
+                node.defused,
+                barrier,
+                chain,
+                if i + 1 < m { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"calls\": [\n");
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &c in &node.callees {
+                edges.push((i, c));
+            }
+        }
+        let e = edges.len();
+        for (k, (a, b)) in edges.iter().enumerate() {
+            out.push_str(&format!(
+                "    [\"{}\", \"{}\"]{}\n",
+                esc(&self.nodes[*a].id),
+                esc(&self.nodes[*b].id),
+                if k + 1 < e { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the shortest witness chain for a tainted node, e.g.
+    /// `adamine::Model::embed → nn::Mlp::forward → .unwrap() (crates/nn/src/mlp.rs:90)`.
+    pub fn chain_of(&self, idx: usize) -> String {
+        let mut parts = Vec::new();
+        let mut cur = idx;
+        for _ in 0..64 {
+            parts.push(self.nodes[cur].id.clone());
+            match &self.nodes[cur].taint {
+                Some(t) => match t.via {
+                    Some(nxt) => cur = nxt,
+                    None => {
+                        parts.push(t.site.clone());
+                        break;
+                    }
+                },
+                None => break,
+            }
+        }
+        parts.join(" → ")
+    }
+
+    /// Per-crate aggregate metrics (deterministically ordered).
+    pub fn crate_stats(&self) -> BTreeMap<String, CrateStats> {
+        let mut map: BTreeMap<String, CrateStats> = BTreeMap::new();
+        for node in &self.nodes {
+            let s = map.entry(node.krate.clone()).or_default();
+            s.fns += 1;
+            if node.is_pub && !node.is_test {
+                s.pub_fns += 1;
+            }
+            for k in 0..4 {
+                s.sources[k] += node.sources_by_kind[k];
+            }
+            s.defused += node.defused;
+            if node.barrier.is_some() {
+                s.barriers += 1;
+            }
+            if node.is_pub && !node.is_test && node.in_lib && node.taint.is_some() {
+                s.panic_surface += 1;
+            }
+        }
+        map
+    }
+
+    /// Total panic surface: pub lib fns that can transitively reach an
+    /// undefused panic.
+    pub fn panic_surface(&self) -> usize {
+        self.crate_stats().values().map(|s| s.panic_surface).sum()
+    }
+}
+
+/// Aggregate call-graph metrics for one crate.
+#[derive(Default, Clone, Debug)]
+pub struct CrateStats {
+    /// Function definitions.
+    pub fns: usize,
+    /// Bare-`pub` non-test functions.
+    pub pub_fns: usize,
+    /// Panic sources by kind: `[macro, assert, unwrap_expect, index]`.
+    pub sources: [usize; 4],
+    /// Sites defused by allows.
+    pub defused: usize,
+    /// Barrier functions.
+    pub barriers: usize,
+    /// Pub lib fns with transitive panic reachability.
+    pub panic_surface: usize,
+}
+
+/// Builds the call graph, runs panic propagation, and reports allow usage.
+pub fn build(units: &[FileUnit], allows: &BTreeMap<String, PanicAllows>) -> Graph {
+    // ---- nodes ----
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut refs: Vec<FnRef> = Vec::new();
+    let mut used_allow_lines: BTreeSet<(String, u32)> = BTreeSet::new();
+    let mut used_file_allows: BTreeSet<String> = BTreeSet::new();
+    // Struct fields per (crate, type) for receiver/field typing.
+    let mut fields: HashMap<(String, String), HashMap<String, String>> = HashMap::new();
+    for u in units {
+        let krate = crate_of(u.path);
+        for st in &u.parsed.structs {
+            let entry = fields.entry((krate.clone(), st.name.clone())).or_default();
+            for (f, t) in &st.fields {
+                entry.entry(f.clone()).or_insert_with(|| t.clone());
+            }
+        }
+    }
+
+    let mut id_seen: HashMap<String, usize> = HashMap::new();
+    for (ui, u) in units.iter().enumerate() {
+        let krate = crate_of(u.path);
+        let pa = allows.get(u.path).cloned().unwrap_or_default();
+        for def in &u.parsed.fns {
+            let mut id = String::new();
+            id.push_str(&krate);
+            for m in &def.module {
+                id.push_str("::");
+                id.push_str(m);
+            }
+            if let Some(ty) = &def.self_ty {
+                id.push_str("::");
+                id.push_str(ty);
+            }
+            id.push_str("::");
+            id.push_str(&def.name);
+            let dup = id_seen.entry(id.clone()).or_insert(0);
+            *dup += 1;
+            if *dup > 1 {
+                id.push_str(&format!("#{dup}"));
+            }
+
+            // Barrier detection.
+            let mut barrier = None;
+            if pa.file_scope {
+                barrier = Some(BarrierFrom::File);
+            } else {
+                for cand in [
+                    def.attach_line.checked_sub(1),
+                    Some(def.attach_line),
+                    Some(def.line),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    if pa.lines.contains(&cand) {
+                        barrier = Some(BarrierFrom::Line(cand));
+                        break;
+                    }
+                }
+            }
+
+            // Panic sources.
+            let mut by_kind = [0usize; 4];
+            let mut live = Vec::new();
+            let mut defused = 0usize;
+            if let Some(body) = &def.body {
+                let mut sites: Vec<(u32, u32, usize, String)> = Vec::new();
+                for p in &body.panics {
+                    let k = match p.kind {
+                        PanicKind::Macro => 0,
+                        PanicKind::Assert => 1,
+                        PanicKind::UnwrapExpect => 2,
+                    };
+                    sites.push((p.line, p.col, k, p.what.clone()));
+                }
+                for ix in &body.indexes {
+                    sites.push((ix.line, ix.col, 3, "slice index".to_string()));
+                }
+                sites.sort();
+                for (line, _col, k, what) in sites {
+                    by_kind[k] += 1;
+                    let cover = [line.checked_sub(1), Some(line)]
+                        .into_iter()
+                        .flatten()
+                        .find(|l| pa.lines.contains(l));
+                    let site_defused = cover.is_some() || barrier.is_some();
+                    if let Some(l) = cover {
+                        used_allow_lines.insert((u.path.to_string(), l));
+                    }
+                    if site_defused {
+                        defused += 1;
+                    } else {
+                        live.push(SourceSite { line, what });
+                    }
+                }
+            }
+
+            nodes.push(Node {
+                id,
+                file: u.path.to_string(),
+                line: def.line,
+                col: def.col,
+                krate: krate.clone(),
+                is_pub: def.is_pub,
+                is_test: def.is_test || !u.in_lib && is_test_like(u.path),
+                in_lib: u.in_lib,
+                returns_result: def.returns_result,
+                barrier,
+                sources_by_kind: by_kind,
+                live_sources: live,
+                defused,
+                callees: Vec::new(),
+                unresolved_calls: 0,
+                taint: None,
+            });
+            refs.push(FnRef { unit: ui, def });
+        }
+    }
+
+    // ---- resolution indexes ----
+    let mut by_type_method: HashMap<(String, String), Vec<usize>> = HashMap::new();
+    let mut free_by_name: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut method_by_name: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, r) in refs.iter().enumerate() {
+        match &r.def.self_ty {
+            Some(ty) => {
+                by_type_method
+                    .entry((ty.clone(), r.def.name.clone()))
+                    .or_default()
+                    .push(i);
+                method_by_name.entry(r.def.name.clone()).or_default().push(i);
+            }
+            None => free_by_name.entry(r.def.name.clone()).or_default().push(i),
+        }
+    }
+
+    // ---- edges ----
+    let mut discarded_results: Vec<DiscardedResult> = Vec::new();
+    for i in 0..nodes.len() {
+        let r = &refs[i];
+        let Some(body) = &r.def.body else { continue };
+        let mut callees: BTreeSet<usize> = BTreeSet::new();
+        let mut unresolved = 0usize;
+        for call in &body.calls {
+            let targets = resolve_call(
+                i,
+                call,
+                r,
+                &refs,
+                units,
+                &by_type_method,
+                &free_by_name,
+                &method_by_name,
+                &fields,
+                &nodes,
+            );
+            if targets.is_empty() {
+                unresolved += 1;
+            } else if call.discarded
+                && targets.iter().all(|&t| refs[t].def.returns_result)
+            {
+                discarded_results.push(DiscardedResult {
+                    file: units[r.unit].path.to_string(),
+                    line: call.line,
+                    col: call.col,
+                    caller: i,
+                    callee_name: call.name.clone(),
+                });
+            }
+            callees.extend(targets);
+        }
+        nodes[i].callees = callees.into_iter().collect();
+        nodes[i].unresolved_calls = unresolved;
+    }
+    discarded_results.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+
+    // ---- panic propagation (multi-source BFS over reverse edges) ----
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        for &c in &node.callees {
+            rev[c].push(i);
+        }
+    }
+    for r in &mut rev {
+        r.sort_unstable();
+        r.dedup();
+    }
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (i, node) in nodes.iter_mut().enumerate() {
+        if node.barrier.is_some() || node.is_test {
+            continue;
+        }
+        if let Some(first) = node.live_sources.first() {
+            node.taint = Some(Taint {
+                dist: 1,
+                via: None,
+                site: format!("{} ({}:{})", first.what, node.file, first.line),
+            });
+            queue.push_back(i);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        let dist = nodes[cur].taint.as_ref().map(|t| t.dist).unwrap_or(0);
+        let site = nodes[cur].taint.as_ref().map(|t| t.site.clone()).unwrap_or_default();
+        for &caller in &rev[cur].clone() {
+            if nodes[caller].taint.is_some()
+                || nodes[caller].barrier.is_some()
+                || nodes[caller].is_test
+            {
+                continue;
+            }
+            nodes[caller].taint =
+                Some(Taint { dist: dist + 1, via: Some(cur), site: site.clone() });
+            queue.push_back(caller);
+        }
+    }
+
+    // ---- allow usage: load-bearing barriers ----
+    for node in &nodes {
+        let total: usize = node.sources_by_kind.iter().sum();
+        let stops_callee = node
+            .callees
+            .iter()
+            .any(|&c| nodes[c].taint.is_some() && nodes[c].barrier.is_none());
+        let load_bearing = total > 0 || stops_callee;
+        if !load_bearing {
+            continue;
+        }
+        match node.barrier {
+            Some(BarrierFrom::Line(l)) => {
+                used_allow_lines.insert((node.file.clone(), l));
+            }
+            Some(BarrierFrom::File) => {
+                used_file_allows.insert(node.file.clone());
+            }
+            None => {}
+        }
+    }
+
+    Graph { nodes, used_allow_lines, used_file_allows, discarded_results }
+}
+
+fn is_test_like(path: &str) -> bool {
+    path.split('/').any(|c| c == "tests" || c == "benches")
+}
+
+/// Looks up the latest typed binding of `name` before `line`.
+pub(crate) fn local_type(def: &FnDef, name: &str, line: u32) -> Option<String> {
+    let mut best: Option<(u32, &str)> = None;
+    if let Some(body) = &def.body {
+        for (n, t, l) in &body.locals {
+            if n == name && *l <= line && best.map(|(bl, _)| *l >= bl).unwrap_or(true) {
+                best = Some((*l, t));
+            }
+        }
+    }
+    if let Some((_, t)) = best {
+        return Some(t.to_string());
+    }
+    def.params.iter().find(|(n, _)| n == name).map(|(_, t)| t.clone())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_call(
+    _caller: usize,
+    call: &CallSite,
+    r: &FnRef,
+    refs: &[FnRef],
+    units: &[FileUnit],
+    by_type_method: &HashMap<(String, String), Vec<usize>>,
+    free_by_name: &HashMap<String, Vec<usize>>,
+    method_by_name: &HashMap<String, Vec<usize>>,
+    _fields: &HashMap<(String, String), HashMap<String, String>>,
+    nodes: &[Node],
+) -> Vec<usize> {
+    let name = call.name.as_str();
+    let typed = |ty: &str| -> Vec<usize> {
+        by_type_method
+            .get(&(ty.to_string(), name.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    };
+    match &call.receiver {
+        Some(Receiver::SelfRecv) => {
+            if let Some(ty) = &r.def.self_ty {
+                let t = typed(ty);
+                if !t.is_empty() {
+                    return t;
+                }
+            }
+            if STD_METHOD_COLLISIONS.contains(&name) {
+                return Vec::new();
+            }
+            method_by_name.get(name).cloned().unwrap_or_default()
+        }
+        Some(Receiver::Ident(v)) => {
+            if let Some(ty) = local_type(r.def, v, call.line) {
+                // A known receiver type resolves exactly (or externally).
+                return typed(&ty);
+            }
+            if STD_METHOD_COLLISIONS.contains(&name) {
+                return Vec::new();
+            }
+            method_by_name.get(name).cloned().unwrap_or_default()
+        }
+        Some(Receiver::Unknown) => {
+            if STD_METHOD_COLLISIONS.contains(&name) {
+                return Vec::new();
+            }
+            method_by_name.get(name).cloned().unwrap_or_default()
+        }
+        None => {
+            if let Some(last) = call.qualifier.last() {
+                if last == "Self" {
+                    if let Some(ty) = &r.def.self_ty {
+                        return typed(ty);
+                    }
+                    return Vec::new();
+                }
+                if last.chars().next().is_some_and(char::is_uppercase) {
+                    return typed(last);
+                }
+                // Module- or crate-qualified free call.
+                return free_by_name
+                    .get(name)
+                    .map(|cands| {
+                        cands
+                            .iter()
+                            .copied()
+                            .filter(|&c| {
+                                refs[c].def.module.last().map(String::as_str)
+                                    == Some(last.as_str())
+                                    || nodes[c].krate == *last
+                                    || nodes[c].krate == last.trim_start_matches("cmr_")
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+            }
+            // A bare call through a parameter is a closure invocation, not a
+            // free fn — `store.load(slot, parse)` must not link `parse(&b)`
+            // to some crate's free `parse`.
+            if r.def.params.iter().any(|(n, _)| n == name) {
+                return Vec::new();
+            }
+            // Bare call: prefer same module in same crate, then same crate.
+            let Some(cands) = free_by_name.get(name) else { return Vec::new() };
+            let my_crate = &nodes.get(_caller).map(|n| n.krate.clone()).unwrap_or_default();
+            let same_unit: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    refs[c].unit == r.unit && refs[c].def.module == r.def.module
+                })
+                .collect();
+            if !same_unit.is_empty() {
+                return same_unit;
+            }
+            let same_crate: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| crate_of(units[refs[c].unit].path) == *my_crate)
+                .collect();
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+            cands.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn graph_of(files: &[(&str, &str)]) -> Graph {
+        let parsed: Vec<ParsedFile> =
+            files.iter().map(|(_, src)| parse(&lex(src).expect("lex"))).collect();
+        let units: Vec<FileUnit> = files
+            .iter()
+            .zip(parsed.iter())
+            .map(|((path, _), p)| FileUnit { path, parsed: p, in_lib: true })
+            .collect();
+        build(&units, &BTreeMap::new())
+    }
+
+    #[test]
+    fn transitive_taint_with_shortest_chain() {
+        let g = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                r#"
+                pub struct Model;
+                impl Model {
+                    pub fn embed(&self, m: Mlp) -> f32 { m.forward(0) }
+                }
+                "#,
+            ),
+            (
+                "crates/b/src/lib.rs",
+                r#"
+                pub struct Mlp;
+                impl Mlp {
+                    pub fn forward(&self, i: usize) -> f32 { self.layer(i) }
+                    fn layer(&self, i: usize) -> f32 { let w = [0.0]; w[i] }
+                }
+                "#,
+            ),
+        ]);
+        let embed = g.nodes.iter().position(|n| n.id == "a::Model::embed").unwrap();
+        let t = g.nodes[embed].taint.as_ref().expect("embed tainted");
+        assert_eq!(t.dist, 3);
+        let chain = g.chain_of(embed);
+        assert!(
+            chain.starts_with("a::Model::embed → b::Mlp::forward → b::Mlp::layer → slice index"),
+            "{chain}"
+        );
+    }
+
+    #[test]
+    fn barrier_stops_taint_and_is_load_bearing() {
+        let mut allows = BTreeMap::new();
+        allows.insert(
+            "crates/b/src/lib.rs".to_string(),
+            PanicAllows { lines: [2u32].into_iter().collect(), file_scope: false },
+        );
+        let files = [
+            ("crates/a/src/lib.rs", "pub fn call() { helper(); }"),
+            (
+                "crates/b/src/lib.rs",
+                "\n// barrier here (line 2)\npub fn helper() { panic!(\"boom\") }",
+            ),
+        ];
+        let parsed: Vec<ParsedFile> =
+            files.iter().map(|(_, src)| parse(&lex(src).expect("lex"))).collect();
+        let units: Vec<FileUnit> = files
+            .iter()
+            .zip(parsed.iter())
+            .map(|((path, _), p)| FileUnit { path, parsed: p, in_lib: true })
+            .collect();
+        let g = build(&units, &allows);
+        let call = g.nodes.iter().position(|n| n.id == "a::call").unwrap();
+        assert!(g.nodes[call].taint.is_none(), "barrier must stop taint");
+        assert!(g
+            .used_allow_lines
+            .contains(&("crates/b/src/lib.rs".to_string(), 2)));
+    }
+
+    #[test]
+    fn std_collisions_do_not_overlink() {
+        let g = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn f(v: Vec<u32>) -> usize { v.len() }",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub struct T; impl T { pub fn len(&self) -> usize { panic!(\"x\") } }",
+            ),
+        ]);
+        let f = g.nodes.iter().position(|n| n.id == "a::f").unwrap();
+        assert!(g.nodes[f].taint.is_none(), "v.len() must not link to T::len");
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let files = [
+            ("crates/a/src/lib.rs", "pub fn f() { g(); } fn g() { panic!(\"x\") }"),
+        ];
+        let a = graph_of(&files).render_json();
+        let b = graph_of(&files).render_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema_version\""), "{a}");
+    }
+}

@@ -139,6 +139,7 @@ impl Lexer {
     }
 
     fn text_since(&self, start: usize) -> String {
+        // cmr-lint: allow(panic-path) start is a previously-recorded pos and pos <= chars.len() is the lexer invariant
         self.chars[start..self.pos].iter().collect()
     }
 
@@ -424,6 +425,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             _ => {
                 let mut matched = false;
                 for p in PUNCTS {
+                    // cmr-lint: allow(panic-path) pos <= chars.len() is the lexer loop invariant
                     if lx.chars[lx.pos..].starts_with(&p.chars().collect::<Vec<_>>()[..]) {
                         for _ in 0..p.len() {
                             lx.bump();

@@ -3,7 +3,9 @@
 //! First-party static analysis for this workspace. The build environment has
 //! no crates.io access, so instead of clippy plugins or external linters the
 //! repo carries its own: a hand-rolled Rust lexer ([`lexer`]) feeding a
-//! small, repo-specific rule engine ([`rules`]).
+//! recursive-descent parser ([`parser`]), a workspace-wide call graph with
+//! transitive panic propagation ([`graph`]), and a repo-specific rule engine
+//! ([`rules`]).
 //!
 //! The rules encode the conventions the reproduction's correctness rests on:
 //!
@@ -15,20 +17,32 @@
 //! * **env-centralization** — runtime knobs stay discoverable in one place;
 //! * **no-println-lib** — libraries don't write to stdio behind callers'
 //!   backs;
-//! * **float-eq** — float comparisons go through tolerance helpers.
+//! * **float-eq** — float comparisons go through tolerance helpers (exact
+//!   zero is allowed by construction);
+//! * **panic-path** — no `pub` library fn may *transitively* reach an
+//!   undefused panic (unwrap/assert/index three calls down still counts);
+//!   findings carry the shortest witness chain;
+//! * **lossy-cast** — narrowing/sign-changing/truncating `as` casts must be
+//!   provably in range or carry a reasoned allow;
+//! * **unused-result** — a workspace `Result` may not be discarded;
+//! * **stale-allow** — an allow that suppresses nothing is itself a finding.
 //!
 //! Violations that are intentional carry an inline
-//! `// cmr-lint: allow(rule-id) reason` comment; the reason is mandatory.
+//! `// cmr-lint: allow(rule-id) reason` comment (or a file-scope
+//! `// cmr-lint: allow-file(rule-id) reason`); the reason is mandatory.
 //!
 //! Run it with `cargo run -p cmr-lint --release -- --workspace` (the
-//! `scripts/verify.sh` gate does) and see the README's "Static analysis"
-//! section for the rule table and how to add a rule.
+//! `scripts/verify.sh` gate does), add `--graph results/CALLGRAPH.json` for
+//! the call-graph artifact, and see the README's "Static analysis" section
+//! for the rule table and how to add a rule.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 
-pub use rules::{run, Finding, SourceFile};
+pub use rules::{analyze, run, Analysis, Finding, SourceFile};

@@ -5,11 +5,12 @@
 //! ```text
 //! cargo run -p cmr-lint --release -- --workspace
 //! cargo run -p cmr-lint --release -- --workspace --json results/LINT_report.json
+//! cargo run -p cmr-lint --release -- --workspace --graph results/CALLGRAPH.json
 //! cargo run -p cmr-lint --release -- crates/tensor/src/op.rs
 //! ```
 
-use cmr_lint::report::{render_json, render_text};
-use cmr_lint::rules::{run, SourceFile, RULES};
+use cmr_lint::report::{render_json, render_summary, render_text};
+use cmr_lint::rules::{analyze, SourceFile, RULES};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -22,11 +23,13 @@ const WORKSPACE_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
 
 fn usage() -> String {
     let mut s = String::from(
-        "usage: cmr-lint [--workspace] [--root DIR] [--json PATH] [PATH...]\n\n\
+        "usage: cmr-lint [--workspace] [--root DIR] [--json PATH] [--graph PATH] [PATH...]\n\n\
          Walks the given files/directories (or, with --workspace, the repo's\n\
          crates/, src/, tests/ and examples/ trees) and reports rule\n\
-         violations as `file:line:col [rule] message`. Exits 1 when findings\n\
-         exist, 2 on usage or IO errors.\n\nrules:\n",
+         violations as `file:line:col [rule] message`. `--graph` writes the\n\
+         deterministic call-graph artifact (CALLGRAPH.json) with per-crate\n\
+         panic-surface metrics. Exits 1 when findings exist, 2 on usage or\n\
+         IO errors.\n\nrules:\n",
     );
     for (id, desc) in RULES {
         s.push_str(&format!("  {id:<22} {desc}\n"));
@@ -76,6 +79,7 @@ struct Args {
     workspace: bool,
     root: PathBuf,
     json: Option<PathBuf>,
+    graph: Option<PathBuf>,
     paths: Vec<PathBuf>,
 }
 
@@ -84,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         workspace: false,
         root: PathBuf::from("."),
         json: None,
+        graph: None,
         paths: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -98,6 +103,11 @@ fn parse_args() -> Result<Args, String> {
             "--json" => {
                 args.json = Some(PathBuf::from(
                     it.next().ok_or_else(|| "--json takes a file path".to_string())?,
+                ));
+            }
+            "--graph" => {
+                args.graph = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--graph takes a file path".to_string())?,
                 ));
             }
             "--help" | "-h" => return Err(usage()),
@@ -141,17 +151,23 @@ fn run_cli() -> Result<ExitCode, String> {
         sources.push(SourceFile { path: rel_path(&args.root, path), src });
     }
 
-    let findings = run(&sources);
-    print!("{}", render_text(&findings, sources.len()));
-    if let Some(json_path) = &args.json {
-        if let Some(dir) = json_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+    let analysis = analyze(&sources);
+    print!("{}", render_text(&analysis.findings, sources.len()));
+    print!("{}", render_summary(&analysis));
+    let write_artifact = |path: &PathBuf, content: String| -> Result<(), String> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
             std::fs::create_dir_all(dir)
                 .map_err(|e| format!("create {}: {e}", dir.display()))?;
         }
-        std::fs::write(json_path, render_json(&findings, sources.len()))
-            .map_err(|e| format!("write {}: {e}", json_path.display()))?;
+        std::fs::write(path, content).map_err(|e| format!("write {}: {e}", path.display()))
+    };
+    if let Some(json_path) = &args.json {
+        write_artifact(json_path, render_json(&analysis.findings, sources.len()))?;
     }
-    Ok(if findings.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+    if let Some(graph_path) = &args.graph {
+        write_artifact(graph_path, analysis.graph.render_json())?;
+    }
+    Ok(if analysis.findings.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,1469 @@
+//! A recursive-descent parser over the [`crate::lexer`] token stream.
+//!
+//! This is deliberately **not** a full Rust parser: it recovers exactly the
+//! structure the interprocedural rules need and skips everything else.
+//!
+//! * **Items** — `mod` nesting, `impl`/`trait` blocks (self-type tracked),
+//!   `fn` signatures (visibility, generics, params, `Result` returns),
+//!   `struct` field types (so `self.field as u32` casts can be classified).
+//! * **Bodies** — a flat fact extraction per function: call sites (with
+//!   qualifier path and receiver), slice-index expressions, panic sites
+//!   (`panic!`-family macros, `assert!`-family macros, `.unwrap()`,
+//!   `.expect()`), `as` casts with a best-effort source type, typed `let`
+//!   bindings, and statements that discard a call's return value
+//!   (`let _ = f(x);` or a bare `f(x);`).
+//!
+//! Test regions (`#[test]` fns, `#[cfg(test)]` mods/impls) are tracked so
+//! downstream rules can exempt them, mirroring the token-rule engine.
+//!
+//! The output feeds [`crate::graph`], which resolves calls across the
+//! workspace into a call graph and runs the `panic-path`, `lossy-cast` and
+//! `unused-result` analyses.
+
+// cmr-lint: allow-file(panic-path) cursor and arena indices are bounded by construction; the parser owns every index it dereferences
+
+use crate::lexer::{Token, TokenKind};
+
+/// Everything the parser recovered from one source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every function definition (and bodiless trait method) in the file.
+    pub fns: Vec<FnDef>,
+    /// Struct definitions with named fields (field name → type tail).
+    pub structs: Vec<StructDef>,
+}
+
+/// A struct with named fields; tuple structs are skipped.
+#[derive(Debug)]
+pub struct StructDef {
+    /// The struct's name.
+    pub name: String,
+    /// `(field name, type tail)` pairs — see [`type_tail`].
+    pub fields: Vec<(String, String)>,
+}
+
+/// One function definition (or trait-method declaration without a body).
+#[derive(Debug)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// Inline-`mod` path from the file root down to this fn.
+    pub module: Vec<String>,
+    /// Self type when declared inside an `impl`/`trait` block.
+    pub self_ty: Option<String>,
+    /// `true` only for bare `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// Line of the `fn` name token.
+    pub line: u32,
+    /// Column of the `fn` name token.
+    pub col: u32,
+    /// Line of the item's first token (attribute, `pub`, or `fn`) — the
+    /// anchor a function-scoped allow comment attaches to.
+    pub attach_line: u32,
+    /// `true` when the declared return type is a top-level `Result<…>`.
+    pub returns_result: bool,
+    /// Inside a `#[test]` fn or a `#[cfg(test)]` mod/impl.
+    pub is_test: bool,
+    /// `(name, type tail)` of simple typed params (`self` and complex
+    /// patterns skipped).
+    pub params: Vec<(String, String)>,
+    /// Body facts; `None` for bodiless trait-method declarations.
+    pub body: Option<Body>,
+}
+
+/// Facts extracted from one function body.
+#[derive(Debug, Default)]
+pub struct Body {
+    /// Call sites in source order.
+    pub calls: Vec<CallSite>,
+    /// Panic sites in source order.
+    pub panics: Vec<PanicSite>,
+    /// Slice/array index expressions (`expr[…]`, full-range `[..]` exempt).
+    pub indexes: Vec<IndexSite>,
+    /// `as` casts in source order.
+    pub casts: Vec<CastSite>,
+    /// `(name, type tail, line)` of typed `let` bindings, in source order.
+    pub locals: Vec<(String, String, u32)>,
+}
+
+/// What sits before the `.` of a method call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// `self.method(…)`.
+    SelfRecv,
+    /// `ident.method(…)` where `ident` starts the chain.
+    Ident(String),
+    /// Anything more complex (chained field/method access, call result…).
+    Unknown,
+}
+
+/// One call site inside a body.
+#[derive(Debug)]
+pub struct CallSite {
+    /// 1-based line of the callee name token.
+    pub line: u32,
+    /// 1-based column of the callee name token.
+    pub col: u32,
+    /// The callee's final name segment.
+    pub name: String,
+    /// Path segments before the name (`Mlp::forward` → `["Mlp"]`).
+    pub qualifier: Vec<String>,
+    /// `Some` for method-call syntax, `None` for free/path calls.
+    pub receiver: Option<Receiver>,
+    /// `true` when the statement discards this call's return value
+    /// (`let _ = f();` or bare `f();` with this call outermost).
+    pub discarded: bool,
+}
+
+/// The kind of panic hazard at a [`PanicSite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `panic!` / `todo!` / `unimplemented!` / `unreachable!`.
+    Macro,
+    /// `assert!` / `assert_eq!` / `assert_ne!`.
+    Assert,
+    /// `.unwrap()` / `.expect(…)`.
+    UnwrapExpect,
+}
+
+/// One potential panic site inside a body.
+#[derive(Debug)]
+pub struct PanicSite {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Which hazard class.
+    pub kind: PanicKind,
+    /// Short human description (`panic!`, `.unwrap()`, `assert!`…).
+    pub what: String,
+}
+
+/// One slice/array index expression.
+#[derive(Debug)]
+pub struct IndexSite {
+    /// 1-based line of the `[`.
+    pub line: u32,
+    /// 1-based column of the `[`.
+    pub col: u32,
+}
+
+/// Best-effort source classification of an `as` cast operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CastSrc {
+    /// Operand has a known type tail (from a param, local, struct field,
+    /// loop counter, `.len()`/`.count()` tail, or an inner cast).
+    Ty(String),
+    /// Operand is an integer literal with this value.
+    IntLit(i128),
+    /// Operand is a float literal.
+    FloatLit,
+    /// Source type could not be determined; the rule stays quiet.
+    Unknown,
+}
+
+/// One `expr as Type` cast.
+#[derive(Debug)]
+pub struct CastSite {
+    /// 1-based line of the `as` token.
+    pub line: u32,
+    /// 1-based column of the `as` token.
+    pub col: u32,
+    /// Source classification.
+    pub src: CastSrc,
+    /// Destination type tail (`u32`, `f64`, …).
+    pub dst: String,
+}
+
+/// Keywords that look like a call when followed by `(` but are not.
+const EXPR_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "let", "in", "as", "move", "ref",
+    "mut", "break", "continue", "where", "impl", "fn", "pub", "use", "mod", "struct", "enum",
+    "trait", "type", "const", "static", "unsafe", "extern", "crate", "super", "dyn", "await",
+    "yield", "box",
+];
+
+/// `panic!`-family macro names.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+/// `assert!`-family macro names (`debug_assert*` compiled out in release,
+/// so not panic hazards for the production profile).
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
+
+/// Reduces a type token sequence to its salient tail segment:
+/// `&mut cca::Matrix<f64>` → `Matrix`, `Vec<f32>` → `Vec`, `f64` → `f64`.
+/// Returns `None` for slices/tuples/fn-pointers and other shapes the rules
+/// don't classify.
+pub fn type_tail(toks: &[&Token]) -> Option<String> {
+    let mut i = 0usize;
+    // Strip leading refs, mutability and lifetimes.
+    while i < toks.len() {
+        let t = toks[i];
+        let skip = t.is_punct("&")
+            || t.kind == TokenKind::Lifetime
+            || t.is_ident("mut")
+            || t.is_ident("dyn");
+        if skip {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    let mut last: Option<String> = None;
+    while i < toks.len() {
+        let t = toks[i];
+        match t.kind {
+            TokenKind::Ident => last = Some(t.text.clone()),
+            TokenKind::Punct if t.text == "::" => {}
+            // Stop at generic args or anything structural.
+            _ => break,
+        }
+        i += 1;
+    }
+    last
+}
+
+/// A parse cursor over the full token stream of one file (comments
+/// included in the slice; the cursor transparently skips them).
+struct Cursor<'a> {
+    toks: &'a [Token],
+    /// Indices of non-comment tokens.
+    code: Vec<usize>,
+    /// Position within `code`.
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(toks: &'a [Token]) -> Self {
+        let code = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+        Self { toks, code, pos: 0 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<&'a Token> {
+        self.code.get(self.pos + ahead).map(|&i| &self.toks[i])
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.code.get(self.pos).map(|&i| &self.toks[i]);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips a balanced `<…>` generic-argument list (cursor on `<`).
+    /// `>>` closes two levels.
+    fn skip_generics(&mut self) {
+        let mut depth = 0isize;
+        while let Some(t) = self.bump() {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "<" | "<<" => depth += if t.text == "<<" { 2 } else { 1 },
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    "->" => {}
+                    _ => {}
+                }
+            }
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    /// Skips tokens until `;` at zero bracket depth (for `use`, `const`,
+    /// `static`, `type` items). Consumes the `;`.
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0isize;
+        while let Some(t) = self.bump() {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Cursor on `(`/`[`/`{`: skips the balanced group, consuming the
+    /// closing delimiter. Returns the `code` range of the *interior*.
+    fn skip_balanced(&mut self) -> (usize, usize) {
+        let mut depth = 0isize;
+        let mut start = self.pos;
+        while let Some(t) = self.bump() {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => {
+                        depth += 1;
+                        if depth == 1 {
+                            start = self.pos;
+                        }
+                    }
+                    ")" | "]" | "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return (start, self.pos - 1);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        (start, self.pos)
+    }
+}
+
+/// Item-level scope the parser walks through.
+struct Scope {
+    /// `Some(name)` for a named `mod`.
+    module: Option<String>,
+    /// Self type for `impl`/`trait` scopes.
+    self_ty: Option<String>,
+    /// Everything inside is test-only.
+    test: bool,
+}
+
+/// Parses one file. The lexer token stream must come from the same source.
+pub fn parse(tokens: &[Token]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let mut cx = Cursor::new(tokens);
+    let mut scopes: Vec<Scope> = Vec::new();
+
+    // Pending item modifiers (reset whenever an item or brace is consumed).
+    let mut pend_test = false;
+    let mut pend_pub = false;
+    let mut pend_start: Option<u32> = None;
+
+    while let Some(t) = cx.peek(0) {
+        let inherited_test = scopes.iter().any(|s| s.test);
+        match &t.kind {
+            TokenKind::Attr { inner: false } => {
+                if attr_is_test(&t.text) {
+                    pend_test = true;
+                }
+                pend_start.get_or_insert(t.line);
+                cx.bump();
+            }
+            TokenKind::Attr { inner: true } => {
+                cx.bump();
+            }
+            TokenKind::Ident => {
+                let text = t.text.clone();
+                match text.as_str() {
+                    "pub" => {
+                        pend_start.get_or_insert(t.line);
+                        cx.bump();
+                        if cx.peek(0).is_some_and(|n| n.is_punct("(")) {
+                            cx.skip_balanced();
+                        } else {
+                            pend_pub = true;
+                        }
+                    }
+                    "unsafe" | "async" | "default" | "extern" => {
+                        pend_start.get_or_insert(t.line);
+                        cx.bump();
+                        // `extern "C"` string.
+                        if cx.peek(0).is_some_and(|n| n.kind == TokenKind::Str) {
+                            cx.bump();
+                        }
+                    }
+                    "const" if cx.peek(1).is_some_and(|n| n.is_ident("fn")) => {
+                        pend_start.get_or_insert(t.line);
+                        cx.bump();
+                    }
+                    "mod" => {
+                        cx.bump();
+                        let name =
+                            cx.bump().map(|n| n.text.clone()).unwrap_or_default();
+                        match cx.peek(0) {
+                            Some(n) if n.is_punct("{") => {
+                                cx.bump();
+                                scopes.push(Scope {
+                                    module: Some(name),
+                                    self_ty: None,
+                                    test: pend_test || inherited_test,
+                                });
+                            }
+                            _ => cx.skip_to_semi(),
+                        }
+                        (pend_test, pend_pub, pend_start) = (false, false, None);
+                    }
+                    "impl" => {
+                        cx.bump();
+                        if cx.peek(0).is_some_and(|n| n.is_punct("<")) {
+                            cx.skip_generics();
+                        }
+                        let first = parse_type_path(&mut cx);
+                        let self_ty = if cx.peek(0).is_some_and(|n| n.is_ident("for")) {
+                            cx.bump();
+                            parse_type_path(&mut cx)
+                        } else {
+                            first
+                        };
+                        // Skip `where …` up to the opening brace.
+                        while let Some(n) = cx.peek(0) {
+                            if n.is_punct("{") {
+                                break;
+                            }
+                            if n.is_punct("<") {
+                                cx.skip_generics();
+                            } else {
+                                cx.bump();
+                            }
+                        }
+                        if cx.peek(0).is_some_and(|n| n.is_punct("{")) {
+                            cx.bump();
+                            scopes.push(Scope {
+                                module: None,
+                                self_ty,
+                                test: pend_test || inherited_test,
+                            });
+                        }
+                        (pend_test, pend_pub, pend_start) = (false, false, None);
+                    }
+                    "trait" => {
+                        cx.bump();
+                        let name = cx.bump().map(|n| n.text.clone());
+                        while let Some(n) = cx.peek(0) {
+                            if n.is_punct("{") || n.is_punct(";") {
+                                break;
+                            }
+                            if n.is_punct("<") {
+                                cx.skip_generics();
+                            } else {
+                                cx.bump();
+                            }
+                        }
+                        if cx.peek(0).is_some_and(|n| n.is_punct("{")) {
+                            cx.bump();
+                            scopes.push(Scope {
+                                module: None,
+                                self_ty: name,
+                                test: pend_test || inherited_test,
+                            });
+                        } else {
+                            cx.bump();
+                        }
+                        (pend_test, pend_pub, pend_start) = (false, false, None);
+                    }
+                    "fn" => {
+                        let module: Vec<String> = scopes
+                            .iter()
+                            .filter_map(|s| s.module.clone())
+                            .collect();
+                        let self_ty = scopes.iter().rev().find_map(|s| s.self_ty.clone());
+                        parse_fn(
+                            &mut cx,
+                            &mut out,
+                            module,
+                            self_ty,
+                            pend_pub,
+                            pend_test || inherited_test,
+                            pend_start,
+                        );
+                        (pend_test, pend_pub, pend_start) = (false, false, None);
+                    }
+                    "struct" => {
+                        cx.bump();
+                        let name = cx.bump().map(|n| n.text.clone()).unwrap_or_default();
+                        if cx.peek(0).is_some_and(|n| n.is_punct("<")) {
+                            cx.skip_generics();
+                        }
+                        match cx.peek(0) {
+                            Some(n) if n.is_punct("{") => {
+                                let (s, e) = cx.skip_balanced();
+                                let fields = parse_struct_fields(&cx, s, e);
+                                out.structs.push(StructDef { name, fields });
+                            }
+                            Some(n) if n.is_punct("(") => {
+                                cx.skip_balanced();
+                                cx.skip_to_semi();
+                            }
+                            _ => cx.skip_to_semi(),
+                        }
+                        (pend_test, pend_pub, pend_start) = (false, false, None);
+                    }
+                    "enum" | "union" => {
+                        cx.bump();
+                        cx.bump(); // name
+                        if cx.peek(0).is_some_and(|n| n.is_punct("<")) {
+                            cx.skip_generics();
+                        }
+                        if cx.peek(0).is_some_and(|n| n.is_punct("{")) {
+                            cx.skip_balanced();
+                        } else {
+                            cx.skip_to_semi();
+                        }
+                        (pend_test, pend_pub, pend_start) = (false, false, None);
+                    }
+                    "use" | "static" | "type" | "const" => {
+                        cx.skip_to_semi();
+                        (pend_test, pend_pub, pend_start) = (false, false, None);
+                    }
+                    "macro_rules" => {
+                        cx.bump();
+                        cx.bump(); // !
+                        cx.bump(); // name
+                        if cx.peek(0).is_some_and(|n| n.is_punct("{")) {
+                            cx.skip_balanced();
+                        }
+                        (pend_test, pend_pub, pend_start) = (false, false, None);
+                    }
+                    _ => {
+                        cx.bump();
+                        (pend_test, pend_pub, pend_start) = (false, false, None);
+                    }
+                }
+            }
+            TokenKind::Punct if t.text == "{" => {
+                cx.bump();
+                scopes.push(Scope { module: None, self_ty: None, test: false });
+                (pend_test, pend_pub, pend_start) = (false, false, None);
+            }
+            TokenKind::Punct if t.text == "}" => {
+                cx.bump();
+                scopes.pop();
+                (pend_test, pend_pub, pend_start) = (false, false, None);
+            }
+            _ => {
+                cx.bump();
+                (pend_test, pend_pub, pend_start) = (false, false, None);
+            }
+        }
+    }
+    out
+}
+
+/// Parses a type path at the cursor (`a::b::Name`), returning the last
+/// segment; stops before generic args.
+fn parse_type_path(cx: &mut Cursor) -> Option<String> {
+    let mut last = None;
+    loop {
+        match cx.peek(0) {
+            Some(t) if t.kind == TokenKind::Ident => {
+                last = Some(t.text.clone());
+                cx.bump();
+            }
+            Some(t) if t.is_punct("&") || t.kind == TokenKind::Lifetime => {
+                cx.bump();
+                continue;
+            }
+            _ => break,
+        }
+        match cx.peek(0) {
+            Some(t) if t.is_punct("::") => {
+                cx.bump();
+            }
+            Some(t) if t.is_punct("<") => {
+                cx.skip_generics();
+                break;
+            }
+            _ => break,
+        }
+    }
+    last
+}
+
+/// Parses `name: Type` fields inside a struct body `code` range.
+fn parse_struct_fields(cx: &Cursor, start: usize, end: usize) -> Vec<(String, String)> {
+    let mut fields = Vec::new();
+    let mut i = start;
+    // depth over (), [], <> so commas inside generic args don't split.
+    while i < end {
+        // Field start: skip attrs / pub(...)
+        while i < end {
+            let t = &cx.toks[cx.code[i]];
+            if matches!(t.kind, TokenKind::Attr { .. }) {
+                i += 1;
+            } else if t.is_ident("pub") {
+                i += 1;
+                if i < end && cx.toks[cx.code[i]].is_punct("(") {
+                    let mut d = 0isize;
+                    while i < end {
+                        let u = &cx.toks[cx.code[i]];
+                        if u.is_punct("(") {
+                            d += 1;
+                        } else if u.is_punct(")") {
+                            d -= 1;
+                            if d == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        if i >= end {
+            break;
+        }
+        let name_tok = &cx.toks[cx.code[i]];
+        let named = name_tok.kind == TokenKind::Ident
+            && i + 1 < end
+            && cx.toks[cx.code[i + 1]].is_punct(":");
+        if !named {
+            break; // not a named-field body
+        }
+        let name = name_tok.text.clone();
+        i += 2;
+        let ty_start = i;
+        let mut depth = 0isize;
+        while i < end {
+            let t = &cx.toks[cx.code[i]];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "<" => depth += 1,
+                    "<<" => depth += 2,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    "," if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        let ty_toks: Vec<&Token> = (ty_start..i).map(|j| &cx.toks[cx.code[j]]).collect();
+        if let Some(tail) = type_tail(&ty_toks) {
+            fields.push((name, tail));
+        }
+        i += 1; // skip the comma
+    }
+    fields
+}
+
+/// Parses one `fn` starting at the `fn` keyword.
+#[allow(clippy::too_many_arguments)]
+fn parse_fn(
+    cx: &mut Cursor,
+    out: &mut ParsedFile,
+    module: Vec<String>,
+    self_ty: Option<String>,
+    is_pub: bool,
+    is_test: bool,
+    pend_start: Option<u32>,
+) {
+    let fn_tok_line = cx.peek(0).map(|t| t.line).unwrap_or(0);
+    cx.bump(); // `fn`
+    let Some(name_tok) = cx.bump() else { return };
+    let (name, line, col) = (name_tok.text.clone(), name_tok.line, name_tok.col);
+    if cx.peek(0).is_some_and(|t| t.is_punct("<")) {
+        cx.skip_generics();
+    }
+    // Params.
+    let mut params = Vec::new();
+    if cx.peek(0).is_some_and(|t| t.is_punct("(")) {
+        let (s, e) = cx.skip_balanced();
+        params = parse_params(cx, s, e);
+    }
+    // Return type.
+    let mut returns_result = false;
+    if cx.peek(0).is_some_and(|t| t.is_punct("->")) {
+        cx.bump();
+        let mut angle = 0isize;
+        let mut first = true;
+        while let Some(t) = cx.peek(0) {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "<" => angle += 1,
+                    "<<" => angle += 2,
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    "{" | ";" if angle <= 0 => break,
+                    "(" | "[" => angle += 1,
+                    ")" | "]" => angle -= 1,
+                    _ => {}
+                }
+            } else if t.kind == TokenKind::Ident {
+                if angle == 0 && t.text == "where" {
+                    break;
+                }
+                if t.text == "Result" && (first || angle == 0) {
+                    returns_result = true;
+                }
+            }
+            first = false;
+            cx.bump();
+        }
+    }
+    // Where clause.
+    if cx.peek(0).is_some_and(|t| t.is_ident("where")) {
+        while let Some(t) = cx.peek(0) {
+            if t.is_punct("{") || t.is_punct(";") {
+                break;
+            }
+            if t.is_punct("<") {
+                cx.skip_generics();
+            } else {
+                cx.bump();
+            }
+        }
+    }
+    // Body or `;`.
+    let body = match cx.peek(0) {
+        Some(t) if t.is_punct("{") => {
+            let (s, e) = cx.skip_balanced();
+            Some(extract_body(cx, out, &module, self_ty.clone(), is_test, s, e))
+        }
+        Some(t) if t.is_punct(";") => {
+            cx.bump();
+            None
+        }
+        _ => None,
+    };
+    out.fns.push(FnDef {
+        name,
+        module,
+        self_ty,
+        is_pub,
+        line,
+        col,
+        attach_line: pend_start.unwrap_or(fn_tok_line),
+        returns_result,
+        is_test,
+        params,
+        body,
+    });
+}
+
+/// Parses the param list `code` range into `(name, type tail)` pairs.
+fn parse_params(cx: &Cursor, start: usize, end: usize) -> Vec<(String, String)> {
+    let mut params = Vec::new();
+    let mut i = start;
+    while i < end {
+        // One param: up to a top-level comma.
+        let p_start = i;
+        let mut depth = 0isize;
+        while i < end {
+            let t = &cx.toks[cx.code[i]];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "<" => depth += 1,
+                    "<<" => depth += 2,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    "," if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        let toks: Vec<&Token> = (p_start..i).map(|j| &cx.toks[cx.code[j]]).collect();
+        i += 1;
+        // `name: Type` with an optional leading `mut`; everything else
+        // (self receivers, destructuring patterns) is skipped.
+        let mut j = 0usize;
+        if j < toks.len() && toks[j].is_ident("mut") {
+            j += 1;
+        }
+        if j + 1 < toks.len()
+            && toks[j].kind == TokenKind::Ident
+            && toks[j + 1].is_punct(":")
+        {
+            if let Some(tail) = type_tail(&toks[j + 2..]) {
+                params.push((toks[j].text.clone(), tail));
+            }
+        }
+    }
+    params
+}
+
+/// Extracts body facts from a `code` range (nested `fn` items are parsed
+/// as their own definitions and excluded from the outer body's facts).
+#[allow(clippy::too_many_arguments)]
+fn extract_body(
+    cx: &mut Cursor,
+    out: &mut ParsedFile,
+    module: &[String],
+    self_ty: Option<String>,
+    is_test: bool,
+    start: usize,
+    end: usize,
+) -> Body {
+    let mut body = Body::default();
+    // Nested fns: find their spans first so the main scan can skip them.
+    // (Rare; handled for correctness of fact attribution.)
+    let mut skip_ranges: Vec<(usize, usize)> = Vec::new();
+    {
+        let mut i = start;
+        while i < end {
+            let t = &cx.toks[cx.code[i]];
+            if t.is_ident("fn")
+                && i + 2 < end
+                && cx.toks[cx.code[i + 1]].kind == TokenKind::Ident
+            {
+                // Parse the nested fn with a sub-cursor.
+                let mut sub = Cursor { toks: cx.toks, code: cx.code.clone(), pos: i };
+                parse_fn(
+                    &mut sub,
+                    out,
+                    module.to_vec(),
+                    self_ty.clone(),
+                    false,
+                    is_test,
+                    None,
+                );
+                skip_ranges.push((i, sub.pos.min(end)));
+                i = sub.pos.min(end);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    let skipped = |i: usize| skip_ranges.iter().any(|&(s, e)| i >= s && i < e);
+
+    // Pass 1: typed locals and loop counters.
+    let mut i = start;
+    while i < end {
+        if skipped(i) {
+            i += 1;
+            continue;
+        }
+        let t = &cx.toks[cx.code[i]];
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if j < end && cx.toks[cx.code[j]].is_ident("mut") {
+                j += 1;
+            }
+            // `let x = Type::ctor(…)` — infer the local's type from the
+            // constructor path (covers the ubiquitous `let m = Mlp::new(…)`).
+            if j + 3 < end
+                && cx.toks[cx.code[j]].kind == TokenKind::Ident
+                && cx.toks[cx.code[j + 1]].is_punct("=")
+                && cx.toks[cx.code[j + 2]].kind == TokenKind::Ident
+                && cx.toks[cx.code[j + 2]]
+                    .text
+                    .chars()
+                    .next()
+                    .is_some_and(char::is_uppercase)
+                && cx.toks[cx.code[j + 3]].is_punct("::")
+            {
+                body.locals.push((
+                    cx.toks[cx.code[j]].text.clone(),
+                    cx.toks[cx.code[j + 2]].text.clone(),
+                    cx.toks[cx.code[j]].line,
+                ));
+            }
+            if j + 1 < end
+                && cx.toks[cx.code[j]].kind == TokenKind::Ident
+                && cx.toks[cx.code[j + 1]].is_punct(":")
+            {
+                let name = cx.toks[cx.code[j]].text.clone();
+                let line = cx.toks[cx.code[j]].line;
+                // Type tokens to `=` or `;` at depth 0.
+                let ty_start = j + 2;
+                let mut k = ty_start;
+                let mut depth = 0isize;
+                while k < end {
+                    let u = &cx.toks[cx.code[k]];
+                    if u.kind == TokenKind::Punct {
+                        match u.text.as_str() {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth -= 1,
+                            "<" => depth += 1,
+                            "<<" => depth += 2,
+                            ">" => depth -= 1,
+                            ">>" => depth -= 2,
+                            "=" | ";" if depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    k += 1;
+                }
+                let ty_toks: Vec<&Token> =
+                    (ty_start..k).map(|m| &cx.toks[cx.code[m]]).collect();
+                if let Some(tail) = type_tail(&ty_toks) {
+                    body.locals.push((name, tail, line));
+                }
+            }
+        } else if t.is_ident("for")
+            && i + 2 < end
+            && cx.toks[cx.code[i + 1]].kind == TokenKind::Ident
+            && cx.toks[cx.code[i + 2]].is_ident("in")
+        {
+            // `for i in a..b` — classify the counter as usize when a bound
+            // is an int literal, `.len()`, or a usize-typed name (by far
+            // the dominant shape in this workspace's kernels).
+            let name = cx.toks[cx.code[i + 1]].text.clone();
+            let line = cx.toks[cx.code[i + 1]].line;
+            let mut k = i + 3;
+            let mut range = false;
+            while k < end {
+                let u = &cx.toks[cx.code[k]];
+                if u.is_punct("{") {
+                    break;
+                }
+                if u.is_punct("..") || u.is_punct("..=") {
+                    range = true;
+                }
+                k += 1;
+            }
+            if range {
+                body.locals.push((name, "usize".to_string(), line));
+            }
+        }
+        i += 1;
+    }
+
+    // Discarded-call detection: statements `let _ = <expr>;` and bare
+    // `<call-chain>;` — record the code-index of the outermost call.
+    let mut discard_calls: Vec<usize> = Vec::new();
+    let mut i = start;
+    let mut stmt_start = true;
+    while i < end {
+        if skipped(i) {
+            i += 1;
+            stmt_start = true;
+            continue;
+        }
+        let t = &cx.toks[cx.code[i]];
+        if stmt_start {
+            if t.is_ident("let")
+                && i + 2 < end
+                && cx.toks[cx.code[i + 1]].is_ident("_")
+                && cx.toks[cx.code[i + 2]].is_punct("=")
+            {
+                if let Some(call) = outermost_call(cx, i + 3, end) {
+                    discard_calls.push(call);
+                }
+            } else if t.kind == TokenKind::Ident
+                && !EXPR_KEYWORDS.contains(&t.text.as_str())
+            {
+                if let Some(call) = outermost_call(cx, i, end) {
+                    discard_calls.push(call);
+                }
+            }
+        }
+        stmt_start = t.is_punct(";") || t.is_punct("{") || t.is_punct("}");
+        i += 1;
+    }
+
+    // Pass 2: calls, panics, indexes, casts.
+    let mut i = start;
+    while i < end {
+        if skipped(i) {
+            i += 1;
+            continue;
+        }
+        let t = &cx.toks[cx.code[i]];
+        let prev = |n: usize| {
+            i.checked_sub(n)
+                .filter(|&p| p >= start && !skipped(p))
+                .map(|p| &cx.toks[cx.code[p]])
+        };
+        let next = |n: usize| {
+            let p = i + n;
+            if p < end {
+                Some(&cx.toks[cx.code[p]])
+            } else {
+                None
+            }
+        };
+        match t.kind {
+            TokenKind::Ident => {
+                let name = t.text.as_str();
+                // Panic macros.
+                if next(1).is_some_and(|n| n.is_punct("!")) {
+                    if PANIC_MACROS.contains(&name) {
+                        body.panics.push(PanicSite {
+                            line: t.line,
+                            col: t.col,
+                            kind: PanicKind::Macro,
+                            what: format!("{name}!"),
+                        });
+                    } else if ASSERT_MACROS.contains(&name) {
+                        body.panics.push(PanicSite {
+                            line: t.line,
+                            col: t.col,
+                            kind: PanicKind::Assert,
+                            what: format!("{name}!"),
+                        });
+                    }
+                } else if (name == "unwrap" || name == "expect")
+                    && prev(1).is_some_and(|p| p.is_punct("."))
+                    && next(1).is_some_and(|n| n.is_punct("("))
+                {
+                    body.panics.push(PanicSite {
+                        line: t.line,
+                        col: t.col,
+                        kind: PanicKind::UnwrapExpect,
+                        what: format!(".{name}()"),
+                    });
+                } else if name == "as" {
+                    if let Some(cast) = classify_cast(cx, i, start, end) {
+                        body.casts.push(cast);
+                    }
+                }
+                // Call site: `name(` or `name::<T>(`, name not a keyword.
+                let is_call = !EXPR_KEYWORDS.contains(&name)
+                    && match next(1) {
+                        Some(n) if n.is_punct("(") => true,
+                        Some(n) if n.is_punct("::") => {
+                            // turbofish `name::<T>(…)`
+                            next(2).is_some_and(|m| m.is_punct("<"))
+                        }
+                        _ => false,
+                    }
+                    && !prev(1).is_some_and(|p| p.is_ident("fn"));
+                if is_call {
+                    let (qualifier, receiver) = call_context(cx, i, start);
+                    body.calls.push(CallSite {
+                        line: t.line,
+                        col: t.col,
+                        name: t.text.clone(),
+                        qualifier,
+                        receiver,
+                        discarded: discard_calls.contains(&i),
+                    });
+                }
+            }
+            TokenKind::Punct if t.text == "[" => {
+                let indexable = prev(1).is_some_and(|p| {
+                    p.kind == TokenKind::Ident && !EXPR_KEYWORDS.contains(&p.text.as_str())
+                        || p.is_punct(")")
+                        || p.is_punct("]")
+                });
+                // `[..]` full-range slices cannot panic.
+                let full_range = next(1).is_some_and(|n| n.is_punct(".."))
+                    && next(2).is_some_and(|n| n.is_punct("]"));
+                if indexable && !full_range {
+                    body.indexes.push(IndexSite { line: t.line, col: t.col });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    body
+}
+
+/// From `from` (a statement's expression start), decides whether the
+/// statement is a pure call chain whose outermost expression is a call, and
+/// returns the code-index of that call's name token.
+///
+/// Conservative: any top-level operator other than `.`/`::` aborts; a
+/// top-level `?` means the value is consumed (not discarded); a macro
+/// invocation aborts.
+fn outermost_call(cx: &Cursor, from: usize, end: usize) -> Option<usize> {
+    let mut depth = 0isize;
+    let mut last_call: Option<usize> = None;
+    let mut last_close: Option<usize> = None;
+    let mut i = from;
+    while i < end {
+        let t = &cx.toks[cx.code[i]];
+        match t.kind {
+            TokenKind::Punct => match t.text.as_str() {
+                "(" | "[" | "{" => {
+                    if depth == 0 && t.text == "(" {
+                        // Opening paren of a candidate call?
+                        let prev_is_name = i
+                            .checked_sub(1)
+                            .map(|p| &cx.toks[cx.code[p]])
+                            .is_some_and(|p| p.kind == TokenKind::Ident);
+                        if prev_is_name {
+                            // remember matching close below
+                        } else {
+                            return None; // grouping parens: not a bare call
+                        }
+                    } else if depth == 0 {
+                        return None; // top-level block/array: not a call stmt
+                    }
+                    depth += 1;
+                }
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 && t.text == ")" {
+                        last_close = Some(i);
+                    }
+                }
+                ";" if depth == 0 => {
+                    // Outermost call only if the statement ends right after
+                    // its closing paren.
+                    return match (last_call, last_close) {
+                        (Some(c), Some(cl)) if cl + 1 == i => Some(c),
+                        _ => None,
+                    };
+                }
+                "." | "::" if depth == 0 => {}
+                "?" if depth == 0 => return None, // value consumed
+                _ if depth == 0 => return None,   // operator: value used
+                _ => {}
+            },
+            TokenKind::Ident if depth == 0 => {
+                if EXPR_KEYWORDS.contains(&t.text.as_str()) {
+                    return None;
+                }
+                let nx = if i + 1 < end {
+                    Some(&cx.toks[cx.code[i + 1]])
+                } else {
+                    None
+                };
+                if nx.is_some_and(|n| n.is_punct("!")) {
+                    return None; // macro statement
+                }
+                if nx.is_some_and(|n| n.is_punct("(")) {
+                    last_call = Some(i);
+                }
+            }
+            _ if depth == 0 && !matches!(t.kind, TokenKind::Ident) => {
+                // Literals etc. at top level: `"x".to_string();` — allow
+                // literal heads of method chains.
+                if !matches!(
+                    t.kind,
+                    TokenKind::Str | TokenKind::RawStr | TokenKind::Int | TokenKind::Float
+                ) {
+                    return None;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Recovers the qualifier path and receiver for a call at code-index `i`.
+fn call_context(cx: &Cursor, i: usize, start: usize) -> (Vec<String>, Option<Receiver>) {
+    let tok = |p: usize| &cx.toks[cx.code[p]];
+    // Method call: preceded by `.`
+    if i >= start + 1 && tok(i - 1).is_punct(".") {
+        if i >= start + 2 {
+            let r = tok(i - 2);
+            if r.kind == TokenKind::Ident {
+                // Chain head only when the receiver ident itself starts the
+                // chain (not `a.b.method()` or `f().g.method()`).
+                let head = i < start + 3 || {
+                    let b = tok(i - 3);
+                    !(b.is_punct(".") || b.is_punct(")") || b.is_punct("]"))
+                };
+                if head {
+                    if r.text == "self" {
+                        return (Vec::new(), Some(Receiver::SelfRecv));
+                    }
+                    return (Vec::new(), Some(Receiver::Ident(r.text.clone())));
+                }
+            }
+        }
+        return (Vec::new(), Some(Receiver::Unknown));
+    }
+    // Path call: walk back over `ident ::` pairs.
+    let mut qualifier = Vec::new();
+    let mut p = i;
+    while p >= start + 2 && tok(p - 1).is_punct("::") && tok(p - 2).kind == TokenKind::Ident {
+        qualifier.push(tok(p - 2).text.clone());
+        p -= 2;
+    }
+    qualifier.reverse();
+    (qualifier, None)
+}
+
+/// Classifies the cast at code-index `i` (the `as` token).
+fn classify_cast(cx: &Cursor, i: usize, start: usize, end: usize) -> Option<CastSite> {
+    let tok = |p: usize| &cx.toks[cx.code[p]];
+    let as_tok = tok(i);
+    // Destination: `as u32`, `as f64`, `as usize` — a single ident (paths
+    // and pointer casts are not numeric and are skipped).
+    let dst_tok = if i + 1 < end { Some(tok(i + 1)) } else { None };
+    let dst = match dst_tok {
+        Some(t) if t.kind == TokenKind::Ident => t.text.clone(),
+        _ => return None,
+    };
+    if i == start {
+        return None;
+    }
+    let p = tok(i - 1);
+    let src = match p.kind {
+        TokenKind::Int => CastSrc::IntLit(parse_int_literal(&p.text)?),
+        TokenKind::Float => CastSrc::FloatLit,
+        TokenKind::Ident => {
+            // `self.field as T` / `recv.field as T` handled by the caller
+            // (needs struct context); mark the ident for lookup.
+            CastSrc::Ty(format!("?ident:{}", ident_cast_context(cx, i, start)))
+        }
+        TokenKind::Punct if p.text == ")" => {
+            // `.len() as` / `.count() as` → usize; `(x as T) as U` → T.
+            closing_paren_source(cx, i, start).unwrap_or(CastSrc::Unknown)
+        }
+        _ => CastSrc::Unknown,
+    };
+    Some(CastSite { line: as_tok.line, col: as_tok.col, src, dst })
+}
+
+/// Builds the lookup key for an identifier cast operand: `name`,
+/// `self.field`, or `other.field` (resolved later against locals, params
+/// and struct fields).
+fn ident_cast_context(cx: &Cursor, i: usize, start: usize) -> String {
+    let tok = |p: usize| &cx.toks[cx.code[p]];
+    let name = tok(i - 1).text.clone();
+    if i >= start + 3 && tok(i - 2).is_punct(".") && tok(i - 3).kind == TokenKind::Ident {
+        // Only a two-segment chain head (`x.field as`), deeper chains are
+        // unknown.
+        let base_clear = i < start + 4 || {
+            let b = tok(i - 4);
+            !(b.is_punct(".") || b.is_punct(")") || b.is_punct("]"))
+        };
+        if base_clear {
+            return format!("{}.{}", tok(i - 3).text, name);
+        }
+        return String::new();
+    }
+    if i >= start + 2 {
+        let b = tok(i - 2);
+        if b.is_punct(".") || b.is_punct("::") {
+            return String::new(); // deeper chain; unknown
+        }
+    }
+    name
+}
+
+/// Source classification when the cast operand ends in `)`.
+fn closing_paren_source(cx: &Cursor, i: usize, start: usize) -> Option<CastSrc> {
+    let tok = |p: usize| &cx.toks[cx.code[p]];
+    // `… . len ( ) as` → usize (same for count).
+    if i >= start + 4
+        && tok(i - 2).is_punct("(")
+        && tok(i - 3).kind == TokenKind::Ident
+        && tok(i - 4).is_punct(".")
+    {
+        let m = tok(i - 3).text.as_str();
+        if m == "len" || m == "count" || m == "capacity" {
+            return Some(CastSrc::Ty("usize".to_string()));
+        }
+        return Some(CastSrc::Unknown);
+    }
+    // `( x as T ) as` → T.
+    if i >= start + 3
+        && tok(i - 2).kind == TokenKind::Ident
+        && tok(i - 3).is_ident("as")
+    {
+        return Some(CastSrc::Ty(tok(i - 2).text.clone()));
+    }
+    Some(CastSrc::Unknown)
+}
+
+/// Parses an integer literal's value (decimal/hex/octal/binary, `_`
+/// separators and type suffixes tolerated).
+fn parse_int_literal(text: &str) -> Option<i128> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    let (digits, radix) = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        (h, 16)
+    } else if let Some(o) = t.strip_prefix("0o") {
+        (o, 8)
+    } else if let Some(b) = t.strip_prefix("0b") {
+        (b, 2)
+    } else {
+        (t.as_str(), 10)
+    };
+    // Strip a type suffix (`u32`, `usize`, …): cut at the first char that is
+    // not a digit of the radix.
+    let end = digits
+        .char_indices()
+        .find(|&(_, c)| !c.is_digit(radix))
+        .map(|(idx, _)| idx)
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    i128::from_str_radix(&digits[..end], radix).ok()
+}
+
+/// Does an attribute token mark the following item as test-only?
+/// Matches `#[test]` and any `#[cfg(…test…)]` that is not `not(test)`.
+pub fn attr_is_test(text: &str) -> bool {
+    let inner = text
+        .trim_start_matches('#')
+        .trim_start_matches('!')
+        .trim_start_matches('[')
+        .trim_end_matches(']')
+        .trim();
+    if inner == "test" || inner.starts_with("test(") {
+        return true;
+    }
+    if let Some(rest) = inner.strip_prefix("cfg") {
+        let compact: String = rest.chars().filter(|c| !c.is_whitespace()).collect();
+        return compact.contains("test") && !compact.contains("not(test)");
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse(&lex(src).expect("lex"))
+    }
+
+    #[test]
+    fn fn_signature_and_module_path() {
+        let src = r#"
+            pub mod outer {
+                impl Model {
+                    /// doc
+                    pub fn embed(&self, x: &Tensor, k: usize) -> Result<Vec<f32>, E> { x.forward() }
+                    fn helper(&self) {}
+                }
+                pub fn free(a: f64) -> f64 { a }
+            }
+        "#;
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 3);
+        let embed = &p.fns[0];
+        assert_eq!(embed.name, "embed");
+        assert_eq!(embed.module, vec!["outer"]);
+        assert_eq!(embed.self_ty.as_deref(), Some("Model"));
+        assert!(embed.is_pub && embed.returns_result);
+        assert_eq!(embed.params, vec![("x".into(), "Tensor".into()), ("k".into(), "usize".into())]);
+        assert!(!p.fns[1].is_pub);
+        assert_eq!(p.fns[2].self_ty, None);
+        assert!(!p.fns[2].returns_result);
+    }
+
+    #[test]
+    fn calls_receivers_and_qualifiers() {
+        let src = r#"
+            fn f(m: Mlp) {
+                m.forward(1);
+                self_like::Type::build(2);
+                helper(3);
+                self.step();
+            }
+        "#;
+        let p = parsed(src);
+        let calls = &p.fns[0].body.as_ref().unwrap().calls;
+        assert_eq!(calls.len(), 4);
+        assert_eq!(calls[0].receiver, Some(Receiver::Ident("m".into())));
+        assert_eq!(calls[1].qualifier, vec!["self_like", "Type"]);
+        assert!(calls[2].qualifier.is_empty() && calls[2].receiver.is_none());
+        assert_eq!(calls[3].receiver, Some(Receiver::SelfRecv));
+    }
+
+    #[test]
+    fn panic_sites_by_kind() {
+        let src = r#"
+            fn f(v: Vec<u32>) {
+                let a = v.first().unwrap();
+                assert!(a > &0);
+                if v.is_empty() { panic!("no"); }
+            }
+        "#;
+        let p = parsed(src);
+        let panics = &p.fns[0].body.as_ref().unwrap().panics;
+        let kinds: Vec<PanicKind> = panics.iter().map(|p| p.kind).collect();
+        assert_eq!(kinds, vec![PanicKind::UnwrapExpect, PanicKind::Assert, PanicKind::Macro]);
+    }
+
+    #[test]
+    fn index_sites_and_full_range_exemption() {
+        let src = "fn f(v: &[f32], out: &mut [f32]) { let x = v[3] + v[4]; out[..].fill(x); let s = &v[1..2]; }";
+        let p = parsed(src);
+        let idx = &p.fns[0].body.as_ref().unwrap().indexes;
+        assert_eq!(idx.len(), 3, "{idx:?}"); // v[3], v[4], v[1..2]; out[..] exempt
+    }
+
+    #[test]
+    fn cast_sources() {
+        let src = r#"
+            fn f(n: usize, r: f64) {
+                let a = n as u32;
+                let b = 300 as u8;
+                let c = 1.5 as u64;
+                let d = v.len() as f64;
+                let e = (n as u32) as u16;
+                for i in 0..n { let g = i as f32; }
+            }
+        "#;
+        let p = parsed(src);
+        let casts = &p.fns[0].body.as_ref().unwrap().casts;
+        assert_eq!(casts.len(), 7, "{casts:?}");
+        assert_eq!(casts[0].src, CastSrc::Ty("?ident:n".into()));
+        assert_eq!(casts[1].src, CastSrc::IntLit(300));
+        assert_eq!(casts[2].src, CastSrc::FloatLit);
+        assert_eq!(casts[3].src, CastSrc::Ty("usize".into()));
+        // `(n as u32) as u16` carries both the inner and the outer cast,
+        // and the outer one sees the parenthesised `u32` source.
+        assert_eq!(casts[4].dst, "u32");
+        assert_eq!((casts[5].src.clone(), casts[5].dst.as_str()), (CastSrc::Ty("u32".into()), "u16"));
+        assert_eq!(casts[6].src, CastSrc::Ty("?ident:i".into()));
+        // the loop counter is recorded as a usize local
+        let locals = &p.fns[0].body.as_ref().unwrap().locals;
+        assert!(locals.iter().any(|(n, t, _)| n == "i" && t == "usize"), "{locals:?}");
+    }
+
+    #[test]
+    fn discarded_calls_detected() {
+        let src = r#"
+            fn f(s: Store) {
+                let _ = s.save(1);
+                s.save(2);
+                let ok = s.save(3);
+                let _ = s.save(4)?;
+                log(s.save(5));
+                x += s.save(6);
+            }
+        "#;
+        let p = parsed(src);
+        let calls = &p.fns[0].body.as_ref().unwrap().calls;
+        let discarded: Vec<u32> =
+            calls.iter().filter(|c| c.discarded).map(|c| c.line).collect();
+        // save(1), save(2) and the outermost `log(…)` statement are
+        // discarded; save(3..6) are consumed (binding, `?`, argument, `+=`).
+        assert_eq!(discarded, vec![3, 4, 7], "{calls:?}");
+    }
+
+    #[test]
+    fn test_regions_flagged() {
+        let src = r#"
+            fn lib_fn() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { helper(); }
+                fn helper() {}
+            }
+        "#;
+        let p = parsed(src);
+        let by_name = |n: &str| p.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("lib_fn").is_test);
+        assert!(by_name("t").is_test);
+        assert!(by_name("helper").is_test);
+    }
+
+    #[test]
+    fn struct_fields_parsed() {
+        let src = "pub struct M { pub rows: usize, cols: usize, data: Vec<f64> }";
+        let p = parsed(src);
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(
+            p.structs[0].fields,
+            vec![
+                ("rows".to_string(), "usize".to_string()),
+                ("cols".to_string(), "usize".to_string()),
+                ("data".to_string(), "Vec".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_methods_and_bodiless_decls() {
+        let src = r#"
+            trait Loss {
+                fn eval(&self, x: f32) -> f32;
+                fn grad(&self) -> f32 { 0.0 }
+            }
+        "#;
+        let p = parsed(src);
+        assert_eq!(p.fns.len(), 2);
+        assert!(p.fns[0].body.is_none());
+        assert!(p.fns[1].body.is_some());
+        assert_eq!(p.fns[0].self_ty.as_deref(), Some("Loss"));
+    }
+}

@@ -3,8 +3,12 @@
 //! The JSON report (`--json PATH`, normally `results/LINT_report.json`)
 //! carries per-rule counts so successive PRs can diff finding totals.
 
-use crate::rules::{Finding, RULES};
+use crate::rules::{Analysis, Finding, RULES};
 use std::collections::BTreeMap;
+
+/// Schema version stamped into `LINT_report.json` so downstream diffing
+/// tools can detect format changes.
+pub const LINT_SCHEMA_VERSION: u32 = 1;
 
 /// Canonical text output: one `file:line:col [rule] message` line per
 /// finding, plus a summary line.
@@ -24,7 +28,8 @@ pub fn render_text(findings: &[Finding], files_scanned: usize) -> String {
     out
 }
 
-fn escape(s: &str) -> String {
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -40,6 +45,20 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// One-line machine-greppable summary of a full analysis: file/finding
+/// counts, allow inventory, and the workspace panic surface (pub lib fns
+/// that can transitively reach an undefused panic).
+pub fn render_summary(analysis: &Analysis) -> String {
+    format!(
+        "cmr-lint summary: files={} findings={} allows={} (used {}) panic-surface={}\n",
+        analysis.files_scanned,
+        analysis.findings.len(),
+        analysis.allows_total,
+        analysis.allows_used,
+        analysis.graph.panic_surface(),
+    )
+}
+
 /// Renders the JSON report: scanned-file count, per-rule finding counts
 /// (every rule listed, zero or not, so diffs are stable), and the findings.
 pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
@@ -48,6 +67,7 @@ pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
         *counts.entry(f.rule).or_insert(0) += 1;
     }
     let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema_version\": {LINT_SCHEMA_VERSION},\n"));
     out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
     out.push_str(&format!("  \"total_findings\": {},\n", findings.len()));
     out.push_str("  \"counts\": {\n");

@@ -1,11 +1,21 @@
 //! The repo-specific rule set and the engine that applies it.
 //!
-//! Rules operate on the token stream produced by [`crate::lexer`], so string
-//! literals, comments and doc examples can never trip them. Each finding is
-//! anchored to a `file:line:col` and carries its rule id; inline
-//! `// cmr-lint: allow(rule-id) reason` comments suppress findings of that
-//! rule on the same line or the line directly below the comment — and the
-//! reason is mandatory (a missing reason is itself a finding).
+//! Token-local rules operate on the token stream produced by
+//! [`crate::lexer`], so string literals, comments and doc examples can never
+//! trip them. Interprocedural rules (`panic-path`, `lossy-cast`,
+//! `unused-result`) run on the AST from [`crate::parser`] and the workspace
+//! call graph from [`crate::graph`]. Each finding is anchored to a
+//! `file:line:col` and carries its rule id.
+//!
+//! Suppression comes in three scopes, all requiring a reason:
+//!
+//! * `// cmr-lint: allow(rule-id) reason` — same line or the line directly
+//!   below; on a `fn` declaration an `allow(panic-path)` makes the fn a
+//!   *barrier* (documented panic, never taints callers).
+//! * `// cmr-lint: allow-file(rule-id) reason` — whole file; meant for
+//!   kernel-dense files where per-line indexing allows would drown the code.
+//! * An allow that suppresses nothing is itself a finding (`stale-allow`),
+//!   so the exemption inventory shrinks as code is hardened.
 //!
 //! | id | what it enforces |
 //! |----|------------------|
@@ -13,9 +23,19 @@
 //! | `no-panic-lib` | no `unwrap()/expect()/panic!/todo!/unimplemented!` in non-test library code |
 //! | `env-centralization` | `env::var` only in `crates/tensor/src/threading.rs` and `crates/bench` |
 //! | `no-println-lib` | no `println!/eprintln!/dbg!` outside `crates/bench`, binaries, examples, tests |
-//! | `float-eq` | no `==`/`!=` against float literals — use a tolerance helper |
+//! | `float-eq` | no `==`/`!=` against non-zero float literals — use a tolerance helper |
+//! | `panic-path` | no `pub` library fn may transitively reach an undefused panic |
+//! | `lossy-cast` | no narrowing/sign-changing/truncating `as` cast unless provably in range |
+//! | `unused-result` | no discarding a workspace `Result` via `let _ =` or a bare statement |
+//! | `stale-allow` | no allow directive that suppresses zero findings |
 
+// cmr-lint: allow-file(panic-path) token indices come from the lexer that produced the buffer; bounds hold by construction
+
+use crate::graph::{self, FileUnit, PanicAllows};
 use crate::lexer::{lex, Token, TokenKind};
+use crate::parser::{self, CastSite, CastSrc, FnDef, ParsedFile};
+use std::cell::Cell;
+use std::collections::BTreeMap;
 
 /// Every rule id with a one-line description (drives `--help` and the
 /// unknown-rule check on allow comments).
@@ -24,7 +44,11 @@ pub const RULES: &[(&str, &str)] = &[
     ("no-panic-lib", "unwrap()/expect()/panic!/todo!/unimplemented! banned in non-test library code"),
     ("env-centralization", "std::env::var only in crates/tensor/src/threading.rs and crates/bench"),
     ("no-println-lib", "println!/eprintln!/dbg! banned outside crates/bench, binaries, examples, tests"),
-    ("float-eq", "direct ==/!= against a float literal; compare with a tolerance instead"),
+    ("float-eq", "direct ==/!= against a non-zero float literal; compare with a tolerance instead"),
+    ("panic-path", "a pub library fn transitively reaches an undefused panic (witness chain reported)"),
+    ("lossy-cast", "narrowing, sign-changing or truncating `as` cast that is not provably in range"),
+    ("unused-result", "a workspace Result discarded via `let _ =` or a bare call statement"),
+    ("stale-allow", "an allow directive that suppresses zero findings; delete it"),
     ("allow-missing-reason", "a cmr-lint allow comment must carry a reason after the rule id"),
     ("allow-unknown-rule", "a cmr-lint allow comment names a rule id that does not exist"),
     ("lex-error", "the file could not be lexed (unterminated literal or comment)"),
@@ -66,10 +90,22 @@ pub struct SourceFile {
     pub src: String,
 }
 
-/// A parsed, valid `// cmr-lint: allow(rule) reason` directive.
+/// Scope of an allow directive.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AllowScope {
+    /// `allow(rule)`: own line plus the line directly below.
+    Line,
+    /// `allow-file(rule)`: the whole file.
+    File,
+}
+
+/// A parsed, valid allow directive with usage tracking for `stale-allow`.
 struct Allow {
     rule: String,
     line: u32,
+    col: u32,
+    scope: AllowScope,
+    used: Cell<bool>,
 }
 
 // ---------------------------------------------------------------------------
@@ -107,20 +143,7 @@ fn env_var_allowed(path: &str) -> bool {
 /// Does an attribute token mark the following item as test-only?
 /// Matches `#[test]` and any `#[cfg(…test…)]` that is not `not(test)`.
 fn attr_is_test(text: &str) -> bool {
-    let inner = text
-        .trim_start_matches('#')
-        .trim_start_matches('!')
-        .trim_start_matches('[')
-        .trim_end_matches(']')
-        .trim();
-    if inner == "test" || inner.starts_with("test(") {
-        return true;
-    }
-    if let Some(rest) = inner.strip_prefix("cfg") {
-        let compact: String = rest.chars().filter(|c| !c.is_whitespace()).collect();
-        return compact.contains("test") && !compact.contains("not(test)");
-    }
-    false
+    parser::attr_is_test(text)
 }
 
 /// Token-index ranges (inclusive start, exclusive end) covered by test-only
@@ -206,10 +229,17 @@ fn collect_allows(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) -> 
         let mut fail = |rule: &'static str, message: String| {
             findings.push(Finding { file: path.to_string(), line: t.line, col: t.col, rule, message });
         };
-        let Some(rest) = directive.strip_prefix("allow(") else {
+        let (scope, rest) = if let Some(rest) = directive.strip_prefix("allow-file(") {
+            (AllowScope::File, rest)
+        } else if let Some(rest) = directive.strip_prefix("allow(") {
+            (AllowScope::Line, rest)
+        } else {
             fail(
                 "allow-unknown-rule",
-                format!("malformed cmr-lint directive {directive:?}: expected `allow(rule-id) reason`"),
+                format!(
+                    "malformed cmr-lint directive {directive:?}: expected \
+                     `allow(rule-id) reason` or `allow-file(rule-id) reason`"
+                ),
             );
             continue;
         };
@@ -230,21 +260,33 @@ fn collect_allows(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) -> 
             );
             continue;
         }
-        allows.push(Allow { rule, line: t.line });
+        allows.push(Allow { rule, line: t.line, col: t.col, scope, used: Cell::new(false) });
     }
     allows
 }
 
-/// A finding is suppressed by a valid allow for its rule on the same line or
-/// on the line directly above (a stand-alone allow comment).
-fn suppressed(allows: &[Allow], finding: &Finding) -> bool {
-    allows
-        .iter()
-        .any(|a| a.rule == finding.rule && (a.line == finding.line || a.line + 1 == finding.line))
+/// A finding is suppressed by a valid allow for its rule on the same line,
+/// on the line directly above (a stand-alone allow comment), or anywhere in
+/// the file for an `allow-file`. Every matching allow is marked *used* so
+/// `stale-allow` can flag the rest.
+fn suppress(allows: &[Allow], finding: &Finding) -> bool {
+    let mut hit = false;
+    for a in allows {
+        let matches = a.rule == finding.rule
+            && match a.scope {
+                AllowScope::Line => a.line == finding.line || a.line + 1 == finding.line,
+                AllowScope::File => true,
+            };
+        if matches {
+            a.used.set(true);
+            hit = true;
+        }
+    }
+    hit
 }
 
 // ---------------------------------------------------------------------------
-// Per-file rules
+// Per-file token rules
 // ---------------------------------------------------------------------------
 
 /// Banned `.method()` calls for `no-panic-lib`.
@@ -362,6 +404,15 @@ fn rule_no_println_lib(ctx: &FileCtx, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Is a float-literal token the literal zero (`0.0`, `0.`, `0e0`, with an
+/// optional `f32`/`f64` suffix)? Comparing against exact zero is the
+/// sparsity/norm-guard idiom and allowed by construction.
+fn float_literal_is_zero(text: &str) -> bool {
+    let t = text.trim_end_matches("f32").trim_end_matches("f64").trim_end_matches('_');
+    let mantissa = t.split(['e', 'E']).next().unwrap_or(t);
+    !mantissa.is_empty() && mantissa.chars().all(|c| matches!(c, '0' | '.' | '_'))
+}
+
 fn rule_float_eq(ctx: &FileCtx, findings: &mut Vec<Finding>) {
     for (ci, &i) in ctx.code.iter().enumerate() {
         if ctx.test_file || ctx.example || in_regions(&ctx.regions, i) {
@@ -371,17 +422,180 @@ fn rule_float_eq(ctx: &FileCtx, findings: &mut Vec<Finding>) {
         if !(t.is_punct("==") || t.is_punct("!=")) {
             continue;
         }
-        let prev_float = ci
-            .checked_sub(1)
-            .is_some_and(|p| ctx.tokens[ctx.code[p]].kind == TokenKind::Float);
-        let next_float =
-            ctx.code.get(ci + 1).is_some_and(|&n| ctx.tokens[n].kind == TokenKind::Float);
-        if prev_float || next_float {
+        let float_at = |cj: Option<usize>| -> Option<&Token> {
+            cj.and_then(|p| ctx.code.get(p))
+                .map(|&n| &ctx.tokens[n])
+                .filter(|tok| tok.kind == TokenKind::Float)
+        };
+        let sides = [float_at(ci.checked_sub(1)), float_at(Some(ci + 1))];
+        let lits: Vec<&Token> = sides.into_iter().flatten().collect();
+        if !lits.is_empty() && !lits.iter().all(|tok| float_literal_is_zero(&tok.text)) {
             findings.push(ctx.finding(
                 t,
                 "float-eq",
                 format!("`{}` against a float literal; compare with a tolerance helper", t.text),
             ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lossy-cast (AST rule)
+// ---------------------------------------------------------------------------
+
+/// Bit width and signedness of an integer type tail.
+fn int_info(ty: &str) -> Option<(u32, bool)> {
+    Some(match ty {
+        "i8" => (8, true),
+        "i16" => (16, true),
+        "i32" => (32, true),
+        "i64" => (64, true),
+        "i128" => (128, true),
+        "isize" => (64, true),
+        "u8" => (8, false),
+        "u16" => (16, false),
+        "u32" => (32, false),
+        "u64" => (64, false),
+        "u128" => (128, false),
+        "usize" => (64, false),
+        _ => return None,
+    })
+}
+
+/// Mantissa precision (exactly-representable integer bits) of a float type.
+fn float_mantissa(ty: &str) -> Option<u32> {
+    match ty {
+        "f32" => Some(24),
+        "f64" => Some(53),
+        _ => None,
+    }
+}
+
+/// Inclusive integer range of an integer type (u128 clamped to `i128::MAX`).
+fn int_range(ty: &str) -> Option<(i128, i128)> {
+    let (bits, signed) = int_info(ty)?;
+    Some(if signed {
+        if bits >= 128 {
+            (i128::MIN, i128::MAX)
+        } else {
+            (-(1i128 << (bits - 1)), (1i128 << (bits - 1)) - 1)
+        }
+    } else if bits >= 127 {
+        (0, i128::MAX)
+    } else {
+        (0, (1i128 << bits) - 1)
+    })
+}
+
+/// Why a `src as dst` cast is lossy, or `None` when it is value-preserving
+/// (or unknowable — an unresolved source type is deliberately silent, the
+/// documented under-approximation of a first-party analyzer).
+///
+/// Policy notes: `usize`/`u64 as f64` is *not* flagged — index and length
+/// magnitudes in this workspace are far below 2^53 and flagging them would
+/// bury the signal; `as f32` *is* flagged for >24-bit sources because tensor
+/// payloads are f32 and those casts sit on real data paths.
+fn cast_lossiness(src: &CastSrc, src_ty: Option<&str>, dst: &str) -> Option<String> {
+    match src {
+        CastSrc::IntLit(v) => {
+            if let Some((lo, hi)) = int_range(dst) {
+                return (*v < lo || *v > hi)
+                    .then(|| format!("literal {v} is out of range for {dst}"));
+            }
+            if let Some(m) = float_mantissa(dst) {
+                let exact = 1i128 << m;
+                return (v.abs() > exact)
+                    .then(|| format!("literal {v} is not exactly representable in {dst}"));
+            }
+            None
+        }
+        CastSrc::FloatLit => int_info(dst)
+            .map(|_| format!("float literal truncated by `as {dst}`; write the integer directly")),
+        CastSrc::Ty(_) | CastSrc::Unknown => {
+            let s = src_ty?;
+            if s == dst {
+                return None;
+            }
+            if let (Some((sb, ss)), Some((db, ds))) = (int_info(s), int_info(dst)) {
+                if db < sb {
+                    return Some(format!("narrowing {s} → {dst} can truncate"));
+                }
+                if ss && !ds {
+                    return Some(format!("{s} → {dst} loses the sign"));
+                }
+                if !ss && ds && db <= sb {
+                    return Some(format!("{s} → {dst} can overflow the sign bit"));
+                }
+                return None;
+            }
+            if let (Some(sb), Some(m)) = (int_info(s).map(|(b, _)| b), float_mantissa(dst)) {
+                // int → float: only int → f32 from wide sources is on a real
+                // precision cliff (tensor payloads); int → f64 is exempt.
+                return (dst == "f32" && sb > m)
+                    .then(|| format!("{s} → f32 loses precision above 2^24"));
+            }
+            if float_mantissa(s).is_some() && int_info(dst).is_some() {
+                return Some(format!("{s} → {dst} truncates toward zero"));
+            }
+            if s == "f64" && dst == "f32" {
+                return Some("f64 → f32 halves the mantissa".to_string());
+            }
+            None
+        }
+    }
+}
+
+/// Resolves the source type tail of a cast whose operand was an identifier
+/// (or `recv.field`) using the fn's typed locals/params and the workspace
+/// struct-field map.
+fn resolve_cast_src_ty<'a>(
+    cast: &'a CastSite,
+    def: &FnDef,
+    krate: &str,
+    fields: &'a BTreeMap<(String, String), BTreeMap<String, String>>,
+) -> Option<String> {
+    let CastSrc::Ty(t) = &cast.src else { return None };
+    let Some(rest) = t.strip_prefix("?ident:") else { return Some(t.clone()) };
+    if rest.is_empty() {
+        return None;
+    }
+    if let Some((base, field)) = rest.split_once('.') {
+        let base_ty = if base == "self" {
+            def.self_ty.clone()
+        } else {
+            graph::local_type(def, base, cast.line)
+        }?;
+        return fields.get(&(krate.to_string(), base_ty)).and_then(|m| m.get(field)).cloned();
+    }
+    graph::local_type(def, rest, cast.line)
+}
+
+fn rule_lossy_cast(
+    path: &str,
+    parsed: &ParsedFile,
+    fields: &BTreeMap<(String, String), BTreeMap<String, String>>,
+    findings: &mut Vec<Finding>,
+) {
+    if is_test_path(path) || is_example_path(path) {
+        return;
+    }
+    let krate = graph::crate_of(path);
+    for def in &parsed.fns {
+        if def.is_test {
+            continue;
+        }
+        let Some(body) = &def.body else { continue };
+        for cast in &body.casts {
+            let src_ty = resolve_cast_src_ty(cast, def, &krate, fields);
+            if let Some(why) = cast_lossiness(&cast.src, src_ty.as_deref(), &cast.dst) {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: cast.line,
+                    col: cast.col,
+                    rule: "lossy-cast",
+                    message: format!("{why}; prove the range or carry a reasoned allow"),
+                });
+            }
         }
     }
 }
@@ -496,19 +710,43 @@ fn rule_op_coverage(
 // Engine
 // ---------------------------------------------------------------------------
 
+/// Full analysis result: findings plus the call graph and allow statistics
+/// that drive the report summary and `CALLGRAPH.json`.
+pub struct Analysis {
+    /// Every unsuppressed finding, sorted by file, line, column.
+    pub findings: Vec<Finding>,
+    /// Files handed to the engine.
+    pub files_scanned: usize,
+    /// Valid allow directives seen.
+    pub allows_total: usize,
+    /// Allow directives that suppressed or defused at least one thing.
+    pub allows_used: usize,
+    /// The workspace call graph (panic propagation already run).
+    pub graph: graph::Graph,
+}
+
 /// Lints a set of files and returns every unsuppressed finding, sorted by
-/// file, line, column.
+/// file, line, column. Thin wrapper over [`analyze`].
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    analyze(files).findings
+}
+
+/// Runs the full pipeline: lex, token rules, parse, lossy-cast, call-graph
+/// build + panic propagation, panic-path / unused-result findings,
+/// op-coverage, and finally stale-allow over the whole allow inventory.
 ///
 /// The cross-file `op-coverage` rule runs when the set contains
 /// [`OP_PATH`]; its findings are suppressible by allow comments in that
 /// file like any other finding.
-pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+pub fn analyze(files: &[SourceFile]) -> Analysis {
     let mut findings = Vec::new();
-    let mut op_tokens: Option<Vec<Token>> = None;
-    let mut check_tokens: Option<Vec<Token>> = None;
-    let mut op_allows: Vec<Allow> = Vec::new();
+    let mut tokens_by_file: Vec<Option<Vec<Token>>> = Vec::with_capacity(files.len());
+    let mut allows_by_file: Vec<Vec<Allow>> = Vec::with_capacity(files.len());
+    let mut by_path: BTreeMap<&str, usize> = BTreeMap::new();
 
-    for file in files {
+    // ---- lex + allows + token rules ----
+    for (fi, file) in files.iter().enumerate() {
+        by_path.insert(&file.path, fi);
         let tokens = match lex(&file.src) {
             Ok(t) => t,
             Err(e) => {
@@ -519,6 +757,8 @@ pub fn run(files: &[SourceFile]) -> Vec<Finding> {
                     rule: "lex-error",
                     message: e.message,
                 });
+                tokens_by_file.push(None);
+                allows_by_file.push(Vec::new());
                 continue;
             }
         };
@@ -537,24 +777,179 @@ pub fn run(files: &[SourceFile]) -> Vec<Finding> {
         rule_env_centralization(&ctx, &mut raw);
         rule_no_println_lib(&ctx, &mut raw);
         rule_float_eq(&ctx, &mut raw);
-        findings.extend(raw.into_iter().filter(|f| !suppressed(&allows, f)));
+        findings.extend(raw.into_iter().filter(|f| !suppress(&allows, f)));
+        tokens_by_file.push(Some(tokens));
+        allows_by_file.push(allows);
+    }
 
-        if file.path == OP_PATH {
-            op_allows = allows;
-            op_tokens = Some(tokens);
-        } else if file.path == CHECK_PATH {
-            check_tokens = Some(tokens);
+    // ---- parse ----
+    let parsed_by_file: Vec<Option<ParsedFile>> = tokens_by_file
+        .iter()
+        .map(|t| t.as_ref().map(|toks| parser::parse(toks)))
+        .collect();
+
+    // ---- struct-field map for cast-source typing ----
+    let mut fields: BTreeMap<(String, String), BTreeMap<String, String>> = BTreeMap::new();
+    for (fi, parsed) in parsed_by_file.iter().enumerate() {
+        let Some(p) = parsed else { continue };
+        let krate = graph::crate_of(&files[fi].path);
+        for st in &p.structs {
+            let entry = fields.entry((krate.clone(), st.name.clone())).or_default();
+            for (f, t) in &st.fields {
+                entry.entry(f.clone()).or_insert_with(|| t.clone());
+            }
         }
     }
 
-    if let Some(op) = &op_tokens {
+    // ---- lossy-cast ----
+    for (fi, parsed) in parsed_by_file.iter().enumerate() {
+        let Some(p) = parsed else { continue };
         let mut raw = Vec::new();
-        rule_op_coverage(op, check_tokens.as_deref(), &mut raw);
-        findings.extend(raw.into_iter().filter(|f| !suppressed(&op_allows, f)));
+        rule_lossy_cast(&files[fi].path, p, &fields, &mut raw);
+        findings.extend(raw.into_iter().filter(|f| !suppress(&allows_by_file[fi], f)));
+    }
+
+    // ---- call graph + panic propagation ----
+    let mut panic_allows: BTreeMap<String, PanicAllows> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        let mut pa = PanicAllows::default();
+        for a in &allows_by_file[fi] {
+            match a.scope {
+                AllowScope::Line if a.rule == "panic-path" || a.rule == "no-panic-lib" => {
+                    pa.lines.insert(a.line);
+                }
+                AllowScope::File if a.rule == "panic-path" => pa.file_scope = true,
+                _ => {}
+            }
+        }
+        if !pa.lines.is_empty() || pa.file_scope {
+            panic_allows.insert(file.path.clone(), pa);
+        }
+    }
+    let units: Vec<FileUnit> = files
+        .iter()
+        .zip(parsed_by_file.iter())
+        .filter_map(|(file, parsed)| {
+            parsed.as_ref().map(|p| FileUnit {
+                path: &file.path,
+                parsed: p,
+                in_lib: !is_test_path(&file.path)
+                    && !is_example_path(&file.path)
+                    && !is_bin_path(&file.path),
+            })
+        })
+        .collect();
+    let g = graph::build(&units, &panic_allows);
+
+    // ---- panic-path findings (suppression is the barrier/defuse system) ----
+    for (i, node) in g.nodes.iter().enumerate() {
+        if node.is_pub
+            && node.in_lib
+            && !node.is_test
+            && node.barrier.is_none()
+            && node.taint.is_some()
+        {
+            findings.push(Finding {
+                file: node.file.clone(),
+                line: node.line,
+                col: node.col,
+                rule: "panic-path",
+                message: format!("pub fn can reach a panic: {}", g.chain_of(i)),
+            });
+        }
+    }
+
+    // ---- unused-result findings ----
+    for d in &g.discarded_results {
+        let caller = &g.nodes[d.caller];
+        if caller.is_test || is_example_path(&d.file) || is_test_path(&d.file) {
+            continue;
+        }
+        let f = Finding {
+            file: d.file.clone(),
+            line: d.line,
+            col: d.col,
+            rule: "unused-result",
+            message: format!(
+                "Result of `{}` is discarded; handle the error or carry a reasoned allow",
+                d.callee_name
+            ),
+        };
+        let fi = by_path.get(d.file.as_str()).copied();
+        if fi.is_none_or(|fi| !suppress(&allows_by_file[fi], &f)) {
+            findings.push(f);
+        }
+    }
+
+    // ---- op-coverage ----
+    if let Some(&op_fi) = by_path.get(OP_PATH) {
+        if let Some(op_tokens) = &tokens_by_file[op_fi] {
+            let check_tokens = by_path
+                .get(CHECK_PATH)
+                .and_then(|&fi| tokens_by_file[fi].as_deref());
+            let mut raw = Vec::new();
+            rule_op_coverage(op_tokens, check_tokens, &mut raw);
+            findings
+                .extend(raw.into_iter().filter(|f| !suppress(&allows_by_file[op_fi], f)));
+        }
+    }
+
+    // ---- mark graph-used allows (site defuses and load-bearing barriers) ----
+    for (file, line) in &g.used_allow_lines {
+        let Some(&fi) = by_path.get(file.as_str()) else { continue };
+        for a in &allows_by_file[fi] {
+            if a.scope == AllowScope::Line
+                && a.line == *line
+                && (a.rule == "panic-path" || a.rule == "no-panic-lib")
+            {
+                a.used.set(true);
+            }
+        }
+    }
+    for file in &g.used_file_allows {
+        let Some(&fi) = by_path.get(file.as_str()) else { continue };
+        for a in &allows_by_file[fi] {
+            if a.scope == AllowScope::File && a.rule == "panic-path" {
+                a.used.set(true);
+            }
+        }
+    }
+
+    // ---- stale-allow ----
+    let mut allows_total = 0usize;
+    let mut allows_used = 0usize;
+    for (fi, allows) in allows_by_file.iter().enumerate() {
+        for a in allows {
+            allows_total += 1;
+            if a.used.get() {
+                allows_used += 1;
+            } else {
+                let form = match a.scope {
+                    AllowScope::Line => "allow",
+                    AllowScope::File => "allow-file",
+                };
+                findings.push(Finding {
+                    file: files[fi].path.clone(),
+                    line: a.line,
+                    col: a.col,
+                    rule: "stale-allow",
+                    message: format!(
+                        "{form}({}) suppresses no findings; delete it or move it to the violation",
+                        a.rule
+                    ),
+                });
+            }
+        }
     }
 
     findings.sort_by(|a, b| {
         (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
     });
-    findings
+    Analysis {
+        findings,
+        files_scanned: files.len(),
+        allows_total,
+        allows_used,
+        graph: g,
+    }
 }

@@ -64,9 +64,22 @@ fn one_violation_per_rule_in_order() {
     let findings = lib("violations.rs");
     assert_eq!(
         rules_of(&findings),
-        vec!["no-panic-lib", "no-panic-lib", "env-centralization", "no-println-lib", "float-eq"],
+        vec![
+            "no-panic-lib",
+            "no-panic-lib",
+            "env-centralization",
+            "no-println-lib",
+            "float-eq",
+            "lossy-cast",
+            "unused-result",
+            "panic-path",
+        ],
         "{findings:?}"
     );
+    // The panic-path finding anchors at the pub declaration and carries the
+    // witness chain down to the private indexing helper.
+    let pp = findings.iter().find(|f| f.rule == "panic-path").unwrap();
+    assert!(pp.message.contains("v8 → foo::pick → slice index"), "{}", pp.message);
     // Renders in the canonical file:line:col [rule] message form.
     let line = findings[0].render();
     assert!(
@@ -121,10 +134,29 @@ fn threading_module_may_read_env() {
 fn json_report_is_diffable() {
     let findings = lib("violations.rs");
     let json = cmr_lint::report::render_json(&findings, 1);
+    assert!(json.contains("\"schema_version\": 1"), "{json}");
     assert!(json.contains("\"files_scanned\": 1"), "{json}");
-    assert!(json.contains("\"total_findings\": 5"), "{json}");
+    assert!(json.contains("\"total_findings\": 8"), "{json}");
     assert!(json.contains("\"no-panic-lib\": 2"), "{json}");
     assert!(json.contains("\"float-eq\": 1"), "{json}");
+    assert!(json.contains("\"panic-path\": 1"), "{json}");
+    assert!(json.contains("\"lossy-cast\": 1"), "{json}");
+    assert!(json.contains("\"unused-result\": 1"), "{json}");
     // zero-count rules stay listed so future diffs are stable
     assert!(json.contains("\"op-coverage\": 0"), "{json}");
+}
+
+#[test]
+fn stale_allow_is_flagged_and_working_allow_is_not() {
+    let findings = lib("stale_allow.rs");
+    assert_eq!(rules_of(&findings), vec!["stale-allow"], "{findings:?}");
+    assert!(findings[0].message.contains("no-println-lib"), "{findings:?}");
+}
+
+#[test]
+fn float_eq_against_zero_is_allowed_by_construction() {
+    let findings = lib("float_zero.rs");
+    assert_eq!(rules_of(&findings), vec!["float-eq"], "{findings:?}");
+    // Only the non-zero comparison (is_half) is flagged.
+    assert_eq!(findings[0].line, 16, "{findings:?}");
 }

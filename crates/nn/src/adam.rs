@@ -41,9 +41,12 @@ impl Adam {
     /// updates its Adam moments and writes the new value into `store`.
     ///
     /// Returns the number of parameters updated.
+    // cmr-lint: allow(panic-path) moments are created with each value's shape on first use; loop indices stay within value.len()
     pub fn step(&mut self, store: &mut ParamStore, g: &Graph, binds: &Bindings) -> usize {
         self.t += 1;
+        // cmr-lint: allow(lossy-cast) powi exponent; step count cannot plausibly reach 2^31
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        // cmr-lint: allow(lossy-cast) powi exponent; step count cannot plausibly reach 2^31
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         let mut updated = 0;
 
@@ -81,8 +84,10 @@ impl Adam {
         }
         let mut pids: Vec<usize> = self.moments.keys().copied().collect();
         pids.sort_unstable();
+        // cmr-lint: allow(lossy-cast) checkpoint format length field; param-id count never nears 2^32
         buf.extend_from_slice(&(pids.len() as u32).to_le_bytes());
         for pid in pids {
+            // cmr-lint: allow(panic-path) pids were just collected from this same map's keys
             let (m, v) = &self.moments[&pid];
             buf.extend_from_slice(&(pid as u64).to_le_bytes());
             buf.extend_from_slice(&(m.rows as u32).to_le_bytes());
@@ -127,10 +132,13 @@ impl Adam {
             }
             let floats = |raw: &[u8]| -> Vec<f32> {
                 raw.chunks_exact(4)
+                    // cmr-lint: allow(panic-path) chunks_exact(4) yields exactly four bytes per chunk
                     .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                     .collect()
             };
+            // cmr-lint: allow(panic-path) tensor.len() == 2 * len * 4 was verified just above
             let m = TensorData::new(rows, cols, floats(&tensor[..len * 4]));
+            // cmr-lint: allow(panic-path) tensor.len() == 2 * len * 4 was verified just above
             let v = TensorData::new(rows, cols, floats(&tensor[len * 4..]));
             if moments.insert(pid, (m, v)).is_some() {
                 return Err(bad(format!("duplicate Adam moment for parameter {pid}")));

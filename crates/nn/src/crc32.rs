@@ -29,6 +29,7 @@ const fn build_table() -> [u32; 256] {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
+        // cmr-lint: allow(panic-path) the index is masked with & 0xFF into a 256-entry table
         crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     crc ^ 0xFFFF_FFFF

@@ -35,6 +35,7 @@ impl Embedding {
     /// # Panics
     /// Panics if `vectors` is empty.
     pub fn from_pretrained(store: &mut ParamStore, name: &str, vectors: TensorData) -> Self {
+        // cmr-lint: allow(panic-path) documented precondition: an empty table has no dimensionality
         assert!(vectors.rows > 0, "Embedding::from_pretrained: empty table");
         let (vocab, dim) = vectors.shape();
         let table = store.register(format!("{name}.table"), vectors);

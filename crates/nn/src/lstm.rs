@@ -37,6 +37,7 @@ impl Lstm {
         let wh = store.register(format!("{name}.wh"), init::xavier_uniform(rng, hidden, 4 * hidden));
         let mut bias = TensorData::zeros(1, 4 * hidden);
         for c in hidden..2 * hidden {
+            // cmr-lint: allow(panic-path) c ranges over hidden..2*hidden inside the 4*hidden bias row
             bias.data[c] = 1.0; // forget gate
         }
         let b = store.register(format!("{name}.b"), bias);
@@ -115,6 +116,7 @@ impl Lstm {
     ///
     /// # Panics
     /// Panics if `steps` is empty or any length exceeds `steps.len()`.
+    // cmr-lint: allow(panic-path) documented precondition; step indexing follows the asserted lengths
     pub fn forward_seq(
         &self,
         g: &mut Graph,

@@ -53,10 +53,12 @@ impl Mlp {
         dims: &[usize],
         act: Activation,
     ) -> Self {
+        // cmr-lint: allow(panic-path) documented precondition: an MLP needs at least input and output dims
         assert!(dims.len() >= 2, "Mlp::new: need at least input and output dims");
         let layers = dims
             .windows(2)
             .enumerate()
+            // cmr-lint: allow(panic-path) windows(2) yields exactly two dims per window
             .map(|(i, w)| Linear::new(store, rng, &format!("{name}.{i}"), w[0], w[1]))
             .collect();
         Self { layers, act }

@@ -1,5 +1,7 @@
 //! Parameter storage, freezing, and per-batch graph bindings.
 
+// cmr-lint: allow-file(panic-path) ParamId is an opaque arena index minted by register(); dereferencing a minted id stays in bounds, and duplicate-name registration is a documented caller bug
+
 use cmr_tensor::{Graph, NodeId, TensorData};
 use std::collections::HashMap;
 

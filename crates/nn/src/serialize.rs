@@ -101,14 +101,17 @@ impl<'a> Reader<'a> {
 
 /// Appends a `u32` length prefix and the bytes themselves.
 pub(crate) fn put_len_prefixed(buf: &mut Vec<u8>, bytes: &[u8]) {
+    // cmr-lint: allow(lossy-cast) serialization length prefix; payloads are far below 4 GiB
     buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
     buf.extend_from_slice(bytes);
 }
 
 fn write_params_body(store: &ParamStore, buf: &mut Vec<u8>) {
+    // cmr-lint: allow(lossy-cast) serialization length prefix; param count never nears 2^32
     buf.extend_from_slice(&(store.len() as u32).to_le_bytes());
     for id in store.ids() {
         let name = store.name(id).as_bytes();
+        // cmr-lint: allow(lossy-cast) param names are short identifiers, well under 64 KiB
         buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
         buf.extend_from_slice(name);
         let v = store.value(id);
@@ -235,11 +238,13 @@ pub fn save_checkpoint(store: &ParamStore, adam: &Adam, state: &TrainState) -> V
 /// # Errors
 /// `InvalidData` on bad magic, truncation, CRC mismatch, unknown/duplicate
 /// parameter names, or shape mismatches.
+// cmr-lint: allow(panic-path) every slice is preceded by an explicit length check that returns InvalidData instead
 pub fn load_checkpoint(
     store: &mut ParamStore,
     adam: &mut Adam,
     bytes: &[u8],
 ) -> io::Result<Option<TrainState>> {
+    // cmr-lint: allow(panic-path) the slice is guarded by the length check in the same expression
     if bytes.len() >= 8 && &bytes[..8] == MAGIC_V1 {
         load_params(store, bytes)?;
         return Ok(None);
@@ -247,6 +252,7 @@ pub fn load_checkpoint(
     if bytes.len() < MAGIC_V2.len() + 4 {
         return Err(bad("checkpoint truncated before footer".into()));
     }
+    // cmr-lint: allow(panic-path) bytes.len() >= MAGIC_V2.len() + 4 was verified just above
     if &bytes[..8] != MAGIC_V2 {
         return Err(bad(format!("bad checkpoint magic {:?}", &bytes[..8.min(bytes.len())])));
     }

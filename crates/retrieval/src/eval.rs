@@ -124,21 +124,25 @@ pub fn evaluate_pairs(images: &Embeddings, recipes: &Embeddings) -> (Vec<usize>,
 /// are sampled without replacement within a bag, independently across bags
 /// (the paper's "unique subsets").
 ///
-/// # Panics
-/// Panics if the sets are unpaired, or smaller than `cfg.bag_size`.
+/// # Errors
+/// Returns an [`EvalError`] if the sets are unpaired, or smaller than
+/// `cfg.bag_size` — data conditions, since the test-set size depends on the
+/// dataset scale the caller picked.
 pub fn evaluate_bags(
     images: &Embeddings,
     recipes: &Embeddings,
     cfg: BagConfig,
     rng: &mut impl Rng,
-) -> ProtocolReport {
-    assert_eq!(images.len(), recipes.len(), "evaluate_bags: unpaired sets");
-    assert!(
-        images.len() >= cfg.bag_size,
-        "evaluate_bags: test set ({}) smaller than bag size ({})",
-        images.len(),
-        cfg.bag_size
-    );
+) -> Result<ProtocolReport, EvalError> {
+    if images.len() != recipes.len() {
+        return Err(EvalError::Unpaired { images: images.len(), recipes: recipes.len() });
+    }
+    if images.len() < cfg.bag_size {
+        return Err(EvalError::TestSetTooSmall {
+            available: images.len(),
+            bag_size: cfg.bag_size,
+        });
+    }
     let img = images.l2_normalized();
     let rec = recipes.l2_normalized();
 
@@ -147,14 +151,53 @@ pub fn evaluate_bags(
     let mut indices: Vec<usize> = (0..img.len()).collect();
     for _ in 0..cfg.n_bags {
         indices.shuffle(rng);
+        // cmr-lint: allow(panic-path) bag_size <= indices.len() is established by the TestSetTooSmall check above
         let bag = &indices[..cfg.bag_size];
         let bag_img = img.subset(bag);
         let bag_rec = rec.subset(bag);
         acc_i2r.push(&ranks_of_matches(&bag_img, &bag_rec));
         acc_r2i.push(&ranks_of_matches(&bag_rec, &bag_img));
     }
-    ProtocolReport { im2rec: acc_i2r.report(), rec2im: acc_r2i.report() }
+    Ok(ProtocolReport { im2rec: acc_i2r.report(), rec2im: acc_r2i.report() })
 }
+
+/// Why a bag evaluation request cannot be satisfied. Returned by
+/// [`evaluate_bags`] instead of a panic, because both conditions depend on
+/// the dataset the caller evaluated — they are data, not caller bugs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// The image and recipe sets have different lengths, so rows cannot be
+    /// treated as matching pairs.
+    Unpaired {
+        /// Number of image vectors.
+        images: usize,
+        /// Number of recipe vectors.
+        recipes: usize,
+    },
+    /// The paired test set holds fewer pairs than one bag needs.
+    TestSetTooSmall {
+        /// Pairs available in the test set.
+        available: usize,
+        /// Pairs one bag requires.
+        bag_size: usize,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Unpaired { images, recipes } => {
+                write!(f, "evaluate_bags: unpaired sets ({images} images, {recipes} recipes)")
+            }
+            EvalError::TestSetTooSmall { available, bag_size } => write!(
+                f,
+                "evaluate_bags: test set ({available}) smaller than bag size ({bag_size})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
 
 #[cfg(test)]
 mod tests {
@@ -172,7 +215,7 @@ mod tests {
     fn perfect_alignment_is_perfect_everywhere() {
         let e = random_embeddings(50, 8, 1);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
-        let rep = evaluate_bags(&e, &e, BagConfig { bag_size: 20, n_bags: 4 }, &mut rng);
+        let rep = evaluate_bags(&e, &e, BagConfig { bag_size: 20, n_bags: 4 }, &mut rng).unwrap();
         assert_eq!(rep.im2rec.medr_mean, 1.0);
         assert_eq!(rep.rec2im.r1_mean, 100.0);
         assert_eq!(rep.im2rec.medr_std, 0.0);
@@ -185,7 +228,8 @@ mod tests {
         let img = random_embeddings(300, 16, 3);
         let rec = random_embeddings(300, 16, 4);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
-        let rep = evaluate_bags(&img, &rec, BagConfig { bag_size: 200, n_bags: 5 }, &mut rng);
+        let rep =
+            evaluate_bags(&img, &rec, BagConfig { bag_size: 200, n_bags: 5 }, &mut rng).unwrap();
         assert!(
             (60.0..140.0).contains(&rep.im2rec.medr_mean),
             "random MedR should be near 100, got {}",
@@ -195,11 +239,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "smaller than bag size")]
     fn rejects_undersized_test_set() {
         let e = random_embeddings(10, 4, 1);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
-        evaluate_bags(&e, &e, BagConfig { bag_size: 100, n_bags: 1 }, &mut rng);
+        let err = evaluate_bags(&e, &e, BagConfig { bag_size: 100, n_bags: 1 }, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, EvalError::TestSetTooSmall { available: 10, bag_size: 100 });
     }
 
     #[test]

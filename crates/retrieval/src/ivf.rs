@@ -30,6 +30,7 @@ impl IvfIndex {
     ///
     /// # Panics
     /// Panics if `nlist == 0` or the gallery has fewer vectors than `nlist`.
+    // cmr-lint: allow(panic-path) documented precondition; centroid and list indices derive from the asserted sizes
     pub fn build(gallery: Embeddings, nlist: usize, iters: usize, rng: &mut impl Rng) -> Self {
         assert!(nlist >= 1, "IvfIndex::build: nlist must be positive");
         assert!(
@@ -117,6 +118,7 @@ impl IvfIndex {
     ///
     /// # Panics
     /// Panics if `k == 0`, `nprobe == 0`, or the dimension differs.
+    // cmr-lint: allow(panic-path) documented precondition; probe ids come from the index's own centroid list
     pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<Hit> {
         assert!(k >= 1 && nprobe >= 1, "IvfIndex::search: k and nprobe must be positive");
         assert_eq!(query.len(), self.gallery.dim, "IvfIndex::search: dimension mismatch");

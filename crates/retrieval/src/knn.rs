@@ -43,6 +43,7 @@ impl Ord for HeapEntry {
 ///
 /// # Panics
 /// Panics if `k == 0` or the dimensions differ.
+// cmr-lint: allow(panic-path) documented precondition; heap entries index rows the gallery owns
 pub fn top_k(gallery: &Embeddings, query: &[f32], k: usize) -> Vec<Hit> {
     assert!(k >= 1, "top_k: k must be positive");
     assert_eq!(query.len(), gallery.dim, "top_k: dimension mismatch");

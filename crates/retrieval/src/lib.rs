@@ -21,7 +21,9 @@ pub mod knn;
 pub mod metrics;
 
 pub use embeddings::Embeddings;
-pub use eval::{evaluate_bags, evaluate_pairs, BagConfig, DirectionReport, ProtocolReport};
+pub use eval::{
+    evaluate_bags, evaluate_pairs, BagConfig, DirectionReport, EvalError, ProtocolReport,
+};
 pub use ivf::IvfIndex;
 pub use knn::top_k;
 pub use metrics::{median_rank, ranks_of_matches, recall_at_k};

@@ -7,6 +7,8 @@
 //! (see [`cmr_tensor::threading`]). The original per-pair loop survives as
 //! [`ranks_of_matches_reference`] for the equivalence suite.
 
+// cmr-lint: allow-file(panic-path) empty-input and pairing preconditions are the documented Panics contract of the metric API
+
 use crate::embeddings::Embeddings;
 use cmr_tensor::matmul::matmul_transb_into;
 use cmr_tensor::threading;

@@ -34,6 +34,7 @@ impl GradCheckReport {
 ///
 /// # Panics
 /// Panics if `build` returns a non-scalar node.
+// cmr-lint: allow(panic-path) documented precondition; perturbation indices range over clones of param
 pub fn grad_check(
     param: &TensorData,
     eps: f32,

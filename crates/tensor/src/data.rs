@@ -1,5 +1,7 @@
 //! Flat row-major matrix storage.
 
+// cmr-lint: allow-file(panic-path) constructors assert len == rows*cols; every accessor indexes within that established invariant
+
 use std::fmt;
 
 /// A dense 2-D `f32` matrix stored row-major in a flat `Vec`.

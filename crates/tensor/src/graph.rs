@@ -1,5 +1,7 @@
 //! The eager autodiff tape.
 
+// cmr-lint: allow-file(panic-path) shape preconditions are the documented contract of the tape API; each op's Panics section states them
+
 use crate::data::TensorData;
 use crate::op::Op;
 

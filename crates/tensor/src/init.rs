@@ -15,6 +15,7 @@ pub fn xavier_uniform(rng: &mut impl Rng, rows: usize, cols: usize) -> TensorDat
 /// # Panics
 /// Panics if `lo >= hi`.
 pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, lo: f32, hi: f32) -> TensorData {
+    // cmr-lint: allow(panic-path) documented precondition: an empty range cannot be sampled
     assert!(lo < hi, "uniform: empty range [{lo}, {hi})");
     TensorData::new(rows, cols, (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect())
 }

@@ -24,6 +24,8 @@
 //! product across four accumulators, which reassociates the sum and may
 //! differ from the serial kernel in the last ulps.
 
+// cmr-lint: allow-file(panic-path) blocked kernels assert operand dims at entry; all tile indices derive from those asserted dims
+
 use crate::data::TensorData;
 use crate::threading;
 
@@ -131,7 +133,6 @@ fn matmul_rows(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, c: &mut [f
                 let crow = &mut c[i * n..][..n];
                 for l in l0..l1 {
                     let av = arow[l];
-                    // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
                     if av != 0.0 {
                         axpy(crow, av, &b[l * n..][..n]);
                     }
@@ -225,7 +226,6 @@ fn matmul_transa_rows(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, col0: 
             let brow = &b[l * n..][..n];
             for i in i0..i1 {
                 let av = arow[col0 + i];
-                // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
                 if av != 0.0 {
                     axpy(&mut c[i * n..][..n], av, brow);
                 }
@@ -251,7 +251,6 @@ pub fn matmul_serial(a: &TensorData, b: &TensorData) -> TensorData {
         let arow = a.row(i);
         let crow = c.row_mut(i);
         for (l, &av) in arow.iter().enumerate() {
-            // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
             if av == 0.0 {
                 continue;
             }
@@ -309,7 +308,6 @@ pub fn matmul_transa_serial(a: &TensorData, b: &TensorData) -> TensorData {
         let arow = a.row(l);
         let brow = b.row(l);
         for (i, &av) in arow.iter().enumerate() {
-            // cmr-lint: allow(float-eq) exact-zero sparsity skip, not a tolerance comparison
             if av == 0.0 {
                 continue;
             }

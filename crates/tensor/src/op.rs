@@ -1,5 +1,7 @@
 //! Differentiable operators: forward evaluation and vector-Jacobian products.
 
+// cmr-lint: allow-file(panic-path) kernel indexing is bounds-guaranteed by the shape validation Graph::apply runs before dispatch
+
 use crate::data::TensorData;
 use crate::matmul::{matmul, matmul_transa, matmul_transb};
 
@@ -192,6 +194,7 @@ impl Op {
             Op::SumAll => TensorData::full(1, 1, inputs[0].sum() as f32),
             Op::MeanAll => {
                 let a = inputs[0];
+                // cmr-lint: allow(lossy-cast) f64 accumulator intentionally narrowed to the f32 tensor payload
                 TensorData::full(1, 1, (a.sum() / a.len() as f64) as f32)
             }
             Op::RowL2Normalize { eps } => {
@@ -244,6 +247,7 @@ impl Op {
                     total += logsum - row[t] as f64;
                     n += 1;
                 }
+                // cmr-lint: allow(lossy-cast) f64 accumulator intentionally narrowed to the f32 tensor payload
                 TensorData::full(1, 1, if n == 0 { 0.0 } else { (total / n as f64) as f32 })
             }
             Op::DiagToCol => {
@@ -419,6 +423,7 @@ impl Op {
             }
             Op::MeanAll => {
                 if let Some(g) = input_grads[0].as_deref_mut() {
+                    // cmr-lint: allow(lossy-cast) tensor element counts stay far below 2^24
                     let d = grad.scalar() / inputs[0].len() as f32;
                     for x in &mut g.data {
                         *x += d;
@@ -434,6 +439,7 @@ impl Op {
                         let dy = grad.row(r);
                         let norm = (x.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>())
                             .sqrt()
+                            // cmr-lint: allow(lossy-cast) f64 accumulator intentionally narrowed to the f32 tensor payload
                             .max(*eps as f64) as f32;
                         let dot: f32 = dy.iter().zip(y).map(|(&a, &b)| a * b).sum();
                         for ((g, &d), &yv) in gx.row_mut(r).iter_mut().zip(dy).zip(y) {

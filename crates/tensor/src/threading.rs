@@ -73,6 +73,7 @@ pub fn num_threads() -> usize {
 /// # Panics
 /// Panics if `n == 0`.
 pub fn set_num_threads(n: usize) {
+    // cmr-lint: allow(panic-path) documented precondition: zero workers cannot run anything
     assert!(n >= 1, "set_num_threads: thread count must be at least 1");
     THREADS.store(n, Ordering::Relaxed);
 }
@@ -86,6 +87,7 @@ pub fn set_num_threads(n: usize) {
 ///
 /// # Panics
 /// Panics if `chunk == 0` or `data.len()` is not a multiple of `chunk`.
+// cmr-lint: allow(panic-path) documented precondition; span boundaries are multiples of the asserted chunk
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
 where
     T: Send,

@@ -9,6 +9,7 @@
 //! where Barnes–Hut bookkeeping would cost more than it saves.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod tsne;
 

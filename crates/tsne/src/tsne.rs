@@ -1,5 +1,7 @@
 //! The exact t-SNE algorithm.
 
+// cmr-lint: allow-file(panic-path) fixed-shape loop nests over matrices this module allocates itself; indices derive from those shapes
+
 use rand::Rng;
 
 /// t-SNE hyper-parameters.

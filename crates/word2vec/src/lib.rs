@@ -8,6 +8,7 @@
 //! `cmr-data`.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod sgns;
 pub mod vocab;

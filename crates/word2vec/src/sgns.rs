@@ -43,6 +43,7 @@ impl WordVectors {
     ///
     /// # Panics
     /// Panics when `id` is out of vocabulary.
+    // cmr-lint: allow(panic-path) documented precondition: ids must come from the vocab these vectors were trained on
     pub fn vector(&self, id: usize) -> &[f32] {
         &self.data[id * self.dim..(id + 1) * self.dim]
     }
@@ -53,7 +54,6 @@ impl WordVectors {
         let dot: f32 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
         let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
         let nb: f32 = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
-        // cmr-lint: allow(float-eq) exact-zero norm guard before division
         if na == 0.0 || nb == 0.0 {
             0.0
         } else {
@@ -87,6 +87,7 @@ fn sigmoid(x: f32) -> f32 {
 ///
 /// # Panics
 /// Panics if any token id is `>= vocab`.
+// cmr-lint: allow(panic-path) documented precondition; all table indexing uses ids the entry asserts validated
 pub fn train(
     corpus: &[Vec<usize>],
     vocab: usize,
@@ -110,6 +111,7 @@ pub fn train(
 
     // Input and output tables, small random init.
     let mut win: Vec<f32> = (0..vocab * cfg.dim)
+        // cmr-lint: allow(lossy-cast) embedding dim is in the hundreds, far below 2^24
         .map(|_| (rng.gen_range(-0.5..0.5)) / cfg.dim as f32)
         .collect();
     let mut wout = vec![0.0f32; vocab * cfg.dim];

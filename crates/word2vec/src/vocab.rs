@@ -1,5 +1,7 @@
 //! Token vocabulary with frequency counts.
 
+// cmr-lint: allow-file(panic-path) token ids are minted by add() and every table is indexed with a minted id; out-of-range ids are a documented caller bug
+
 use std::collections::HashMap;
 
 /// A bidirectional word↔id map with occurrence counts.

@@ -32,7 +32,8 @@ fn main() {
     let (imgs, recs) = trained.embed_split(&dataset, Split::Test);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
     let bags = BagConfig { bag_size: 200, n_bags: 5 };
-    let report = evaluate_bags(&imgs, &recs, bags, &mut rng);
+    let report = evaluate_bags(&imgs, &recs, bags, &mut rng)
+        .expect("bag config fits the test split");
     println!(
         "test (200-pair bags): MedR {:.1} im→rec / {:.1} rec→im, R@10 {:.1}% / {:.1}%",
         report.im2rec.medr_mean,

@@ -4,25 +4,45 @@
 #
 #   ./scripts/verify.sh
 #
-# Exits non-zero on the first failure.
+# Exits non-zero on the first failure. Prints per-gate wall-clock timings
+# and finishes with the one-line cmr-lint summary. Archives both lint
+# artifacts (results/LINT_report.json, results/CALLGRAPH.json).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier 1: release build =="
-cargo build --release
+GATE_TIMINGS=()
+gate() {
+    local title="$1"
+    shift
+    echo "== $title =="
+    local start end dur
+    start=$(date +%s.%N)
+    "$@"
+    end=$(date +%s.%N)
+    dur=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.2f", b - a }')
+    GATE_TIMINGS+=("$(printf '%8ss  %s' "$dur" "$title")")
+}
 
-echo "== static analysis: cmr-lint =="
+gate "tier 1: release build" cargo build --release
+
 mkdir -p results
-cargo run -p cmr-lint --release -q -- --workspace --json results/LINT_report.json
+gate "static analysis: cmr-lint" cargo run -p cmr-lint --release -q -- \
+    --workspace --json results/LINT_report.json --graph results/CALLGRAPH.json
 
-echo "== tier 1: workspace tests =="
-cargo test -q
+gate "tier 1: workspace tests" cargo test -q
 
-echo "== robustness: fault-injection suite =="
-cargo test --test fault_injection -q
+gate "robustness: fault-injection suite" cargo test --test fault_injection -q
 
-echo "== robustness: checkpoint round-trip properties =="
-cargo test --test checkpoint_roundtrip -q
+gate "robustness: checkpoint round-trip properties" cargo test --test checkpoint_roundtrip -q
+
+echo "== gate timings =="
+for t in "${GATE_TIMINGS[@]}"; do
+    echo "$t"
+done
+
+# Re-print the lint summary line so the run ends with the health snapshot
+# (files scanned, findings, allows, panic-surface).
+cargo run -p cmr-lint --release -q -- --workspace 2>/dev/null | tail -1
 
 echo "verify: all gates green"

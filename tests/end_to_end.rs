@@ -19,7 +19,7 @@ fn trained_model_beats_random_on_test_bags() {
         Trainer::new(Scenario::AdaMine, TrainConfig::for_scale_tiny()).quiet().run(&dataset);
     let (imgs, recs) = trained.embed_split(&dataset, Split::Test);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
-    let rep = evaluate_bags(&imgs, &recs, BagConfig { bag_size: 200, n_bags: 5 }, &mut rng);
+    let rep = evaluate_bags(&imgs, &recs, BagConfig { bag_size: 200, n_bags: 5 }, &mut rng).expect("bag config fits the split");
     assert!(
         rep.im2rec.medr_mean < 40.0,
         "test MedR {:.1} not clearly better than chance (~100)",
@@ -73,7 +73,7 @@ fn protocol_report_invariants() {
     .run(&dataset);
     let (imgs, recs) = trained.embed_split(&dataset, Split::Test);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
-    let rep = evaluate_bags(&imgs, &recs, BagConfig { bag_size: 150, n_bags: 3 }, &mut rng);
+    let rep = evaluate_bags(&imgs, &recs, BagConfig { bag_size: 150, n_bags: 3 }, &mut rng).expect("bag config fits the split");
     for d in [rep.im2rec, rep.rec2im] {
         assert!(d.medr_mean >= 1.0 && d.medr_mean <= 150.0);
         assert!(d.medr_std >= 0.0);
