@@ -19,6 +19,17 @@
 //!
 //! [`FaultPlan`] injects faults (NaN losses, kills between epochs) for the
 //! fault-injection test suite.
+//!
+//! ## Observability
+//!
+//! With the `CMR_OBS` knob on (see [`cmr_obs`]), every epoch emits one
+//! `train.epoch` series row — mean loss, validation MedR, the
+//! active-triplet fraction β′ for *both* the instance and the semantic
+//! loss, the learning phase, and the skipped-batch count — plus
+//! `train.batches`/`train.skipped_batches` counters and
+//! `train.checkpoint_save_s`/`train.checkpoint_load_s` latency histograms
+//! around checkpoint persistence. With the knob off every hook is a single
+//! atomic check.
 
 use crate::config::{ConfigError, LossKind, ModelConfig, TrainConfig};
 use crate::losses;
@@ -183,7 +194,9 @@ impl Trainer {
         self
     }
 
-    /// Suppresses per-epoch progress lines on stderr.
+    /// Suppresses per-epoch progress lines. Progress is routed through
+    /// [`cmr_obs::log`], so lines only appear when `CMR_OBS` telemetry is
+    /// enabled *and* the trainer is not quiet.
     pub fn quiet(mut self) -> Self {
         self.quiet = true;
         self
@@ -277,11 +290,13 @@ impl Trainer {
         };
         if self.resume {
             if let Some(cs) = &ckpts {
-                let loaded = cs
-                    .load(Slot::Latest, |bytes| {
+                let loaded = {
+                    let _load_span = cmr_obs::span("train.checkpoint_load_s");
+                    cs.load(Slot::Latest, |bytes| {
                         serialize::load_checkpoint(&mut model.store, &mut adam, bytes)
                     })
-                    .map_err(TrainError::Checkpoint)?;
+                    .map_err(TrainError::Checkpoint)?
+                };
                 match loaded {
                     Some(Some(ts)) => {
                         apply_train_state(&ts, &mut rng, &mut stats, &mut best, &mut sampler)
@@ -290,13 +305,12 @@ impl Trainer {
                             })?;
                         start_epoch = ts.next_epoch as usize;
                         if !self.quiet {
-                            // cmr-lint: allow(no-println-lib) progress logging, suppressed by quiet()
-                            eprintln!(
+                            cmr_obs::log(&format!(
                                 "[{}] resuming at epoch {start_epoch} (best val MedR {:.1} @ epoch {})",
                                 self.scenario.name(),
                                 ts.best_val,
                                 ts.best_epoch
-                            );
+                            ));
                         }
                     }
                     Some(None) => {
@@ -304,11 +318,10 @@ impl Trainer {
                         // restarts — re-impose the phase-one freeze.
                         model.set_backbone_frozen(tcfg.freeze_epochs > 0);
                         if !self.quiet {
-                            // cmr-lint: allow(no-println-lib) progress logging, suppressed by quiet()
-                            eprintln!(
+                            cmr_obs::log(&format!(
                                 "[{}] resuming from a v1 param-only checkpoint: restarting at epoch 0",
                                 self.scenario.name()
-                            );
+                            ));
                         }
                     }
                     None => {}
@@ -325,23 +338,22 @@ impl Trainer {
             let epoch_start = snapshot(&model, &adam, &rng, epoch, &stats, &best, &sampler);
             let mut retried = false;
 
-            let (mean_loss, active_fraction, skipped) = loop {
+            let (mean_loss, active_ins, active_sem, skipped) = loop {
                 match self.run_epoch(
                     epoch, &tcfg, dataset, &feats, &mut model, &mut adam, &mut sampler, &mut rng,
                 ) {
-                    EpochOutcome::Done { mean_loss, active_fraction, skipped } => {
-                        break (mean_loss, active_fraction, skipped);
+                    EpochOutcome::Done { mean_loss, active_ins, active_sem, skipped } => {
+                        break (mean_loss, active_ins, active_sem, skipped);
                     }
                     EpochOutcome::Aborted { skipped } => {
                         if retried {
                             return Err(TrainError::Diverged { epoch, skipped });
                         }
                         if !self.quiet {
-                            // cmr-lint: allow(no-println-lib) progress logging, suppressed by quiet()
-                            eprintln!(
+                            cmr_obs::log(&format!(
                                 "[{}] epoch {epoch}: {skipped} consecutive non-finite batches — rolling back to last good state",
                                 self.scenario.name()
-                            );
+                            ));
                         }
                         restore_snapshot(
                             &epoch_start, &mut model, &mut adam, &mut rng, &mut stats, &mut best,
@@ -362,24 +374,43 @@ impl Trainer {
                 epoch,
                 mean_loss,
                 val_medr: medr,
-                active_fraction,
+                active_fraction: active_ins,
                 skipped_batches: skipped,
             });
+            // Per-epoch telemetry: the adaptive-mining curriculum signal β′
+            // for both losses, the learning phase (0 = frozen backbone,
+            // 1 = full fine-tuning), and throughput counters.
+            cmr_obs::series_push(
+                "train.epoch",
+                &[
+                    ("epoch", epoch as f64),
+                    ("mean_loss", mean_loss),
+                    ("val_medr", medr),
+                    ("active_frac_ins", active_ins),
+                    ("active_frac_sem", active_sem),
+                    ("skipped_batches", skipped as f64),
+                    ("phase", if epoch < tcfg.freeze_epochs { 0.0 } else { 1.0 }),
+                ],
+            );
+            cmr_obs::counter_add("train.batches", sampler.batches_per_epoch() as u64);
+            cmr_obs::counter_add("train.skipped_batches", skipped as u64);
             if !self.quiet {
                 let skip_note =
                     if skipped > 0 { format!("  skipped {skipped}") } else { String::new() };
-                // cmr-lint: allow(no-println-lib) progress logging, suppressed by quiet()
-                eprintln!(
+                cmr_obs::log(&format!(
                     "[{}] epoch {epoch:>2}: loss {mean_loss:.4}  val MedR {medr:.1}  active {:.0}%{skip_note}",
                     self.scenario.name(),
-                    active_fraction * 100.0
-                );
+                    active_ins * 100.0
+                ));
             }
             let improved = best.as_ref().is_none_or(|(m, _, _)| medr < *m);
             if improved {
                 best = Some((medr, epoch, serialize::save_params(&model.store)));
             }
             if let Some(cs) = &ckpts {
+                // The span covers serialization plus both durable writes —
+                // the full per-epoch persistence cost.
+                let _save_span = cmr_obs::span("train.checkpoint_save_s");
                 let blob = snapshot(&model, &adam, &rng, epoch + 1, &stats, &best, &sampler);
                 cs.save(Slot::Latest, &blob).map_err(TrainError::Checkpoint)?;
                 if improved {
@@ -423,8 +454,10 @@ impl Trainer {
     ) -> EpochOutcome {
         let mut loss_sum = 0.0f64;
         let mut loss_n = 0usize;
-        let mut active_sum = 0.0f64;
-        let mut active_n = 0usize;
+        let mut active_ins_sum = 0.0f64;
+        let mut active_ins_n = 0usize;
+        let mut active_sem_sum = 0.0f64;
+        let mut active_sem_n = 0usize;
         let mut skipped = 0usize;
         let mut consecutive_bad = 0usize;
 
@@ -442,15 +475,17 @@ impl Trainer {
             let d_ri = losses::cosine_distance_matrix(&mut g, rec, img);
 
             let mut total = None;
-            // Active-triplet accounting is deferred until the batch passes
-            // the finite check — skipped batches contribute no statistics.
-            let mut batch_active: Option<(usize, usize)> = None;
+            // Active-triplet accounting (per loss) is deferred until the
+            // batch passes the finite check — skipped batches contribute no
+            // statistics.
+            let mut batch_ins: Option<(usize, usize)> = None;
+            let mut batch_sem: Option<(usize, usize)> = None;
             match tcfg.loss {
                 LossKind::Triplet { semantic, classification } => {
                     if !self.scenario.semantic_only() {
                         let a = losses::instance_hinge(&mut g, d_ir, tcfg.margin);
                         let b = losses::instance_hinge(&mut g, d_ri, tcfg.margin);
-                        batch_active = Some((a.active + b.active, a.total + b.total));
+                        batch_ins = Some((a.active + b.active, a.total + b.total));
                         total = losses::combine_directions(&mut g, a, b, tcfg.strategy);
                     }
                     if semantic {
@@ -459,6 +494,7 @@ impl Trainer {
                         if let (Some((p1, n1)), Some((p2, n2))) = (sem_ir, sem_ri) {
                             let a = losses::semantic_hinge(&mut g, d_ir, &p1, &n1, tcfg.margin);
                             let b = losses::semantic_hinge(&mut g, d_ri, &p2, &n2, tcfg.margin);
+                            batch_sem = Some((a.active + b.active, a.total + b.total));
                             if let Some(sem) =
                                 losses::combine_directions(&mut g, a, b, tcfg.strategy)
                             {
@@ -531,9 +567,13 @@ impl Trainer {
                     continue;
                 }
                 consecutive_bad = 0;
-                if let Some((active, total_triplets)) = batch_active {
-                    active_sum += active as f64 / total_triplets.max(1) as f64;
-                    active_n += 1;
+                if let Some((active, total_triplets)) = batch_ins {
+                    active_ins_sum += active as f64 / total_triplets.max(1) as f64;
+                    active_ins_n += 1;
+                }
+                if let Some((active, total_triplets)) = batch_sem {
+                    active_sem_sum += active as f64 / total_triplets.max(1) as f64;
+                    active_sem_n += 1;
                 }
                 loss_sum += lv as f64;
                 loss_n += 1;
@@ -543,8 +583,11 @@ impl Trainer {
         }
 
         let mean_loss = if loss_n > 0 { loss_sum / loss_n as f64 } else { 0.0 };
-        let active_fraction = if active_n > 0 { active_sum / active_n as f64 } else { 0.0 };
-        EpochOutcome::Done { mean_loss, active_fraction, skipped }
+        let active_ins =
+            if active_ins_n > 0 { active_ins_sum / active_ins_n as f64 } else { 0.0 };
+        let active_sem =
+            if active_sem_n > 0 { active_sem_sum / active_sem_n as f64 } else { 0.0 };
+        EpochOutcome::Done { mean_loss, active_ins, active_sem, skipped }
     }
 
     fn classification_term(
@@ -569,7 +612,15 @@ impl Trainer {
 /// How one pass over an epoch's batches ended.
 enum EpochOutcome {
     /// All batches consumed (some possibly skipped by the guard).
-    Done { mean_loss: f64, active_fraction: f64, skipped: usize },
+    Done {
+        mean_loss: f64,
+        /// Mean active fraction of the instance loss (β′ for L_ins).
+        active_ins: f64,
+        /// Mean active fraction of the semantic loss (β′ for L_sem); 0.0
+        /// when the scenario has no semantic term.
+        active_sem: f64,
+        skipped: usize,
+    },
     /// `max_bad_batches` consecutive non-finite batches — roll back.
     Aborted { skipped: usize },
 }

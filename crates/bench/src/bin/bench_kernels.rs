@@ -4,27 +4,29 @@
 //! references, and the similarity-matrix ranker against the per-pair
 //! reference, on ≥1k-row inputs — then writes `BENCH_kernels.json` so the
 //! wins the kernel-equivalence suite locks down are also recorded as
-//! numbers. Usage: `cargo run --release --bin bench_kernels [--out DIR]`.
+//! numbers. Timing uses the obs `time_block` helper (warmup + median-of-N),
+//! which is far less noisy than a single shot or a best-of; the repetition
+//! count is recorded in the artifact. Usage:
+//! `cargo run --release --bin bench_kernels [--out DIR]`.
 
 use cmr_bench::json::{Json, ToJson};
+use cmr_obs::time_block;
 use cmr_retrieval::metrics::ranks_of_matches_reference;
 use cmr_retrieval::{ranks_of_matches, Embeddings};
 use cmr_tensor::{init, matmul, num_threads};
 use rand::{Rng, SeedableRng};
-use std::hint::black_box;
 use std::path::PathBuf;
-use std::time::Instant;
 
-/// Best-of-`reps` wall-clock seconds for `f`, after one warmup call.
-fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
-    black_box(f());
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        black_box(f());
-        best = best.min(t0.elapsed().as_secs_f64());
-    }
-    best
+/// Warmup repetitions before measurement starts (filled caches, warmed
+/// thread pool).
+const WARMUP: usize = 1;
+/// Measured repetitions; the median is reported.
+const REPS: usize = 5;
+
+/// Median wall-clock milliseconds over [`REPS`] runs of `f`. With
+/// `CMR_OBS=1` each median also lands in the named obs histogram.
+fn time_ms<T>(name: &str, f: impl FnMut() -> T) -> f64 {
+    1e3 * time_block(name, WARMUP, REPS, f).median_s
 }
 
 struct Case {
@@ -69,7 +71,6 @@ fn main() {
     }
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
-    let reps = 5;
     let mut cases = Vec::new();
     let mut r = rand::rngs::SmallRng::seed_from_u64(1);
 
@@ -81,18 +82,22 @@ fn main() {
     let at = init::normal(&mut r, k, m, 1.0);
     cases.push(Case {
         name: format!("matmul_{m}x{k}x{n}"),
-        serial_ms: 1e3 * time_best(reps, || matmul::matmul_serial(&a, &b)),
-        parallel_ms: 1e3 * time_best(reps, || matmul::matmul(&a, &b)),
+        serial_ms: time_ms("bench.matmul.serial_s", || matmul::matmul_serial(&a, &b)),
+        parallel_ms: time_ms("bench.matmul.parallel_s", || matmul::matmul(&a, &b)),
     });
     cases.push(Case {
         name: format!("matmul_transb_{m}x{k}x{n}"),
-        serial_ms: 1e3 * time_best(reps, || matmul::matmul_transb_serial(&a, &bt)),
-        parallel_ms: 1e3 * time_best(reps, || matmul::matmul_transb(&a, &bt)),
+        serial_ms: time_ms("bench.matmul_transb.serial_s", || {
+            matmul::matmul_transb_serial(&a, &bt)
+        }),
+        parallel_ms: time_ms("bench.matmul_transb.parallel_s", || matmul::matmul_transb(&a, &bt)),
     });
     cases.push(Case {
         name: format!("matmul_transa_{m}x{k}x{n}"),
-        serial_ms: 1e3 * time_best(reps, || matmul::matmul_transa_serial(&at, &b)),
-        parallel_ms: 1e3 * time_best(reps, || matmul::matmul_transa(&at, &b)),
+        serial_ms: time_ms("bench.matmul_transa.serial_s", || {
+            matmul::matmul_transa_serial(&at, &b)
+        }),
+        parallel_ms: time_ms("bench.matmul_transa.parallel_s", || matmul::matmul_transa(&at, &b)),
     });
 
     // Rank extraction at the paper's 1k bag size.
@@ -100,8 +105,8 @@ fn main() {
     let g = embeddings(1000, 64, 3);
     cases.push(Case {
         name: "ranks_of_matches_1000x1000_d64".into(),
-        serial_ms: 1e3 * time_best(reps, || ranks_of_matches_reference(&q, &g)),
-        parallel_ms: 1e3 * time_best(reps, || ranks_of_matches(&q, &g)),
+        serial_ms: time_ms("bench.ranks.serial_s", || ranks_of_matches_reference(&q, &g)),
+        parallel_ms: time_ms("bench.ranks.parallel_s", || ranks_of_matches(&q, &g)),
     });
 
     for c in &cases {
@@ -117,7 +122,8 @@ fn main() {
     let artifact = Json::obj([
         ("artifact", "BENCH_kernels".to_json()),
         ("threads", num_threads().to_json()),
-        ("reps_best_of", reps.to_json()),
+        ("reps_median_of", REPS.to_json()),
+        ("warmup", WARMUP.to_json()),
         ("cases", cases.to_json()),
     ]);
     let path = out_dir.join("BENCH_kernels.json");

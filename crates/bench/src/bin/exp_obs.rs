@@ -1,0 +1,75 @@
+//! Instrumented train + retrieve run emitting the obs artifacts.
+//!
+//! Forces telemetry on, trains the AdaMine scenario (checkpointing every
+//! epoch so the checkpoint-latency histograms are exercised), indexes the
+//! test-split image embeddings with IVF-Flat, runs every test recipe as a
+//! query through `search_checked` (which cross-checks IVF against
+//! exhaustive search), and writes the two deterministic artifacts:
+//!
+//! * `results/OBS_train.json` — per-epoch β′ (both losses), loss, MedR,
+//!   learning phase, checkpoint save/load latency histograms;
+//! * `results/OBS_retrieval.json` — per-query latency histogram and IVF
+//!   probe/agreement counters.
+//!
+//! This is the verify.sh obs gate. Usage:
+//! `cargo run --release -p cmr-bench --bin exp_obs -- --scale tiny [--out DIR]`.
+
+use cmr_adamine::Scenario;
+use cmr_bench::ExpContext;
+use cmr_data::Split;
+use cmr_retrieval::IvfIndex;
+use rand::SeedableRng;
+
+const K: usize = 10;
+const NPROBE: usize = 4;
+
+fn main() {
+    cmr_obs::set_enabled(true);
+    cmr_obs::reset();
+    let mut ctx = ExpContext::from_args();
+    if ctx.checkpoint_dir.is_none() {
+        // Checkpoint by default so the save/load histograms have data.
+        ctx.checkpoint_dir = Some(ctx.out_dir.join("obs_ckpt"));
+    }
+
+    let trained = ctx.train(Scenario::AdaMine);
+
+    // Retrieval probe: recipe queries against the image gallery.
+    let (imgs, recs) = trained.embed_split(&ctx.dataset, Split::Test);
+    let gallery = imgs.l2_normalized();
+    let queries = recs.l2_normalized();
+    let nlist = 16usize.min(gallery.len().max(1));
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+    let index = IvfIndex::build(gallery, nlist, 5, &mut rng);
+    let mut top1 = 0usize;
+    for qi in 0..queries.len() {
+        let hits = index.search_checked(queries.vector(qi), K, NPROBE);
+        if hits.first().is_some_and(|h| h.index == qi) {
+            top1 += 1;
+        }
+    }
+
+    let train_path = ctx.out_dir.join("OBS_train.json");
+    cmr_obs::write_artifact(&train_path, "OBS_train", "train.").expect("write OBS_train.json");
+    let retrieval_path = ctx.out_dir.join("OBS_retrieval.json");
+    cmr_obs::write_artifact(&retrieval_path, "OBS_retrieval", "retrieval.")
+        .expect("write OBS_retrieval.json");
+
+    let snap = cmr_obs::snapshot("retrieval.");
+    let n_queries = queries.len().max(1);
+    if let Some(h) = snap.histogram("retrieval.query_latency_s") {
+        println!(
+            "retrieval: {} queries  p50 {:.1} us  p99 {:.1} us  ivf-top1 {}/{}  exact-agree {}/{}",
+            h.count,
+            h.p50 * 1e6,
+            h.p99 * 1e6,
+            top1,
+            n_queries,
+            snap.counter("retrieval.ivf.agree_top1").unwrap_or(0),
+            snap.counter("retrieval.ivf.checked").unwrap_or(0),
+        );
+    }
+    println!("{}", cmr_obs::summary_line());
+    println!("wrote {}", train_path.display());
+    println!("wrote {}", retrieval_path.display());
+}

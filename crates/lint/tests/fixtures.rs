@@ -130,6 +130,16 @@ fn threading_module_may_read_env() {
     assert!(!rules_of(&findings).contains(&"env-centralization"), "{findings:?}");
 }
 
+/// The obs crate root owns the `CMR_OBS` knob, so its `env::var` read is
+/// registered with the rule; everywhere else in the crate still counts.
+#[test]
+fn obs_knob_module_may_read_env() {
+    let findings = lint_as("crates/obs/src/lib.rs", "violations.rs");
+    assert!(!rules_of(&findings).contains(&"env-centralization"), "{findings:?}");
+    let elsewhere = lint_as("crates/obs/src/registry.rs", "violations.rs");
+    assert!(rules_of(&elsewhere).contains(&"env-centralization"), "{elsewhere:?}");
+}
+
 #[test]
 fn json_report_is_diffable() {
     let findings = lib("violations.rs");

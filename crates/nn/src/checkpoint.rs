@@ -204,20 +204,18 @@ impl CheckpointStore {
             match attempt {
                 Ok(v) => {
                     if last_err.is_some() {
-                        // cmr-lint: allow(no-println-lib) operator-visible recovery warning
-                        eprintln!(
+                        cmr_obs::log(&format!(
                             "[checkpoint] recovered from previous good file {}",
                             path.display()
-                        );
+                        ));
                     }
                     return Ok(Some(v));
                 }
                 Err(e) => {
-                    // cmr-lint: allow(no-println-lib) operator-visible fallback warning
-                    eprintln!(
+                    cmr_obs::log(&format!(
                         "[checkpoint] warning: {} unusable ({e}); trying fallback",
                         path.display()
-                    );
+                    ));
                     last_err = Some((path, e));
                 }
             }

@@ -1,0 +1,180 @@
+//! Fixed-bucket histograms on a 1–2–5 log ladder.
+//!
+//! Bucket edges are compiled in (no per-histogram configuration), which
+//! keeps recording allocation-free and makes every histogram in an
+//! artifact directly comparable. The ladder spans 1 µs to 1000 s when
+//! values are seconds, and equally serves dimensionless values in
+//! `[1e-6, 1e3]`; values above the top edge land in a single overflow
+//! bucket and are still captured exactly by `min`/`max`/`sum`.
+
+/// Upper bucket edges (inclusive) of the shared 1–2–5 log ladder.
+pub const BUCKET_EDGES: [f64; 28] = [
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2,
+    1e-1, 2e-1, 5e-1, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+];
+
+/// One bucket per edge plus the overflow bucket.
+const NUM_BUCKETS: usize = BUCKET_EDGES.len() + 1;
+
+/// A mutable histogram as stored in the registry.
+#[derive(Clone, Debug)]
+pub(crate) struct Histogram {
+    counts: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    pub(crate) const fn new() -> Self {
+        Histogram {
+            counts: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one value. Non-finite values are dropped (they would poison
+    /// `sum` and cannot be bucketed meaningfully).
+    pub(crate) fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let bucket = BUCKET_EDGES
+            .iter()
+            .position(|&edge| value <= edge)
+            .unwrap_or(BUCKET_EDGES.len());
+        if let Some(c) = self.counts.iter_mut().nth(bucket) {
+            *c = c.saturating_add(1);
+        }
+        self.count = self.count.saturating_add(1);
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded observations.
+    pub(crate) fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bucket-resolution quantile estimate: the upper edge of the bucket
+    /// holding the `q`-th observation, clamped into `[min, max]` so the
+    /// estimate never exceeds an actually observed value. Returns 0.0 for
+    /// an empty histogram.
+    pub(crate) fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (bucket, n) in self.counts.iter().enumerate() {
+            cumulative = cumulative.saturating_add(*n);
+            if cumulative >= target {
+                let edge = BUCKET_EDGES.get(bucket).copied().unwrap_or(self.max);
+                return edge.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            buckets: BUCKET_EDGES
+                .iter()
+                .map(|e| format!("{e}"))
+                .chain(std::iter::once("+Inf".to_string()))
+                .zip(self.counts.iter().copied())
+                .filter(|(_, n)| *n > 0)
+                .collect(),
+        }
+    }
+}
+
+/// Read-only view of a histogram, as exported into artifacts.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded observations.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: f64,
+    /// Smallest recorded value (0.0 when empty).
+    pub min: f64,
+    /// Largest recorded value (0.0 when empty).
+    pub max: f64,
+    /// Median estimate at bucket resolution.
+    pub p50: f64,
+    /// 90th-percentile estimate at bucket resolution.
+    pub p90: f64,
+    /// 99th-percentile estimate at bucket resolution.
+    pub p99: f64,
+    /// Non-empty buckets as `(upper_edge_label, count)`, in ladder order;
+    /// the final ladder position is the `"+Inf"` overflow bucket.
+    pub buckets: Vec<(String, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_the_documented_buckets() {
+        let mut h = Histogram::new();
+        // Exactly on an edge -> that bucket (edges are inclusive).
+        h.observe(1e-6);
+        // Just above an edge -> next bucket.
+        h.observe(1.1e-6);
+        // Mid-ladder.
+        h.observe(0.003);
+        // Above the top edge -> overflow bucket.
+        h.observe(5000.0);
+        // Non-finite -> dropped.
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+
+        assert_eq!(h.count, 4);
+        let snap = h.snapshot();
+        let labels: Vec<&str> = snap.buckets.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["0.000001", "0.000002", "0.005", "+Inf"]);
+        assert!(snap.buckets.iter().all(|(_, n)| *n == 1));
+        assert_eq!(snap.min, 1e-6);
+        assert_eq!(snap.max, 5000.0);
+    }
+
+    #[test]
+    fn quantiles_track_the_bucket_edges() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(0.0015); // bucket with upper edge 2e-3
+        }
+        h.observe(0.7); // bucket with upper edge 1.0
+        let snap = h.snapshot();
+        assert_eq!(snap.p50, 2e-3);
+        assert_eq!(snap.p90, 2e-3);
+        // The 100th observation is the 0.7 outlier; its bucket edge (1.0)
+        // is clamped to the observed max.
+        assert_eq!(snap.p99, 2e-3);
+        assert_eq!(h.quantile(1.0), 0.7);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_all_zeros() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50, 0.0);
+        assert_eq!(snap.p99, 0.0);
+        assert_eq!(snap.min, 0.0);
+        assert_eq!(snap.max, 0.0);
+        assert!(snap.buckets.is_empty());
+    }
+}

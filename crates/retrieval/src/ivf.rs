@@ -71,10 +71,16 @@ impl IvfIndex {
                     *s += x;
                 }
             }
+            // Rows claimed as reseed centroids this pass: two dead cells
+            // drawing the same row would produce duplicate centroids that
+            // assignment can never separate again.
+            let mut reseed_used = vec![false; n];
             for c in 0..nlist {
                 if counts[c] == 0 {
-                    // Dead cell: reseed from a random gallery row.
-                    let r = rng.gen_range(0..n);
+                    // Dead cell: reseed from a random gallery row not yet
+                    // chosen as a live centroid by an earlier reseed.
+                    let r = pick_reseed_row(rng, &reseed_used);
+                    reseed_used[r] = true;
                     sums[c * dim..(c + 1) * dim].copy_from_slice(gallery.vector(r));
                     counts[c] = 1;
                 }
@@ -114,18 +120,39 @@ impl IvfIndex {
 
     /// Searches the `nprobe` nearest cells for the top-`k` hits.
     ///
-    /// `query` must be L2-normalised.
+    /// `query` must be L2-normalised. The result may hold *fewer* than `k`
+    /// hits when the probed cells collectively hold fewer than `k` vectors,
+    /// and is empty when every probed cell is empty — callers must not
+    /// assume `k` results.
+    ///
+    /// With `CMR_OBS` telemetry on, each call records its wall time into
+    /// the `retrieval.query_latency_s` histogram and bumps the
+    /// `retrieval.ivf.queries` / `retrieval.ivf.cells_probed` /
+    /// `retrieval.ivf.candidates_scanned` counters.
     ///
     /// # Panics
     /// Panics if `k == 0`, `nprobe == 0`, or the dimension differs.
     // cmr-lint: allow(panic-path) documented precondition; probe ids come from the index's own centroid list
     pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<Hit> {
+        let _query_span = cmr_obs::span("retrieval.query_latency_s");
         assert!(k >= 1 && nprobe >= 1, "IvfIndex::search: k and nprobe must be positive");
         assert_eq!(query.len(), self.gallery.dim, "IvfIndex::search: dimension mismatch");
         let probes = top_k(&self.centroids, query, nprobe.min(self.nlist()));
+        let n_probed = probes.len();
         let mut candidates: Vec<usize> = Vec::new();
         for p in probes {
             candidates.extend_from_slice(&self.cells[p.index]);
+        }
+        if cmr_obs::enabled() {
+            cmr_obs::counter_add("retrieval.ivf.queries", 1);
+            cmr_obs::counter_add("retrieval.ivf.cells_probed", n_probed as u64);
+            cmr_obs::counter_add("retrieval.ivf.candidates_scanned", candidates.len() as u64);
+        }
+        if candidates.is_empty() {
+            // Every probed cell was empty (possible when nlist exceeds the
+            // number of occupied cells): an explicit empty result, rather
+            // than leaning on top_k's behaviour over an empty sub-gallery.
+            return Vec::new();
         }
         let sub = self.gallery.subset(&candidates);
         top_k(&sub, query, k)
@@ -133,6 +160,49 @@ impl IvfIndex {
             .map(|h| Hit { index: candidates[h.index], similarity: h.similarity })
             .collect()
     }
+
+    /// [`search`](Self::search) plus a self-check against exhaustive
+    /// search, feeding the IVF quality counters: with telemetry on, each
+    /// call bumps `retrieval.ivf.checked` and, when the IVF top-1 matches
+    /// the exhaustive top-1, `retrieval.ivf.agree_top1`. With telemetry off
+    /// the exhaustive cross-check is skipped entirely and this is exactly
+    /// `search`.
+    ///
+    /// # Panics
+    /// Same preconditions as [`search`](Self::search).
+    pub fn search_checked(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<Hit> {
+        let hits = self.search(query, k, nprobe);
+        if cmr_obs::enabled() {
+            let exact = top_k(&self.gallery, query, k);
+            let agree = match (hits.first(), exact.first()) {
+                (Some(a), Some(b)) => a.index == b.index,
+                (None, None) => true,
+                _ => false,
+            };
+            cmr_obs::counter_add("retrieval.ivf.checked", 1);
+            if agree {
+                cmr_obs::counter_add("retrieval.ivf.agree_top1", 1);
+            }
+        }
+        hits
+    }
+}
+
+/// Picks a reseed row for a dead cell: uniformly random among rows not yet
+/// claimed by another reseed this pass, falling back to any row when all
+/// are claimed (only possible when dead cells outnumber gallery rows).
+fn pick_reseed_row(rng: &mut impl Rng, used: &[bool]) -> usize {
+    let free = used.iter().filter(|&&u| !u).count();
+    if free == 0 {
+        return rng.gen_range(0..used.len());
+    }
+    let target = rng.gen_range(0..free);
+    used.iter()
+        .enumerate()
+        .filter(|&(_, &u)| !u)
+        .nth(target)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -210,5 +280,84 @@ mod tests {
         let g = clustered_gallery(1, 3, 4, 7);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(8);
         IvfIndex::build(g, 10, 3, &mut rng);
+    }
+
+    /// A hand-built index whose cell 0 is empty and whose cell 1 holds all
+    /// three rows (rows at e2, centroid 0 at e1, centroid 1 at e2).
+    fn two_cell_index_with_empty_cell() -> IvfIndex {
+        let gallery = Embeddings::new(2, vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0]);
+        let centroids = Embeddings::new(2, vec![1.0, 0.0, 0.0, 1.0]);
+        IvfIndex { centroids, cells: vec![Vec::new(), vec![0, 1, 2]], gallery }
+    }
+
+    /// Regression: a query whose nearest cell is empty must yield an empty
+    /// hit list, not panic or mis-map candidate indices.
+    #[test]
+    fn search_returns_empty_when_probed_cells_are_empty() {
+        let index = two_cell_index_with_empty_cell();
+        let hits = index.search(&[1.0, 0.0], 5, 1);
+        assert!(hits.is_empty(), "empty probed cell must yield no hits, got {hits:?}");
+    }
+
+    /// Regression: fewer candidates than `k` must yield a short list with
+    /// correctly mapped gallery indices.
+    #[test]
+    fn search_returns_short_list_when_candidates_fewer_than_k() {
+        let index = two_cell_index_with_empty_cell();
+        let hits = index.search(&[0.0, 1.0], 5, 1);
+        assert_eq!(hits.len(), 3, "only 3 candidates exist for k=5");
+        let mut ids: Vec<usize> = hits.iter().map(|h| h.index).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, [0, 1, 2]);
+    }
+
+    /// search_checked returns the same hits as search (agreement counting
+    /// happens only in the obs registry).
+    #[test]
+    fn search_checked_matches_search() {
+        let g = clustered_gallery(4, 25, 8, 11);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(12);
+        let index = IvfIndex::build(g.clone(), 4, 5, &mut rng);
+        for qi in [0usize, 42, 99] {
+            let q = g.vector(qi).to_vec();
+            let a: Vec<usize> = index.search(&q, 5, 2).iter().map(|h| h.index).collect();
+            let b: Vec<usize> =
+                index.search_checked(&q, 5, 2).iter().map(|h| h.index).collect();
+            assert_eq!(a, b, "query {qi}");
+        }
+    }
+
+    /// Reseeding never hands out a row already claimed this pass while
+    /// free rows remain, and still terminates when every row is claimed.
+    #[test]
+    fn reseed_row_skips_claimed_rows() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(13);
+        let used = [true, true, false, true];
+        for _ in 0..32 {
+            assert_eq!(pick_reseed_row(&mut rng, &used), 2, "only row 2 is free");
+        }
+        let mut counts = [0usize; 4];
+        let none_used = [false; 4];
+        for _ in 0..400 {
+            counts[pick_reseed_row(&mut rng, &none_used)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "all free rows reachable: {counts:?}");
+        let all_used = [true; 3];
+        assert!(pick_reseed_row(&mut rng, &all_used) < 3, "fallback stays in range");
+    }
+
+    /// Regression: a degenerate gallery (every row identical) leaves all
+    /// but one cell dead each iteration; the reseeding path must still
+    /// build a usable index and searching all cells must find every row.
+    #[test]
+    fn degenerate_identical_gallery_builds_and_searches() {
+        let mut e = Embeddings::with_capacity(4, 6);
+        for _ in 0..6 {
+            e.push(&[1.0, 0.0, 0.0, 0.0]);
+        }
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(14);
+        let index = IvfIndex::build(e, 3, 4, &mut rng);
+        let hits = index.search(&[1.0, 0.0, 0.0, 0.0], 10, 3);
+        assert_eq!(hits.len(), 6, "probing all cells must recover every row");
     }
 }

@@ -5,8 +5,10 @@
 #   ./scripts/verify.sh
 #
 # Exits non-zero on the first failure. Prints per-gate wall-clock timings
-# and finishes with the one-line cmr-lint summary. Archives both lint
-# artifacts (results/LINT_report.json, results/CALLGRAPH.json).
+# and finishes with the one-line cmr-lint summary and a one-line obs
+# summary. Archives the lint artifacts (results/LINT_report.json,
+# results/CALLGRAPH.json) and the obs artifacts (results/OBS_train.json,
+# results/OBS_retrieval.json).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,6 +38,44 @@ gate "robustness: fault-injection suite" cargo test --test fault_injection -q
 
 gate "robustness: checkpoint round-trip properties" cargo test --test checkpoint_roundtrip -q
 
+# Tiny instrumented train + retrieve run; writes results/OBS_train.json and
+# results/OBS_retrieval.json.
+gate "observability: instrumented tiny train+retrieve" \
+    env CMR_OBS=1 cargo run --release -q -p cmr-bench --bin exp_obs -- --scale tiny --out results
+
+# Schema-drift check: the archived artifacts must carry the expected schema
+# version and the load-bearing metric names (per-epoch β′ for both losses,
+# checkpoint latency, per-query latency, IVF probe/agreement counters).
+check_obs_schema() {
+    local f key
+    for f in results/OBS_train.json results/OBS_retrieval.json; do
+        if [[ ! -f "$f" ]]; then
+            echo "obs schema: missing artifact $f"
+            return 1
+        fi
+        if ! grep -q '"schema_version": 1' "$f"; then
+            echo "obs schema: wrong or missing schema_version in $f"
+            return 1
+        fi
+    done
+    for key in '"train.epoch"' '"active_frac_ins"' '"active_frac_sem"' '"phase"' \
+               '"train.checkpoint_save_s"' '"train.batches"'; do
+        if ! grep -q "$key" results/OBS_train.json; then
+            echo "obs schema: $key missing from results/OBS_train.json"
+            return 1
+        fi
+    done
+    for key in '"retrieval.query_latency_s"' '"retrieval.ivf.queries"' \
+               '"retrieval.ivf.cells_probed"' '"retrieval.ivf.candidates_scanned"' \
+               '"retrieval.ivf.checked"' '"retrieval.ivf.agree_top1"' '"p50"' '"p99"'; do
+        if ! grep -q "$key" results/OBS_retrieval.json; then
+            echo "obs schema: $key missing from results/OBS_retrieval.json"
+            return 1
+        fi
+    done
+}
+gate "observability: artifact schema" check_obs_schema
+
 echo "== gate timings =="
 for t in "${GATE_TIMINGS[@]}"; do
     echo "$t"
@@ -44,5 +84,10 @@ done
 # Re-print the lint summary line so the run ends with the health snapshot
 # (files scanned, findings, allows, panic-surface).
 cargo run -p cmr-lint --release -q -- --workspace 2>/dev/null | tail -1
+
+# One-line obs health snapshot from the freshly written retrieval artifact.
+p50=$(grep -m1 '"p50"' results/OBS_retrieval.json | sed 's/.*: *//; s/,.*//')
+p99=$(grep -m1 '"p99"' results/OBS_retrieval.json | sed 's/.*: *//; s/,.*//')
+echo "obs: retrieval query latency p50 ${p50}s p99 ${p99}s (results/OBS_train.json, results/OBS_retrieval.json)"
 
 echo "verify: all gates green"

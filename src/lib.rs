@@ -8,6 +8,7 @@
 //! This facade crate re-exports the whole workspace so downstream users can
 //! depend on a single crate:
 //!
+//! * [`obs`] — zero-dependency observability (spans, counters, histograms),
 //! * [`tensor`] — autodiff substrate,
 //! * [`nn`] — layers and optimisers,
 //! * [`linalg`] — f64 linear algebra,
@@ -28,6 +29,7 @@ pub use cmr_cca as cca;
 pub use cmr_data as data;
 pub use cmr_linalg as linalg;
 pub use cmr_nn as nn;
+pub use cmr_obs as obs;
 pub use cmr_retrieval as retrieval;
 pub use cmr_tensor as tensor;
 pub use cmr_tsne as tsne;

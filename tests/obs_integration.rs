@@ -1,0 +1,80 @@
+//! Integration: a short `Trainer::fit` run feeds the obs registry with a
+//! well-formed `train.epoch` series — monotone epoch indices and
+//! active-triplet fractions β′ in [0, 1] for both losses — and the whole
+//! pipeline stays silent when telemetry is disabled.
+//!
+//! This file is its own test binary, and the single test owns the
+//! process-global registry for its duration.
+
+use cmr_adamine::{ModelConfig, Scenario, TrainConfig, Trainer};
+use cmr_data::{DataConfig, Dataset, Scale};
+
+fn field(row: &[(String, f64)], name: &str) -> f64 {
+    row.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("row missing field {name:?}: {row:?}"))
+}
+
+#[test]
+fn short_fit_emits_monotone_epoch_telemetry_with_valid_betas() {
+    let dataset = Dataset::generate(&DataConfig::for_scale(Scale::Tiny));
+    let mut tcfg = TrainConfig::for_scale_tiny();
+    tcfg.epochs = 3;
+    tcfg.freeze_epochs = 1;
+
+    // Disabled path first: a full fit must leave the registry empty.
+    cmr_obs::reset();
+    cmr_obs::set_enabled(false);
+    Trainer::new(Scenario::AdaMine, tcfg.clone())
+        .with_model_config(ModelConfig::tiny())
+        .quiet()
+        .fit(&dataset)
+        .expect("disabled-path fit");
+    assert!(
+        cmr_obs::snapshot("train.").is_empty(),
+        "disabled telemetry must record nothing"
+    );
+
+    // Enabled path: same run with the registry live.
+    cmr_obs::set_enabled(true);
+    let trained = Trainer::new(Scenario::AdaMine, tcfg)
+        .with_model_config(ModelConfig::tiny())
+        .quiet()
+        .fit(&dataset)
+        .expect("enabled-path fit");
+    cmr_obs::set_enabled(false);
+
+    let snap = cmr_obs::snapshot("train.");
+    let rows = snap.series_rows("train.epoch").expect("train.epoch series emitted");
+    assert_eq!(rows.len(), 3, "one row per epoch");
+    assert_eq!(trained.epochs.len(), 3);
+
+    let mut prev_epoch = -1.0f64;
+    for (i, row) in rows.iter().enumerate() {
+        let epoch = field(row, "epoch");
+        assert!(epoch > prev_epoch, "epoch indices must be strictly increasing");
+        prev_epoch = epoch;
+        for beta in ["active_frac_ins", "active_frac_sem"] {
+            let v = field(row, beta);
+            assert!((0.0..=1.0).contains(&v), "{beta} out of range at row {i}: {v}");
+        }
+        // freeze_epochs = 1: epoch 0 is the frozen-backbone phase.
+        let phase = field(row, "phase");
+        assert_eq!(phase, if epoch < 1.0 { 0.0 } else { 1.0 }, "phase at epoch {epoch}");
+        assert!(field(row, "mean_loss").is_finite());
+        assert_eq!(field(row, "skipped_batches"), 0.0);
+    }
+
+    // The instance β′ series must agree with the returned EpochStats.
+    for (row, stats) in rows.iter().zip(&trained.epochs) {
+        assert!(
+            (field(row, "active_frac_ins") - stats.active_fraction).abs() < 1e-12,
+            "series and EpochStats disagree on β′_ins"
+        );
+    }
+
+    let batches = snap.counter("train.batches").expect("train.batches counter");
+    assert!(batches > 0, "batch counter must accumulate");
+    assert_eq!(snap.counter("train.skipped_batches"), Some(0));
+}
