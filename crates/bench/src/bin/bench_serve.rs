@@ -1,0 +1,247 @@
+//! Serving benchmark: in-process server, ≥16 concurrent closed-loop
+//! clients over real sockets, archived throughput/latency numbers.
+//!
+//! Writes two artifacts into `--out` (default `results/`):
+//!
+//! * `BENCH_serve.json` — throughput and exact p50/p99/p999 client
+//!   latency, batching and cache effectiveness, run configuration
+//!   (deterministic key order, atomic temp+rename write),
+//! * `OBS_serve.json` — the raw `serve.*` observability snapshot
+//!   (counters, histograms, and the per-second `serve.request` series).
+//!
+//! ```text
+//! cargo run --release -p cmr-bench --bin bench_serve -- \
+//!     --clients 16 --requests 150 --gallery 2000 --dim 32
+//! ```
+
+use cmr_bench::json::{Json, ToJson};
+use cmr_bench::serving::{build_engine, percentile, synthetic_gallery, synthetic_query, Client};
+use cmr_serve::{ServeConfig, Server};
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    gallery: usize,
+    dim: usize,
+    k: usize,
+    seed: u64,
+    ivf_nlist: usize,
+    nprobe: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        clients: 16,
+        requests: 150,
+        gallery: 2000,
+        dim: 32,
+        k: 10,
+        seed: 42,
+        ivf_nlist: 0,
+        nprobe: 4,
+        out: PathBuf::from("results"),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = || {
+            i += 1;
+            argv.get(i).unwrap_or_else(|| panic!("{flag} takes a value")).clone()
+        };
+        match flag {
+            "--clients" => a.clients = value().parse().expect("--clients takes a number"),
+            "--requests" => a.requests = value().parse().expect("--requests takes a number"),
+            "--gallery" => a.gallery = value().parse().expect("--gallery takes a number"),
+            "--dim" => a.dim = value().parse().expect("--dim takes a number"),
+            "--k" => a.k = value().parse().expect("--k takes a number"),
+            "--seed" => a.seed = value().parse().expect("--seed takes a number"),
+            "--ivf" => a.ivf_nlist = value().parse().expect("--ivf takes a number"),
+            "--nprobe" => a.nprobe = value().parse().expect("--nprobe takes a number"),
+            "--out" => a.out = PathBuf::from(value()),
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    cmr_obs::set_enabled(true);
+    cmr_obs::reset();
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+
+    let recipes = synthetic_gallery(args.gallery, args.dim, args.seed);
+    let images = synthetic_gallery(args.gallery, args.dim, args.seed.wrapping_add(1));
+    let engine = build_engine(recipes, images, args.ivf_nlist, args.nprobe, args.seed);
+    let cfg = ServeConfig::from_env();
+    let max_batch = cfg.max_batch;
+    let max_wait = cfg.max_wait;
+    let mut server = Server::start(engine, cfg, "127.0.0.1:0").expect("bind serving socket");
+    let addr = server.local_addr().to_string();
+    println!(
+        "bench_serve: {} clients x {} requests against {} (gallery {}, dim {}, k {}, batch {}, wait {:?})",
+        args.clients, args.requests, addr, args.gallery, args.dim, args.k, max_batch, max_wait
+    );
+
+    // Per-second `serve.request` series rows, from a sampler thread.
+    let stop_sampler = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let stop = Arc::clone(&stop_sampler);
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            let mut second = 0f64;
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1000));
+                second += 1.0;
+                let snap = cmr_obs::snapshot("serve.requests");
+                let total = snap
+                    .counters
+                    .iter()
+                    .find(|(name, _)| name == "serve.requests")
+                    .map_or(0, |&(_, v)| v);
+                cmr_obs::series_push(
+                    "serve.request",
+                    &[("t_s", second), ("requests", (total - last) as f64)],
+                );
+                last = total;
+            }
+        })
+    };
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|id| {
+            let addr = addr.clone();
+            let (dim, k, requests, seed) = (args.dim, args.k, args.requests, args.seed);
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect(&addr, Duration::from_secs(30)).expect("connect client");
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(seed.wrapping_add(id as u64));
+                let pool: Vec<Vec<f32>> =
+                    (0..8).map(|_| synthetic_query(dim, &mut rng)).collect();
+                let mut latencies = Vec::with_capacity(requests);
+                let mut errors = 0u64;
+                for r in 0..requests {
+                    let query = if rng.gen_bool(0.25) {
+                        pool[rng.gen_range(0..pool.len())].clone()
+                    } else {
+                        synthetic_query(dim, &mut rng)
+                    };
+                    let direction = if r % 2 == 0 { "im2rec" } else { "rec2im" };
+                    let sent = Instant::now();
+                    match client.search(direction, k, &query) {
+                        Ok(resp) if resp.status == 200 => {
+                            latencies.push(sent.elapsed().as_secs_f64());
+                        }
+                        _ => errors += 1,
+                    }
+                }
+                (latencies, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut errors = 0u64;
+    for h in handles {
+        let (l, e) = h.join().expect("client thread");
+        latencies.extend(l);
+        errors += e;
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    stop_sampler.store(true, Ordering::SeqCst);
+    let _ = sampler.join();
+    server.shutdown();
+    let (cache_hits, cache_misses) = server.cache_stats();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let ok = latencies.len();
+    let throughput = ok as f64 / elapsed;
+    let mean = latencies.iter().sum::<f64>() / (ok.max(1) as f64);
+
+    let batch_hist = cmr_obs::snapshot("serve.batch_size")
+        .histograms
+        .into_iter()
+        .find(|(name, _)| name == "serve.batch_size")
+        .map(|(_, h)| h);
+    let batch_json = match &batch_hist {
+        Some(h) => Json::obj([
+            ("count", h.count.to_json()),
+            ("p50", h.p50.to_json()),
+            ("p90", h.p90.to_json()),
+            ("max", h.max.to_json()),
+        ]),
+        None => Json::Null,
+    };
+
+    let artifact = Json::obj([
+        ("experiment", "bench_serve".to_json()),
+        ("schema_version", 1u32.to_json()),
+        (
+            "config",
+            Json::obj([
+                ("clients", args.clients.to_json()),
+                ("requests_per_client", args.requests.to_json()),
+                ("gallery", args.gallery.to_json()),
+                ("dim", args.dim.to_json()),
+                ("k", args.k.to_json()),
+                (
+                    "backend",
+                    if args.ivf_nlist == 0 {
+                        "exact".to_json()
+                    } else {
+                        format!("ivf({},{})", args.ivf_nlist, args.nprobe).to_json()
+                    },
+                ),
+                ("max_batch", max_batch.to_json()),
+                ("max_wait_us", (max_wait.as_micros() as u64).to_json()),
+            ]),
+        ),
+        ("ok", ok.to_json()),
+        ("errors", errors.to_json()),
+        ("elapsed_s", elapsed.to_json()),
+        ("throughput_rps", throughput.to_json()),
+        (
+            "latency_s",
+            Json::obj([
+                ("mean", mean.to_json()),
+                ("p50", percentile(&latencies, 0.50).to_json()),
+                ("p90", percentile(&latencies, 0.90).to_json()),
+                ("p99", percentile(&latencies, 0.99).to_json()),
+                ("p999", percentile(&latencies, 0.999).to_json()),
+                ("max", latencies.last().copied().unwrap_or(0.0).to_json()),
+            ]),
+        ),
+        ("batch_size", batch_json),
+        (
+            "cache",
+            Json::obj([
+                ("hits", cache_hits.to_json()),
+                ("misses", cache_misses.to_json()),
+            ]),
+        ),
+    ]);
+    cmr_bench::save_json(&args.out.join("BENCH_serve.json"), &artifact);
+    cmr_obs::write_artifact(&args.out.join("OBS_serve.json"), "bench_serve", "serve.")
+        .expect("write OBS_serve.json");
+
+    println!(
+        "bench_serve: ok {ok} errors {errors} | {throughput:.1} req/s | p50 {:.6}s p99 {:.6}s p999 {:.6}s | batch p50 {} | cache {cache_hits}/{}",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        percentile(&latencies, 0.999),
+        batch_hist.as_ref().map_or(0.0, |h| h.p50),
+        cache_hits + cache_misses,
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

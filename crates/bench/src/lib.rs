@@ -27,6 +27,7 @@ use rand::SeedableRng;
 use std::path::{Path, PathBuf};
 
 pub mod json;
+pub mod serving;
 
 use json::{Json, ToJson};
 

@@ -1,0 +1,209 @@
+//! Shared plumbing for the serving binaries (`serve`, `loadgen`,
+//! `bench_serve`): synthetic galleries, a tiny blocking HTTP client over
+//! `cmr_serve::http`, embedding-blob startup, and exact percentile math
+//! over measured latencies.
+
+use cmr_retrieval::Embeddings;
+use cmr_serve::http::{read_response, write_request, Limits, Response};
+use cmr_serve::{Backend, Engine, ServeError};
+use rand::{Rng, SeedableRng};
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// A reproducible random L2-normalised gallery.
+pub fn synthetic_gallery(n: usize, dim: usize, seed: u64) -> Embeddings {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    Embeddings::new(dim, (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .l2_normalized()
+}
+
+/// A reproducible random L2-normalised query vector.
+pub fn synthetic_query(dim: usize, rng: &mut impl Rng) -> Vec<f32> {
+    let mut q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let norm = q.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt() as f32;
+    if norm > 0.0 {
+        for x in &mut q {
+            *x /= norm;
+        }
+    }
+    q
+}
+
+/// Builds the serving engine: exact when `ivf_nlist == 0`, IVF otherwise.
+///
+/// # Panics
+/// Panics when the gallery/IVF geometry is invalid (serving bins fail fast
+/// on bad flags).
+// cmr-lint: allow(panic-path) documented contract: serving bins abort on invalid geometry
+pub fn build_engine(
+    recipes: Embeddings,
+    images: Embeddings,
+    ivf_nlist: usize,
+    nprobe: usize,
+    seed: u64,
+) -> Engine {
+    let backend = |gallery: Embeddings, seed: u64| {
+        if ivf_nlist == 0 {
+            Backend::Exact(gallery)
+        } else {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let index = cmr_retrieval::IvfIndex::build(gallery, ivf_nlist, 5, &mut rng);
+            Backend::Ivf { index, nprobe: nprobe.max(1) }
+        }
+    };
+    Engine::new(backend(recipes, seed), backend(images, seed.wrapping_add(1)))
+        // cmr-lint: allow(no-panic-lib) serving bins abort on invalid geometry
+        .expect("valid serving galleries")
+}
+
+/// Loads both galleries from `dir` (`recipes.emb`, `images.emb`) when the
+/// blobs exist; otherwise generates them synthetically, archives them into
+/// `dir` as `CMREMB1` blobs, and returns the generated pair. Either way
+/// the server starts from the on-disk serving format.
+///
+/// # Panics
+/// Panics on unreadable/corrupt blobs or unwritable `dir` (fail-fast bin
+/// startup).
+// cmr-lint: allow(panic-path) documented contract: serving bins abort on a bad embeddings dir
+pub fn galleries_from_dir(
+    dir: &Path,
+    n: usize,
+    dim: usize,
+    seed: u64,
+) -> (Embeddings, Embeddings) {
+    let recipes_path = dir.join("recipes.emb");
+    let images_path = dir.join("images.emb");
+    let load = |path: &Path| -> io::Result<Embeddings> {
+        let bytes = std::fs::read(path)?;
+        let (dim, data) = cmr_nn::load_embedding_blob(&bytes)?;
+        Ok(Embeddings::new(dim, data))
+    };
+    if recipes_path.is_file() && images_path.is_file() {
+        // cmr-lint: allow(no-panic-lib) fail-fast startup on corrupt serving blobs
+        let recipes = load(&recipes_path).expect("load recipes.emb");
+        // cmr-lint: allow(no-panic-lib) fail-fast startup on corrupt serving blobs
+        let images = load(&images_path).expect("load images.emb");
+        return (recipes, images);
+    }
+    let recipes = synthetic_gallery(n, dim, seed);
+    let images = synthetic_gallery(n, dim, seed.wrapping_add(1));
+    // cmr-lint: allow(no-panic-lib) fail-fast startup on an unwritable embeddings dir
+    std::fs::create_dir_all(dir).expect("create embeddings dir");
+    let save = |path: &Path, g: &Embeddings| {
+        cmr_nn::atomic_write(path, &cmr_nn::save_embedding_blob(g.dim, &g.data))
+            // cmr-lint: allow(no-panic-lib) fail-fast startup on an unwritable embeddings dir
+            .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    };
+    save(&recipes_path, &recipes);
+    save(&images_path, &images);
+    // Round-trip through the serving format so every start — first or not —
+    // serves bit-identical, blob-loaded galleries.
+    // cmr-lint: allow(no-panic-lib) fail-fast startup on corrupt serving blobs
+    (load(&recipes_path).expect("reload recipes.emb"), load(&images_path).expect("reload images.emb"))
+}
+
+/// A blocking keep-alive HTTP client speaking the serving protocol.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    limits: Limits,
+}
+
+impl Client {
+    /// Connects to `addr` with a `timeout` read timeout.
+    ///
+    /// # Errors
+    /// Propagates connection/configuration failures.
+    pub fn connect(addr: &str, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            limits: Limits { max_head_bytes: 64 << 10, max_body_bytes: 16 << 20 },
+        })
+    }
+
+    /// One `POST /v1/search/<direction>?k=<k>` round trip.
+    ///
+    /// # Errors
+    /// Transport or protocol failures as [`ServeError`].
+    pub fn search(
+        &mut self,
+        direction: &str,
+        k: usize,
+        query: &[f32],
+    ) -> Result<Response, ServeError> {
+        let mut body = Vec::with_capacity(query.len() * 4);
+        for &x in query {
+            body.extend_from_slice(&x.to_le_bytes());
+        }
+        write_request(
+            self.reader.get_mut(),
+            "POST",
+            &format!("/v1/search/{direction}?k={k}"),
+            &body,
+        )?;
+        read_response(&mut self.reader, &self.limits)
+    }
+
+    /// One `GET /healthz` round trip.
+    ///
+    /// # Errors
+    /// Transport or protocol failures as [`ServeError`].
+    pub fn healthz(&mut self) -> Result<Response, ServeError> {
+        write_request(self.reader.get_mut(), "GET", "/healthz", b"")?;
+        read_response(&mut self.reader, &self.limits)
+    }
+}
+
+/// Exact quantile of an ascending-sorted latency sample (nearest-rank),
+/// 0.0 for an empty sample.
+// cmr-lint: allow(panic-path) rank is clamped to 1..=len after the empty check, so the index is in range
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&s, 0.50), 50.0);
+        assert_eq!(percentile(&s, 0.99), 99.0);
+        assert_eq!(percentile(&s, 0.999), 100.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.999), 7.0);
+    }
+
+    #[test]
+    fn synthetic_galleries_are_normalised_and_reproducible() {
+        let a = synthetic_gallery(10, 8, 42);
+        let b = synthetic_gallery(10, 8, 42);
+        assert_eq!(a.data, b.data);
+        for i in 0..a.len() {
+            let norm: f32 = a.vector(i).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4, "row {i} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn galleries_round_trip_through_blob_dir() {
+        let dir = std::env::temp_dir().join(format!("cmr_serving_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (r1, i1) = galleries_from_dir(&dir, 12, 6, 3);
+        let (r2, i2) = galleries_from_dir(&dir, 999, 99, 999); // loaded, flags ignored
+        assert_eq!(r1.data, r2.data);
+        assert_eq!(i1.data, i2.data);
+        assert_eq!(r2.dim, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -21,7 +21,7 @@
 //! |----|------------------|
 //! | `op-coverage` | every `Op` variant in `crates/tensor/src/op.rs` has a `grad_check` test in `check.rs` |
 //! | `no-panic-lib` | no `unwrap()/expect()/panic!/todo!/unimplemented!` in non-test library code |
-//! | `env-centralization` | `env::var` only in `crates/tensor/src/threading.rs`, `crates/obs/src/lib.rs` and `crates/bench` |
+//! | `env-centralization` | `env::var` only in `crates/tensor/src/threading.rs`, `crates/obs/src/lib.rs`, `crates/serve/src/config.rs` and `crates/bench` |
 //! | `no-println-lib` | no `println!/eprintln!/dbg!` outside `crates/bench`, binaries, examples, tests |
 //! | `float-eq` | no `==`/`!=` against non-zero float literals — use a tolerance helper |
 //! | `panic-path` | no `pub` library fn may transitively reach an undefused panic |
@@ -42,7 +42,7 @@ use std::collections::BTreeMap;
 pub const RULES: &[(&str, &str)] = &[
     ("op-coverage", "every Op enum variant needs a grad_check test in crates/tensor/src/check.rs"),
     ("no-panic-lib", "unwrap()/expect()/panic!/todo!/unimplemented! banned in non-test library code"),
-    ("env-centralization", "std::env::var only in crates/tensor/src/threading.rs, crates/obs/src/lib.rs (CMR_OBS) and crates/bench"),
+    ("env-centralization", "std::env::var only in crates/tensor/src/threading.rs, crates/obs/src/lib.rs (CMR_OBS), crates/serve/src/config.rs (CMR_SERVE_*) and crates/bench"),
     ("no-println-lib", "println!/eprintln!/dbg! banned outside crates/bench, binaries, examples, tests"),
     ("float-eq", "direct ==/!= against a non-zero float literal; compare with a tolerance instead"),
     ("panic-path", "a pub library fn transitively reaches an undefused panic (witness chain reported)"),
@@ -133,11 +133,13 @@ fn is_bench_crate(path: &str) -> bool {
 }
 
 /// Sanctioned `env::var` sites: the `CMR_NUM_THREADS` knob in the
-/// threading module, the `CMR_OBS` knob in the obs crate root, and the
-/// experiment harness.
+/// threading module, the `CMR_OBS` knob in the obs crate root, the
+/// serving knobs (`CMR_SERVE_BATCH`, `CMR_SERVE_WAIT_US`) in the serve
+/// config module, and the experiment harness.
 fn env_var_allowed(path: &str) -> bool {
     path == "crates/tensor/src/threading.rs"
         || path == "crates/obs/src/lib.rs"
+        || path == "crates/serve/src/config.rs"
         || is_bench_crate(path)
 }
 
@@ -382,8 +384,9 @@ fn rule_env_centralization(ctx: &FileCtx, findings: &mut Vec<Finding>) {
             findings.push(ctx.finding(
                 t,
                 "env-centralization",
-                "env::var outside crates/tensor/src/threading.rs, crates/obs/src/lib.rs \
-                 and crates/bench; route runtime knobs through those modules"
+                "env::var outside crates/tensor/src/threading.rs, crates/obs/src/lib.rs, \
+                 crates/serve/src/config.rs and crates/bench; route runtime knobs through \
+                 those modules"
                     .to_string(),
             ));
         }

@@ -53,4 +53,4 @@ pub use linear::Linear;
 pub use lstm::{BiLstm, Lstm};
 pub use mlp::{Activation, Mlp};
 pub use param::{Bindings, ParamId, ParamStore};
-pub use serialize::TrainState;
+pub use serialize::{load_embedding_blob, save_embedding_blob, TrainState};

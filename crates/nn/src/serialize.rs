@@ -282,6 +282,85 @@ pub fn load_checkpoint(
     Ok(Some(TrainState { rng, next_epoch, best_epoch, best_val, extra }))
 }
 
+const MAGIC_EMB: &[u8; 8] = b"CMREMB1\0";
+
+/// Serialises a flat embedding matrix (`n` rows × `dim` columns, row-major
+/// little-endian `f32`) as a `CMREMB1` blob with a CRC-32 footer.
+///
+/// This is the serving-side companion to the training checkpoints: after a
+/// model is trained, the encoded gallery embeddings are exported once into
+/// this format so a server can map them back into memory without replaying
+/// the encoder. Like the checkpoints, the blob is byte-for-byte
+/// reproducible and integrity-checked before any field is trusted.
+///
+/// # Panics
+/// Panics if `data.len()` is not a multiple of `dim` or `dim == 0`.
+// cmr-lint: allow(panic-path) documented precondition: data.len() % dim == 0 asserted at entry
+pub fn save_embedding_blob(dim: usize, data: &[f32]) -> Vec<u8> {
+    assert!(dim > 0, "save_embedding_blob: dim must be positive");
+    assert_eq!(data.len() % dim, 0, "save_embedding_blob: data length not a multiple of dim");
+    let n = data.len() / dim;
+    let mut buf = Vec::with_capacity(MAGIC_EMB.len() + 8 + data.len() * 4 + 4);
+    buf.extend_from_slice(MAGIC_EMB);
+    // cmr-lint: allow(lossy-cast) serialization header; dims and row counts never near 2^32
+    buf.extend_from_slice(&(dim as u32).to_le_bytes());
+    buf.extend_from_slice(&(n as u32).to_le_bytes());
+    for &x in data {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Loads a `CMREMB1` embedding blob, returning `(dim, row_major_data)`.
+///
+/// The CRC-32 footer is verified before the payload is parsed, so a
+/// truncated or bit-flipped file is rejected without partial results.
+///
+/// # Errors
+/// `InvalidData` on bad magic, truncation, CRC mismatch, or a payload whose
+/// length disagrees with the header.
+pub fn load_embedding_blob(bytes: &[u8]) -> io::Result<(usize, Vec<f32>)> {
+    if bytes.len() < MAGIC_EMB.len() + 8 + 4 {
+        return Err(bad("embedding blob truncated before footer".into()));
+    }
+    let (payload, footer) = bytes.split_at(bytes.len() - 4);
+    let mut f = Reader::new(footer);
+    let stored = f.get_u32_le()?;
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(bad(format!(
+            "embedding blob CRC mismatch: footer {stored:#010x}, payload {actual:#010x}"
+        )));
+    }
+    let mut buf = Reader::new(payload);
+    let magic = buf.take(MAGIC_EMB.len())?;
+    if magic != MAGIC_EMB {
+        return Err(bad(format!("bad embedding blob magic {magic:?}")));
+    }
+    let dim = buf.get_u32_le()? as usize;
+    let n = buf.get_u32_le()? as usize;
+    if dim == 0 {
+        return Err(bad("embedding blob has zero dim".into()));
+    }
+    let want = n
+        .checked_mul(dim)
+        .and_then(|e| e.checked_mul(4))
+        .ok_or_else(|| bad(format!("embedding blob header overflow: {n} x {dim}")))?;
+    if buf.remaining() != want {
+        return Err(bad(format!(
+            "embedding blob payload is {} bytes, header promises {want}",
+            buf.remaining()
+        )));
+    }
+    let mut data = Vec::with_capacity(n * dim);
+    for _ in 0..n * dim {
+        data.push(buf.get_f32_le()?);
+    }
+    Ok((dim, data))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +522,53 @@ mod tests {
                 "truncation to {cut} bytes undetected"
             );
         }
+    }
+
+    #[test]
+    fn embedding_blob_roundtrips_bit_identically() {
+        let data: Vec<f32> = (0..12).map(|i| i as f32 * 0.25 - 1.0).collect();
+        let blob = save_embedding_blob(3, &data);
+        let (dim, loaded) = load_embedding_blob(&blob).unwrap();
+        assert_eq!(dim, 3);
+        assert_eq!(loaded, data);
+        // save→load→save bit-identity
+        assert_eq!(save_embedding_blob(dim, &loaded), blob);
+    }
+
+    #[test]
+    fn embedding_blob_accepts_zero_rows() {
+        let blob = save_embedding_blob(5, &[]);
+        let (dim, loaded) = load_embedding_blob(&blob).unwrap();
+        assert_eq!(dim, 5);
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn embedding_blob_detects_corruption_and_truncation() {
+        let data: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let blob = save_embedding_blob(4, &data);
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x10;
+            assert!(load_embedding_blob(&bad).is_err(), "byte {i} flip undetected");
+        }
+        for cut in [blob.len() - 1, blob.len() / 2, 10, 0] {
+            assert!(load_embedding_blob(&blob[..cut]).is_err(), "truncation to {cut} undetected");
+        }
+    }
+
+    #[test]
+    fn embedding_blob_rejects_header_payload_disagreement() {
+        let data: Vec<f32> = (0..6).map(|i| i as f32).collect();
+        let mut blob = save_embedding_blob(2, &data);
+        // Claim 4 rows instead of 3 and re-stamp the CRC so only the header
+        // check can catch it.
+        blob.truncate(blob.len() - 4);
+        blob[12..16].copy_from_slice(&4u32.to_le_bytes());
+        let crc = crc32(&blob);
+        blob.extend_from_slice(&crc.to_le_bytes());
+        let err = load_embedding_blob(&blob).unwrap_err();
+        assert!(err.to_string().contains("header promises"), "{err}");
     }
 
     /// v1 blobs still load through the v2 entry point: parameters restored,

@@ -90,6 +90,7 @@ impl Histogram {
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
             buckets: BUCKET_EDGES
                 .iter()
                 .map(|e| format!("{e}"))
@@ -118,6 +119,9 @@ pub struct HistogramSnapshot {
     pub p90: f64,
     /// 99th-percentile estimate at bucket resolution.
     pub p99: f64,
+    /// 99.9th-percentile estimate at bucket resolution (the serving tail;
+    /// clamped to `max` like every quantile here).
+    pub p999: f64,
     /// Non-empty buckets as `(upper_edge_label, count)`, in ladder order;
     /// the final ladder position is the `"+Inf"` overflow bucket.
     pub buckets: Vec<(String, u64)>,
@@ -164,6 +168,9 @@ mod tests {
         // The 100th observation is the 0.7 outlier; its bucket edge (1.0)
         // is clamped to the observed max.
         assert_eq!(snap.p99, 2e-3);
+        // The 0.7 outlier is the 100th observation: p99.9 lands in its
+        // bucket, whose 1.0 upper edge clamps to the observed max.
+        assert_eq!(snap.p999, 0.7);
         assert_eq!(h.quantile(1.0), 0.7);
     }
 
@@ -173,6 +180,7 @@ mod tests {
         assert_eq!(snap.count, 0);
         assert_eq!(snap.p50, 0.0);
         assert_eq!(snap.p99, 0.0);
+        assert_eq!(snap.p999, 0.0);
         assert_eq!(snap.min, 0.0);
         assert_eq!(snap.max, 0.0);
         assert!(snap.buckets.is_empty());

@@ -13,7 +13,8 @@ use std::path::Path;
 use std::sync::{Mutex, MutexGuard};
 
 /// Artifact schema version; bump on any change to the JSON layout.
-const SCHEMA_VERSION: u32 = 1;
+/// v2 added the `p999` quantile to every histogram block.
+const SCHEMA_VERSION: u32 = 2;
 
 struct Registry {
     counters: BTreeMap<String, u64>,
@@ -173,6 +174,7 @@ impl Snapshot {
             let _ = writeln!(out, "      \"p50\": {},", fmt_f64(h.p50));
             let _ = writeln!(out, "      \"p90\": {},", fmt_f64(h.p90));
             let _ = writeln!(out, "      \"p99\": {},", fmt_f64(h.p99));
+            let _ = writeln!(out, "      \"p999\": {},", fmt_f64(h.p999));
             out.push_str("      \"buckets\": [");
             for (j, (le, n)) in h.buckets.iter().enumerate() {
                 if j > 0 {
@@ -307,7 +309,7 @@ mod tests {
         record_fixture();
         let second = snapshot("t.").render_json("OBS_test");
         assert_eq!(first, second);
-        assert!(first.starts_with("{\n  \"schema_version\": 1,\n"));
+        assert!(first.starts_with("{\n  \"schema_version\": 2,\n"));
         assert!(first.contains("\"artifact\": \"OBS_test\""));
         // Series rows carry field-sorted keys regardless of push order.
         assert!(first.contains("{\"epoch\": 1, \"loss\": 0.125}"));

@@ -9,7 +9,7 @@
 //! and guarded by a property test comparing against exact search.
 
 use crate::embeddings::Embeddings;
-use crate::knn::{top_k, Hit};
+use crate::knn::{top_k, top_k_of, Hit};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -108,6 +108,11 @@ impl IvfIndex {
         self.cells.len()
     }
 
+    /// Embedding dimensionality of the indexed gallery.
+    pub fn dim(&self) -> usize {
+        self.gallery.dim
+    }
+
     /// Total indexed vectors.
     pub fn len(&self) -> usize {
         self.gallery.len()
@@ -138,14 +143,72 @@ impl IvfIndex {
         assert!(k >= 1 && nprobe >= 1, "IvfIndex::search: k and nprobe must be positive");
         assert_eq!(query.len(), self.gallery.dim, "IvfIndex::search: dimension mismatch");
         let probes = top_k(&self.centroids, query, nprobe.min(self.nlist()));
-        let n_probed = probes.len();
+        self.scan_probed_cells(&probes, query, k)
+    }
+
+    /// Searches a whole batch of queries at once, amortising the coarse
+    /// centroid-scoring stage: every centroid row is streamed through the
+    /// cache once per *batch* instead of once per *query* (`nlist·dim +
+    /// B·dim` memory traffic instead of `B·nlist·dim`).
+    ///
+    /// Per-query results are **bit-identical** to calling
+    /// [`search`](Self::search) on each query alone: every similarity is
+    /// accumulated in the same order and probe/hit selection goes through
+    /// the same [`top_k_of`] core — the `kernel_equivalence` suite locks
+    /// this down. Queries must be L2-normalised; the same sub-`k` result
+    /// caveats as [`search`](Self::search) apply per query.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `nprobe == 0`, or the dimension differs.
+    // cmr-lint: allow(panic-path) documented precondition; same contract as search, batch rows come from the queries set itself
+    pub fn search_batch(&self, queries: &Embeddings, k: usize, nprobe: usize) -> Vec<Vec<Hit>> {
+        let _batch_span = cmr_obs::span("retrieval.batch_latency_s");
+        assert!(k >= 1 && nprobe >= 1, "IvfIndex::search_batch: k and nprobe must be positive");
+        assert_eq!(
+            queries.dim, self.gallery.dim,
+            "IvfIndex::search_batch: dimension mismatch"
+        );
+        let b = queries.len();
+        let nl = self.nlist();
+        if b == 0 {
+            return Vec::new();
+        }
+        // Amortised coarse stage: centroid-outer, query-inner, so one
+        // centroid row serves the whole batch while it is hot. Each
+        // element is the same sequential dot as `search`'s probe scoring,
+        // so the scores are bit-identical to the per-query path.
+        let mut sims = vec![0.0f32; b * nl];
+        for c in 0..nl {
+            for q in 0..b {
+                sims[q * nl + c] = self.centroids.dot(c, queries.vector(q));
+            }
+        }
+        if cmr_obs::enabled() {
+            cmr_obs::counter_add("retrieval.ivf.batches", 1);
+            cmr_obs::counter_add("retrieval.ivf.batched_queries", b as u64);
+        }
+        let nprobe = nprobe.min(nl);
+        (0..b)
+            .map(|q| {
+                let row = &sims[q * nl..(q + 1) * nl];
+                let probes = top_k_of(row.iter().enumerate().map(|(c, &s)| (c, s)), nprobe);
+                self.scan_probed_cells(&probes, queries.vector(q), k)
+            })
+            .collect()
+    }
+
+    /// The shared fine-scan stage of [`search`](Self::search) and
+    /// [`search_batch`](Self::search_batch): gathers the probed cells'
+    /// rows and ranks them against the query.
+    // cmr-lint: allow(panic-path) probe ids come from the index's own centroid list; candidate ids are gallery rows
+    fn scan_probed_cells(&self, probes: &[Hit], query: &[f32], k: usize) -> Vec<Hit> {
         let mut candidates: Vec<usize> = Vec::new();
         for p in probes {
             candidates.extend_from_slice(&self.cells[p.index]);
         }
         if cmr_obs::enabled() {
             cmr_obs::counter_add("retrieval.ivf.queries", 1);
-            cmr_obs::counter_add("retrieval.ivf.cells_probed", n_probed as u64);
+            cmr_obs::counter_add("retrieval.ivf.cells_probed", probes.len() as u64);
             cmr_obs::counter_add("retrieval.ivf.candidates_scanned", candidates.len() as u64);
         }
         if candidates.is_empty() {
@@ -325,6 +388,49 @@ mod tests {
                 index.search_checked(&q, 5, 2).iter().map(|h| h.index).collect();
             assert_eq!(a, b, "query {qi}");
         }
+    }
+
+    /// `search_batch` must return, per query, exactly the hits `search`
+    /// returns — bit-identically, including the similarity floats (the
+    /// serving layer's response-identity guarantee rests on this).
+    #[test]
+    fn search_batch_is_bit_identical_to_per_query_search() {
+        let g = clustered_gallery(6, 30, 12, 21);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(22);
+        let index = IvfIndex::build(g.clone(), 6, 5, &mut rng);
+        for &(k, nprobe) in &[(1usize, 1usize), (5, 2), (10, 3), (7, 100)] {
+            let queries = g.subset(&[0, 17, 33, 99, 150, 179]);
+            let batched = index.search_batch(&queries, k, nprobe);
+            assert_eq!(batched.len(), queries.len());
+            for (q, hits) in batched.iter().enumerate() {
+                let single = index.search(queries.vector(q), k, nprobe);
+                assert_eq!(hits, &single, "query {q} k {k} nprobe {nprobe}");
+            }
+        }
+    }
+
+    /// Batch edge cases: an empty batch and a batch of one.
+    #[test]
+    fn search_batch_handles_empty_and_singleton_batches() {
+        let g = clustered_gallery(3, 20, 8, 23);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(24);
+        let index = IvfIndex::build(g.clone(), 3, 4, &mut rng);
+        assert!(index.search_batch(&Embeddings::with_capacity(8, 0), 5, 2).is_empty());
+        let one = g.subset(&[7]);
+        let batched = index.search_batch(&one, 5, 2);
+        assert_eq!(batched.len(), 1);
+        assert_eq!(batched[0], index.search(g.vector(7), 5, 2));
+    }
+
+    /// A batch probing only empty cells must yield empty per-query results
+    /// (same contract as `search`).
+    #[test]
+    fn search_batch_returns_empty_rows_for_empty_probed_cells() {
+        let index = two_cell_index_with_empty_cell();
+        let queries = Embeddings::new(2, vec![1.0, 0.0, 1.0, 0.0]);
+        let batched = index.search_batch(&queries, 5, 1);
+        assert_eq!(batched.len(), 2);
+        assert!(batched.iter().all(Vec::is_empty), "{batched:?}");
     }
 
     /// Reseeding never hands out a row already claimed this pass while

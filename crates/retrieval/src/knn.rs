@@ -47,9 +47,24 @@ impl Ord for HeapEntry {
 pub fn top_k(gallery: &Embeddings, query: &[f32], k: usize) -> Vec<Hit> {
     assert!(k >= 1, "top_k: k must be positive");
     assert_eq!(query.len(), gallery.dim, "top_k: dimension mismatch");
+    let n = gallery.len();
+    top_k_of((0..n).map(|i| (i, gallery.dot(i, query))), k)
+}
+
+/// Selects the top-`k` hits from an arbitrary `(index, similarity)` stream.
+///
+/// This is the selection core shared by [`top_k`], the IVF batched search
+/// and the serving engine: given identical `(index, similarity)` sequences
+/// it produces bit-identical hit lists, which is what lets the batched
+/// query paths be proven equivalent to the per-query reference paths.
+///
+/// # Panics
+/// Panics if `k == 0`.
+// cmr-lint: allow(panic-path) documented precondition: k >= 1 is asserted at entry
+pub fn top_k_of(sims: impl Iterator<Item = (usize, f32)>, k: usize) -> Vec<Hit> {
+    assert!(k >= 1, "top_k_of: k must be positive");
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
-    for i in 0..gallery.len() {
-        let sim = gallery.dot(i, query);
+    for (i, sim) in sims {
         if heap.len() < k {
             heap.push(HeapEntry(Hit { index: i, similarity: sim }));
         } else if let Some(worst) = heap.peek() {

@@ -1,0 +1,307 @@
+//! The admission queue: coalesces concurrently arriving single queries
+//! into micro-batches for the ranking kernel.
+//!
+//! Connection threads [`submit`](Batcher::submit) one job each and block on
+//! a private channel. Worker threads drain the queue with a two-phase
+//! wait: sleep until *any* job arrives, then linger up to the configured
+//! coalescing window (`CMR_SERVE_WAIT_US`) for company, dispatching early
+//! the moment `CMR_SERVE_BATCH` jobs are queued. A batch holds only jobs
+//! that share `(direction, k)` — those are the axes the kernel batches
+//! over — so mixed traffic splits into per-shape batches.
+//!
+//! Because the engine's batch path is bit-identical to its single-query
+//! path (see [`crate::engine`]), coalescing is invisible in the response
+//! bytes; it only moves the throughput/latency trade-off.
+//!
+//! Shutdown is draining: [`shutdown`](Batcher::shutdown) first flips the
+//! flag so new submissions are refused with a typed
+//! [`ServeError::ShuttingDown`], then wakes the workers, which keep
+//! executing until the queue is empty — no accepted job is ever dropped
+//! or answered twice.
+
+use crate::engine::{render_hits, Direction, Engine};
+use crate::error::ServeError;
+use cmr_retrieval::Embeddings;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One queued query plus the channel its rendered response goes back on.
+struct Job {
+    direction: Direction,
+    k: usize,
+    query: Vec<f32>,
+    resp: mpsc::Sender<String>,
+}
+
+struct Inner {
+    engine: Arc<Engine>,
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    shutting_down: AtomicBool,
+    max_batch: usize,
+    max_wait: Duration,
+}
+
+impl Inner {
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// The admission queue plus its worker threads.
+pub struct Batcher {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Spawns `workers` batch workers draining into `engine`.
+    pub fn new(engine: Arc<Engine>, max_batch: usize, max_wait: Duration, workers: usize) -> Self {
+        let inner = Arc::new(Inner {
+            engine,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            max_batch: max_batch.max(1),
+            max_wait,
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Batcher { inner, workers: Mutex::new(handles) }
+    }
+
+    /// Enqueues one query; the returned receiver yields the rendered
+    /// response body.
+    ///
+    /// The caller must have validated `k >= 1` and the query dimension —
+    /// the engine treats both as preconditions.
+    ///
+    /// # Errors
+    /// [`ServeError::ShuttingDown`] once [`shutdown`](Self::shutdown) has
+    /// begun; the job is not queued.
+    pub fn submit(
+        &self,
+        direction: Direction,
+        k: usize,
+        query: Vec<f32>,
+    ) -> Result<mpsc::Receiver<String>, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.inner.lock_queue();
+            // Checked under the queue lock: shutdown() flips the flag under
+            // this same lock, so a job admitted here is ordered before the
+            // drain decision and cannot be stranded.
+            if self.inner.shutting_down.load(Ordering::SeqCst) {
+                return Err(ServeError::ShuttingDown);
+            }
+            q.push_back(Job { direction, k, query, resp: tx });
+        }
+        self.inner.cv.notify_one();
+        Ok(rx)
+    }
+
+    /// Jobs currently queued (diagnostics).
+    pub fn queued(&self) -> usize {
+        self.inner.lock_queue().len()
+    }
+
+    /// Refuses new work, drains everything already admitted, and joins the
+    /// workers. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let _q = self.inner.lock_queue();
+            self.inner.shutting_down.store(true, Ordering::SeqCst);
+        }
+        self.inner.cv.notify_all();
+        let mut workers = self.workers.lock().unwrap_or_else(|p| p.into_inner());
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker: wait for a first job, linger for company, execute the
+/// batch. Exits when shutdown is flagged *and* the queue is empty.
+// cmr-lint: allow(panic-path) the q[i] probe is guarded by `i < q.len()` in its loop condition
+fn worker_loop(inner: &Inner) {
+    loop {
+        let mut q = inner.lock_queue();
+        // Phase 1: sleep until any job exists (or drain completes).
+        loop {
+            if !q.is_empty() {
+                break;
+            }
+            if inner.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            q = inner.cv.wait(q).unwrap_or_else(|p| p.into_inner());
+        }
+        // Phase 2: linger up to max_wait for the batch to fill. During
+        // shutdown there is no point waiting for company that can no
+        // longer arrive.
+        let deadline = Instant::now() + inner.max_wait;
+        while q.len() < inner.max_batch && !inner.shutting_down.load(Ordering::SeqCst) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = inner
+                .cv
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            q = guard;
+            if q.is_empty() {
+                break; // another worker took the jobs this one lingered for
+            }
+        }
+        let Some(first) = q.pop_front() else {
+            continue;
+        };
+        // Collect queue-mates sharing the batchable shape (direction, k),
+        // preserving arrival order for everyone left behind.
+        let mut batch = vec![first];
+        let mut i = 0;
+        while i < q.len() && batch.len() < inner.max_batch {
+            let mate = q[i].direction == batch[0].direction && q[i].k == batch[0].k;
+            if mate {
+                if let Some(job) = q.remove(i) {
+                    batch.push(job);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        let more_work = !q.is_empty();
+        drop(q);
+        if more_work {
+            // Leftover jobs (other shapes) should not wait for this batch
+            // to finish executing before another worker picks them up.
+            inner.cv.notify_one();
+        }
+        execute_batch(&inner.engine, batch);
+    }
+}
+
+/// Runs one micro-batch through the engine and answers every job.
+fn execute_batch(engine: &Engine, batch: Vec<Job>) {
+    let _span = cmr_obs::span("serve.batch_exec_s");
+    if cmr_obs::enabled() {
+        cmr_obs::counter_add("serve.batches", 1);
+        cmr_obs::counter_add("serve.batched_requests", batch.len() as u64);
+        cmr_obs::observe("serve.batch_size", batch.len() as f64);
+    }
+    let mut queries = Embeddings::with_capacity(engine.dim(), batch.len());
+    for job in &batch {
+        queries.push(&job.query);
+    }
+    let results = engine.search_batch(batch[0].direction, &queries, batch[0].k);
+    for (job, hits) in batch.iter().zip(results) {
+        // A receiver that hung up (client gone) is not an error here.
+        let _ = job.resp.send(render_hits(&hits));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn engine(seed: u64) -> Arc<Engine> {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut gallery = |n: usize| {
+            Embeddings::new(4, (0..n * 4).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                .l2_normalized()
+        };
+        Arc::new(Engine::exact(gallery(30), gallery(20)).expect("valid galleries"))
+    }
+
+    #[test]
+    fn single_submit_round_trips() {
+        let e = engine(1);
+        let reference = render_hits(&e.search_one(Direction::ImToRec, &[1.0, 0.0, 0.0, 0.0], 3));
+        let b = Batcher::new(e, 4, Duration::from_micros(200), 1);
+        let rx = b.submit(Direction::ImToRec, 3, vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(rx.recv().unwrap(), reference);
+        b.shutdown();
+    }
+
+    #[test]
+    fn concurrent_submits_all_answer_identically_to_reference() {
+        let e = engine(2);
+        let b = Arc::new(Batcher::new(Arc::clone(&e), 8, Duration::from_millis(5), 2));
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let queries: Vec<Vec<f32>> = (0..24)
+            .map(|_| (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let handles: Vec<_> = queries
+            .iter()
+            .cloned()
+            .map(|qv| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    b.submit(Direction::RecToIm, 5, qv).unwrap().recv().unwrap()
+                })
+            })
+            .collect();
+        for (h, qv) in handles.into_iter().zip(&queries) {
+            let got = h.join().unwrap();
+            let want = render_hits(&e.search_one(Direction::RecToIm, qv, 5));
+            assert_eq!(got, want);
+        }
+        b.shutdown();
+    }
+
+    #[test]
+    fn mixed_shapes_are_never_batched_together() {
+        // Different k values must still each get correct (k-length) answers.
+        let e = engine(4);
+        let b = Arc::new(Batcher::new(Arc::clone(&e), 16, Duration::from_millis(5), 1));
+        let handles: Vec<_> = (1..=6)
+            .map(|k| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let rx = b.submit(Direction::ImToRec, k, vec![0.5, 0.5, 0.0, 0.0]).unwrap();
+                    (k, rx.recv().unwrap())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (k, body) = h.join().unwrap();
+            let want =
+                render_hits(&e.search_one(Direction::ImToRec, &[0.5, 0.5, 0.0, 0.0], k));
+            assert_eq!(body, want, "k={k}");
+        }
+        b.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_then_refuses_new_ones() {
+        let e = engine(5);
+        // Long linger window so jobs are still queued when shutdown starts.
+        let b = Batcher::new(e, 64, Duration::from_secs(5), 1);
+        let rxs: Vec<_> = (0..10)
+            .map(|_| b.submit(Direction::ImToRec, 2, vec![1.0, 0.0, 0.0, 0.0]).unwrap())
+            .collect();
+        b.shutdown();
+        for rx in rxs {
+            assert!(rx.recv().is_ok(), "queued job dropped during drain");
+        }
+        assert!(matches!(
+            b.submit(Direction::ImToRec, 2, vec![1.0, 0.0, 0.0, 0.0]),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+}

@@ -1,0 +1,215 @@
+//! Sharded LRU result cache.
+//!
+//! Keys are raw request bytes (direction + k + query payload), values are
+//! fully rendered response bodies, so a cache hit bypasses the admission
+//! queue and the ranking kernel entirely. The map is split into
+//! independently locked shards selected by FNV-1a so concurrent
+//! connections rarely contend on one mutex; recency is a per-shard
+//! monotonic stamp and eviction removes the stalest entry of the *shard*
+//! (global capacity = sum of shard capacities). `cache_model.rs` checks
+//! the whole structure against a reference model under random workloads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// FNV-1a over `key`, the shard-selection hash.
+///
+/// Deterministic and dependency-free; exposed so the property-test model
+/// can reproduce the shard routing exactly.
+pub fn fnv1a(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Shard {
+    map: HashMap<Vec<u8>, (u64, String)>,
+    clock: u64,
+}
+
+impl Shard {
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// A sharded LRU map from request bytes to rendered response bodies.
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedCache {
+    /// Builds a cache of `shards` shards holding `capacity` entries in
+    /// total. Zero `capacity` or zero `shards` yields a disabled cache
+    /// (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = if capacity == 0 { 0 } else { shards };
+        let per_shard_cap = if shards == 0 { 0 } else { capacity.div_ceil(shards) };
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), clock: 0 }))
+                .collect(),
+            per_shard_cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The shard index `key` routes to (`fnv1a(key) % shards`).
+    ///
+    /// # Panics
+    /// Panics if the cache is disabled (zero shards); callers route through
+    /// [`get`](Self::get)/[`insert`](Self::insert), which check first.
+    // cmr-lint: allow(panic-path) documented precondition; get/insert guard the zero-shard case before calling
+    pub fn shard_index(&self, key: &[u8]) -> usize {
+        assert!(!self.shards.is_empty(), "shard_index on a disabled cache");
+        (fnv1a(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Per-shard entry ceiling (total capacity rounded up to a multiple of
+    /// the shard count, then split evenly).
+    pub fn per_shard_capacity(&self) -> usize {
+        self.per_shard_cap
+    }
+
+    /// Number of shards (0 when the cache is disabled).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    // cmr-lint: allow(panic-path) idx < shards.len() by modular reduction after the emptiness guard
+    pub fn get(&self, key: &[u8]) -> Option<String> {
+        if self.shards.is_empty() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let idx = self.shard_index(key);
+        let mut shard = self.shards[idx].lock().unwrap_or_else(|p| p.into_inner());
+        let stamp = shard.touch();
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.0 = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.1.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key → value`, evicting the shard's
+    /// least-recently-used entry if the shard would exceed its capacity.
+    // cmr-lint: allow(panic-path) idx < shards.len() by modular reduction after the emptiness guard
+    pub fn insert(&self, key: &[u8], value: String) {
+        if self.shards.is_empty() {
+            return;
+        }
+        let idx = self.shard_index(key);
+        let mut shard = self.shards[idx].lock().unwrap_or_else(|p| p.into_inner());
+        let stamp = shard.touch();
+        shard.map.insert(key.to_vec(), (stamp, value));
+        while shard.map.len() > self.per_shard_cap {
+            let stalest = shard
+                .map
+                .iter()
+                .min_by_key(|(_, (s, _))| *s)
+                .map(|(k, _)| k.clone());
+            match stalest {
+                Some(k) => shard.map.remove(&k),
+                None => break,
+            };
+        }
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).map.len())
+            .sum()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_and_stats_track() {
+        let c = ShardedCache::new(8, 2);
+        assert!(c.get(b"a").is_none());
+        c.insert(b"a", "va".into());
+        assert_eq!(c.get(b"a").as_deref(), Some("va"));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used_of_the_shard() {
+        // One shard, capacity 2: classic LRU behaviour is observable.
+        let c = ShardedCache::new(2, 1);
+        c.insert(b"a", "va".into());
+        c.insert(b"b", "vb".into());
+        assert_eq!(c.get(b"a").as_deref(), Some("va")); // refresh a
+        c.insert(b"c", "vc".into()); // evicts b, the stalest
+        assert!(c.get(b"b").is_none());
+        assert_eq!(c.get(b"a").as_deref(), Some("va"));
+        assert_eq!(c.get(b"c").as_deref(), Some("vc"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_growing() {
+        let c = ShardedCache::new(2, 1);
+        c.insert(b"a", "v1".into());
+        c.insert(b"a", "v2".into());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(b"a").as_deref(), Some("v2"));
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let c = ShardedCache::new(16, 4);
+        for i in 0..200u32 {
+            c.insert(&i.to_le_bytes(), format!("v{i}"));
+        }
+        assert!(c.len() <= c.shard_count() * c.per_shard_capacity());
+    }
+
+    #[test]
+    fn zero_capacity_disables_cleanly() {
+        let c = ShardedCache::new(0, 4);
+        c.insert(b"a", "va".into());
+        assert!(c.get(b"a").is_none());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.shard_count(), 0);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

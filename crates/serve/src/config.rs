@@ -1,0 +1,124 @@
+//! Server configuration and the two serving environment knobs.
+//!
+//! The only `std::env::var` reads in this crate live in this file (see
+//! [`ServeConfig::from_env`]) and are registered with the
+//! `env-centralization` lint rule:
+//!
+//! * `CMR_SERVE_BATCH` — admission-queue micro-batch ceiling,
+//! * `CMR_SERVE_WAIT_US` — admission-queue coalescing window in µs.
+//!
+//! Everything else (timeouts, cache geometry, worker count) is plain struct
+//! state with defaults tuned for the integration tests; bins override the
+//! fields directly from their CLI flags.
+
+use std::time::Duration;
+
+/// Admission-queue batch ceiling when `CMR_SERVE_BATCH` is unset/invalid.
+pub const DEFAULT_MAX_BATCH: usize = 8;
+/// Coalescing window when `CMR_SERVE_WAIT_US` is unset/invalid.
+pub const DEFAULT_MAX_WAIT_US: u64 = 500;
+
+/// Tunables for [`Server`](crate::Server), the admission queue and the
+/// result cache.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Largest micro-batch the admission queue hands the ranking kernel.
+    pub max_batch: usize,
+    /// How long the first queued request waits for company before its batch
+    /// is dispatched anyway.
+    pub max_wait: Duration,
+    /// Number of batcher worker threads draining the admission queue.
+    pub workers: usize,
+    /// Per-connection socket read timeout; a connection that goes quiet
+    /// mid-request for this long gets `408 Request Timeout`.
+    pub read_timeout: Duration,
+    /// Total result-cache capacity in entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+    /// Largest accepted request body in bytes (`413` beyond it).
+    pub max_body_bytes: usize,
+    /// Largest accepted request head (request line + headers, `431` beyond).
+    pub max_head_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: DEFAULT_MAX_BATCH,
+            max_wait: Duration::from_micros(DEFAULT_MAX_WAIT_US),
+            workers: 2,
+            read_timeout: Duration::from_millis(2000),
+            cache_capacity: 1024,
+            cache_shards: 8,
+            max_body_bytes: 1 << 20,
+            max_head_bytes: 8 << 10,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by the two serving env knobs, resolved through
+    /// `lookup` (`env::var` in production, a closure in tests).
+    ///
+    /// Unset, empty, unparsable or zero values fall back to the defaults —
+    /// a misconfigured knob must degrade to a working server, never panic.
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Self {
+        let mut cfg = ServeConfig::default();
+        if let Some(batch) = lookup("CMR_SERVE_BATCH").and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            if batch >= 1 {
+                cfg.max_batch = batch;
+            }
+        }
+        if let Some(us) = lookup("CMR_SERVE_WAIT_US").and_then(|v| v.trim().parse::<u64>().ok()) {
+            cfg.max_wait = Duration::from_micros(us);
+        }
+        cfg
+    }
+
+    /// [`from_lookup`](Self::from_lookup) against the process environment:
+    /// reads `CMR_SERVE_BATCH` and `CMR_SERVE_WAIT_US`.
+    pub fn from_env() -> Self {
+        Self::from_lookup(|name| std::env::var(name).ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_when_unset() {
+        let cfg = ServeConfig::from_lookup(|_| None);
+        assert_eq!(cfg.max_batch, DEFAULT_MAX_BATCH);
+        assert_eq!(cfg.max_wait, Duration::from_micros(DEFAULT_MAX_WAIT_US));
+    }
+
+    #[test]
+    fn knobs_override_defaults() {
+        let cfg = ServeConfig::from_lookup(|name| match name {
+            "CMR_SERVE_BATCH" => Some(" 32 ".into()),
+            "CMR_SERVE_WAIT_US" => Some("1500".into()),
+            _ => None,
+        });
+        assert_eq!(cfg.max_batch, 32);
+        assert_eq!(cfg.max_wait, Duration::from_micros(1500));
+    }
+
+    #[test]
+    fn invalid_or_zero_knobs_fall_back() {
+        let cfg = ServeConfig::from_lookup(|name| match name {
+            "CMR_SERVE_BATCH" => Some("0".into()),
+            "CMR_SERVE_WAIT_US" => Some("soon".into()),
+            _ => None,
+        });
+        assert_eq!(cfg.max_batch, DEFAULT_MAX_BATCH);
+        assert_eq!(cfg.max_wait, Duration::from_micros(DEFAULT_MAX_WAIT_US));
+        // A zero wait is a legal setting: dispatch immediately.
+        let eager = ServeConfig::from_lookup(|name| {
+            (name == "CMR_SERVE_WAIT_US").then(|| "0".to_string())
+        });
+        assert_eq!(eager.max_wait, Duration::ZERO);
+    }
+}

@@ -1,0 +1,113 @@
+//! The serving error taxonomy.
+//!
+//! Every failure a connection can hit maps to exactly one variant, and
+//! every variant maps to exactly one HTTP status — the fault-injection
+//! suite asserts both directions. Nothing here panics; connection handlers
+//! convert any `ServeError` into a response (or a silent close for
+//! `IdleClose`) and keep the server alive.
+
+use std::fmt;
+use std::io;
+
+/// A typed serving failure, each with a fixed HTTP status mapping.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Malformed request line, headers, query parameters or body (400).
+    BadRequest(String),
+    /// Unknown path (404).
+    NotFound,
+    /// Known path, wrong method (405).
+    MethodNotAllowed,
+    /// The connection went quiet mid-request past the read timeout (408).
+    RequestTimeout,
+    /// Body longer than the configured ceiling (413).
+    PayloadTooLarge,
+    /// Request head longer than the configured ceiling (431).
+    HeadersTooLarge,
+    /// The server is draining for shutdown and admits no new work (503).
+    ShuttingDown,
+    /// Clean end of a keep-alive connection (EOF or idle timeout between
+    /// requests): close the socket, send nothing.
+    IdleClose,
+    /// Transport failure talking to the peer; the connection is beyond a
+    /// response, so close.
+    Io(io::Error),
+}
+
+impl ServeError {
+    /// The HTTP status line for this error.
+    ///
+    /// [`IdleClose`](Self::IdleClose) and [`Io`](Self::Io) have no
+    /// meaningful response — the peer is gone — and report `None`.
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            ServeError::BadRequest(_) => Some((400, "Bad Request")),
+            ServeError::NotFound => Some((404, "Not Found")),
+            ServeError::MethodNotAllowed => Some((405, "Method Not Allowed")),
+            ServeError::RequestTimeout => Some((408, "Request Timeout")),
+            ServeError::PayloadTooLarge => Some((413, "Payload Too Large")),
+            ServeError::HeadersTooLarge => Some((431, "Request Header Fields Too Large")),
+            ServeError::ShuttingDown => Some((503, "Service Unavailable")),
+            ServeError::IdleClose | ServeError::Io(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::NotFound => write!(f, "not found"),
+            ServeError::MethodNotAllowed => write!(f, "method not allowed"),
+            ServeError::RequestTimeout => write!(f, "request timeout"),
+            ServeError::PayloadTooLarge => write!(f, "payload too large"),
+            ServeError::HeadersTooLarge => write!(f, "request head too large"),
+            ServeError::ShuttingDown => write!(f, "shutting down"),
+            ServeError::IdleClose => write!(f, "idle connection closed"),
+            ServeError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_responding_variant_has_a_distinct_status() {
+        let statuses: Vec<u16> = [
+            ServeError::BadRequest("x".into()),
+            ServeError::NotFound,
+            ServeError::MethodNotAllowed,
+            ServeError::RequestTimeout,
+            ServeError::PayloadTooLarge,
+            ServeError::HeadersTooLarge,
+            ServeError::ShuttingDown,
+        ]
+        .iter()
+        .map(|e| e.status().expect("responding variant").0)
+        .collect();
+        assert_eq!(statuses, [400, 404, 405, 408, 413, 431, 503]);
+    }
+
+    #[test]
+    fn closing_variants_have_no_status() {
+        assert!(ServeError::IdleClose.status().is_none());
+        assert!(ServeError::Io(io::Error::other("gone")).status().is_none());
+    }
+}

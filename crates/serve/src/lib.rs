@@ -1,0 +1,47 @@
+//! # cmr-serve
+//!
+//! A std-only micro-batching retrieval server for the trained cross-modal
+//! embeddings: a multi-threaded TCP front end with a minimal first-party
+//! HTTP/1.1 layer, answering im→rec and rec→im queries against in-memory
+//! galleries (exact batched kernel or IVF index).
+//!
+//! The paper frames retrieval in the cooking context as an interactive,
+//! Recipe1M-scale problem; this crate is the serving half of that claim.
+//! Its throughput lever is the **admission queue** ([`Batcher`]):
+//! concurrently arriving single queries are coalesced into micro-batches
+//! (knobs: `CMR_SERVE_BATCH`, `CMR_SERVE_WAIT_US`) and dispatched to the
+//! batched ranking kernel — which is bit-identical per query to the
+//! single-query path, so batching never changes response bytes. A sharded
+//! LRU cache ([`ShardedCache`]) keyed on the raw query bytes short-circuits
+//! repeats entirely.
+//!
+//! ```no_run
+//! use cmr_retrieval::Embeddings;
+//! use cmr_serve::{Engine, ServeConfig, Server};
+//!
+//! let recipes = Embeddings::new(2, vec![1.0, 0.0, 0.0, 1.0]);
+//! let images = recipes.clone();
+//! let engine = Engine::exact(recipes, images).expect("galleries valid");
+//! let mut server =
+//!     Server::start(engine, ServeConfig::from_env(), "127.0.0.1:0").expect("bind");
+//! println!("serving on {}", server.local_addr());
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod http;
+pub mod server;
+
+pub use batch::Batcher;
+pub use cache::ShardedCache;
+pub use config::ServeConfig;
+pub use engine::{render_hits, Backend, Direction, Engine};
+pub use error::ServeError;
+pub use server::{Server, MAX_K};

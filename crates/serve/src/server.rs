@@ -1,0 +1,270 @@
+//! The TCP front end: accept loop, per-connection threads, routing,
+//! cache-then-batcher request flow, and graceful shutdown.
+//!
+//! ## Protocol
+//!
+//! * `GET /healthz` — liveness probe, `200 ok`.
+//! * `POST /v1/search/im2rec?k=N` / `POST /v1/search/rec2im?k=N` — the body
+//!   is one query embedding as raw little-endian `f32` (so exactly
+//!   `4 × dim` bytes); the response is
+//!   `{"hits":[{"index":…,"similarity":…},…]}`. `k` defaults to 10.
+//!
+//! Connections are HTTP/1.1 keep-alive with a per-connection read timeout;
+//! every failure maps to a typed [`ServeError`] status (see
+//! [`crate::error`]). Each request is answered from the sharded result
+//! cache when possible and otherwise submitted to the admission queue,
+//! which batches it with concurrent arrivals before ranking.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] stops the accept loop, lets every connection
+//! thread finish its in-flight request (idle keep-alive connections close
+//! at their next read-timeout tick, so shutdown takes at most roughly one
+//! `read_timeout`), then drains the admission queue — no admitted request
+//! is dropped.
+
+use crate::batch::Batcher;
+use crate::cache::ShardedCache;
+use crate::config::ServeConfig;
+use crate::engine::{Direction, Engine};
+use crate::error::ServeError;
+use crate::http::{self, Limits, Request};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Hard ceiling on `k` per request, against memory-amplification abuse.
+pub const MAX_K: usize = 1000;
+
+/// Shared per-server state every connection thread sees.
+struct Ctx {
+    engine: Arc<Engine>,
+    batcher: Batcher,
+    cache: ShardedCache,
+    cfg: ServeConfig,
+    shutdown: AtomicBool,
+}
+
+/// A running retrieval server; dropping it shuts it down.
+pub struct Server {
+    ctx: Arc<Ctx>,
+    local_addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving `engine` with
+    /// `cfg`.
+    ///
+    /// # Errors
+    /// Propagates socket bind/configuration failures.
+    pub fn start(engine: Engine, cfg: ServeConfig, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let engine = Arc::new(engine);
+        let ctx = Arc::new(Ctx {
+            batcher: Batcher::new(
+                Arc::clone(&engine),
+                cfg.max_batch,
+                cfg.max_wait,
+                cfg.workers,
+            ),
+            cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
+            engine,
+            cfg,
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_ctx = Arc::clone(&ctx);
+        let accept_handle = std::thread::spawn(move || accept_loop(&listener, &accept_ctx));
+        cmr_obs::log(&format!("cmr-serve: listening on {local_addr}"));
+        Ok(Server { ctx, local_addr, accept_handle: Some(accept_handle) })
+    }
+
+    /// The bound address (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// `(hits, misses)` of the result cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.ctx.cache.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, finish in-flight requests, drain
+    /// the admission queue. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        self.ctx.batcher.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Polls for connections until shutdown, then joins the handlers it
+/// spawned.
+fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !ctx.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if cmr_obs::enabled() {
+                    cmr_obs::counter_add("serve.connections", 1);
+                }
+                let ctx = Arc::clone(ctx);
+                handlers.push(std::thread::spawn(move || handle_connection(stream, &ctx)));
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. aborted handshake): back
+                // off briefly and keep serving.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Serves one keep-alive connection until close, error, or shutdown.
+fn handle_connection(stream: TcpStream, ctx: &Ctx) {
+    if stream.set_read_timeout(Some(ctx.cfg.read_timeout)).is_err() {
+        return;
+    }
+    // Responses are small; Nagle would add delayed-ACK stalls per reply.
+    let _ = stream.set_nodelay(true);
+    let limits = Limits {
+        max_head_bytes: ctx.cfg.max_head_bytes,
+        max_body_bytes: ctx.cfg.max_body_bytes,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match http::read_request(&mut reader, &limits) {
+            Ok(req) => req,
+            Err(err) => {
+                if cmr_obs::enabled() && err.status().is_some() {
+                    cmr_obs::counter_add("serve.errors", 1);
+                }
+                let _ = http::write_error(reader.get_mut(), &err);
+                return;
+            }
+        };
+        let span = cmr_obs::span("serve.request_latency_s");
+        if cmr_obs::enabled() {
+            cmr_obs::counter_add("serve.requests", 1);
+        }
+        let shutting_down = ctx.shutdown.load(Ordering::SeqCst);
+        let keep_alive = !req.wants_close() && !shutting_down;
+        let outcome = route(&req, ctx);
+        drop(span);
+        match outcome {
+            Ok((content_type, body)) => {
+                if http::write_response(
+                    reader.get_mut(),
+                    200,
+                    "OK",
+                    content_type,
+                    body.as_bytes(),
+                    keep_alive,
+                )
+                .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Err(err) => {
+                if cmr_obs::enabled() && err.status().is_some() {
+                    cmr_obs::counter_add("serve.errors", 1);
+                }
+                let _ = http::write_error(reader.get_mut(), &err);
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches one parsed request, returning `(content_type, body)`.
+fn route(req: &Request, ctx: &Ctx) -> Result<(&'static str, String), ServeError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Ok(("text/plain", "ok\n".to_string())),
+        (_, "/healthz") => Err(ServeError::MethodNotAllowed),
+        (method, path) => match path.strip_prefix("/v1/search/").and_then(Direction::from_str) {
+            Some(direction) if method == "POST" => search(req, ctx, direction),
+            Some(_) => Err(ServeError::MethodNotAllowed),
+            None => Err(ServeError::NotFound),
+        },
+    }
+}
+
+/// The search endpoint: validate, consult the cache, else batch and rank.
+// cmr-lint: allow(panic-path) chunks_exact(4) guarantees the c[0..4] probes are in range
+fn search(
+    req: &Request,
+    ctx: &Ctx,
+    direction: Direction,
+) -> Result<(&'static str, String), ServeError> {
+    let k = match req.query_param("k") {
+        None => 10,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) if (1..=MAX_K).contains(&k) => k,
+            _ => {
+                return Err(ServeError::BadRequest(format!(
+                    "k must be an integer in 1..={MAX_K}, got {raw:?}"
+                )))
+            }
+        },
+    };
+    let dim = ctx.engine.dim();
+    if req.body.len() != dim * 4 {
+        return Err(ServeError::BadRequest(format!(
+            "query body must be {} bytes ({dim} little-endian f32), got {}",
+            dim * 4,
+            req.body.len()
+        )));
+    }
+    let query: Vec<f32> = req
+        .body
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    if query.iter().any(|x| !x.is_finite()) {
+        return Err(ServeError::BadRequest("query contains non-finite values".into()));
+    }
+
+    // Cache key: direction tag, k, then the raw query bytes.
+    let mut key = Vec::with_capacity(1 + 8 + req.body.len());
+    key.push(direction.tag());
+    key.extend_from_slice(&(k as u64).to_le_bytes());
+    key.extend_from_slice(&req.body);
+    if let Some(body) = ctx.cache.get(&key) {
+        if cmr_obs::enabled() {
+            cmr_obs::counter_add("serve.cache.hits", 1);
+        }
+        return Ok(("application/json", body));
+    }
+    if cmr_obs::enabled() {
+        cmr_obs::counter_add("serve.cache.misses", 1);
+    }
+
+    let rx = ctx.batcher.submit(direction, k, query)?;
+    // A dropped sender means the drain finished without this job, which
+    // submit()'s shutdown check rules out — but map it defensively.
+    let body = rx.recv().map_err(|_| ServeError::ShuttingDown)?;
+    ctx.cache.insert(&key, body.clone());
+    Ok(("application/json", body))
+}

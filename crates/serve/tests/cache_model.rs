@@ -1,0 +1,149 @@
+//! Property test: [`ShardedCache`] against a reference per-shard LRU
+//! model under random get/insert workloads.
+//!
+//! The model routes keys with the same exposed [`fnv1a`] hash and keeps
+//! each shard as a recency-ordered list (front = least recently used).
+//! That is exactly the cache's stamp semantics: a hit refreshes the
+//! entry's stamp, an insert stamps the (new or refreshed) entry last, a
+//! miss advances the clock without reordering anything, and eviction
+//! removes the minimum stamp — i.e. the front of the recency list.
+
+use cmr_serve::cache::fnv1a;
+use cmr_serve::ShardedCache;
+use proptest::prelude::*;
+
+/// Reference model: per-shard recency lists plus hit/miss counters.
+struct ModelCache {
+    shards: Vec<Vec<(Vec<u8>, String)>>,
+    per_shard_cap: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ModelCache {
+    fn new(capacity: usize, shards: usize) -> Self {
+        let shards = if capacity == 0 { 0 } else { shards };
+        let per_shard_cap = if shards == 0 { 0 } else { capacity.div_ceil(shards) };
+        ModelCache { shards: vec![Vec::new(); shards], per_shard_cap, hits: 0, misses: 0 }
+    }
+
+    fn shard_of(&self, key: &[u8]) -> usize {
+        (fnv1a(key) % self.shards.len() as u64) as usize
+    }
+
+    fn get(&mut self, key: &[u8]) -> Option<String> {
+        if self.shards.is_empty() {
+            self.misses += 1;
+            return None;
+        }
+        let idx = self.shard_of(key);
+        let shard = &mut self.shards[idx];
+        match shard.iter().position(|(k, _)| k == key) {
+            Some(pos) => {
+                let entry = shard.remove(pos);
+                let value = entry.1.clone();
+                shard.push(entry); // most recently used = back
+                self.hits += 1;
+                Some(value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: &[u8], value: String) {
+        if self.shards.is_empty() {
+            return;
+        }
+        let idx = self.shard_of(key);
+        let cap = self.per_shard_cap;
+        let shard = &mut self.shards[idx];
+        if let Some(pos) = shard.iter().position(|(k, _)| k == key) {
+            shard.remove(pos);
+        }
+        shard.push((key.to_vec(), value));
+        while shard.len() > cap {
+            shard.remove(0); // front = least recently used
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+}
+
+/// One decoded workload step.
+enum Op {
+    Get(Vec<u8>),
+    Insert(Vec<u8>, String),
+}
+
+/// Decodes a raw `(selector, key_id)` pair into an operation over a small
+/// key space (small enough that collisions, refreshes and evictions all
+/// actually happen within a run).
+fn decode(selector: u8, key_id: u8) -> Op {
+    // Two-byte keys spread better across FNV shard routing than one byte.
+    let key = vec![key_id, key_id.wrapping_mul(31)];
+    if selector % 2 == 0 {
+        Op::Get(key)
+    } else {
+        Op::Insert(key.clone(), format!("v{key_id}:{selector}"))
+    }
+}
+
+proptest! {
+    /// Every get agrees with the model, per-shard occupancy never exceeds
+    /// the advertised ceiling, and the hit/miss counters match exactly.
+    #[test]
+    fn cache_matches_reference_lru_model(
+        capacity in 0usize..24,
+        shards in 1usize..6,
+        ops in proptest::collection::vec((0u8..=255, 0u8..40), 1usize..400),
+    ) {
+        let cache = ShardedCache::new(capacity, shards);
+        let mut model = ModelCache::new(capacity, shards);
+        prop_assert_eq!(cache.shard_count(), model.shards.len());
+        prop_assert_eq!(cache.per_shard_capacity(), model.per_shard_cap);
+
+        for &(selector, key_id) in &ops {
+            match decode(selector, key_id) {
+                Op::Get(key) => {
+                    prop_assert_eq!(cache.get(&key), model.get(&key), "get {:?}", key);
+                }
+                Op::Insert(key, value) => {
+                    cache.insert(&key, value.clone());
+                    model.insert(&key, value);
+                }
+            }
+            prop_assert!(
+                cache.len() <= cache.shard_count() * cache.per_shard_capacity(),
+                "advertised capacity ceiling exceeded"
+            );
+        }
+
+        prop_assert_eq!(cache.len(), model.len(), "occupancy diverged from model");
+        prop_assert_eq!(cache.stats(), (model.hits, model.misses), "hit/miss counters diverged");
+
+        // Drain check: every key the model still holds must hit with the
+        // model's value; every key it dropped must miss.
+        for key_id in 0u8..40 {
+            let key = vec![key_id, key_id.wrapping_mul(31)];
+            prop_assert_eq!(cache.get(&key), model.get(&key), "post-run get {:?}", key);
+        }
+    }
+
+    /// The shard router is stable and in range for arbitrary keys.
+    #[test]
+    fn shard_routing_is_deterministic(
+        key in proptest::collection::vec(0u8..=255, 0usize..32),
+        shards in 1usize..9,
+    ) {
+        let cache = ShardedCache::new(64, shards);
+        let idx = cache.shard_index(&key);
+        prop_assert!(idx < cache.shard_count());
+        prop_assert_eq!(idx, cache.shard_index(&key));
+        prop_assert_eq!(idx as u64, fnv1a(&key) % shards as u64);
+    }
+}

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Repo verification gate: the tier-1 build/test gate plus the robustness
-# suites (fault injection + checkpoint round-trip properties).
+# suites (fault injection + checkpoint round-trip properties) and the
+# serving gate (live server + loadgen smoke + archived benchmark).
 #
 #   ./scripts/verify.sh
 #
 # Exits non-zero on the first failure. Prints per-gate wall-clock timings
 # and finishes with the one-line cmr-lint summary and a one-line obs
 # summary. Archives the lint artifacts (results/LINT_report.json,
-# results/CALLGRAPH.json) and the obs artifacts (results/OBS_train.json,
-# results/OBS_retrieval.json).
+# results/CALLGRAPH.json), the obs artifacts (results/OBS_train.json,
+# results/OBS_retrieval.json) and the serving artifacts
+# (results/BENCH_serve.json, results/OBS_serve.json).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -53,7 +55,7 @@ check_obs_schema() {
             echo "obs schema: missing artifact $f"
             return 1
         fi
-        if ! grep -q '"schema_version": 1' "$f"; then
+        if ! grep -q '"schema_version": 2' "$f"; then
             echo "obs schema: wrong or missing schema_version in $f"
             return 1
         fi
@@ -67,7 +69,8 @@ check_obs_schema() {
     done
     for key in '"retrieval.query_latency_s"' '"retrieval.ivf.queries"' \
                '"retrieval.ivf.cells_probed"' '"retrieval.ivf.candidates_scanned"' \
-               '"retrieval.ivf.checked"' '"retrieval.ivf.agree_top1"' '"p50"' '"p99"'; do
+               '"retrieval.ivf.checked"' '"retrieval.ivf.agree_top1"' '"p50"' '"p99"' \
+               '"p999"'; do
         if ! grep -q "$key" results/OBS_retrieval.json; then
             echo "obs schema: $key missing from results/OBS_retrieval.json"
             return 1
@@ -75,6 +78,69 @@ check_obs_schema() {
     done
 }
 gate "observability: artifact schema" check_obs_schema
+
+# Serving gate: boot the standalone server, smoke it with the load
+# generator (which exits non-zero on any failed request), then archive and
+# schema-check the serving benchmark (results/BENCH_serve.json,
+# results/OBS_serve.json).
+check_serve() {
+    rm -f results/serve.addr
+    cargo run --release -q -p cmr-bench --bin serve -- \
+        --addr 127.0.0.1:0 --addr-file results/serve.addr \
+        --gallery 500 --dim 32 --duration-s 20 &
+    local serve_pid=$!
+    local tries=0
+    while [[ ! -s results/serve.addr ]]; do
+        if ! kill -0 "$serve_pid" 2>/dev/null; then
+            echo "serve: server exited before publishing its address"
+            return 1
+        fi
+        tries=$((tries + 1))
+        if [[ $tries -gt 100 ]]; then
+            echo "serve: timed out waiting for results/serve.addr"
+            kill "$serve_pid" 2>/dev/null || true
+            return 1
+        fi
+        sleep 0.1
+    done
+    local addr rc=0
+    addr=$(cat results/serve.addr)
+    cargo run --release -q -p cmr-bench --bin loadgen -- \
+        --addr "$addr" --clients 8 --requests 50 --dim 32 || rc=$?
+    kill "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+    if [[ $rc -ne 0 ]]; then
+        echo "serve: loadgen smoke failed against $addr"
+        return 1
+    fi
+    cargo run --release -q -p cmr-bench --bin bench_serve -- \
+        --clients 16 --requests 60 --gallery 500 --dim 32 --out results
+}
+gate "serving: server + loadgen smoke + benchmark" check_serve
+
+check_serve_schema() {
+    local key
+    if [[ ! -f results/BENCH_serve.json ]]; then
+        echo "serve schema: missing artifact results/BENCH_serve.json"
+        return 1
+    fi
+    if ! grep -q '"schema_version": 1' results/BENCH_serve.json; then
+        echo "serve schema: wrong or missing schema_version in results/BENCH_serve.json"
+        return 1
+    fi
+    for key in '"throughput_rps"' '"latency_s"' '"p50"' '"p99"' '"p999"' \
+               '"batch_size"' '"cache"' '"max_batch"' '"max_wait_us"'; do
+        if ! grep -q "$key" results/BENCH_serve.json; then
+            echo "serve schema: $key missing from results/BENCH_serve.json"
+            return 1
+        fi
+    done
+    if ! grep -q '"errors": 0' results/BENCH_serve.json; then
+        echo "serve schema: benchmark recorded request errors"
+        return 1
+    fi
+}
+gate "serving: benchmark artifact schema" check_serve_schema
 
 echo "== gate timings =="
 for t in "${GATE_TIMINGS[@]}"; do
@@ -89,5 +155,11 @@ cargo run -p cmr-lint --release -q -- --workspace 2>/dev/null | tail -1
 p50=$(grep -m1 '"p50"' results/OBS_retrieval.json | sed 's/.*: *//; s/,.*//')
 p99=$(grep -m1 '"p99"' results/OBS_retrieval.json | sed 's/.*: *//; s/,.*//')
 echo "obs: retrieval query latency p50 ${p50}s p99 ${p99}s (results/OBS_train.json, results/OBS_retrieval.json)"
+
+# One-line serving snapshot from the freshly written benchmark artifact.
+rps=$(grep -m1 '"throughput_rps"' results/BENCH_serve.json | sed 's/.*: *//; s/,.*//')
+sp50=$(grep -m1 '"p50"' results/BENCH_serve.json | sed 's/.*: *//; s/,.*//')
+sp999=$(grep -m1 '"p999"' results/BENCH_serve.json | sed 's/.*: *//; s/,.*//')
+echo "serve: ${rps} req/s, latency p50 ${sp50}s p999 ${sp999}s (results/BENCH_serve.json)"
 
 echo "verify: all gates green"

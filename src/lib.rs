@@ -15,6 +15,7 @@
 //! * [`word2vec`] — SGNS word embeddings,
 //! * [`data`] — the synthetic Recipe1M-like dataset,
 //! * [`retrieval`] — cross-modal evaluation protocol and ANN index,
+//! * [`serve`] — the micro-batching retrieval server,
 //! * [`cca`] — the CCA baseline,
 //! * [`tsne`] — t-SNE visualisation,
 //! * [`adamine`] — the paper's contribution: double-triplet losses with
@@ -31,6 +32,7 @@ pub use cmr_linalg as linalg;
 pub use cmr_nn as nn;
 pub use cmr_obs as obs;
 pub use cmr_retrieval as retrieval;
+pub use cmr_serve as serve;
 pub use cmr_tensor as tensor;
 pub use cmr_tsne as tsne;
 pub use cmr_word2vec as word2vec;

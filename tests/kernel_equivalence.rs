@@ -11,6 +11,7 @@
 
 use cmr_retrieval::{
     evaluate_bags, metrics::ranks_of_matches_reference, ranks_of_matches, BagConfig, Embeddings,
+    IvfIndex,
 };
 use cmr_tensor::matmul::{
     matmul, matmul_serial, matmul_transa, matmul_transa_serial, matmul_transb,
@@ -145,6 +146,42 @@ fn evaluate_bags_is_invariant_to_thread_count() {
     set_num_threads(std::thread::available_parallelism().map_or(1, |n| n.get()));
 }
 
+/// The amortized IVF batch path returns exactly the per-query `search`
+/// results — same hits, bit-identical similarities — for every query in
+/// the batch. This is the invariant the serving layer's micro-batcher
+/// leans on: coalescing queries must be invisible in the response bytes.
+#[test]
+fn ivf_search_batch_equals_per_query_search() {
+    for &(n, dim, nlist, nprobe, batch, seed) in &[
+        (200usize, 12usize, 8usize, 2usize, 1usize, 50u64), // singleton batch
+        (200, 12, 8, 2, 7, 51),
+        (300, 16, 16, 4, 32, 52),
+        (120, 8, 5, 5, 11, 53),  // nprobe = nlist: exhaustive probing
+        (64, 6, 12, 1, 16, 54),  // more lists than points per list
+    ] {
+        let gallery = random_embeddings(n, dim, seed);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xABCD);
+        let index = IvfIndex::build(gallery, nlist, 4, &mut rng);
+        let queries = random_embeddings(batch, dim, seed + 1000);
+        for k in [1, 3, 10] {
+            let batched = index.search_batch(&queries, k, nprobe);
+            assert_eq!(batched.len(), batch);
+            for (qi, hits) in batched.iter().enumerate() {
+                let single = index.search(queries.vector(qi), k, nprobe);
+                assert_eq!(hits.len(), single.len(), "n={n} k={k} query {qi}");
+                for (b, s) in hits.iter().zip(&single) {
+                    assert_eq!(b.index, s.index, "n={n} k={k} query {qi}");
+                    assert_eq!(
+                        b.similarity.to_bits(),
+                        s.similarity.to_bits(),
+                        "similarity not bit-identical: n={n} k={k} query {qi}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     /// Randomized shapes, including non-multiples of every tile size.
     #[test]
@@ -172,5 +209,23 @@ proptest! {
         let q = random_embeddings(n, dim, seed);
         let g = random_embeddings(n, dim, seed.wrapping_add(9000));
         prop_assert_eq!(ranks_of_matches(&q, &g), ranks_of_matches_reference(&q, &g));
+    }
+
+    /// Randomized IVF batch-vs-single equivalence across geometries.
+    #[test]
+    fn ivf_batch_matches_single_on_random_geometries(
+        (n, dim) in (20usize..150, 2usize..16),
+        (nlist, nprobe) in (1usize..10, 1usize..10),
+        batch in 1usize..12,
+        seed in 0u64..200,
+    ) {
+        let gallery = random_embeddings(n, dim, seed);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let index = IvfIndex::build(gallery, nlist, 3, &mut rng);
+        let queries = random_embeddings(batch, dim, seed.wrapping_add(7000));
+        let batched = index.search_batch(&queries, 5, nprobe);
+        for (qi, hits) in batched.iter().enumerate() {
+            prop_assert_eq!(hits, &index.search(queries.vector(qi), 5, nprobe));
+        }
     }
 }

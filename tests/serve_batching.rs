@@ -1,0 +1,243 @@
+//! Integration: concurrent clients against a real `cmr-serve` socket.
+//!
+//! The contract under test is the serving tentpole invariant — responses
+//! from the micro-batched path are **byte-identical** to the single-query
+//! reference path, while the admission queue actually coalesces
+//! (observability batch-size histogram p50 > 1 under concurrent load) and
+//! the sharded cache serves repeated queries without recompute.
+//!
+//! The obs registry is process-global, so the tests in this binary
+//! serialize on one mutex and reset the registry while holding it.
+
+use cmr_retrieval::Embeddings;
+use cmr_serve::http::{read_response, write_request, Limits, Response};
+use cmr_serve::{render_hits, Direction, Engine, ServeConfig, Server};
+use rand::{Rng, SeedableRng};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Serializes the tests in this binary (shared process-global obs state).
+fn registry_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn gallery(n: usize, dim: usize, seed: u64) -> Embeddings {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    Embeddings::new(dim, (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .l2_normalized()
+}
+
+fn query(dim: usize, rng: &mut impl Rng) -> Vec<f32> {
+    (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// A minimal keep-alive test client over the crate's own HTTP layer.
+struct TestClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl TestClient {
+    fn connect(addr: &str) -> TestClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).expect("read timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        TestClient { reader: BufReader::new(stream) }
+    }
+
+    fn search(&mut self, direction: Direction, k: usize, q: &[f32]) -> Response {
+        let body: Vec<u8> = q.iter().flat_map(|x| x.to_le_bytes()).collect();
+        write_request(
+            self.reader.get_mut(),
+            "POST",
+            &format!("/v1/search/{}?k={k}", direction.as_str()),
+            &body,
+        )
+        .expect("write request");
+        read_response(
+            &mut self.reader,
+            &Limits { max_head_bytes: 64 << 10, max_body_bytes: 1 << 20 },
+        )
+        .expect("read response")
+    }
+}
+
+const DIM: usize = 16;
+
+/// Two engines over identical bytes: one serves, one stays as the
+/// single-query reference oracle.
+fn paired_engines(seed: u64) -> (Engine, Engine) {
+    let recipes = gallery(400, DIM, seed);
+    let images = gallery(300, DIM, seed + 1);
+    (
+        Engine::exact(recipes.clone(), images.clone()).expect("serving engine"),
+        Engine::exact(recipes, images).expect("reference engine"),
+    )
+}
+
+#[test]
+fn concurrent_clients_get_reference_identical_responses_and_batches_coalesce() {
+    let _guard = registry_lock();
+    cmr_obs::reset();
+    cmr_obs::set_enabled(true);
+
+    let (serving, reference) = paired_engines(11);
+    // A generous coalescing window so concurrent arrivals reliably share
+    // batches; correctness must hold regardless.
+    let cfg = ServeConfig {
+        max_batch: 8,
+        max_wait: Duration::from_millis(4),
+        cache_capacity: 0, // no cache: every request must cross the batcher
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(serving, cfg, "127.0.0.1:0").expect("start server");
+    let addr = server.local_addr().to_string();
+
+    const CLIENTS: usize = 16;
+    const PER_CLIENT: usize = 25;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|id| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = TestClient::connect(&addr);
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(7000 + id as u64);
+                let mut sent = Vec::with_capacity(PER_CLIENT);
+                for i in 0..PER_CLIENT {
+                    let direction =
+                        if (id + i) % 2 == 0 { Direction::ImToRec } else { Direction::RecToIm };
+                    let k = 1 + (i % 7);
+                    let q = query(DIM, &mut rng);
+                    let resp = client.search(direction, k, &q);
+                    assert_eq!(resp.status, 200, "client {id} request {i}");
+                    sent.push((direction, k, q, resp.body));
+                }
+                sent
+            })
+        })
+        .collect();
+
+    let mut total = 0usize;
+    for handle in handles {
+        for (direction, k, q, body) in handle.join().expect("client thread") {
+            let want = render_hits(&reference.search_one(direction, &q, k));
+            assert_eq!(
+                String::from_utf8(body).expect("utf8 body"),
+                want,
+                "batched response diverged from the single-query reference"
+            );
+            total += 1;
+        }
+    }
+    assert_eq!(total, CLIENTS * PER_CLIENT);
+
+    server.shutdown();
+    let snap = cmr_obs::snapshot("serve.");
+    cmr_obs::set_enabled(false);
+
+    let batch_size = snap
+        .histograms
+        .iter()
+        .find(|(name, _)| name == "serve.batch_size")
+        .map(|(_, h)| h)
+        .expect("serve.batch_size histogram recorded");
+    assert_eq!(batch_size.sum as usize, total, "every request crossed the batcher exactly once");
+    assert!(
+        batch_size.p50 > 1.0,
+        "admission queue failed to coalesce under {CLIENTS} concurrent clients \
+         (batch-size p50 = {}, batches = {})",
+        batch_size.p50,
+        batch_size.count,
+    );
+    let batches = snap
+        .counters
+        .iter()
+        .find(|(name, _)| name == "serve.batches")
+        .map_or(0, |&(_, v)| v);
+    assert!(
+        (batches as usize) < total,
+        "batch count {batches} not smaller than request count {total}: nothing coalesced"
+    );
+}
+
+#[test]
+fn repeated_queries_are_served_from_the_cache_without_recompute() {
+    let _guard = registry_lock();
+    cmr_obs::reset();
+    cmr_obs::set_enabled(true);
+
+    let (serving, reference) = paired_engines(23);
+    let cfg = ServeConfig { cache_capacity: 64, cache_shards: 4, ..ServeConfig::default() };
+    let mut server = Server::start(serving, cfg, "127.0.0.1:0").expect("start server");
+    let addr = server.local_addr().to_string();
+
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+    let q = query(DIM, &mut rng);
+    let want = render_hits(&reference.search_one(Direction::ImToRec, &q, 10));
+
+    let mut client = TestClient::connect(&addr);
+    const REPEATS: usize = 6;
+    for i in 0..REPEATS {
+        let resp = client.search(Direction::ImToRec, 10, &q);
+        assert_eq!(resp.status, 200);
+        assert_eq!(String::from_utf8(resp.body).expect("utf8"), want, "repeat {i}");
+    }
+    // Same bytes, different k: a distinct cache entry, not a false hit.
+    let other = client.search(Direction::ImToRec, 3, &q);
+    assert_eq!(
+        String::from_utf8(other.body).expect("utf8"),
+        render_hits(&reference.search_one(Direction::ImToRec, &q, 3))
+    );
+
+    let (hits, misses) = server.cache_stats();
+    assert_eq!(
+        (hits, misses),
+        ((REPEATS - 1) as u64, 2),
+        "first send of each (k, query) misses, every repeat hits"
+    );
+
+    server.shutdown();
+    let snap = cmr_obs::snapshot("serve.");
+    cmr_obs::set_enabled(false);
+    let batched = snap
+        .counters
+        .iter()
+        .find(|(name, _)| name == "serve.batched_requests")
+        .map_or(0, |&(_, v)| v);
+    assert_eq!(batched, 2, "cache hits must not reach the ranking kernel");
+}
+
+#[test]
+fn healthz_and_keep_alive_work_across_many_requests() {
+    let _guard = registry_lock();
+    cmr_obs::reset();
+
+    let (serving, reference) = paired_engines(31);
+    let mut server =
+        Server::start(serving, ServeConfig::default(), "127.0.0.1:0").expect("start server");
+    let addr = server.local_addr().to_string();
+
+    let mut client = TestClient::connect(&addr);
+    write_request(client.reader.get_mut(), "GET", "/healthz", b"").expect("healthz");
+    let resp = read_response(
+        &mut client.reader,
+        &Limits { max_head_bytes: 64 << 10, max_body_bytes: 1 << 20 },
+    )
+    .expect("healthz response");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, b"ok\n");
+
+    // The same connection then serves a burst of searches (keep-alive).
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+    for _ in 0..20 {
+        let q = query(DIM, &mut rng);
+        let resp = client.search(Direction::RecToIm, 4, &q);
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            String::from_utf8(resp.body).expect("utf8"),
+            render_hits(&reference.search_one(Direction::RecToIm, &q, 4))
+        );
+    }
+    server.shutdown();
+}
