@@ -3,6 +3,10 @@
 //! Serves synthetic (or blob-loaded) galleries over the `cmr-serve`
 //! protocol until `--duration-s` elapses (0 = forever). The batching knobs
 //! come from the environment (`CMR_SERVE_BATCH`, `CMR_SERVE_WAIT_US`).
+//! Setting `CMR_SERVE_SHARDS` above 1 boots that many in-process shard
+//! workers and serves through the scatter-gather router instead
+//! (`CMR_SERVE_DEADLINE_US`, `CMR_SERVE_RETRIES`, `CMR_SERVE_HEDGE_US`
+//! tune it); sharded mode always uses the exact backend.
 //!
 //! ```text
 //! cargo run --release -p cmr-bench --bin serve -- \
@@ -16,7 +20,7 @@
 //! its contents.
 
 use cmr_bench::serving::{build_engine, galleries_from_dir, synthetic_gallery};
-use cmr_serve::{ServeConfig, Server};
+use cmr_serve::{Router, RouterConfig, ServeConfig, Server, ShardFleet};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -78,17 +82,28 @@ fn main() {
             synthetic_gallery(args.gallery, args.dim, args.seed.wrapping_add(1)),
         ),
     };
-    let engine = build_engine(recipes, images, args.ivf_nlist, args.nprobe, args.seed);
     let cfg = ServeConfig::from_env();
     println!(
-        "serve: gallery {} dim {} backend {} batch {} wait {:?}",
+        "serve: gallery {} dim {} backend {} batch {} wait {:?} shards {}",
         args.gallery,
         args.dim,
         if args.ivf_nlist == 0 { "exact".to_string() } else { format!("ivf({})", args.ivf_nlist) },
         cfg.max_batch,
         cfg.max_wait,
+        cfg.shards,
     );
-    let mut server = Server::start(engine, cfg, &args.addr).expect("bind serving socket");
+    let (mut server, mut fleet) = if cfg.shards > 1 {
+        let dim = recipes.dim;
+        let fleet =
+            ShardFleet::launch(&recipes, &images, cfg.shards, &cfg).expect("spawn shard fleet");
+        let router = Router::new(fleet.specs(), dim, RouterConfig::from_serve(&cfg));
+        let server =
+            Server::start_sharded(router, cfg, &args.addr).expect("bind serving socket");
+        (server, Some(fleet))
+    } else {
+        let engine = build_engine(recipes, images, args.ivf_nlist, args.nprobe, args.seed);
+        (Server::start(engine, cfg, &args.addr).expect("bind serving socket"), None)
+    };
     let addr = server.local_addr();
     println!("serve: listening on {addr}");
     if let Some(path) = &args.addr_file {
@@ -104,6 +119,9 @@ fn main() {
     }
     std::thread::sleep(Duration::from_secs(args.duration_s));
     server.shutdown();
+    if let Some(fleet) = &mut fleet {
+        fleet.shutdown();
+    }
     let (hits, misses) = server.cache_stats();
     println!("serve: done (cache {hits} hits / {misses} misses)");
 }

@@ -1,0 +1,15 @@
+//! Fixture: the four scatter-gather serving knobs, read the way the serve
+//! config module reads them. Clean when linted at the sanctioned path
+//! (`crates/serve/src/config.rs`); every read is a finding anywhere else
+//! in the serve crate (e.g. the router must not reach for the
+//! environment itself).
+
+/// Reads the sharded-serving knobs.
+pub fn scatter_gather_knobs() -> (Option<String>, Option<String>, Option<String>, Option<String>) {
+    (
+        std::env::var("CMR_SERVE_SHARDS").ok(),
+        std::env::var("CMR_SERVE_DEADLINE_US").ok(),
+        std::env::var("CMR_SERVE_RETRIES").ok(),
+        std::env::var("CMR_SERVE_HEDGE_US").ok(),
+    )
+}

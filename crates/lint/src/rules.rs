@@ -134,8 +134,12 @@ fn is_bench_crate(path: &str) -> bool {
 
 /// Sanctioned `env::var` sites: the `CMR_NUM_THREADS` knob in the
 /// threading module, the `CMR_OBS` knob in the obs crate root, the
-/// serving knobs (`CMR_SERVE_BATCH`, `CMR_SERVE_WAIT_US`) in the serve
-/// config module, and the experiment harness.
+/// serving knobs (`CMR_SERVE_BATCH`, `CMR_SERVE_WAIT_US`, and the
+/// scatter-gather knobs `CMR_SERVE_SHARDS`, `CMR_SERVE_DEADLINE_US`,
+/// `CMR_SERVE_RETRIES`, `CMR_SERVE_HEDGE_US`) in the serve config
+/// module, and the experiment harness. Router/shard/breaker code must
+/// take its tuning from `ServeConfig`, never from the environment
+/// directly.
 fn env_var_allowed(path: &str) -> bool {
     path == "crates/tensor/src/threading.rs"
         || path == "crates/obs/src/lib.rs"

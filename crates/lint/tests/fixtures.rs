@@ -151,6 +151,23 @@ fn serve_config_module_may_read_env() {
     assert!(rules_of(&elsewhere).contains(&"env-centralization"), "{elsewhere:?}");
 }
 
+/// The four scatter-gather knobs (`CMR_SERVE_SHARDS`,
+/// `CMR_SERVE_DEADLINE_US`, `CMR_SERVE_RETRIES`, `CMR_SERVE_HEDGE_US`)
+/// are registered at the same sanctioned site as the batching knobs: the
+/// serve config module. Reading them from the router (or anywhere else in
+/// the serve crate) is a finding per knob.
+#[test]
+fn scatter_gather_knobs_are_centralized_in_serve_config() {
+    let findings = lint_as("crates/serve/src/config.rs", "serve_knobs.rs");
+    assert!(findings.is_empty(), "{findings:?}");
+    let elsewhere = lint_as("crates/serve/src/router.rs", "serve_knobs.rs");
+    assert_eq!(
+        rules_of(&elsewhere),
+        vec!["env-centralization"; 4],
+        "one finding per knob read outside config.rs: {elsewhere:?}"
+    );
+}
+
 #[test]
 fn json_report_is_diffable() {
     let findings = lib("violations.rs");

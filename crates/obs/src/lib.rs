@@ -3,6 +3,8 @@
 //! Three primitives feed one process-global registry:
 //!
 //! * [`counter_add`] — monotonic `u64` counters (saturating on overflow),
+//! * [`gauge_set`] — last-write-wins point-in-time levels (e.g. a shard's
+//!   circuit-breaker state),
 //! * [`observe`] / [`span`] — fixed-bucket value/latency histograms with a
 //!   1–2–5 log ladder of bucket edges (see [`BUCKET_EDGES`]),
 //! * [`series_push`] — ordered rows of named `f64` fields (e.g. one row per
@@ -33,7 +35,8 @@ mod span;
 
 pub use hist::{HistogramSnapshot, BUCKET_EDGES};
 pub use registry::{
-    counter_add, observe, reset, series_push, snapshot, summary_line, write_artifact, Snapshot,
+    counter_add, gauge_set, observe, reset, series_push, snapshot, summary_line, write_artifact,
+    Snapshot,
 };
 pub use span::{span, time_block, Span, TimeBlock};
 
@@ -125,6 +128,7 @@ mod tests {
         reset();
         set_enabled(false);
         counter_add("noop.counter", 7);
+        gauge_set("noop.gauge", 1.0);
         observe("noop.hist", 0.5);
         series_push("noop.series", &[("x", 1.0)]);
         {
@@ -134,6 +138,7 @@ mod tests {
         let snap = snapshot("");
         set_enabled(false);
         assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
         assert!(snap.histograms.is_empty());
         assert!(snap.series.is_empty());
     }

@@ -13,17 +13,21 @@ use std::path::Path;
 use std::sync::{Mutex, MutexGuard};
 
 /// Artifact schema version; bump on any change to the JSON layout.
-/// v2 added the `p999` quantile to every histogram block.
-const SCHEMA_VERSION: u32 = 2;
+/// v2 added the `p999` quantile to every histogram block; v3 added the
+/// `gauges` block (last-write-wins point-in-time values, e.g. per-shard
+/// circuit-breaker state).
+const SCHEMA_VERSION: u32 = 3;
 
 struct Registry {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
     hists: BTreeMap<String, Histogram>,
     series: BTreeMap<String, Vec<Vec<(String, f64)>>>,
 }
 
 static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
     counters: BTreeMap::new(),
+    gauges: BTreeMap::new(),
     hists: BTreeMap::new(),
     series: BTreeMap::new(),
 });
@@ -43,6 +47,18 @@ pub fn counter_add(name: &str, delta: u64) {
     let mut r = lock();
     let c = r.counters.entry(name.to_string()).or_insert(0);
     *c = c.saturating_add(delta);
+}
+
+/// Sets the named gauge to `value` (last write wins). Gauges are
+/// point-in-time levels — a circuit-breaker state, a shard health bit —
+/// where only the current value matters, unlike monotonic counters.
+/// No-op while telemetry is disabled or when `value` is non-finite.
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::enabled() || !value.is_finite() {
+        return;
+    }
+    let mut r = lock();
+    r.gauges.insert(name.to_string(), value);
 }
 
 /// Records one value into the named histogram. No-op while telemetry is
@@ -71,6 +87,7 @@ pub fn series_push(name: &str, fields: &[(&str, f64)]) {
 pub fn reset() {
     let mut r = lock();
     r.counters.clear();
+    r.gauges.clear();
     r.hists.clear();
     r.series.clear();
 }
@@ -81,8 +98,9 @@ pub fn summary_line() -> String {
     let observations: u64 = r.hists.values().map(Histogram::count).sum();
     let rows: usize = r.series.values().map(Vec::len).sum();
     format!(
-        "obs: {} counters, {} histograms ({} observations), {} series ({} rows)",
+        "obs: {} counters, {} gauges, {} histograms ({} observations), {} series ({} rows)",
         r.counters.len(),
+        r.gauges.len(),
         r.hists.len(),
         observations,
         r.series.len(),
@@ -95,6 +113,8 @@ pub fn summary_line() -> String {
 pub struct Snapshot {
     /// `(name, value)` pairs, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauge pairs, sorted by name.
+    pub gauges: Vec<(String, f64)>,
     /// `(name, histogram)` pairs, sorted by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
     /// `(name, rows)` pairs, sorted by name; each row's fields are sorted
@@ -109,6 +129,12 @@ pub fn snapshot(prefix: &str) -> Snapshot {
     Snapshot {
         counters: r
             .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+        gauges: r
+            .gauges
             .iter()
             .filter(|(k, _)| k.starts_with(prefix))
             .map(|(k, v)| (k.clone(), *v))
@@ -131,12 +157,20 @@ pub fn snapshot(prefix: &str) -> Snapshot {
 impl Snapshot {
     /// True when the snapshot holds no metrics at all.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty() && self.series.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.series.is_empty()
     }
 
     /// Looks up a counter by exact name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by exact name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
     }
 
     /// Looks up a histogram by exact name.
@@ -163,6 +197,12 @@ impl Snapshot {
             let _ = write!(out, "{sep}    \"{}\": {value}", esc(name));
         }
         out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    \"{}\": {}", esc(name), fmt_f64(*value));
+        }
+        out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
         out.push_str("  \"histograms\": {");
         for (i, (name, h)) in self.histograms.iter().enumerate() {
             let sep = if i == 0 { "\n" } else { ",\n" };
@@ -264,6 +304,9 @@ mod tests {
         counter_add("t.batches", 40);
         counter_add("t.batches", 2);
         counter_add("t.skipped", 0);
+        gauge_set("t.breaker", 2.0);
+        gauge_set("t.breaker", 0.0);
+        gauge_set("t.coverage", 0.75);
         observe("t.lat", 0.0015);
         observe("t.lat", 0.0017);
         observe("t.lat", 0.9);
@@ -309,10 +352,13 @@ mod tests {
         record_fixture();
         let second = snapshot("t.").render_json("OBS_test");
         assert_eq!(first, second);
-        assert!(first.starts_with("{\n  \"schema_version\": 2,\n"));
+        assert!(first.starts_with("{\n  \"schema_version\": 3,\n"));
         assert!(first.contains("\"artifact\": \"OBS_test\""));
         // Series rows carry field-sorted keys regardless of push order.
         assert!(first.contains("{\"epoch\": 1, \"loss\": 0.125}"));
+        // Gauges are last-write-wins.
+        assert!(first.contains("\"t.breaker\": 0"));
+        assert!(first.contains("\"t.coverage\": 0.75"));
         assert!(first.ends_with("}\n"));
         reset();
     }
@@ -323,6 +369,7 @@ mod tests {
         reset();
         let doc = snapshot("").render_json("OBS_empty");
         assert!(doc.contains("\"counters\": {}"));
+        assert!(doc.contains("\"gauges\": {}"));
         assert!(doc.contains("\"histograms\": {}"));
         assert!(doc.contains("\"series\": {}"));
     }

@@ -91,6 +91,17 @@ impl Embeddings {
     pub fn dot(&self, i: usize, v: &[f32]) -> f32 {
         self.vector(i).iter().zip(v).map(|(a, b)| a * b).sum()
     }
+
+    /// A copy of the contiguous row range `lo..hi` (the shard-slice
+    /// primitive: a sharded gallery is a partition into such slices, and
+    /// slice row `j` is global row `lo + j`).
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > len()`.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> Embeddings {
+        assert!(lo <= hi && hi <= self.len(), "Embeddings::slice_rows: bad range {lo}..{hi}");
+        Embeddings { dim: self.dim, data: self.data[lo * self.dim..hi * self.dim].to_vec() }
+    }
 }
 
 /// Cosine distance `1 − cos(a, b)` between two raw (not necessarily

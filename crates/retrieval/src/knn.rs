@@ -27,13 +27,10 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we need the minimum on top.
-        other
-            .0
-            .similarity
-            .partial_cmp(&self.0.similarity)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.0.index.cmp(&self.0.index))
+        // BinaryHeap is a max-heap; rank entries by how *badly* they place
+        // under the canonical hit order, so the root is always the worst
+        // retained hit (lowest similarity, ties resolved to highest index).
+        hit_order(&self.0, &other.0)
     }
 }
 
@@ -51,12 +48,32 @@ pub fn top_k(gallery: &Embeddings, query: &[f32], k: usize) -> Vec<Hit> {
     top_k_of((0..n).map(|i| (i, gallery.dot(i, query))), k)
 }
 
+/// The canonical hit ordering: descending similarity, ties broken by
+/// ascending gallery index.
+///
+/// Every hit list in the workspace sorts by this comparator, which is what
+/// makes per-shard top-k lists mergeable into the exact global top-k: the
+/// order (and for tie-heavy distributions the retained *set*) depends only
+/// on `(similarity, index)` pairs, never on scan or shard arrival order.
+pub fn hit_order(a: &Hit, b: &Hit) -> Ordering {
+    b.similarity
+        .partial_cmp(&a.similarity)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.index.cmp(&b.index))
+}
+
 /// Selects the top-`k` hits from an arbitrary `(index, similarity)` stream.
 ///
 /// This is the selection core shared by [`top_k`], the IVF batched search
 /// and the serving engine: given identical `(index, similarity)` sequences
 /// it produces bit-identical hit lists, which is what lets the batched
 /// query paths be proven equivalent to the per-query reference paths.
+///
+/// Output is sorted by [`hit_order`] — descending similarity with ties
+/// broken by ascending index — so that, when the stream itself visits
+/// indices in ascending order (as the exhaustive scan does), the result
+/// equals the first `k` entries of the full sort and per-shard results can
+/// be recombined bit-identically by [`merge_top_k`].
 ///
 /// # Panics
 /// Panics if `k == 0`.
@@ -65,20 +82,44 @@ pub fn top_k_of(sims: impl Iterator<Item = (usize, f32)>, k: usize) -> Vec<Hit> 
     assert!(k >= 1, "top_k_of: k must be positive");
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
     for (i, sim) in sims {
+        let cand = Hit { index: i, similarity: sim };
         if heap.len() < k {
-            heap.push(HeapEntry(Hit { index: i, similarity: sim }));
+            heap.push(HeapEntry(cand));
         } else if let Some(worst) = heap.peek() {
-            if sim > worst.0.similarity {
+            // Replace the root whenever the candidate places strictly ahead
+            // of it under the canonical order. Using hit_order (not bare
+            // similarity) keeps the retained *set* canonical under ties:
+            // the lowest global indices survive regardless of arrival order.
+            if hit_order(&cand, &worst.0) == Ordering::Less {
                 heap.pop();
-                heap.push(HeapEntry(Hit { index: i, similarity: sim }));
+                heap.push(HeapEntry(cand));
             }
         }
     }
     let mut hits: Vec<Hit> = heap.into_iter().map(|e| e.0).collect();
-    hits.sort_by(|a, b| {
-        b.similarity.partial_cmp(&a.similarity).unwrap_or(Ordering::Equal)
-    });
+    hits.sort_by(hit_order);
     hits
+}
+
+/// Merges per-shard top-`k` hit lists (already carrying *global* gallery
+/// indices) into the global top-`k`.
+///
+/// When each input list is the [`top_k_of`] result over one slice of a
+/// contiguous gallery partition, the merge is bit-identical to running
+/// [`top_k_of`] over the whole gallery in index order — including under
+/// tie-heavy score distributions, because both sides order (and select)
+/// by [`hit_order`]. Missing shards simply narrow the candidate set,
+/// which is the degraded-serving contract.
+///
+/// # Panics
+/// Panics if `k == 0`.
+// cmr-lint: allow(panic-path) documented precondition: k >= 1 is asserted at entry
+pub fn merge_top_k(lists: &[Vec<Hit>], k: usize) -> Vec<Hit> {
+    assert!(k >= 1, "merge_top_k: k must be positive");
+    let mut all: Vec<Hit> = lists.iter().flatten().copied().collect();
+    all.sort_by(hit_order);
+    all.truncate(k);
+    all
 }
 
 #[cfg(test)]
@@ -112,6 +153,38 @@ mod tests {
         assert_eq!(hits.len(), 4);
         assert_eq!(hits[0].index, 1);
         assert_eq!(hits.last().unwrap().index, 2, "antipode ranks last");
+    }
+
+    #[test]
+    fn ties_are_broken_by_index_not_arrival() {
+        // Three gallery rows tie exactly; the output must list them in
+        // ascending index order and retain the lowest indices at the cut.
+        let sims = [(4usize, 0.5f32), (1, 0.5), (0, 0.9), (2, 0.5), (3, 0.1)];
+        let hits = top_k_of(sims.iter().copied(), 3);
+        let got: Vec<usize> = hits.iter().map(|h| h.index).collect();
+        assert_eq!(got, [0, 1, 2], "{hits:?}");
+    }
+
+    #[test]
+    fn merge_of_slice_top_ks_equals_global_top_k() {
+        let scores: Vec<f32> = vec![0.5, 0.9, 0.5, 0.1, 0.9, 0.5, 0.7, 0.2];
+        let k = 4;
+        let global = top_k_of(scores.iter().copied().enumerate(), k);
+        for split in 1..scores.len() {
+            let left = top_k_of(scores[..split].iter().copied().enumerate(), k);
+            let right = top_k_of(
+                scores[split..].iter().copied().enumerate().map(|(i, s)| (i + split, s)),
+                k,
+            );
+            assert_eq!(merge_top_k(&[left, right], k), global, "split {split}");
+        }
+    }
+
+    #[test]
+    fn merge_ignores_missing_shards() {
+        let only = vec![Hit { index: 7, similarity: 0.25 }];
+        assert_eq!(merge_top_k(&[only.clone(), Vec::new()], 3), only);
+        assert!(merge_top_k(&[], 3).is_empty());
     }
 
     proptest! {

@@ -25,5 +25,5 @@ pub use eval::{
     evaluate_bags, evaluate_pairs, BagConfig, DirectionReport, EvalError, ProtocolReport,
 };
 pub use ivf::IvfIndex;
-pub use knn::{top_k, top_k_of};
+pub use knn::{hit_order, merge_top_k, top_k, top_k_of};
 pub use metrics::{median_rank, ranks_of_matches, recall_at_k};

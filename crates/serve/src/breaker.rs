@@ -1,0 +1,261 @@
+//! A per-shard circuit breaker: closed → open → half-open → closed.
+//!
+//! The router records one outcome per shard per routed query. While the
+//! breaker is **closed** every query is admitted; `failure_threshold`
+//! consecutive failures trip it **open**, and for `cooldown` the shard is
+//! rejected without a network attempt (fast-failing instead of burning the
+//! query's deadline on a dead shard). When the cooldown expires the breaker
+//! turns **half-open** and admits exactly one probe query at a time; after
+//! `probe_successes` successful probes it closes again, while a failed
+//! probe re-opens it for another cooldown.
+//!
+//! All transitions happen inside [`Breaker::admit_at`] /
+//! [`Breaker::on_success`] / [`Breaker::on_failure_at`]; there is no
+//! background timer thread — time only advances when queries flow, which
+//! keeps the breaker deterministic under test-controlled clocks (every
+//! time-dependent method takes an explicit `Instant`).
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Breaker tuning; defaults are sized for the integration tests.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a closed breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before allowing a half-open probe.
+    pub cooldown: Duration,
+    /// Successful probes required to close a half-open breaker.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(250),
+            probe_successes: 1,
+        }
+    }
+}
+
+/// The three classic breaker states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    /// Healthy: admit everything, count consecutive failures.
+    Closed { failures: u32 },
+    /// Tripped: reject everything until `until`.
+    Open { until: Instant },
+    /// Testing the waters: admit one probe at a time.
+    HalfOpen { successes: u32, inflight: bool },
+}
+
+/// What the breaker says about one query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed breaker: go ahead.
+    Allow,
+    /// Half-open breaker: go ahead, and report the outcome as a probe.
+    Probe,
+    /// Open breaker (or a probe already in flight): skip this shard.
+    Reject,
+}
+
+/// A thread-safe circuit breaker guarding one shard.
+#[derive(Debug)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    state: Mutex<State>,
+}
+
+impl Breaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Breaker { cfg, state: Mutex::new(State::Closed { failures: 0 }) }
+    }
+
+    /// A poisoned lock only means another thread panicked mid-transition;
+    /// the state value itself is always valid, so recover the guard.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// [`admit_at`](Self::admit_at) against the real clock.
+    pub fn admit(&self) -> Admission {
+        self.admit_at(Instant::now())
+    }
+
+    /// Asks whether a query may be sent to this shard at time `now`,
+    /// transitioning open → half-open when the cooldown has expired.
+    pub fn admit_at(&self, now: Instant) -> Admission {
+        let mut state = self.lock();
+        match *state {
+            State::Closed { .. } => Admission::Allow,
+            State::Open { until } if now >= until => {
+                *state = State::HalfOpen { successes: 0, inflight: true };
+                Admission::Probe
+            }
+            State::Open { .. } => Admission::Reject,
+            State::HalfOpen { inflight: true, .. } => Admission::Reject,
+            State::HalfOpen { successes, inflight: false } => {
+                *state = State::HalfOpen { successes, inflight: true };
+                Admission::Probe
+            }
+        }
+    }
+
+    /// Records a successful shard outcome. `probe` must be `true` iff the
+    /// admission was [`Admission::Probe`].
+    pub fn on_success(&self, probe: bool) {
+        let mut state = self.lock();
+        match *state {
+            State::Closed { .. } => *state = State::Closed { failures: 0 },
+            State::HalfOpen { successes, .. } if probe => {
+                let successes = successes + 1;
+                if successes >= self.cfg.probe_successes {
+                    *state = State::Closed { failures: 0 };
+                } else {
+                    *state = State::HalfOpen { successes, inflight: false };
+                }
+            }
+            // A stale success (admitted before the breaker tripped) carries
+            // no fresh information about the shard's current health.
+            State::Open { .. } | State::HalfOpen { .. } => {}
+        }
+    }
+
+    /// [`on_failure_at`](Self::on_failure_at) against the real clock.
+    pub fn on_failure(&self, probe: bool) {
+        self.on_failure_at(probe, Instant::now());
+    }
+
+    /// Records a failed shard outcome at time `now`. `probe` must be `true`
+    /// iff the admission was [`Admission::Probe`].
+    pub fn on_failure_at(&self, probe: bool, now: Instant) {
+        let mut state = self.lock();
+        match *state {
+            State::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.cfg.failure_threshold {
+                    *state = State::Open { until: now + self.cfg.cooldown };
+                } else {
+                    *state = State::Closed { failures };
+                }
+            }
+            State::HalfOpen { .. } if probe => {
+                *state = State::Open { until: now + self.cfg.cooldown };
+            }
+            // Stale failures while open / half-open (from attempts admitted
+            // earlier) must not extend the cooldown they already caused.
+            State::Open { .. } | State::HalfOpen { .. } => {}
+        }
+    }
+
+    /// `true` while the breaker is open (still inside its cooldown).
+    pub fn is_open(&self) -> bool {
+        matches!(*self.lock(), State::Open { .. })
+    }
+
+    /// Numeric state for gauges: 0 closed, 1 open, 2 half-open.
+    pub fn state_code(&self) -> u8 {
+        match *self.lock() {
+            State::Closed { .. } => 0,
+            State::Open { .. } => 1,
+            State::HalfOpen { .. } => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+            probe_successes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_open_after_threshold_consecutive_failures() {
+        let b = Breaker::new(cfg());
+        let t0 = Instant::now();
+        assert_eq!(b.admit_at(t0), Admission::Allow);
+        b.on_failure_at(false, t0);
+        b.on_failure_at(false, t0);
+        assert_eq!(b.admit_at(t0), Admission::Allow, "below threshold stays closed");
+        b.on_failure_at(false, t0);
+        assert_eq!(b.admit_at(t0), Admission::Reject, "third failure trips it");
+        assert!(b.is_open());
+        assert_eq!(b.state_code(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_failure_count() {
+        let b = Breaker::new(cfg());
+        let t0 = Instant::now();
+        b.on_failure_at(false, t0);
+        b.on_failure_at(false, t0);
+        b.on_success(false);
+        b.on_failure_at(false, t0);
+        b.on_failure_at(false, t0);
+        assert_eq!(b.admit_at(t0), Admission::Allow, "failures must be consecutive");
+    }
+
+    #[test]
+    fn cooldown_expiry_admits_exactly_one_probe() {
+        let b = Breaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure_at(false, t0);
+        }
+        let after = t0 + Duration::from_millis(150);
+        assert_eq!(b.admit_at(after), Admission::Probe);
+        assert_eq!(b.state_code(), 2);
+        assert_eq!(b.admit_at(after), Admission::Reject, "one probe at a time");
+    }
+
+    #[test]
+    fn probe_successes_close_and_probe_failure_reopens() {
+        let b = Breaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure_at(false, t0);
+        }
+        let after = t0 + Duration::from_millis(150);
+        assert_eq!(b.admit_at(after), Admission::Probe);
+        b.on_success(true);
+        assert_eq!(b.admit_at(after), Admission::Probe, "needs 2 probe successes");
+        b.on_success(true);
+        assert_eq!(b.admit_at(after), Admission::Allow, "closed again");
+        assert_eq!(b.state_code(), 0);
+
+        for _ in 0..3 {
+            b.on_failure_at(false, after);
+        }
+        let later = after + Duration::from_millis(150);
+        assert_eq!(b.admit_at(later), Admission::Probe);
+        b.on_failure_at(true, later);
+        assert_eq!(b.admit_at(later), Admission::Reject, "failed probe reopens");
+        assert!(b.is_open());
+    }
+
+    #[test]
+    fn stale_outcomes_do_not_disturb_open_or_halfopen() {
+        let b = Breaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure_at(false, t0);
+        }
+        // Stale non-probe outcomes from earlier-admitted attempts.
+        b.on_failure_at(false, t0);
+        b.on_success(false);
+        assert_eq!(b.admit_at(t0), Admission::Reject, "still open");
+        let after = t0 + Duration::from_millis(150);
+        assert_eq!(b.admit_at(after), Admission::Probe);
+        b.on_failure_at(false, after);
+        assert_eq!(b.state_code(), 2, "stale failure leaves half-open alone");
+    }
+}

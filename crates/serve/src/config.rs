@@ -1,11 +1,15 @@
-//! Server configuration and the two serving environment knobs.
+//! Server configuration and the serving environment knobs.
 //!
 //! The only `std::env::var` reads in this crate live in this file (see
 //! [`ServeConfig::from_env`]) and are registered with the
 //! `env-centralization` lint rule:
 //!
 //! * `CMR_SERVE_BATCH` — admission-queue micro-batch ceiling,
-//! * `CMR_SERVE_WAIT_US` — admission-queue coalescing window in µs.
+//! * `CMR_SERVE_WAIT_US` — admission-queue coalescing window in µs,
+//! * `CMR_SERVE_SHARDS` — gallery shard count for the scatter-gather tier,
+//! * `CMR_SERVE_DEADLINE_US` — per-shard scatter-gather deadline in µs,
+//! * `CMR_SERVE_RETRIES` — bounded retry budget per shard per query,
+//! * `CMR_SERVE_HEDGE_US` — straggler hedge delay in µs (0 disables).
 //!
 //! Everything else (timeouts, cache geometry, worker count) is plain struct
 //! state with defaults tuned for the integration tests; bins override the
@@ -17,6 +21,14 @@ use std::time::Duration;
 pub const DEFAULT_MAX_BATCH: usize = 8;
 /// Coalescing window when `CMR_SERVE_WAIT_US` is unset/invalid.
 pub const DEFAULT_MAX_WAIT_US: u64 = 500;
+/// Shard count when `CMR_SERVE_SHARDS` is unset/invalid (1 = unsharded).
+pub const DEFAULT_SHARDS: usize = 1;
+/// Per-shard deadline when `CMR_SERVE_DEADLINE_US` is unset/invalid.
+pub const DEFAULT_DEADLINE_US: u64 = 250_000;
+/// Retry budget when `CMR_SERVE_RETRIES` is unset/invalid.
+pub const DEFAULT_RETRIES: u32 = 2;
+/// Hedge delay when `CMR_SERVE_HEDGE_US` is unset/invalid (0 = no hedging).
+pub const DEFAULT_HEDGE_US: u64 = 0;
 
 /// Tunables for [`Server`](crate::Server), the admission queue and the
 /// result cache.
@@ -40,6 +52,18 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// Largest accepted request head (request line + headers, `431` beyond).
     pub max_head_bytes: usize,
+    /// Number of gallery shards the scatter-gather tier fans out to
+    /// (1 = classic single-engine serving).
+    pub shards: usize,
+    /// Per-shard scatter-gather deadline: a shard that has not answered
+    /// within this budget (across retries and hedges) is dropped from the
+    /// merge and the response is marked degraded.
+    pub deadline: Duration,
+    /// Bounded retry budget per shard per query (0 = first attempt only).
+    pub retries: u32,
+    /// How long to wait on a shard's first attempt before hedging a second
+    /// concurrent request at it; `Duration::ZERO` disables hedging.
+    pub hedge_after: Duration,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +77,10 @@ impl Default for ServeConfig {
             cache_shards: 8,
             max_body_bytes: 1 << 20,
             max_head_bytes: 8 << 10,
+            shards: DEFAULT_SHARDS,
+            deadline: Duration::from_micros(DEFAULT_DEADLINE_US),
+            retries: DEFAULT_RETRIES,
+            hedge_after: Duration::from_micros(DEFAULT_HEDGE_US),
         }
     }
 }
@@ -74,11 +102,34 @@ impl ServeConfig {
         if let Some(us) = lookup("CMR_SERVE_WAIT_US").and_then(|v| v.trim().parse::<u64>().ok()) {
             cfg.max_wait = Duration::from_micros(us);
         }
+        if let Some(shards) =
+            lookup("CMR_SERVE_SHARDS").and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            if shards >= 1 {
+                cfg.shards = shards;
+            }
+        }
+        if let Some(us) =
+            lookup("CMR_SERVE_DEADLINE_US").and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            if us >= 1 {
+                cfg.deadline = Duration::from_micros(us);
+            }
+        }
+        if let Some(retries) =
+            lookup("CMR_SERVE_RETRIES").and_then(|v| v.trim().parse::<u32>().ok())
+        {
+            cfg.retries = retries;
+        }
+        if let Some(us) = lookup("CMR_SERVE_HEDGE_US").and_then(|v| v.trim().parse::<u64>().ok()) {
+            cfg.hedge_after = Duration::from_micros(us);
+        }
         cfg
     }
 
     /// [`from_lookup`](Self::from_lookup) against the process environment:
-    /// reads `CMR_SERVE_BATCH` and `CMR_SERVE_WAIT_US`.
+    /// reads `CMR_SERVE_BATCH`, `CMR_SERVE_WAIT_US`, `CMR_SERVE_SHARDS`,
+    /// `CMR_SERVE_DEADLINE_US`, `CMR_SERVE_RETRIES` and `CMR_SERVE_HEDGE_US`.
     pub fn from_env() -> Self {
         Self::from_lookup(|name| std::env::var(name).ok())
     }
@@ -100,10 +151,18 @@ mod tests {
         let cfg = ServeConfig::from_lookup(|name| match name {
             "CMR_SERVE_BATCH" => Some(" 32 ".into()),
             "CMR_SERVE_WAIT_US" => Some("1500".into()),
+            "CMR_SERVE_SHARDS" => Some("4".into()),
+            "CMR_SERVE_DEADLINE_US" => Some("90000".into()),
+            "CMR_SERVE_RETRIES" => Some("5".into()),
+            "CMR_SERVE_HEDGE_US" => Some("20000".into()),
             _ => None,
         });
         assert_eq!(cfg.max_batch, 32);
         assert_eq!(cfg.max_wait, Duration::from_micros(1500));
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.deadline, Duration::from_micros(90_000));
+        assert_eq!(cfg.retries, 5);
+        assert_eq!(cfg.hedge_after, Duration::from_micros(20_000));
     }
 
     #[test]
@@ -111,14 +170,30 @@ mod tests {
         let cfg = ServeConfig::from_lookup(|name| match name {
             "CMR_SERVE_BATCH" => Some("0".into()),
             "CMR_SERVE_WAIT_US" => Some("soon".into()),
+            "CMR_SERVE_SHARDS" => Some("0".into()),
+            "CMR_SERVE_DEADLINE_US" => Some("0".into()),
+            "CMR_SERVE_RETRIES" => Some("many".into()),
+            "CMR_SERVE_HEDGE_US" => Some("-3".into()),
             _ => None,
         });
         assert_eq!(cfg.max_batch, DEFAULT_MAX_BATCH);
         assert_eq!(cfg.max_wait, Duration::from_micros(DEFAULT_MAX_WAIT_US));
+        assert_eq!(cfg.shards, DEFAULT_SHARDS, "a zero shard count is meaningless");
+        assert_eq!(cfg.deadline, Duration::from_micros(DEFAULT_DEADLINE_US));
+        assert_eq!(cfg.retries, DEFAULT_RETRIES);
+        assert_eq!(cfg.hedge_after, Duration::from_micros(DEFAULT_HEDGE_US));
         // A zero wait is a legal setting: dispatch immediately.
         let eager = ServeConfig::from_lookup(|name| {
             (name == "CMR_SERVE_WAIT_US").then(|| "0".to_string())
         });
         assert_eq!(eager.max_wait, Duration::ZERO);
+        // Zero retries (first attempt only) and zero hedge (disabled) are legal.
+        let lean = ServeConfig::from_lookup(|name| match name {
+            "CMR_SERVE_RETRIES" => Some("0".into()),
+            "CMR_SERVE_HEDGE_US" => Some("0".into()),
+            _ => None,
+        });
+        assert_eq!(lean.retries, 0);
+        assert_eq!(lean.hedge_after, Duration::ZERO);
     }
 }

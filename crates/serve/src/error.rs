@@ -26,6 +26,10 @@ pub enum ServeError {
     HeadersTooLarge,
     /// The server is draining for shutdown and admits no new work (503).
     ShuttingDown,
+    /// No shard could answer the query — every breaker open, every attempt
+    /// failed or timed out (503). Distinct from [`Self::ShuttingDown`] so
+    /// the chaos suite can tell "draining by choice" from "fleet down".
+    Unavailable(String),
     /// Clean end of a keep-alive connection (EOF or idle timeout between
     /// requests): close the socket, send nothing.
     IdleClose,
@@ -48,6 +52,7 @@ impl ServeError {
             ServeError::PayloadTooLarge => Some((413, "Payload Too Large")),
             ServeError::HeadersTooLarge => Some((431, "Request Header Fields Too Large")),
             ServeError::ShuttingDown => Some((503, "Service Unavailable")),
+            ServeError::Unavailable(_) => Some((503, "Service Unavailable")),
             ServeError::IdleClose | ServeError::Io(_) => None,
         }
     }
@@ -63,6 +68,7 @@ impl fmt::Display for ServeError {
             ServeError::PayloadTooLarge => write!(f, "payload too large"),
             ServeError::HeadersTooLarge => write!(f, "request head too large"),
             ServeError::ShuttingDown => write!(f, "shutting down"),
+            ServeError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
             ServeError::IdleClose => write!(f, "idle connection closed"),
             ServeError::Io(e) => write!(f, "transport error: {e}"),
         }
@@ -89,7 +95,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn every_responding_variant_has_a_distinct_status() {
+    fn every_responding_variant_has_its_documented_status() {
         let statuses: Vec<u16> = [
             ServeError::BadRequest("x".into()),
             ServeError::NotFound,
@@ -98,11 +104,14 @@ mod tests {
             ServeError::PayloadTooLarge,
             ServeError::HeadersTooLarge,
             ServeError::ShuttingDown,
+            ServeError::Unavailable("fleet down".into()),
         ]
         .iter()
         .map(|e| e.status().expect("responding variant").0)
         .collect();
-        assert_eq!(statuses, [400, 404, 405, 408, 413, 431, 503]);
+        // The two 503s are intentionally the same wire status (both mean
+        // "try again later"); every other variant keeps a distinct code.
+        assert_eq!(statuses, [400, 404, 405, 408, 413, 431, 503, 503]);
     }
 
     #[test]

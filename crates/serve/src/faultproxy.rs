@@ -1,0 +1,334 @@
+//! A fault-injecting TCP proxy for chaos testing the sharded tier.
+//!
+//! A [`FaultProxy`] sits between the router and one shard worker and, per
+//! connection, picks a [`Fault`] from a seeded weighted [`FaultPlan`]
+//! (deterministic: connection `n` under seed `s` always draws the same
+//! fault — chaos runs are reproducible, in the spirit of the trainer's
+//! fault plan). The faults cover the classic distributed-systems failure
+//! shapes:
+//!
+//! * [`Fault::Pass`] — forward bytes untouched,
+//! * [`Fault::Delay`] — forward after a fixed latency injection,
+//! * [`Fault::Reset`] — drop the connection before answering,
+//! * [`Fault::Truncate`] — forward the request, then deliver only half of
+//!   the upstream response bytes,
+//! * [`Fault::Wedge`] — accept, read, and never respond (the query burns
+//!   its whole deadline).
+//!
+//! The plan is swappable at runtime ([`FaultProxy::set_plan`]) so recovery
+//! tests can heal a shard and watch its breaker close again.
+
+use crate::router::splitmix64;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One per-connection failure behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward both directions untouched.
+    Pass,
+    /// Forward untouched after sleeping this long first.
+    Delay(Duration),
+    /// Drop the connection immediately (the client sees EOF/reset).
+    Reset,
+    /// Forward the request, read the whole upstream response, deliver only
+    /// the first half of its bytes, then close.
+    Truncate,
+    /// Read and discard forever, never respond (a wedged worker).
+    Wedge,
+}
+
+/// A seeded, weighted mix of faults; connection `n` draws
+/// `pick(n)` deterministically from the seed.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    choices: Vec<(Fault, u32)>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// Every connection passes untouched.
+    pub fn healthy() -> FaultPlan {
+        FaultPlan::always(Fault::Pass)
+    }
+
+    /// Every connection draws the same fault.
+    pub fn always(fault: Fault) -> FaultPlan {
+        FaultPlan { choices: vec![(fault, 1)], seed: 0 }
+    }
+
+    /// A weighted mix; zero-weight entries never fire. An empty or
+    /// all-zero mix behaves as [`FaultPlan::healthy`].
+    pub fn mix(choices: Vec<(Fault, u32)>, seed: u64) -> FaultPlan {
+        FaultPlan { choices, seed }
+    }
+
+    /// The fault connection `n` draws under this plan.
+    pub fn pick(&self, n: u64) -> Fault {
+        let total: u64 = self.choices.iter().map(|&(_, w)| u64::from(w)).sum();
+        if total == 0 {
+            return Fault::Pass;
+        }
+        let mut r = splitmix64(self.seed ^ n.wrapping_mul(0x2545_F491_4F6C_DD1D)) % total;
+        for &(fault, w) in &self.choices {
+            let w = u64::from(w);
+            if r < w {
+                return fault;
+            }
+            r -= w;
+        }
+        Fault::Pass
+    }
+}
+
+/// A running fault proxy in front of one upstream address; dropping it
+/// shuts it down.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    plan: Arc<Mutex<FaultPlan>>,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Binds `127.0.0.1:0` and starts proxying to `upstream` under `plan`.
+    ///
+    /// # Errors
+    /// Propagates socket bind/configuration failures.
+    pub fn start(upstream: SocketAddr, plan: FaultPlan) -> io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let plan = Arc::new(Mutex::new(plan));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_plan = Arc::clone(&plan);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_handle = std::thread::spawn(move || {
+            accept_loop(&listener, upstream, &accept_plan, &accept_shutdown);
+        });
+        Ok(FaultProxy { addr, plan, shutdown, accept_handle: Some(accept_handle) })
+    }
+
+    /// The proxy's bound address (point the router here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Swaps the fault plan for all future connections (recovery tests
+    /// heal a shard by swapping in [`FaultPlan::healthy`]).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.plan.lock().unwrap_or_else(|p| p.into_inner()) = plan;
+    }
+
+    /// Stops accepting and tears the proxy down. Idempotent; runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    plan: &Arc<Mutex<FaultPlan>>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let conn_seq = AtomicU64::new(0);
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _peer)) => {
+                let n = conn_seq.fetch_add(1, Ordering::Relaxed);
+                let fault = plan.lock().unwrap_or_else(|p| p.into_inner()).pick(n);
+                let shutdown = Arc::clone(shutdown);
+                std::thread::spawn(move || handle(client, upstream, fault, &shutdown));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn handle(client: TcpStream, upstream: SocketAddr, fault: Fault, shutdown: &Arc<AtomicBool>) {
+    match fault {
+        Fault::Reset => drop(client),
+        Fault::Wedge => wedge(client, shutdown),
+        Fault::Pass => relay(client, upstream, Duration::ZERO, shutdown),
+        Fault::Delay(d) => relay(client, upstream, d, shutdown),
+        Fault::Truncate => truncate(client, upstream, shutdown),
+    }
+}
+
+/// Reads and discards until the client gives up or the proxy shuts down.
+fn wedge(mut client: TcpStream, shutdown: &Arc<AtomicBool>) {
+    let _ = client.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf = [0u8; 4096];
+    while !shutdown.load(Ordering::SeqCst) {
+        match client.read(&mut buf) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Full bidirectional pump, optionally after an injected delay.
+fn relay(client: TcpStream, upstream: SocketAddr, delay: Duration, shutdown: &Arc<AtomicBool>) {
+    if !delay.is_zero() {
+        std::thread::sleep(delay);
+    }
+    let Ok(up) = TcpStream::connect(upstream) else {
+        return; // upstream gone: client sees EOF, a typed failure
+    };
+    let (Ok(client_rx), Ok(up_rx)) = (client.try_clone(), up.try_clone()) else {
+        return;
+    };
+    let fwd_shutdown = Arc::clone(shutdown);
+    std::thread::spawn(move || pump(client_rx, up, &fwd_shutdown));
+    pump(up_rx, client, shutdown);
+}
+
+/// Copies `from` into `to` until EOF, error, or proxy shutdown; then
+/// propagates the EOF as a write-side shutdown so the far end unblocks.
+fn pump(mut from: TcpStream, mut to: TcpStream, shutdown: &Arc<AtomicBool>) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf = [0u8; 16 * 1024];
+    while !shutdown.load(Ordering::SeqCst) {
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                // cmr-lint: allow(panic-path) read contract: n <= buf.len()
+                if to.write_all(&buf[..n]).is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+/// Forwards the request, collects the whole upstream response, then
+/// delivers only its first half.
+fn truncate(mut client: TcpStream, upstream: SocketAddr, shutdown: &Arc<AtomicBool>) {
+    let Ok(mut up) = TcpStream::connect(upstream) else {
+        return;
+    };
+    let (Ok(client_rx), Ok(up_tx)) = (client.try_clone(), up.try_clone()) else {
+        return;
+    };
+    let fwd_shutdown = Arc::clone(shutdown);
+    std::thread::spawn(move || pump(client_rx, up_tx, &fwd_shutdown));
+    // The worker answers oneshot requests with Connection: close, so EOF
+    // marks the end of the response; a quiet period after first bytes is
+    // treated the same way defensively.
+    let _ = up.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut response = Vec::new();
+    let mut buf = [0u8; 4096];
+    let started = Instant::now();
+    while started.elapsed() < Duration::from_secs(1) && !shutdown.load(Ordering::SeqCst) {
+        match up.read(&mut buf) {
+            Ok(0) => break,
+            // cmr-lint: allow(panic-path) read contract: n <= buf.len()
+            Ok(n) => response.extend_from_slice(&buf[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if !response.is_empty() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    // cmr-lint: allow(panic-path) len / 2 <= len, always in bounds
+    let _ = client.write_all(&response[..response.len() / 2]);
+    let _ = client.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_are_deterministic_under_a_seed() {
+        let plan = FaultPlan::mix(
+            vec![(Fault::Pass, 3), (Fault::Reset, 1), (Fault::Wedge, 1)],
+            42,
+        );
+        let first: Vec<Fault> = (0..32).map(|n| plan.pick(n)).collect();
+        let second: Vec<Fault> = (0..32).map(|n| plan.pick(n)).collect();
+        assert_eq!(first, second);
+        assert!(first.iter().any(|f| *f == Fault::Pass), "mix hits Pass");
+        assert!(
+            first.iter().any(|f| *f != Fault::Pass),
+            "mix hits at least one fault in 32 draws"
+        );
+    }
+
+    #[test]
+    fn weights_shape_the_distribution() {
+        let plan = FaultPlan::mix(vec![(Fault::Pass, 1), (Fault::Reset, 0)], 7);
+        assert!((0..100).all(|n| plan.pick(n) == Fault::Pass), "zero weight never fires");
+        assert_eq!(FaultPlan::mix(Vec::new(), 7).pick(3), Fault::Pass, "empty mix passes");
+        assert_eq!(FaultPlan::always(Fault::Wedge).pick(9), Fault::Wedge);
+    }
+
+    #[test]
+    fn healthy_proxy_relays_bytes_untouched() {
+        // A trivial echo upstream.
+        let echo = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let upstream = echo.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            if let Ok((mut s, _)) = echo.accept() {
+                let mut buf = [0u8; 64];
+                if let Ok(n) = s.read(&mut buf) {
+                    let _ = s.write_all(&buf[..n]);
+                }
+            }
+        });
+        let mut proxy = FaultProxy::start(upstream, FaultPlan::healthy()).expect("start");
+        let mut c = TcpStream::connect(proxy.addr()).expect("connect");
+        c.write_all(b"ping").expect("write");
+        let mut buf = [0u8; 4];
+        c.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+        c.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"ping");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn reset_drops_the_connection_without_bytes() {
+        let echo = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let upstream = echo.local_addr().expect("addr");
+        let mut proxy =
+            FaultProxy::start(upstream, FaultPlan::always(Fault::Reset)).expect("start");
+        let mut c = TcpStream::connect(proxy.addr()).expect("connect");
+        let _ = c.write_all(b"ping");
+        c.set_read_timeout(Some(Duration::from_secs(2))).expect("timeout");
+        let mut buf = [0u8; 4];
+        let got = c.read(&mut buf);
+        assert!(matches!(got, Ok(0) | Err(_)), "no response bytes: {got:?}");
+        proxy.shutdown();
+    }
+}

@@ -256,6 +256,26 @@ pub fn write_request(
     w.flush()
 }
 
+/// Writes one client request that asks the server to close afterwards
+/// (`Connection: close`). The router sends each shard attempt on a fresh
+/// connection, and the close handshake is what lets the fault proxy treat
+/// upstream EOF as end-of-response.
+pub fn write_oneshot_request(
+    w: &mut impl Write,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let mut wire = format!(
+        "{method} {target} HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    wire.extend_from_slice(body);
+    w.write_all(&wire)?;
+    w.flush()
+}
+
 /// Reads one response from `r` (same head-size limits as requests, via
 /// `limits`).
 ///

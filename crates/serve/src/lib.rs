@@ -15,6 +15,16 @@
 //! LRU cache ([`ShardedCache`]) keyed on the raw query bytes short-circuits
 //! repeats entirely.
 //!
+//! Its availability lever is the **fault-tolerant sharded tier**: a
+//! [`ShardFleet`] partitions the galleries across worker replicas and a
+//! [`Router`] scatter-gathers each query with per-shard deadlines, bounded
+//! retries, hedged requests and circuit breakers (knobs:
+//! `CMR_SERVE_SHARDS`, `CMR_SERVE_DEADLINE_US`, `CMR_SERVE_RETRIES`,
+//! `CMR_SERVE_HEDGE_US`). With every shard healthy the merged response is
+//! byte-identical to single-engine serving; with shards down it degrades
+//! gracefully instead of failing. The [`FaultProxy`] chaos layer injects
+//! delays, resets, truncations and wedged shards to prove it.
+//!
 //! ```no_run
 //! use cmr_retrieval::Embeddings;
 //! use cmr_serve::{Engine, ServeConfig, Server};
@@ -32,16 +42,24 @@
 #![deny(missing_docs)]
 
 pub mod batch;
+pub mod breaker;
 pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod faultproxy;
 pub mod http;
+pub mod router;
 pub mod server;
+pub mod shard;
 
 pub use batch::Batcher;
+pub use breaker::{Admission, Breaker, BreakerConfig};
 pub use cache::ShardedCache;
 pub use config::ServeConfig;
 pub use engine::{render_hits, Backend, Direction, Engine};
 pub use error::ServeError;
+pub use faultproxy::{Fault, FaultPlan, FaultProxy};
+pub use router::{Routed, Router, RouterConfig};
 pub use server::{Server, MAX_K};
+pub use shard::{partition, ShardFleet, ShardSpec};

@@ -3,11 +3,17 @@
 //!
 //! ## Protocol
 //!
-//! * `GET /healthz` — liveness probe, `200 ok`.
+//! * `GET /healthz` — liveness probe: `200 ok` for as long as the process
+//!   runs, even while draining or fully degraded (restart-decision signal).
+//! * `GET /readyz` — readiness probe: `503` while draining or while more
+//!   than half the shard breakers are open, else `200 ready` (routing
+//!   decision signal).
 //! * `POST /v1/search/im2rec?k=N` / `POST /v1/search/rec2im?k=N` — the body
 //!   is one query embedding as raw little-endian `f32` (so exactly
 //!   `4 × dim` bytes); the response is
-//!   `{"hits":[{"index":…,"similarity":…},…]}`. `k` defaults to 10.
+//!   `{"hits":[{"index":…,"similarity":…},…]}`. `k` defaults to 10. A
+//!   sharded front end with missing shards appends
+//!   `"degraded":true,"coverage":…` fields (see [`crate::router::Routed`]).
 //!
 //! Connections are HTTP/1.1 keep-alive with a per-connection read timeout;
 //! every failure maps to a typed [`ServeError`] status (see
@@ -29,6 +35,7 @@ use crate::config::ServeConfig;
 use crate::engine::{Direction, Engine};
 use crate::error::ServeError;
 use crate::http::{self, Limits, Request};
+use crate::router::Router;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -39,10 +46,50 @@ use std::time::Duration;
 /// Hard ceiling on `k` per request, against memory-amplification abuse.
 pub const MAX_K: usize = 1000;
 
+/// How a server answers search queries: a local engine behind the
+/// admission queue, or a scatter-gather router over a shard fleet.
+enum Dispatch {
+    /// Single-engine serving: the admission queue batches into `engine`.
+    Local { engine: Arc<Engine>, batcher: Batcher },
+    /// Sharded serving: scatter-gather over worker shards.
+    Sharded { router: Router },
+}
+
+impl Dispatch {
+    fn dim(&self) -> usize {
+        match self {
+            Dispatch::Local { engine, .. } => engine.dim(),
+            Dispatch::Sharded { router } => router.dim(),
+        }
+    }
+}
+
+/// A complete routed response, ready to write.
+struct Reply {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Reply {
+    fn ok(content_type: &'static str, body: String) -> Reply {
+        Reply { status: 200, reason: "OK", content_type, body }
+    }
+
+    fn unavailable(body: &str) -> Reply {
+        Reply {
+            status: 503,
+            reason: "Service Unavailable",
+            content_type: "text/plain",
+            body: body.to_string(),
+        }
+    }
+}
+
 /// Shared per-server state every connection thread sees.
 struct Ctx {
-    engine: Arc<Engine>,
-    batcher: Batcher,
+    dispatch: Dispatch,
     cache: ShardedCache,
     cfg: ServeConfig,
     shutdown: AtomicBool,
@@ -62,19 +109,29 @@ impl Server {
     /// # Errors
     /// Propagates socket bind/configuration failures.
     pub fn start(engine: Engine, cfg: ServeConfig, addr: &str) -> io::Result<Server> {
+        let engine = Arc::new(engine);
+        let batcher =
+            Batcher::new(Arc::clone(&engine), cfg.max_batch, cfg.max_wait, cfg.workers);
+        Self::start_with(Dispatch::Local { engine, batcher }, cfg, addr)
+    }
+
+    /// Binds `addr` and starts a sharded front end scatter-gathering
+    /// through `router` (build one over a
+    /// [`ShardFleet`](crate::shard::ShardFleet)'s specs).
+    ///
+    /// # Errors
+    /// Propagates socket bind/configuration failures.
+    pub fn start_sharded(router: Router, cfg: ServeConfig, addr: &str) -> io::Result<Server> {
+        Self::start_with(Dispatch::Sharded { router }, cfg, addr)
+    }
+
+    fn start_with(dispatch: Dispatch, cfg: ServeConfig, addr: &str) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let engine = Arc::new(engine);
         let ctx = Arc::new(Ctx {
-            batcher: Batcher::new(
-                Arc::clone(&engine),
-                cfg.max_batch,
-                cfg.max_wait,
-                cfg.workers,
-            ),
+            dispatch,
             cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
-            engine,
             cfg,
             shutdown: AtomicBool::new(false),
         });
@@ -101,7 +158,9 @@ impl Server {
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
         }
-        self.ctx.batcher.shutdown();
+        if let Dispatch::Local { batcher, .. } = &self.ctx.dispatch {
+            batcher.shutdown();
+        }
     }
 }
 
@@ -172,13 +231,13 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
         let outcome = route(&req, ctx);
         drop(span);
         match outcome {
-            Ok((content_type, body)) => {
+            Ok(reply) => {
                 if http::write_response(
                     reader.get_mut(),
-                    200,
-                    "OK",
-                    content_type,
-                    body.as_bytes(),
+                    reply.status,
+                    reply.reason,
+                    reply.content_type,
+                    reply.body.as_bytes(),
                     keep_alive,
                 )
                 .is_err()
@@ -198,11 +257,13 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
     }
 }
 
-/// Dispatches one parsed request, returning `(content_type, body)`.
-fn route(req: &Request, ctx: &Ctx) -> Result<(&'static str, String), ServeError> {
+/// Dispatches one parsed request to a complete [`Reply`].
+fn route(req: &Request, ctx: &Ctx) -> Result<Reply, ServeError> {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => Ok(("text/plain", "ok\n".to_string())),
+        ("GET", "/healthz") => Ok(Reply::ok("text/plain", "ok\n".to_string())),
         (_, "/healthz") => Err(ServeError::MethodNotAllowed),
+        ("GET", "/readyz") => Ok(readiness(ctx)),
+        (_, "/readyz") => Err(ServeError::MethodNotAllowed),
         (method, path) => match path.strip_prefix("/v1/search/").and_then(Direction::from_str) {
             Some(direction) if method == "POST" => search(req, ctx, direction),
             Some(_) => Err(ServeError::MethodNotAllowed),
@@ -211,13 +272,28 @@ fn route(req: &Request, ctx: &Ctx) -> Result<(&'static str, String), ServeError>
     }
 }
 
-/// The search endpoint: validate, consult the cache, else batch and rank.
+/// The readiness verdict: draining and mostly-broken fleets are not ready
+/// (a load balancer should route elsewhere), but stay *alive* — `/healthz`
+/// still answers 200, so an orchestrator does not restart a process that
+/// is merely waiting out a bad patch.
+fn readiness(ctx: &Ctx) -> Reply {
+    if ctx.shutdown.load(Ordering::SeqCst) {
+        return Reply::unavailable("draining\n");
+    }
+    if let Dispatch::Sharded { router } = &ctx.dispatch {
+        let open = router.open_breakers();
+        let total = router.shards();
+        if open * 2 > total {
+            return Reply::unavailable(&format!("degraded: {open}/{total} breakers open\n"));
+        }
+    }
+    Reply::ok("text/plain", "ready\n".to_string())
+}
+
+/// The search endpoint: validate, consult the cache, else rank — through
+/// the admission queue (local) or the scatter-gather router (sharded).
 // cmr-lint: allow(panic-path) chunks_exact(4) guarantees the c[0..4] probes are in range
-fn search(
-    req: &Request,
-    ctx: &Ctx,
-    direction: Direction,
-) -> Result<(&'static str, String), ServeError> {
+fn search(req: &Request, ctx: &Ctx, direction: Direction) -> Result<Reply, ServeError> {
     let k = match req.query_param("k") {
         None => 10,
         Some(raw) => match raw.parse::<usize>() {
@@ -229,7 +305,7 @@ fn search(
             }
         },
     };
-    let dim = ctx.engine.dim();
+    let dim = ctx.dispatch.dim();
     if req.body.len() != dim * 4 {
         return Err(ServeError::BadRequest(format!(
             "query body must be {} bytes ({dim} little-endian f32), got {}",
@@ -255,16 +331,30 @@ fn search(
         if cmr_obs::enabled() {
             cmr_obs::counter_add("serve.cache.hits", 1);
         }
-        return Ok(("application/json", body));
+        return Ok(Reply::ok("application/json", body));
     }
     if cmr_obs::enabled() {
         cmr_obs::counter_add("serve.cache.misses", 1);
     }
 
-    let rx = ctx.batcher.submit(direction, k, query)?;
-    // A dropped sender means the drain finished without this job, which
-    // submit()'s shutdown check rules out — but map it defensively.
-    let body = rx.recv().map_err(|_| ServeError::ShuttingDown)?;
-    ctx.cache.insert(&key, body.clone());
-    Ok(("application/json", body))
+    match &ctx.dispatch {
+        Dispatch::Local { batcher, .. } => {
+            let rx = batcher.submit(direction, k, query)?;
+            // A dropped sender means the drain finished without this job,
+            // which submit()'s shutdown check rules out — map it defensively.
+            let body = rx.recv().map_err(|_| ServeError::ShuttingDown)?;
+            ctx.cache.insert(&key, body.clone());
+            Ok(Reply::ok("application/json", body))
+        }
+        Dispatch::Sharded { router } => {
+            let routed = router.search(direction, k, &req.body)?;
+            let body = routed.render();
+            // A degraded body must never be cached: the missing shards'
+            // hits would keep haunting responses after the fleet recovers.
+            if !routed.degraded() {
+                ctx.cache.insert(&key, body.clone());
+            }
+            Ok(Reply::ok("application/json", body))
+        }
+    }
 }

@@ -1,0 +1,171 @@
+//! Gallery sharding: contiguous partitions and an in-process worker fleet.
+//!
+//! A sharded deployment splits each gallery into `n` contiguous row slices
+//! and runs one full [`Server`] per shard, each wrapping its own
+//! [`Engine`] over its slices. Workers speak the exact same TCP/HTTP
+//! protocol as a standalone server — the router only knows their socket
+//! addresses — so a shard can later move out-of-process (or behind a
+//! [`FaultProxy`](crate::faultproxy::FaultProxy)) without code changes.
+//!
+//! Because `matmul_transb_into` computes every similarity from only its own
+//! (query row, gallery row) pair, a shard's similarities are bit-identical
+//! to the corresponding rows of the unsharded product; re-basing each
+//! shard's hit indices by its slice offset and merging with
+//! [`cmr_retrieval::merge_top_k`] reproduces the single-engine response
+//! exactly (see `tests/shard_merge.rs`).
+
+use crate::config::ServeConfig;
+use crate::engine::Engine;
+use crate::error::ServeError;
+use crate::server::Server;
+use cmr_retrieval::Embeddings;
+use std::net::SocketAddr;
+
+/// Where one shard lives and which global rows it owns.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardSpec {
+    /// The worker's socket address.
+    pub addr: SocketAddr,
+    /// First global recipe-gallery row this shard serves (im2rec re-base).
+    pub rec_base: usize,
+    /// First global image-gallery row this shard serves (rec2im re-base).
+    pub img_base: usize,
+}
+
+/// Splits `n` rows into `shards` contiguous `(lo, hi)` ranges; the first
+/// `n % shards` ranges get one extra row.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+// cmr-lint: allow(panic-path) documented precondition: callers validate the shard count first
+pub fn partition(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    assert!(shards >= 1, "partition: shard count must be positive");
+    let base = n / shards;
+    let rem = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut lo = 0;
+    for i in 0..shards {
+        let hi = lo + base + usize::from(i < rem);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
+}
+
+/// An in-process fleet of shard workers, one [`Server`] per gallery slice.
+pub struct ShardFleet {
+    workers: Vec<Option<Server>>,
+    specs: Vec<ShardSpec>,
+}
+
+impl ShardFleet {
+    /// Partitions both galleries into `shards` contiguous slices and boots
+    /// one worker server per shard on `127.0.0.1:0`.
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] when `shards` is zero or exceeds either
+    /// gallery's row count (an empty slice would make an engine that can
+    /// never answer); [`ServeError::Io`] on bind failure.
+    pub fn launch(
+        recipes: &Embeddings,
+        images: &Embeddings,
+        shards: usize,
+        cfg: &ServeConfig,
+    ) -> Result<ShardFleet, ServeError> {
+        if shards == 0 {
+            return Err(ServeError::BadRequest("shard count must be positive".into()));
+        }
+        if shards > recipes.len() || shards > images.len() {
+            return Err(ServeError::BadRequest(format!(
+                "{shards} shards over galleries of {} / {} rows would leave a shard empty",
+                recipes.len(),
+                images.len()
+            )));
+        }
+        let rec_ranges = partition(recipes.len(), shards);
+        let img_ranges = partition(images.len(), shards);
+        let mut workers = Vec::with_capacity(shards);
+        let mut specs = Vec::with_capacity(shards);
+        for (&(rlo, rhi), &(ilo, ihi)) in rec_ranges.iter().zip(&img_ranges) {
+            let engine =
+                Engine::exact(recipes.slice_rows(rlo, rhi), images.slice_rows(ilo, ihi))?;
+            let server = Server::start(engine, cfg.clone(), "127.0.0.1:0")?;
+            specs.push(ShardSpec { addr: server.local_addr(), rec_base: rlo, img_base: ilo });
+            workers.push(Some(server));
+        }
+        Ok(ShardFleet { workers, specs })
+    }
+
+    /// The shard specs, in shard order (what a router is built from).
+    pub fn specs(&self) -> Vec<ShardSpec> {
+        self.specs.clone()
+    }
+
+    /// Number of shards in the fleet (dead or alive).
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` when the fleet holds no shards.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Kills worker `i` (graceful shutdown, port released) — the chaos
+    /// suite's "shard died" primitive. Idempotent; out-of-range is a no-op.
+    pub fn kill(&mut self, i: usize) {
+        if let Some(slot) = self.workers.get_mut(i) {
+            *slot = None;
+        }
+    }
+
+    /// Shuts every worker down.
+    pub fn shutdown(&mut self) {
+        for slot in &mut self.workers {
+            *slot = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_contiguously_with_balanced_sizes() {
+        for (n, shards) in [(10, 3), (9, 3), (1, 1), (7, 7), (100, 8)] {
+            let ranges = partition(n, shards);
+            assert_eq!(ranges.len(), shards);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges[ranges.len() - 1].1, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+            }
+            let sizes: Vec<usize> = ranges.iter().map(|&(lo, hi)| hi - lo).collect();
+            let max = sizes.iter().max().unwrap_or(&0);
+            let min = sizes.iter().min().unwrap_or(&0);
+            assert!(max - min <= 1, "balanced within one row: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn spawn_rejects_empty_shards() {
+        let g = Embeddings::new(2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert!(ShardFleet::launch(&g, &g, 0, &ServeConfig::default()).is_err());
+        assert!(ShardFleet::launch(&g, &g, 3, &ServeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn spawn_boots_one_worker_per_shard_with_rebased_specs() {
+        let g = Embeddings::new(2, vec![1.0, 0.0, 0.0, 1.0, -1.0, 0.0]).l2_normalized();
+        let mut fleet = ShardFleet::launch(&g, &g, 2, &ServeConfig::default()).expect("spawn");
+        assert_eq!(fleet.len(), 2);
+        let specs = fleet.specs();
+        assert_eq!(specs[0].rec_base, 0);
+        assert_eq!(specs[1].rec_base, 2, "first shard got the extra row");
+        assert_ne!(specs[0].addr, specs[1].addr);
+        fleet.kill(0);
+        fleet.kill(0); // idempotent
+        fleet.shutdown();
+    }
+}

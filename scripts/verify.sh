@@ -9,8 +9,9 @@
 # and finishes with the one-line cmr-lint summary and a one-line obs
 # summary. Archives the lint artifacts (results/LINT_report.json,
 # results/CALLGRAPH.json), the obs artifacts (results/OBS_train.json,
-# results/OBS_retrieval.json) and the serving artifacts
-# (results/BENCH_serve.json, results/OBS_serve.json).
+# results/OBS_retrieval.json), the serving artifacts
+# (results/BENCH_serve.json, results/OBS_serve.json) and the chaos
+# artifacts (results/BENCH_chaos.json, results/OBS_chaos.json).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -55,7 +56,7 @@ check_obs_schema() {
             echo "obs schema: missing artifact $f"
             return 1
         fi
-        if ! grep -q '"schema_version": 2' "$f"; then
+        if ! grep -q '"schema_version": 3' "$f"; then
             echo "obs schema: wrong or missing schema_version in $f"
             return 1
         fi
@@ -142,6 +143,42 @@ check_serve_schema() {
 }
 gate "serving: benchmark artifact schema" check_serve_schema
 
+# Chaos gate: boot the sharded fleet behind seeded fault proxies and drive
+# real-socket clients through every fault mix (healthy / delay / flaky /
+# wedged shard / killed shard). bench_chaos exits non-zero if any request
+# failed — degraded (reduced coverage) is allowed, a 5xx or a hang is not.
+# Writes results/BENCH_chaos.json and results/OBS_chaos.json.
+check_chaos() {
+    cargo run --release -q -p cmr-bench --bin bench_chaos -- \
+        --shards 3 --clients 3 --requests 25 --seed 42 --out results
+}
+gate "chaos: sharded fleet under fault injection" check_chaos
+
+check_chaos_schema() {
+    local key
+    if [[ ! -f results/BENCH_chaos.json ]]; then
+        echo "chaos schema: missing artifact results/BENCH_chaos.json"
+        return 1
+    fi
+    if ! grep -q '"schema_version": 1' results/BENCH_chaos.json; then
+        echo "chaos schema: wrong or missing schema_version in results/BENCH_chaos.json"
+        return 1
+    fi
+    for key in '"availability"' '"degraded"' '"failed"' '"latency_s"' '"p50"' \
+               '"p99"' '"p999"' '"healthy"' '"flaky"' '"wedge_one"' '"kill_one"' \
+               '"deadline_ms"' '"retries"'; do
+        if ! grep -q "$key" results/BENCH_chaos.json; then
+            echo "chaos schema: $key missing from results/BENCH_chaos.json"
+            return 1
+        fi
+    done
+    if grep -q '"failed": [^0]' results/BENCH_chaos.json; then
+        echo "chaos schema: a fault mix recorded failed requests"
+        return 1
+    fi
+}
+gate "chaos: benchmark artifact schema" check_chaos_schema
+
 echo "== gate timings =="
 for t in "${GATE_TIMINGS[@]}"; do
     echo "$t"
@@ -161,5 +198,12 @@ rps=$(grep -m1 '"throughput_rps"' results/BENCH_serve.json | sed 's/.*: *//; s/,
 sp50=$(grep -m1 '"p50"' results/BENCH_serve.json | sed 's/.*: *//; s/,.*//')
 sp999=$(grep -m1 '"p999"' results/BENCH_serve.json | sed 's/.*: *//; s/,.*//')
 echo "serve: ${rps} req/s, latency p50 ${sp50}s p999 ${sp999}s (results/BENCH_serve.json)"
+
+# One-line availability summary over every chaos mix: min availability and
+# the total degraded/failed counts across mixes.
+chaos_avail=$(grep '"availability"' results/BENCH_chaos.json | sed 's/.*: *//; s/,.*//' | sort -g | head -1)
+chaos_degraded=$(grep '"degraded"' results/BENCH_chaos.json | sed 's/.*: *//; s/,.*//' | awk '{s+=$1} END {print s}')
+chaos_failed=$(grep '"failed"' results/BENCH_chaos.json | sed 's/.*: *//; s/,.*//' | awk '{s+=$1} END {print s}')
+echo "chaos: min availability ${chaos_avail} across mixes, ${chaos_degraded} degraded / ${chaos_failed} failed (results/BENCH_chaos.json)"
 
 echo "verify: all gates green"

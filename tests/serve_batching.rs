@@ -11,7 +11,9 @@
 
 use cmr_retrieval::Embeddings;
 use cmr_serve::http::{read_response, write_request, Limits, Response};
-use cmr_serve::{render_hits, Direction, Engine, ServeConfig, Server};
+use cmr_serve::{
+    render_hits, Direction, Engine, Router, RouterConfig, ServeConfig, Server, ShardFleet,
+};
 use rand::{Rng, SeedableRng};
 use std::io::BufReader;
 use std::net::TcpStream;
@@ -159,6 +161,65 @@ fn concurrent_clients_get_reference_identical_responses_and_batches_coalesce() {
         (batches as usize) < total,
         "batch count {batches} not smaller than request count {total}: nothing coalesced"
     );
+}
+
+#[test]
+fn sharded_scatter_gather_is_byte_identical_to_the_single_engine_path() {
+    let _guard = registry_lock();
+    cmr_obs::reset();
+
+    let recipes = gallery(400, DIM, 41);
+    let images = gallery(300, DIM, 42);
+    let reference = Engine::exact(recipes.clone(), images.clone()).expect("reference engine");
+
+    // Shard counts that divide the galleries both evenly and unevenly.
+    for shards in [1usize, 3, 5] {
+        let mut fleet = ShardFleet::launch(&recipes, &images, shards, &ServeConfig::default())
+            .expect("spawn fleet");
+        let router = Router::new(fleet.specs(), DIM, RouterConfig::default());
+        let front_cfg = ServeConfig { cache_capacity: 0, ..ServeConfig::default() };
+        let mut front =
+            Server::start_sharded(router, front_cfg, "127.0.0.1:0").expect("start front end");
+        let addr = front.local_addr().to_string();
+
+        const CLIENTS: usize = 6;
+        const PER_CLIENT: usize = 12;
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|id| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut client = TestClient::connect(&addr);
+                    let mut rng = rand::rngs::SmallRng::seed_from_u64(8000 + id as u64);
+                    let mut sent = Vec::with_capacity(PER_CLIENT);
+                    for i in 0..PER_CLIENT {
+                        let direction = if (id + i) % 2 == 0 {
+                            Direction::ImToRec
+                        } else {
+                            Direction::RecToIm
+                        };
+                        let k = 1 + (i % 9);
+                        let q = query(DIM, &mut rng);
+                        let resp = client.search(direction, k, &q);
+                        assert_eq!(resp.status, 200, "shards={shards} client {id} request {i}");
+                        sent.push((direction, k, q, resp.body));
+                    }
+                    sent
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (direction, k, q, body) in handle.join().expect("client thread") {
+                let want = render_hits(&reference.search_one(direction, &q, k));
+                assert_eq!(
+                    String::from_utf8(body).expect("utf8 body"),
+                    want,
+                    "sharded response diverged from single-engine bytes (shards={shards})"
+                );
+            }
+        }
+        front.shutdown();
+        fleet.shutdown();
+    }
 }
 
 #[test]

@@ -8,7 +8,10 @@
 
 use cmr_retrieval::Embeddings;
 use cmr_serve::http::{read_response, write_request, Limits, Response};
-use cmr_serve::{render_hits, Direction, Engine, ServeConfig, Server};
+use cmr_serve::{
+    render_hits, BreakerConfig, Direction, Engine, Router, RouterConfig, ServeConfig, Server,
+    ShardSpec,
+};
 use rand::{Rng, SeedableRng};
 use std::io::{BufReader, ErrorKind, Read, Write};
 use std::net::TcpStream;
@@ -195,6 +198,78 @@ fn oversized_requests_get_payload_and_header_statuses() {
     assert_eq!(resp.status, 431, "oversized request head");
 
     assert_serves_correctly(&addr, &reference);
+    server.shutdown();
+}
+
+#[test]
+fn liveness_and_readiness_probes_have_distinct_typed_statuses() {
+    let (mut server, _reference, addr) = start_server(ServeConfig::default(), 7);
+
+    // Liveness: the process is up.
+    let resp = raw_round_trip(&addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!((resp.status, resp.body.as_slice()), (200, b"ok\n".as_slice()));
+
+    // Readiness: a healthy single-engine server is ready to take traffic.
+    let resp = raw_round_trip(&addr, b"GET /readyz HTTP/1.1\r\n\r\n");
+    assert_eq!((resp.status, resp.body.as_slice()), (200, b"ready\n".as_slice()));
+
+    // Both probes are GET-only.
+    assert_eq!(raw_round_trip(&addr, b"POST /healthz HTTP/1.1\r\n\r\n").status, 405);
+    assert_eq!(raw_round_trip(&addr, b"POST /readyz HTTP/1.1\r\n\r\n").status, 405);
+
+    server.shutdown();
+}
+
+#[test]
+fn readyz_reports_unready_when_most_breakers_are_open_but_healthz_stays_live() {
+    // Two shard addresses that refuse connections: bind, record, drop.
+    let dead_specs: Vec<ShardSpec> = (0..2)
+        .map(|i| {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            drop(listener);
+            ShardSpec { addr, rec_base: i * 30, img_base: i * 20 }
+        })
+        .collect();
+    let router_cfg = RouterConfig {
+        deadline: Duration::from_millis(80),
+        retries: 0,
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(60), // stays open for the whole test
+            ..BreakerConfig::default()
+        },
+        ..RouterConfig::default()
+    };
+    let router = Router::new(dead_specs, DIM, router_cfg);
+    let probe = router.clone();
+    let mut server = Server::start_sharded(router, ServeConfig::default(), "127.0.0.1:0")
+        .expect("start sharded front");
+    let addr = server.local_addr().to_string();
+
+    // A fresh fleet (no failures yet) is ready even though it is unreachable.
+    assert_eq!(raw_round_trip(&addr, b"GET /readyz HTTP/1.1\r\n\r\n").status, 200);
+
+    // Every search fails fast (connection refused) and must surface as a
+    // typed 503, never a hang; the failures trip both breakers.
+    let q = query_bytes(&vec![0.5f32; DIM]);
+    let mut raw =
+        format!("POST /v1/search/im2rec?k=3 HTTP/1.1\r\nContent-Length: {}\r\n\r\n", q.len())
+            .into_bytes();
+    raw.extend_from_slice(&q);
+    for i in 0..3 {
+        let resp = raw_round_trip(&addr, &raw);
+        assert_eq!(resp.status, 503, "unreachable fleet must answer 503 (request {i})");
+    }
+    assert_eq!(probe.open_breakers(), 2, "both breakers open after repeated failures");
+
+    // More than half the breakers open: not ready — but still alive.
+    let resp = raw_round_trip(&addr, b"GET /readyz HTTP/1.1\r\n\r\n");
+    assert_eq!(resp.status, 503);
+    let body = String::from_utf8(resp.body).expect("utf8");
+    assert!(body.contains("breakers open"), "unexpected readiness body: {body}");
+    assert_eq!(raw_round_trip(&addr, b"GET /healthz HTTP/1.1\r\n\r\n").status, 200);
+
     server.shutdown();
 }
 

@@ -1,0 +1,110 @@
+//! Property: merging per-shard top-k lists is bit-identical to the global
+//! single-engine top-k — for any shard count, any k, and tie-heavy
+//! similarity distributions.
+//!
+//! This is the invariant the scatter-gather router leans on: each shard's
+//! similarities are bit-identical slices of the global similarity row, so
+//! re-based per-shard top-k lists merged under the canonical
+//! [`cmr_retrieval::hit_order`] must reproduce the unsharded selection
+//! exactly — including which index wins a similarity tie.
+
+use cmr_retrieval::knn::Hit;
+use cmr_retrieval::{merge_top_k, top_k, top_k_of, Embeddings};
+use cmr_serve::partition;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A tie-heavy similarity: drawn from a tiny discrete set, so equal values
+/// across shard boundaries are the norm, not the exception.
+fn tie_heavy() -> impl Strategy<Value = f32> {
+    (0usize..5).prop_map(|i| [-0.5f32, 0.0, 0.25, 0.5, 1.0][i])
+}
+
+/// Per-shard top-k over a slice of the global sims, re-based to global
+/// indices — exactly what a shard worker computes and the router re-bases.
+fn shard_lists(sims: &[f32], shards: usize, k: usize) -> Vec<Vec<Hit>> {
+    partition(sims.len(), shards)
+        .into_iter()
+        .map(|(lo, hi)| top_k_of(sims[lo..hi].iter().enumerate().map(|(i, &s)| (lo + i, s)), k))
+        .collect()
+}
+
+proptest! {
+    /// The merge must pick the canonical (lowest-index) winners bit-exactly
+    /// no matter how the rows are split.
+    #[test]
+    fn sharded_merge_equals_global_top_k(
+        sims in vec(tie_heavy(), 1usize..120),
+        k in 1usize..16,
+        shards in 1usize..8,
+    ) {
+        let shards = shards.min(sims.len());
+        let global = top_k_of(sims.iter().copied().enumerate(), k);
+        let merged = merge_top_k(&shard_lists(&sims, shards, k), k);
+        prop_assert_eq!(&merged, &global, "shards={}", shards);
+    }
+
+    /// Continuous sims (ties still possible but rare): same invariant.
+    #[test]
+    fn sharded_merge_equals_global_top_k_continuous(
+        sims in vec(-1.0f32..1.0, 1usize..120),
+        k in 1usize..16,
+        shards in 1usize..8,
+    ) {
+        let shards = shards.min(sims.len());
+        let global = top_k_of(sims.iter().copied().enumerate(), k);
+        let merged = merge_top_k(&shard_lists(&sims, shards, k), k);
+        prop_assert_eq!(&merged, &global, "shards={}", shards);
+    }
+
+    /// Degraded coverage: dropping one shard's list must equal the global
+    /// top-k computed over only the surviving shards' rows — the router's
+    /// "merge what answered" semantics.
+    #[test]
+    fn merge_without_one_shard_equals_top_k_over_survivors(
+        sims in vec(tie_heavy(), 2usize..100),
+        k in 1usize..12,
+        shards in 2usize..6,
+        dead in 0usize..6,
+    ) {
+        let shards = shards.min(sims.len());
+        let dead = dead % shards;
+        let mut lists = shard_lists(&sims, shards, k);
+        lists.remove(dead);
+        let merged = merge_top_k(&lists, k);
+        let (dlo, dhi) = partition(sims.len(), shards)[dead];
+        let survivors = top_k_of(
+            sims.iter().copied().enumerate().filter(|&(i, _)| i < dlo || i >= dhi),
+            k,
+        );
+        prop_assert_eq!(&merged, &survivors, "shards={} dead={}", shards, dead);
+    }
+
+    /// The full-engine statement of the invariant: per-shard galleries are
+    /// row slices, so `top_k` over each slice (re-based) merges to the
+    /// unsharded `top_k` — bit-identical similarities included.
+    #[test]
+    fn sliced_gallery_top_k_merges_to_unsharded_top_k(
+        rows in vec(tie_heavy(), 8usize..120),
+        k in 1usize..10,
+        shards in 1usize..5,
+    ) {
+        let dim = 4;
+        let n = rows.len() / dim; // >= 2 by the length range
+        let gallery = Embeddings::new(dim, rows[..n * dim].to_vec());
+        let shards = shards.min(n);
+        let query: Vec<f32> = vec![0.25, -0.75, 0.5, 1.0];
+        let global = top_k(&gallery, &query, k);
+        let lists: Vec<Vec<Hit>> = partition(n, shards)
+            .into_iter()
+            .map(|(lo, hi)| {
+                let mut hits = top_k(&gallery.slice_rows(lo, hi), &query, k);
+                for h in &mut hits {
+                    h.index += lo;
+                }
+                hits
+            })
+            .collect();
+        prop_assert_eq!(&merge_top_k(&lists, k), &global, "shards={}", shards);
+    }
+}
