@@ -1,0 +1,42 @@
+//! Condvar discipline fixture pair: `wait_in_while` re-checks its predicate
+//! in a loop (correct, must stay quiet), `wait_in_if` checks once (a lost
+//! or spurious wakeup proceeds on a stale predicate — must trip
+//! `condvar-discipline`). `open` notifies while holding the paired mutex,
+//! so the advisory stays quiet too.
+
+use std::sync::{Condvar, Mutex};
+
+/// A one-shot gate: `ready` flips once, `cv` wakes the waiters.
+pub struct Gate {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    /// Correct discipline: the predicate is re-checked around every wakeup.
+    pub fn wait_in_while(&self) {
+        let mut g = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(g);
+    }
+
+    /// Lost-wakeup hazard: a single `if` never re-checks after the park.
+    pub fn wait_in_if(&self) {
+        let mut g = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+        if !*g {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(g);
+    }
+
+    /// Opens the gate under the mutex, then notifies — waiters re-check
+    /// `ready` under the same lock, so no wakeup can be lost.
+    pub fn open(&self) {
+        let mut g = self.ready.lock().unwrap_or_else(|e| e.into_inner());
+        *g = true;
+        self.cv.notify_all();
+        drop(g);
+    }
+}

@@ -1,0 +1,41 @@
+//! Seeded AB/BA lock-order inversion: `forward` holds `a` and reaches `b`
+//! through one call-graph hop, `backward` holds `b` and reaches `a` the same
+//! way. `lock-order` must close the cycle and report both interleaved
+//! chains. Kept panic-clean so no other rule fires.
+
+use std::sync::Mutex;
+
+/// Two locks acquired in opposite orders on the two public paths.
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    /// Holds `a`, then acquires `b` inside `bump_b` — the A→B order.
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let out = *ga + self.bump_b();
+        drop(ga);
+        out
+    }
+
+    /// Holds `b`, then acquires `a` inside `peek_a` — the B→A order.
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        let out = *gb + self.peek_a();
+        drop(gb);
+        out
+    }
+
+    fn bump_b(&self) -> u32 {
+        let mut gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *gb = gb.wrapping_add(1);
+        *gb
+    }
+
+    fn peek_a(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        *ga
+    }
+}

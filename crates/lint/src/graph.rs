@@ -149,10 +149,26 @@ pub struct Node {
     pub defused: usize,
     /// Resolved callee node indices (sorted, deduped).
     pub callees: Vec<usize>,
+    /// Every resolved call site in body order, with its candidate targets
+    /// (the per-site view `callees` flattens away; the lock pass needs the
+    /// site's line/col to intersect with live guard spans).
+    pub resolved_calls: Vec<ResolvedCall>,
     /// Call sites that could not be resolved to a workspace fn.
     pub unresolved_calls: usize,
     /// Transitive panic reachability (filled by propagation).
     pub taint: Option<Taint>,
+}
+
+/// One call site resolved to workspace candidates.
+pub struct ResolvedCall {
+    /// 1-based line of the callee name token.
+    pub line: u32,
+    /// 1-based column of the callee name token.
+    pub col: u32,
+    /// Callee name as written at the site.
+    pub name: String,
+    /// Candidate node indices (every workspace fn the site may reach).
+    pub targets: Vec<usize>,
 }
 
 /// A statement-discarded call (`let _ = f();` or bare `f();`) whose every
@@ -448,6 +464,7 @@ pub fn build(units: &[FileUnit], allows: &BTreeMap<String, PanicAllows>) -> Grap
                 live_sources: live,
                 defused,
                 callees: Vec::new(),
+                resolved_calls: Vec::new(),
                 unresolved_calls: 0,
                 taint: None,
             });
@@ -478,6 +495,7 @@ pub fn build(units: &[FileUnit], allows: &BTreeMap<String, PanicAllows>) -> Grap
         let r = &refs[i];
         let Some(body) = &r.def.body else { continue };
         let mut callees: BTreeSet<usize> = BTreeSet::new();
+        let mut resolved_calls: Vec<ResolvedCall> = Vec::new();
         let mut unresolved = 0usize;
         for call in &body.calls {
             let targets = resolve_call(
@@ -505,9 +523,18 @@ pub fn build(units: &[FileUnit], allows: &BTreeMap<String, PanicAllows>) -> Grap
                     callee_name: call.name.clone(),
                 });
             }
-            callees.extend(targets);
+            callees.extend(targets.iter().copied());
+            if !targets.is_empty() {
+                resolved_calls.push(ResolvedCall {
+                    line: call.line,
+                    col: call.col,
+                    name: call.name.clone(),
+                    targets,
+                });
+            }
         }
         nodes[i].callees = callees.into_iter().collect();
+        nodes[i].resolved_calls = resolved_calls;
         nodes[i].unresolved_calls = unresolved;
     }
     discarded_results.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));

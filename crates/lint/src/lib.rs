@@ -25,6 +25,14 @@
 //! * **lossy-cast** — narrowing/sign-changing/truncating `as` casts must be
 //!   provably in range or carry a reasoned allow;
 //! * **unused-result** — a workspace `Result` may not be discarded;
+//! * **lock-order** — a cycle in the acquired-while-holding lock graph
+//!   ([`locks`]) is a potential deadlock; every interleaved witness chain is
+//!   reported;
+//! * **blocking-under-lock** — no I/O, sleep, join, channel op or second
+//!   workspace-lock acquisition while a guard is live;
+//! * **condvar-discipline** — `Condvar::wait` must sit in a
+//!   predicate-rechecking loop, and `notify` without the paired mutex held
+//!   is flagged as advisory;
 //! * **stale-allow** — an allow that suppresses nothing is itself a finding.
 //!
 //! Violations that are intentional carry an inline
@@ -41,6 +49,7 @@
 
 pub mod graph;
 pub mod lexer;
+pub mod locks;
 pub mod parser;
 pub mod report;
 pub mod rules;

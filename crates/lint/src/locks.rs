@@ -1,0 +1,1060 @@
+//! R13–R15: interprocedural concurrency analysis over the workspace call
+//! graph — the lock-order graph, blocking-under-lock, and Condvar
+//! discipline.
+//!
+//! The pass recovers a *lock model* from the parser's concurrency facts:
+//! every `Mutex`/`RwLock`/`Condvar` struct field and static is inventoried
+//! as a named lock (`serve::Inner.queue`, `obs::REGISTRY`), guard-producing
+//! sites (`.lock()`/`.read()`/`.write()` and calls to guard-returning
+//! helpers) are matched to their `let` bindings, and each binding's live
+//! range runs from the end of its initializer to its `drop(..)` or scope
+//! end. Held-lock sets then propagate over the call graph exactly like
+//! panic taint: a multi-source BFS per lock answers "can calling this fn
+//! acquire L?", a second BFS answers "can calling this fn block?", and both
+//! carry shortest witness chains.
+//!
+//! Three rules come out of the model:
+//!
+//! * `lock-order` — every acquisition inside a live guard span adds an
+//!   `acquired-while-held` edge; a cycle in that graph is a potential
+//!   deadlock, reported once per cycle with every interleaved chain.
+//! * `blocking-under-lock` — TCP/file I/O, `thread::sleep`,
+//!   `JoinHandle::join`, `mpsc` send/recv, `Condvar::wait` on a *different*
+//!   lock, or a second workspace-lock acquisition while a guard is live.
+//!   Reasoned `// cmr-lint: allow(blocking-under-lock) …` line allows,
+//!   fn-decl barriers and `allow-file` are honored like `panic-path`.
+//! * `condvar-discipline` — `wait`/`wait_timeout` outside a
+//!   predicate-rechecking loop is a lost-wakeup hazard; `notify_*` without
+//!   the paired mutex held is flagged as advisory.
+//!
+//! The whole model renders to the deterministic `LOCKGRAPH.json` artifact
+//! next to `CALLGRAPH.json`.
+
+// cmr-lint: allow-file(panic-path) lock/edge/node indices are minted by this pass's own inventory and the graph arena; every dereference uses an index the builder issued
+
+use crate::graph::{crate_of, local_type, FileUnit, Graph};
+use crate::parser::FnDef;
+use crate::rules::Finding;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+/// Schema version stamped into `LOCKGRAPH.json`.
+pub const LOCKGRAPH_SCHEMA_VERSION: u32 = 1;
+
+/// Per-file allow state for the three concurrency rules.
+#[derive(Default, Clone)]
+pub struct ConcAllows {
+    /// Lines carrying `allow(blocking-under-lock)`.
+    pub blocking: BTreeSet<u32>,
+    /// Lines carrying `allow(lock-order)`.
+    pub order: BTreeSet<u32>,
+    /// Lines carrying `allow(condvar-discipline)`.
+    pub condvar: BTreeSet<u32>,
+    /// `allow-file(blocking-under-lock)` present.
+    pub blocking_file: bool,
+    /// `allow-file(lock-order)` present.
+    pub order_file: bool,
+    /// `allow-file(condvar-discipline)` present.
+    pub condvar_file: bool,
+}
+
+/// One lock or condvar in the workspace inventory.
+pub struct LockDef {
+    /// Stable id: `crate::Type.field` for fields, `crate::NAME` for statics.
+    pub id: String,
+    /// `Mutex`, `RwLock` or `Condvar`.
+    pub kind: String,
+    /// Short crate name.
+    pub krate: String,
+    /// Repo-relative declaring file.
+    pub file: String,
+    /// Declaration line (struct name or static name).
+    pub line: u32,
+}
+
+/// A directed lock-order edge: `to` is acquired while `from` is held.
+pub struct LockEdge {
+    /// Holding lock — index into [`LockAnalysis::locks`].
+    pub from: usize,
+    /// Acquired lock — index into [`LockAnalysis::locks`].
+    pub to: usize,
+    /// File of the anchoring acquisition or call site.
+    pub file: String,
+    /// Line of the anchor site.
+    pub line: u32,
+    /// Column of the anchor site.
+    pub col: u32,
+    /// Witness: the call chain from the anchor down to the acquisition.
+    pub witness: String,
+}
+
+/// Everything the concurrency pass learned, plus its rule findings.
+pub struct LockAnalysis {
+    /// Mutex/RwLock inventory in declaration order.
+    pub locks: Vec<LockDef>,
+    /// Condvar inventory in declaration order.
+    pub condvars: Vec<LockDef>,
+    /// Deduped acquired-while-held edges (anchored at their first site).
+    pub edges: Vec<LockEdge>,
+    /// Lock-index cycles (strongly connected components, incl. self-loops).
+    pub cycles: Vec<Vec<usize>>,
+    /// Maximum number of workspace locks provably held at once.
+    pub max_held_depth: usize,
+    /// Unsuppressed findings from the three rules.
+    pub findings: Vec<Finding>,
+    /// `(file, line, rule)` of line allows that suppressed or defused.
+    pub used_allow_lines: BTreeSet<(String, u32, String)>,
+    /// `(file, rule)` of load-bearing `allow-file` directives.
+    pub used_file_allows: BTreeSet<(String, String)>,
+}
+
+impl Default for LockAnalysis {
+    fn default() -> Self {
+        LockAnalysis {
+            locks: Vec::new(),
+            condvars: Vec::new(),
+            edges: Vec::new(),
+            cycles: Vec::new(),
+            max_held_depth: 0,
+            findings: Vec::new(),
+            used_allow_lines: BTreeSet::new(),
+            used_file_allows: BTreeSet::new(),
+        }
+    }
+}
+
+/// A resolved acquisition target.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Res {
+    Lock(usize),
+    Cv(usize),
+}
+
+/// A resolved acquisition event inside one fn body.
+#[derive(Clone)]
+struct Ev {
+    pos: (u32, u32),
+    lock: usize,
+    desc: String,
+}
+
+/// A live guard span: `lock` is held from just after `start` through `end`.
+struct Span {
+    bind: String,
+    lock: usize,
+    start: (u32, u32),
+    end: (u32, u32),
+}
+
+/// Shortest-chain taint, mirroring `graph::Taint`.
+#[derive(Clone)]
+struct Tnt {
+    dist: u32,
+    via: Option<usize>,
+    site: String,
+}
+
+fn is_test_unit(path: &str) -> bool {
+    path.split('/').any(|c| c == "tests" || c == "benches")
+}
+
+/// `Some(covering line)` when a line-allow set covers a finding at `line`
+/// (same line or the line directly above).
+fn covered(set: &BTreeSet<u32>, line: u32) -> Option<u32> {
+    if set.contains(&line) {
+        Some(line)
+    } else if line > 0 && set.contains(&(line - 1)) {
+        Some(line - 1)
+    } else {
+        None
+    }
+}
+
+/// Finding sink that applies file- and line-scope allows and records usage.
+struct Sink<'a> {
+    allows: &'a BTreeMap<String, ConcAllows>,
+    findings: Vec<Finding>,
+    used_lines: BTreeSet<(String, u32, String)>,
+    used_files: BTreeSet<(String, String)>,
+}
+
+impl Sink<'_> {
+    /// Emits unless an allow suppresses; returns `true` when suppressed.
+    fn emit(&mut self, file: &str, line: u32, col: u32, rule: &'static str, message: String) -> bool {
+        if let Some(ca) = self.allows.get(file) {
+            let (set, file_flag) = match rule {
+                "blocking-under-lock" => (&ca.blocking, ca.blocking_file),
+                "lock-order" => (&ca.order, ca.order_file),
+                _ => (&ca.condvar, ca.condvar_file),
+            };
+            if file_flag {
+                self.used_files.insert((file.to_string(), rule.to_string()));
+                return true;
+            }
+            if let Some(l) = covered(set, line) {
+                self.used_lines.insert((file.to_string(), l, rule.to_string()));
+                return true;
+            }
+        }
+        self.findings.push(Finding { file: file.to_string(), line, col, rule, message });
+        false
+    }
+}
+
+/// Runs the concurrency pass over the same `units` slice that built `g`.
+pub fn analyze(
+    units: &[FileUnit<'_>],
+    g: &Graph,
+    allows: &BTreeMap<String, ConcAllows>,
+) -> LockAnalysis {
+    // Node alignment: graph::build pushes one node per (unit, fn) in order.
+    let mut refs: Vec<(usize, &FnDef)> = Vec::new();
+    for (ui, u) in units.iter().enumerate() {
+        for def in &u.parsed.fns {
+            refs.push((ui, def));
+        }
+    }
+    if refs.len() != g.nodes.len() {
+        return LockAnalysis::default();
+    }
+    let n = refs.len();
+
+    // ---- lock inventory ----
+    let mut locks: Vec<LockDef> = Vec::new();
+    let mut condvars: Vec<LockDef> = Vec::new();
+    let mut field_lock: HashMap<(String, String, String), usize> = HashMap::new();
+    let mut field_cv: HashMap<(String, String, String), usize> = HashMap::new();
+    let mut static_lock: HashMap<(String, String), usize> = HashMap::new();
+    let mut static_cv: HashMap<(String, String), usize> = HashMap::new();
+    let mut fields: HashMap<(String, String), HashMap<String, String>> = HashMap::new();
+    let mut struct_home: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    // Condvar → first Mutex/RwLock field of the same struct.
+    let mut cv_pair: HashMap<usize, usize> = HashMap::new();
+
+    for u in units {
+        if is_test_unit(u.path) {
+            continue;
+        }
+        let krate = crate_of(u.path);
+        for st in &u.parsed.structs {
+            let entry = fields.entry((krate.clone(), st.name.clone())).or_default();
+            for (f, t) in &st.fields {
+                entry.entry(f.clone()).or_insert_with(|| t.clone());
+            }
+            struct_home.entry(st.name.clone()).or_default().insert(krate.clone());
+            for (fname, kind) in &st.lock_fields {
+                let key = (krate.clone(), st.name.clone(), fname.clone());
+                let def = LockDef {
+                    id: format!("{krate}::{}.{}", st.name, fname),
+                    kind: kind.clone(),
+                    krate: krate.clone(),
+                    file: u.path.to_string(),
+                    line: st.line,
+                };
+                if kind == "Condvar" {
+                    if !field_cv.contains_key(&key) {
+                        field_cv.insert(key, condvars.len());
+                        condvars.push(def);
+                    }
+                } else if !field_lock.contains_key(&key) {
+                    field_lock.insert(key, locks.len());
+                    locks.push(def);
+                }
+            }
+        }
+        for sd in &u.parsed.statics {
+            let key = (krate.clone(), sd.name.clone());
+            let def = LockDef {
+                id: format!("{krate}::{}", sd.name),
+                kind: sd.kind.clone(),
+                krate: krate.clone(),
+                file: u.path.to_string(),
+                line: sd.line,
+            };
+            if sd.kind == "Condvar" {
+                if !static_cv.contains_key(&key) {
+                    static_cv.insert(key, condvars.len());
+                    condvars.push(def);
+                }
+            } else if !static_lock.contains_key(&key) {
+                static_lock.insert(key, locks.len());
+                locks.push(def);
+            }
+        }
+    }
+    for u in units {
+        if is_test_unit(u.path) {
+            continue;
+        }
+        let krate = crate_of(u.path);
+        for st in &u.parsed.structs {
+            let first_lock = st
+                .lock_fields
+                .iter()
+                .filter(|(_, k)| k != "Condvar")
+                .find_map(|(f, _)| {
+                    field_lock.get(&(krate.clone(), st.name.clone(), f.clone())).copied()
+                });
+            let Some(pair) = first_lock else { continue };
+            for (f, k) in &st.lock_fields {
+                if k == "Condvar" {
+                    if let Some(&cv) =
+                        field_cv.get(&(krate.clone(), st.name.clone(), f.clone()))
+                    {
+                        cv_pair.entry(cv).or_insert(pair);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- target resolution ----
+    let resolve = |ui: usize, def: &FnDef, target: &str, line: u32| -> Option<Res> {
+        if target.is_empty() {
+            return None;
+        }
+        let krate = crate_of(units[ui].path);
+        let parts: Vec<&str> = target.split('.').collect();
+        if parts.len() == 1 {
+            let key = (krate.clone(), parts[0].to_string());
+            if let Some(&i) = static_lock.get(&key) {
+                return Some(Res::Lock(i));
+            }
+            if let Some(&i) = static_cv.get(&key) {
+                return Some(Res::Cv(i));
+            }
+            // Unique-across-workspace fallback for re-exported statics.
+            let hits: Vec<usize> = static_lock
+                .iter()
+                .filter(|((_, s), _)| s == parts[0])
+                .map(|(_, &v)| v)
+                .collect();
+            if hits.len() == 1 {
+                return Some(Res::Lock(hits[0]));
+            }
+            let hits: Vec<usize> = static_cv
+                .iter()
+                .filter(|((_, s), _)| s == parts[0])
+                .map(|(_, &v)| v)
+                .collect();
+            if hits.len() == 1 {
+                return Some(Res::Cv(hits[0]));
+            }
+            return None;
+        }
+        let mut ty = if parts[0] == "self" {
+            def.self_ty.clone()?
+        } else {
+            local_type(def, parts[0], line)?
+        };
+        let mut kr = krate;
+        for (w, part) in parts.iter().enumerate().skip(1) {
+            // Locate the struct (same crate first, else its unique home).
+            let home = if fields.contains_key(&(kr.clone(), ty.clone())) {
+                kr.clone()
+            } else {
+                struct_home.get(&ty)?.iter().next()?.clone()
+            };
+            if w == parts.len() - 1 {
+                let key = (home, ty, (*part).to_string());
+                if let Some(&i) = field_lock.get(&key) {
+                    return Some(Res::Lock(i));
+                }
+                if let Some(&i) = field_cv.get(&key) {
+                    return Some(Res::Cv(i));
+                }
+                return None;
+            }
+            ty = fields.get(&(home.clone(), ty))?.get(*part)?.clone();
+            kr = home;
+        }
+        None
+    };
+
+    // ---- per-node facts: direct acquires, condvar sites ----
+    let mut direct: Vec<Vec<Ev>> = Vec::with_capacity(n);
+    for (i, (ui, def)) in refs.iter().enumerate() {
+        let mut evs = Vec::new();
+        if let Some(body) = &def.body {
+            for a in &body.acquires {
+                if let Some(Res::Lock(l)) = resolve(*ui, def, &a.target, a.line) {
+                    evs.push(Ev {
+                        pos: (a.line, a.col),
+                        lock: l,
+                        desc: format!(
+                            "acquires {} via .{}() ({}:{})",
+                            locks[l].id, a.method, g.nodes[i].file, a.line
+                        ),
+                    });
+                }
+            }
+        }
+        direct.push(evs);
+    }
+
+    // ---- guard-provider locks (fns returning MutexGuard & co.) ----
+    let mut provided: Vec<Option<Option<usize>>> = vec![None; n];
+    fn provider_of(
+        i: usize,
+        refs: &[(usize, &FnDef)],
+        g: &Graph,
+        direct: &[Vec<Ev>],
+        provided: &mut Vec<Option<Option<usize>>>,
+        visiting: &mut HashSet<usize>,
+    ) -> Option<usize> {
+        if let Some(memo) = provided[i] {
+            return memo;
+        }
+        if !refs[i].1.returns_guard || !visiting.insert(i) {
+            return None;
+        }
+        let mut out = direct[i].first().map(|e| e.lock);
+        if out.is_none() {
+            'calls: for call in &g.nodes[i].resolved_calls {
+                for &t in &call.targets {
+                    if let Some(l) = provider_of(t, refs, g, direct, provided, visiting) {
+                        out = Some(l);
+                        break 'calls;
+                    }
+                }
+            }
+        }
+        visiting.remove(&i);
+        provided[i] = Some(out);
+        out
+    }
+    for i in 0..n {
+        let mut visiting = HashSet::new();
+        provider_of(i, &refs, g, &direct, &mut provided, &mut visiting);
+    }
+
+    // ---- guard spans: events matched to their innermost `let` binding ----
+    let mut spans: Vec<Vec<Span>> = Vec::with_capacity(n);
+    for (i, (_ui, def)) in refs.iter().enumerate() {
+        let mut out: Vec<Span> = Vec::new();
+        if let Some(body) = &def.body {
+            // Acquisition events: direct acquires plus guard-provider calls.
+            let mut evs: Vec<Ev> = direct[i].clone();
+            for call in &g.nodes[i].resolved_calls {
+                let prov = call.targets.iter().find_map(|&t| provided[t].flatten());
+                if let Some(l) = prov {
+                    evs.push(Ev {
+                        pos: (call.line, call.col),
+                        lock: l,
+                        desc: format!(
+                            "acquires {} via {}() ({}:{})",
+                            locks[l].id, call.name, g.nodes[i].file, call.line
+                        ),
+                    });
+                }
+            }
+            evs.sort_by_key(|e| e.pos);
+            for ev in &evs {
+                // Innermost binding whose initializer contains the event.
+                let bind = body
+                    .binds
+                    .iter()
+                    .filter(|b| {
+                        (b.line, b.col) <= ev.pos
+                            && ev.pos <= (b.init_end_line, b.init_end_col)
+                    })
+                    .max_by_key(|b| (b.line, b.col));
+                let Some(b) = bind else { continue }; // chain-only temporary
+                if out.iter().any(|s| s.bind == b.name && s.start == (b.init_end_line, b.init_end_col)) {
+                    continue; // keep the first event of a multi-acquire init
+                }
+                let drop_end = body
+                    .drops
+                    .iter()
+                    .filter(|(dn, dl, dc)| {
+                        dn == &b.name && (*dl, *dc) > (b.init_end_line, b.init_end_col)
+                    })
+                    .map(|(_, dl, dc)| (*dl, *dc))
+                    .min();
+                let scope_end = (b.end_line, b.end_col);
+                out.push(Span {
+                    bind: b.name.clone(),
+                    lock: ev.lock,
+                    start: (b.init_end_line, b.init_end_col),
+                    end: drop_end.map_or(scope_end, |d| d.min(scope_end)),
+                });
+            }
+        }
+        spans.push(out);
+    }
+
+    // ---- blocking seeds (allow-defused) + fn barriers ----
+    let mut barrier_b: Vec<Option<u32>> = vec![None; n]; // allow line, or u32::MAX for file scope
+    let mut live_blocking: Vec<Vec<(u32, u32, String)>> = vec![Vec::new(); n];
+    let mut raw_site_count: Vec<usize> = vec![0; n];
+    let mut sink = Sink {
+        allows,
+        findings: Vec::new(),
+        used_lines: BTreeSet::new(),
+        used_files: BTreeSet::new(),
+    };
+    for (i, (_ui, def)) in refs.iter().enumerate() {
+        let file = &g.nodes[i].file;
+        let ca = allows.get(file.as_str());
+        if let Some(ca) = ca {
+            if ca.blocking_file {
+                barrier_b[i] = Some(u32::MAX);
+            } else {
+                for cand in [
+                    def.attach_line.checked_sub(1),
+                    Some(def.attach_line),
+                    Some(def.line),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    if ca.blocking.contains(&cand) {
+                        barrier_b[i] = Some(cand);
+                        break;
+                    }
+                }
+            }
+        }
+        let Some(body) = &def.body else { continue };
+        let mut sites: Vec<(u32, u32, String)> = body
+            .blocking
+            .iter()
+            .map(|b| (b.line, b.col, b.what.clone()))
+            .collect();
+        for cv in &body.condvars {
+            if matches!(cv.method.as_str(), "wait" | "wait_timeout" | "wait_while") {
+                sites.push((cv.line, cv.col, format!("Condvar::{}", cv.method)));
+            }
+        }
+        sites.sort();
+        raw_site_count[i] = sites.len();
+        for (line, col, what) in sites {
+            if barrier_b[i].is_some() {
+                continue;
+            }
+            if let Some(ca) = ca {
+                if let Some(l) = covered(&ca.blocking, line) {
+                    sink.used_lines.insert((
+                        file.clone(),
+                        l,
+                        "blocking-under-lock".to_string(),
+                    ));
+                    continue;
+                }
+            }
+            live_blocking[i].push((line, col, what));
+        }
+    }
+
+    // ---- reverse call edges ----
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, node) in g.nodes.iter().enumerate() {
+        for &c in &node.callees {
+            rev[c].push(i);
+        }
+    }
+    for r in &mut rev {
+        r.sort_unstable();
+        r.dedup();
+    }
+
+    // ---- per-lock acquire taint (multi-source BFS, shortest chains) ----
+    let mut acq: Vec<Vec<Option<Tnt>>> = vec![vec![None; n]; locks.len()];
+    for (l, taint) in acq.iter_mut().enumerate() {
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for i in 0..n {
+            if g.nodes[i].is_test {
+                continue;
+            }
+            if let Some(ev) = direct[i].iter().find(|e| e.lock == l) {
+                taint[i] = Some(Tnt { dist: 0, via: None, site: ev.desc.clone() });
+                queue.push_back(i);
+            }
+        }
+        while let Some(cur) = queue.pop_front() {
+            let dist = taint[cur].as_ref().map_or(0, |t| t.dist);
+            for &caller in &rev[cur] {
+                if taint[caller].is_some() || g.nodes[caller].is_test {
+                    continue;
+                }
+                taint[caller] = Some(Tnt { dist: dist + 1, via: Some(cur), site: String::new() });
+                queue.push_back(caller);
+            }
+        }
+    }
+
+    // ---- blocking taint (barriers stop seeding and propagation) ----
+    let mut blk: Vec<Option<Tnt>> = vec![None; n];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for i in 0..n {
+        if barrier_b[i].is_some() || g.nodes[i].is_test {
+            continue;
+        }
+        if let Some((line, _col, what)) = live_blocking[i].first() {
+            blk[i] = Some(Tnt {
+                dist: 0,
+                via: None,
+                site: format!("{} ({}:{})", what, g.nodes[i].file, line),
+            });
+            queue.push_back(i);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        let dist = blk[cur].as_ref().map_or(0, |t| t.dist);
+        for &caller in &rev[cur] {
+            if blk[caller].is_some() || barrier_b[caller].is_some() || g.nodes[caller].is_test {
+                continue;
+            }
+            blk[caller] = Some(Tnt { dist: dist + 1, via: Some(cur), site: String::new() });
+            queue.push_back(caller);
+        }
+    }
+
+    let chain = |taint: &[Option<Tnt>], from: usize| -> String {
+        let mut parts = Vec::new();
+        let mut cur = from;
+        for _ in 0..64 {
+            parts.push(g.nodes[cur].id.clone());
+            match &taint[cur] {
+                Some(t) => match t.via {
+                    Some(nxt) => cur = nxt,
+                    None => {
+                        parts.push(t.site.clone());
+                        break;
+                    }
+                },
+                None => break,
+            }
+        }
+        parts.join(" → ")
+    };
+
+    // ---- edges + blocking findings over live spans ----
+    let mut edge_map: BTreeMap<(usize, usize), LockEdge> = BTreeMap::new();
+    let mut barrier_suppressed: Vec<usize> = vec![0; n];
+    let in_span = |s: &Span, pos: (u32, u32)| s.start < pos && pos <= s.end;
+    for i in 0..n {
+        if g.nodes[i].is_test {
+            continue;
+        }
+        let file = g.nodes[i].file.clone();
+        let (_ui, def) = refs[i];
+        let mut add_edge = |from: usize, to: usize, line: u32, col: u32, witness: String| {
+            let e = edge_map.entry((from, to)).or_insert_with(|| LockEdge {
+                from,
+                to,
+                file: file.clone(),
+                line,
+                col,
+                witness: witness.clone(),
+            });
+            if (file.as_str(), line, col) < (e.file.as_str(), e.line, e.col) {
+                *e = LockEdge { from, to, file: file.clone(), line, col, witness };
+            }
+        };
+        let mut block_findings: Vec<(u32, u32, String)> = Vec::new();
+        for s in &spans[i] {
+            // Second direct acquisition while this guard is live.
+            for ev in &direct[i] {
+                if !in_span(s, ev.pos) {
+                    continue;
+                }
+                add_edge(s.lock, ev.lock, ev.pos.0, ev.pos.1, ev.desc.clone());
+                block_findings.push((
+                    ev.pos.0,
+                    ev.pos.1,
+                    format!(
+                        "acquires {} while holding {} (guard `{}`); lock-order edge recorded",
+                        locks[ev.lock].id, locks[s.lock].id, s.bind
+                    ),
+                ));
+            }
+            // Calls that transitively acquire or block.
+            for call in &g.nodes[i].resolved_calls {
+                let pos = (call.line, call.col);
+                if !in_span(s, pos) {
+                    continue;
+                }
+                let mut hit_lock = false;
+                for (l, taint) in acq.iter().enumerate() {
+                    let best = call
+                        .targets
+                        .iter()
+                        .filter(|&&t| taint[t].is_some())
+                        .min_by_key(|&&t| (taint[t].as_ref().map_or(u32::MAX, |x| x.dist), t));
+                    if let Some(&t) = best {
+                        let w = chain(taint, t);
+                        add_edge(s.lock, l, pos.0, pos.1, w.clone());
+                        if !hit_lock {
+                            hit_lock = true;
+                            block_findings.push((
+                                pos.0,
+                                pos.1,
+                                format!(
+                                    "call can acquire {} while holding {} (guard `{}`): {}",
+                                    locks[l].id, locks[s.lock].id, s.bind, w
+                                ),
+                            ));
+                        }
+                    }
+                }
+                if !hit_lock {
+                    let best = call
+                        .targets
+                        .iter()
+                        .filter(|&&t| blk[t].is_some())
+                        .min_by_key(|&&t| (blk[t].as_ref().map_or(u32::MAX, |x| x.dist), t));
+                    if let Some(&t) = best {
+                        block_findings.push((
+                            pos.0,
+                            pos.1,
+                            format!(
+                                "call can block while holding {} (guard `{}`): {}",
+                                locks[s.lock].id, s.bind, chain(&blk, t)
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Local blocking sites under the guard. `Condvar::wait(guard)`
+            // on the span's own guard atomically releases it — exempt.
+            for (line, col, what) in &live_blocking[i] {
+                if !in_span(s, (*line, *col)) {
+                    continue;
+                }
+                if what.starts_with("Condvar::wait") {
+                    let own = def.body.as_ref().is_some_and(|b| {
+                        b.condvars.iter().any(|cv| {
+                            cv.line == *line
+                                && cv.col == *col
+                                && cv.guard_arg.as_deref() == Some(s.bind.as_str())
+                        })
+                    });
+                    if own {
+                        continue;
+                    }
+                    block_findings.push((
+                        *line,
+                        *col,
+                        format!(
+                            "{what} releases only its own mutex; {} (guard `{}`) stays held through the park",
+                            locks[s.lock].id, s.bind
+                        ),
+                    ));
+                } else {
+                    block_findings.push((
+                        *line,
+                        *col,
+                        format!(
+                            "blocking call {what} while holding {} (guard `{}`)",
+                            locks[s.lock].id, s.bind
+                        ),
+                    ));
+                }
+            }
+        }
+        block_findings.sort();
+        block_findings.dedup();
+        for (line, col, msg) in block_findings {
+            if barrier_b[i].is_some() {
+                barrier_suppressed[i] += 1;
+                continue;
+            }
+            sink.emit(&g.nodes[i].file, line, col, "blocking-under-lock", msg);
+        }
+    }
+
+    // ---- blocking barrier / file-allow usage (load-bearing only) ----
+    for i in 0..n {
+        let stops_callee = g.nodes[i]
+            .callees
+            .iter()
+            .any(|&c| blk[c].is_some() && barrier_b[c].is_none());
+        let load_bearing =
+            raw_site_count[i] > 0 || stops_callee || barrier_suppressed[i] > 0;
+        if !load_bearing {
+            continue;
+        }
+        match barrier_b[i] {
+            Some(u32::MAX) => {
+                sink.used_files
+                    .insert((g.nodes[i].file.clone(), "blocking-under-lock".to_string()));
+            }
+            Some(l) => {
+                sink.used_lines.insert((
+                    g.nodes[i].file.clone(),
+                    l,
+                    "blocking-under-lock".to_string(),
+                ));
+            }
+            None => {}
+        }
+    }
+
+    // ---- condvar-discipline ----
+    for (i, (ui, def)) in refs.iter().enumerate() {
+        if g.nodes[i].is_test {
+            continue;
+        }
+        let Some(body) = &def.body else { continue };
+        for cv in &body.condvars {
+            let Some(Res::Cv(c)) = resolve(*ui, def, &cv.target, cv.line) else { continue };
+            match cv.method.as_str() {
+                "wait" | "wait_timeout" if !cv.in_loop => {
+                    sink.emit(
+                        &g.nodes[i].file,
+                        cv.line,
+                        cv.col,
+                        "condvar-discipline",
+                        format!(
+                            "Condvar::{} on {} outside a predicate-rechecking loop; a spurious or lost wakeup proceeds on a stale predicate — use `while !pred {{ guard = cv.{}(guard)… }}`",
+                            cv.method, condvars[c].id, cv.method
+                        ),
+                    );
+                }
+                "notify_one" | "notify_all" => {
+                    let Some(&pair) = cv_pair.get(&c) else { continue };
+                    let held = spans[i]
+                        .iter()
+                        .any(|s| s.lock == pair && in_span(s, (cv.line, cv.col)));
+                    if !held {
+                        sink.emit(
+                            &g.nodes[i].file,
+                            cv.line,
+                            cv.col,
+                            "condvar-discipline",
+                            format!(
+                                "advisory: {} on {} without holding its paired mutex {}; ensure waiters re-check the predicate under the lock",
+                                cv.method, condvars[c].id, locks[pair].id
+                            ),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ---- lock-order cycles (SCCs over the edge relation) ----
+    let edges: Vec<LockEdge> = edge_map.into_values().collect();
+    let cycles = find_cycles(locks.len(), &edges);
+    for cyc in &cycles {
+        let member: BTreeSet<usize> = cyc.iter().copied().collect();
+        let mut cyc_edges: Vec<&LockEdge> = edges
+            .iter()
+            .filter(|e| member.contains(&e.from) && member.contains(&e.to))
+            .collect();
+        cyc_edges.sort_by(|a, b| (a.from, a.to).cmp(&(b.from, b.to)));
+        let Some(anchor) = cyc_edges
+            .iter()
+            .min_by_key(|e| (e.file.as_str(), e.line, e.col))
+        else {
+            continue;
+        };
+        let ring: Vec<&str> = cyc.iter().map(|&l| locks[l].id.as_str()).collect();
+        let witnesses: Vec<String> = cyc_edges
+            .iter()
+            .map(|e| format!("[{} → {}] {}", locks[e.from].id, locks[e.to].id, e.witness))
+            .collect();
+        sink.emit(
+            &anchor.file.clone(),
+            anchor.line,
+            anchor.col,
+            "lock-order",
+            format!(
+                "potential deadlock: lock-order cycle {} → {}; {}",
+                ring.join(" → "),
+                ring[0],
+                witnesses.join("; ")
+            ),
+        );
+    }
+
+    // ---- max held-set depth ----
+    let mut memo: Vec<Option<usize>> = vec![None; n];
+    fn depth_of(
+        i: usize,
+        g: &Graph,
+        spans: &[Vec<Span>],
+        memo: &mut Vec<Option<usize>>,
+        visiting: &mut HashSet<usize>,
+    ) -> usize {
+        if let Some(d) = memo[i] {
+            return d;
+        }
+        if !visiting.insert(i) {
+            return 0;
+        }
+        let live_at = |pos: (u32, u32)| -> usize {
+            spans[i].iter().filter(|s| s.start < pos && pos <= s.end).count()
+        };
+        let mut best = 0usize;
+        for s in &spans[i] {
+            best = best.max(live_at((s.start.0, s.start.1 + 1)));
+        }
+        for call in &g.nodes[i].resolved_calls {
+            let held = live_at((call.line, call.col));
+            let sub = call
+                .targets
+                .iter()
+                .map(|&t| depth_of(t, g, spans, memo, visiting))
+                .max()
+                .unwrap_or(0);
+            best = best.max(held + sub);
+        }
+        visiting.remove(&i);
+        memo[i] = Some(best);
+        best
+    }
+    let mut max_held_depth = 0usize;
+    for i in 0..n {
+        if g.nodes[i].is_test {
+            continue;
+        }
+        let mut visiting = HashSet::new();
+        max_held_depth = max_held_depth.max(depth_of(i, g, &spans, &mut memo, &mut visiting));
+    }
+
+    LockAnalysis {
+        locks,
+        condvars,
+        edges,
+        cycles,
+        max_held_depth,
+        findings: sink.findings,
+        used_allow_lines: sink.used_lines,
+        used_file_allows: sink.used_files,
+    }
+}
+
+/// Strongly connected components of the lock-order relation that contain a
+/// cycle (size > 1 or a self-loop), in deterministic order.
+fn find_cycles(n_locks: usize, edges: &[LockEdge]) -> Vec<Vec<usize>> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n_locks];
+    for e in edges {
+        adj[e.from].push(e.to);
+    }
+    for a in &mut adj {
+        a.sort_unstable();
+        a.dedup();
+    }
+    // Iterative Tarjan.
+    let mut index = vec![usize::MAX; n_locks];
+    let mut low = vec![0usize; n_locks];
+    let mut on_stack = vec![false; n_locks];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for root in 0..n_locks {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // (node, next-child-cursor)
+        let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut cursor)) = work.last_mut() {
+            if *cursor == 0 {
+                index[v] = next;
+                low[v] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *cursor < adj[v].len() {
+                let w = adj[v][*cursor];
+                *cursor += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&mut (p, _)) = work.last_mut() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    let cyclic = comp.len() > 1
+                        || adj[comp[0]].contains(&comp[0]);
+                    if cyclic {
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+impl LockAnalysis {
+    /// Renders the deterministic `LOCKGRAPH.json` artifact.
+    pub fn render_json(&self) -> String {
+        let esc = crate::report::escape;
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {LOCKGRAPH_SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"locks\": {},\n", self.locks.len()));
+        out.push_str(&format!("  \"condvars\": {},\n", self.condvars.len()));
+        out.push_str(&format!("  \"edges\": {},\n", self.edges.len()));
+        out.push_str(&format!("  \"cycles\": {},\n", self.cycles.len()));
+        out.push_str(&format!("  \"max_held_depth\": {},\n", self.max_held_depth));
+        let mut per_crate: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+        for l in &self.locks {
+            per_crate.entry(&l.krate).or_default().0 += 1;
+        }
+        for c in &self.condvars {
+            per_crate.entry(&c.krate).or_default().1 += 1;
+        }
+        out.push_str("  \"crates\": {\n");
+        let nc = per_crate.len();
+        for (i, (kr, (nl, ncv))) in per_crate.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {{\"locks\": {nl}, \"condvars\": {ncv}}}{}\n",
+                esc(kr),
+                if i + 1 < nc { "," } else { "" }
+            ));
+        }
+        out.push_str("  },\n  \"inventory\": [\n");
+        let mut inv: Vec<&LockDef> = self.locks.iter().chain(&self.condvars).collect();
+        inv.sort_by(|a, b| a.id.cmp(&b.id));
+        let ni = inv.len();
+        for (i, l) in inv.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"kind\": \"{}\", \"file\": \"{}\", \"line\": {}}}{}\n",
+                esc(&l.id),
+                esc(&l.kind),
+                esc(&l.file),
+                l.line,
+                if i + 1 < ni { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"order_edges\": [\n");
+        let mut es: Vec<&LockEdge> = self.edges.iter().collect();
+        es.sort_by(|a, b| {
+            (&self.locks[a.from].id, &self.locks[a.to].id)
+                .cmp(&(&self.locks[b.from].id, &self.locks[b.to].id))
+        });
+        let ne = es.len();
+        for (i, e) in es.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"from\": \"{}\", \"to\": \"{}\", \"site\": \"{}:{}:{}\", \"witness\": \"{}\"}}{}\n",
+                esc(&self.locks[e.from].id),
+                esc(&self.locks[e.to].id),
+                esc(&e.file),
+                e.line,
+                e.col,
+                esc(&e.witness),
+                if i + 1 < ne { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}

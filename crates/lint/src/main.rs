@@ -28,8 +28,10 @@ fn usage() -> String {
          crates/, src/, tests/ and examples/ trees) and reports rule\n\
          violations as `file:line:col [rule] message`. `--graph` writes the\n\
          deterministic call-graph artifact (CALLGRAPH.json) with per-crate\n\
-         panic-surface metrics. Exits 1 when findings exist, 2 on usage or\n\
-         IO errors.\n\nrules:\n",
+         panic-surface metrics, plus the lock-order artifact (LOCKGRAPH.json,\n\
+         in the same directory) with the workspace lock inventory, the\n\
+         acquired-while-held edge list and cycle count. Exits 1 when findings\n\
+         exist, 2 on usage or IO errors.\n\nrules:\n",
     );
     for (id, desc) in RULES {
         s.push_str(&format!("  {id:<22} {desc}\n"));
@@ -166,6 +168,8 @@ fn run_cli() -> Result<ExitCode, String> {
     }
     if let Some(graph_path) = &args.graph {
         write_artifact(graph_path, analysis.graph.render_json())?;
+        let lock_path = graph_path.with_file_name("LOCKGRAPH.json");
+        write_artifact(&lock_path, analysis.locks.render_json())?;
     }
     Ok(if analysis.findings.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }

@@ -31,6 +31,9 @@ pub struct ParsedFile {
     pub fns: Vec<FnDef>,
     /// Struct definitions with named fields (field name → type tail).
     pub structs: Vec<StructDef>,
+    /// `static` items whose type involves a lock (the lock model only
+    /// records these; plain statics are skipped as before).
+    pub statics: Vec<StaticDef>,
 }
 
 /// A struct with named fields; tuple structs are skipped.
@@ -38,8 +41,26 @@ pub struct ParsedFile {
 pub struct StructDef {
     /// The struct's name.
     pub name: String,
+    /// Line of the struct's name token.
+    pub line: u32,
     /// `(field name, type tail)` pairs — see [`type_tail`].
     pub fields: Vec<(String, String)>,
+    /// `(field name, lock kind)` for fields whose declared type mentions
+    /// `Mutex`, `RwLock` or `Condvar` anywhere (so `Vec<Mutex<Shard>>`
+    /// registers as a sharded `Mutex` class).
+    pub lock_fields: Vec<(String, String)>,
+}
+
+/// A `static` item of lock type (`Mutex`/`RwLock`/`Condvar` in its
+/// declared type). Non-lock statics are not recorded.
+#[derive(Debug)]
+pub struct StaticDef {
+    /// The static's name.
+    pub name: String,
+    /// Lock kind: `Mutex`, `RwLock` or `Condvar`.
+    pub kind: String,
+    /// Line of the name token.
+    pub line: u32,
 }
 
 /// One function definition (or trait-method declaration without a body).
@@ -62,6 +83,10 @@ pub struct FnDef {
     pub attach_line: u32,
     /// `true` when the declared return type is a top-level `Result<…>`.
     pub returns_result: bool,
+    /// `true` when the declared return type mentions a lock guard
+    /// (`MutexGuard`/`RwLockReadGuard`/`RwLockWriteGuard`) — calling such a
+    /// fn acquires the lock its body locks.
+    pub returns_guard: bool,
     /// Inside a `#[test]` fn or a `#[cfg(test)]` mod/impl.
     pub is_test: bool,
     /// `(name, type tail)` of simple typed params (`self` and complex
@@ -84,6 +109,85 @@ pub struct Body {
     pub casts: Vec<CastSite>,
     /// `(name, type tail, line)` of typed `let` bindings, in source order.
     pub locals: Vec<(String, String, u32)>,
+    /// Lock-guard acquisition sites (`.lock()` and zero-arg
+    /// `.read()`/`.write()`), in source order.
+    pub acquires: Vec<AcquireSite>,
+    /// Condvar wait/notify sites, in source order.
+    pub condvars: Vec<CondvarSite>,
+    /// Blocking-call sites (sleep, zero-arg join, channel send/recv,
+    /// socket/file I/O), in source order.
+    pub blocking: Vec<BlockingSite>,
+    /// Single-ident `let` bindings with initializer extent and enclosing
+    /// scope end — the guard-lifetime skeleton.
+    pub binds: Vec<LetBind>,
+    /// Explicit `drop(x)` statements: `(binding name, line, col)`.
+    pub drops: Vec<(String, u32, u32)>,
+}
+
+/// One lock-guard acquisition site inside a body.
+#[derive(Debug)]
+pub struct AcquireSite {
+    /// 1-based line of the method name token.
+    pub line: u32,
+    /// 1-based column of the method name token.
+    pub col: u32,
+    /// `lock`, `read` or `write`.
+    pub method: String,
+    /// Receiver key: `self.field`, `base.field`, a bare ident (static or
+    /// local), or `""` when the receiver shape is unrecoverable. Index
+    /// expressions are erased (`self.shards[i].lock()` → `self.shards`).
+    pub target: String,
+}
+
+/// One `Condvar` operation inside a body.
+#[derive(Debug)]
+pub struct CondvarSite {
+    /// 1-based line of the method name token.
+    pub line: u32,
+    /// 1-based column of the method name token.
+    pub col: u32,
+    /// `wait`, `wait_timeout`, `wait_while`, `notify_one` or `notify_all`.
+    pub method: String,
+    /// Receiver key in the same shape as [`AcquireSite::target`].
+    pub target: String,
+    /// For `wait*`: the guard binding passed as first argument, when it is
+    /// a plain ident.
+    pub guard_arg: Option<String>,
+    /// `true` when the site sits inside any `loop`/`while`/`for` body —
+    /// the predicate-rechecking shape `condvar-discipline` requires.
+    pub in_loop: bool,
+}
+
+/// One call that blocks the current thread (outside lock acquisition).
+#[derive(Debug)]
+pub struct BlockingSite {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Short description, e.g. `thread::sleep` or `JoinHandle::join`.
+    pub what: String,
+}
+
+/// One single-ident `let` binding with the extents guard-lifetime tracking
+/// needs: where its initializer ends (acquisitions inside it belong to the
+/// binding) and where its enclosing scope closes (the implicit drop point).
+#[derive(Debug)]
+pub struct LetBind {
+    /// The bound name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+    /// Position of the statement-terminating `;` (end of initializer).
+    pub init_end_line: u32,
+    /// Column of the terminating `;`.
+    pub init_end_col: u32,
+    /// Position of the `}` closing the innermost enclosing scope.
+    pub end_line: u32,
+    /// Column of that `}`.
+    pub end_col: u32,
 }
 
 /// What sits before the `.` of a method call.
@@ -183,6 +287,21 @@ const EXPR_KEYWORDS: &[&str] = &[
     "yield", "box",
 ];
 
+/// Lock type names the lock model inventories (struct fields, statics).
+const LOCK_TYPES: &[&str] = &["Mutex", "RwLock", "Condvar"];
+/// Guard type names that mark a fn as guard-returning in its signature.
+const GUARD_TYPES: &[&str] = &["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"];
+/// `Condvar` method names tracked by the concurrency pass.
+const CONDVAR_METHODS: &[&str] =
+    &["wait", "wait_timeout", "wait_while", "notify_one", "notify_all"];
+/// Method calls that block the current thread when they appear under a
+/// held guard. `join`/`recv` only count with zero arguments (separating
+/// `JoinHandle::join` from `slice::join(sep)`); the I/O names take
+/// buffers and are matched by name alone.
+const BLOCKING_METHODS: &[&str] = &[
+    "recv_timeout", "send", "read_exact", "read_to_end", "read_to_string", "write_all",
+    "accept",
+];
 /// `panic!`-family macro names.
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
 /// `assert!`-family macro names (`debug_assert*` compiled out in release,
@@ -207,6 +326,16 @@ pub fn type_tail(toks: &[&Token]) -> Option<String> {
         } else {
             break;
         }
+    }
+    // Peel transparent pointer wrappers: `Arc<Inner>` types as `Inner` —
+    // the type you reach *through* the value, which is what receiver and
+    // lock-field resolution care about.
+    while i + 1 < toks.len()
+        && toks[i].kind == TokenKind::Ident
+        && matches!(toks[i].text.as_str(), "Arc" | "Rc" | "Box")
+        && toks[i + 1].is_punct("<")
+    {
+        i += 2;
     }
     let mut last: Option<String> = None;
     while i < toks.len() {
@@ -466,15 +595,18 @@ pub fn parse(tokens: &[Token]) -> ParsedFile {
                     }
                     "struct" => {
                         cx.bump();
-                        let name = cx.bump().map(|n| n.text.clone()).unwrap_or_default();
+                        let (name, line) = cx
+                            .bump()
+                            .map(|n| (n.text.clone(), n.line))
+                            .unwrap_or_default();
                         if cx.peek(0).is_some_and(|n| n.is_punct("<")) {
                             cx.skip_generics();
                         }
                         match cx.peek(0) {
                             Some(n) if n.is_punct("{") => {
                                 let (s, e) = cx.skip_balanced();
-                                let fields = parse_struct_fields(&cx, s, e);
-                                out.structs.push(StructDef { name, fields });
+                                let (fields, lock_fields) = parse_struct_fields(&cx, s, e);
+                                out.structs.push(StructDef { name, line, fields, lock_fields });
                             }
                             Some(n) if n.is_punct("(") => {
                                 cx.skip_balanced();
@@ -497,7 +629,52 @@ pub fn parse(tokens: &[Token]) -> ParsedFile {
                         }
                         (pend_test, pend_pub, pend_start) = (false, false, None);
                     }
-                    "use" | "static" | "type" | "const" => {
+                    "use" | "type" | "const" => {
+                        cx.skip_to_semi();
+                        (pend_test, pend_pub, pend_start) = (false, false, None);
+                    }
+                    "static" => {
+                        cx.bump();
+                        if cx.peek(0).is_some_and(|n| n.is_ident("mut")) {
+                            cx.bump();
+                        }
+                        let name = cx
+                            .peek(0)
+                            .filter(|n| n.kind == TokenKind::Ident)
+                            .map(|n| (n.text.clone(), n.line));
+                        if name.is_some() {
+                            cx.bump();
+                        }
+                        if let Some((name, line)) = name {
+                            if cx.peek(0).is_some_and(|n| n.is_punct(":")) {
+                                cx.bump();
+                                // Scan the declared type to `=`/`;` at depth
+                                // 0 for a lock type name.
+                                let mut kind: Option<String> = None;
+                                let mut depth = 0isize;
+                                while let Some(t) = cx.peek(0) {
+                                    if t.kind == TokenKind::Punct {
+                                        match t.text.as_str() {
+                                            "(" | "[" | "<" => depth += 1,
+                                            "<<" => depth += 2,
+                                            ")" | "]" | ">" => depth -= 1,
+                                            ">>" => depth -= 2,
+                                            "=" | ";" if depth <= 0 => break,
+                                            _ => {}
+                                        }
+                                    } else if t.kind == TokenKind::Ident
+                                        && kind.is_none()
+                                        && LOCK_TYPES.contains(&t.text.as_str())
+                                    {
+                                        kind = Some(t.text.clone());
+                                    }
+                                    cx.bump();
+                                }
+                                if let Some(kind) = kind {
+                                    out.statics.push(StaticDef { name, kind, line });
+                                }
+                            }
+                        }
                         cx.skip_to_semi();
                         (pend_test, pend_pub, pend_start) = (false, false, None);
                     }
@@ -566,8 +743,18 @@ fn parse_type_path(cx: &mut Cursor) -> Option<String> {
 }
 
 /// Parses `name: Type` fields inside a struct body `code` range.
-fn parse_struct_fields(cx: &Cursor, start: usize, end: usize) -> Vec<(String, String)> {
+///
+/// Returns `(fields, lock_fields)`: `fields` maps each named field to its
+/// type tail (for method resolution), while `lock_fields` records fields
+/// whose full declared type mentions a lock primitive anywhere (so
+/// `Vec<Mutex<Shard>>` still registers as a `Mutex` field).
+fn parse_struct_fields(
+    cx: &Cursor,
+    start: usize,
+    end: usize,
+) -> (Vec<(String, String)>, Vec<(String, String)>) {
     let mut fields = Vec::new();
+    let mut lock_fields = Vec::new();
     let mut i = start;
     // depth over (), [], <> so commas inside generic args don't split.
     while i < end {
@@ -629,12 +816,18 @@ fn parse_struct_fields(cx: &Cursor, start: usize, end: usize) -> Vec<(String, St
             i += 1;
         }
         let ty_toks: Vec<&Token> = (ty_start..i).map(|j| &cx.toks[cx.code[j]]).collect();
+        let lock_kind = LOCK_TYPES
+            .iter()
+            .find(|k| ty_toks.iter().any(|t| t.kind == TokenKind::Ident && t.text == **k));
+        if let Some(kind) = lock_kind {
+            lock_fields.push((name.clone(), (*kind).to_string()));
+        }
         if let Some(tail) = type_tail(&ty_toks) {
             fields.push((name, tail));
         }
         i += 1; // skip the comma
     }
-    fields
+    (fields, lock_fields)
 }
 
 /// Parses one `fn` starting at the `fn` keyword.
@@ -663,6 +856,7 @@ fn parse_fn(
     }
     // Return type.
     let mut returns_result = false;
+    let mut returns_guard = false;
     if cx.peek(0).is_some_and(|t| t.is_punct("->")) {
         cx.bump();
         let mut angle = 0isize;
@@ -685,6 +879,9 @@ fn parse_fn(
                 }
                 if t.text == "Result" && (first || angle == 0) {
                     returns_result = true;
+                }
+                if GUARD_TYPES.contains(&t.text.as_str()) {
+                    returns_guard = true;
                 }
             }
             first = false;
@@ -725,6 +922,7 @@ fn parse_fn(
         col,
         attach_line: pend_start.unwrap_or(fn_tok_line),
         returns_result,
+        returns_guard,
         is_test,
         params,
         body,
@@ -1041,7 +1239,272 @@ fn extract_body(
         }
         i += 1;
     }
+
+    // Pass 3: concurrency facts — guard acquisitions, condvar operations,
+    // blocking calls, `let` bindings (guard lifetimes), and `drop` sites.
+    // First map each `{` to its matching `}` so a binding's scope end is
+    // known at bind time.
+    let mut close_of: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    {
+        let mut stack: Vec<usize> = Vec::new();
+        let mut i = start;
+        while i < end {
+            if skipped(i) {
+                i += 1;
+                continue;
+            }
+            let t = &cx.toks[cx.code[i]];
+            if t.is_punct("{") {
+                stack.push(i);
+            } else if t.is_punct("}") {
+                if let Some(open) = stack.pop() {
+                    close_of.insert(open, i);
+                }
+            }
+            i += 1;
+        }
+    }
+    let fn_close = if end < cx.code.len() {
+        let t = &cx.toks[cx.code[end]];
+        (t.line, t.col)
+    } else {
+        cx.toks.last().map_or((u32::MAX, 0), |t| (t.line, t.col))
+    };
+    // Brace-scope stack entries are `(open index, is_loop_body)`; a pending
+    // `loop`/`while`/`for` marks the next `{` as a loop body.
+    let mut cscopes: Vec<(usize, bool)> = Vec::new();
+    let mut pending_loop = false;
+    let mut i = start;
+    while i < end {
+        if skipped(i) {
+            i += 1;
+            continue;
+        }
+        let t = &cx.toks[cx.code[i]];
+        let prev = |n: usize| {
+            i.checked_sub(n)
+                .filter(|&p| p >= start && !skipped(p))
+                .map(|p| &cx.toks[cx.code[p]])
+        };
+        let next = |n: usize| {
+            let p = i + n;
+            if p < end {
+                Some(&cx.toks[cx.code[p]])
+            } else {
+                None
+            }
+        };
+        match t.kind {
+            TokenKind::Punct if t.text == "{" => {
+                cscopes.push((i, pending_loop));
+                pending_loop = false;
+            }
+            TokenKind::Punct if t.text == "}" => {
+                cscopes.pop();
+            }
+            TokenKind::Punct if t.text == ";" => {
+                pending_loop = false;
+            }
+            TokenKind::Ident => match t.text.as_str() {
+                "loop" | "while" | "for" => pending_loop = true,
+                "let" => {
+                    let mut j = i + 1;
+                    if j < end && cx.toks[cx.code[j]].is_ident("mut") {
+                        j += 1;
+                    }
+                    let named = j < end
+                        && cx.toks[cx.code[j]].kind == TokenKind::Ident
+                        && cx.toks[cx.code[j]].text != "_";
+                    if named {
+                        let (bname, bline, bcol) = {
+                            let n = &cx.toks[cx.code[j]];
+                            (n.text.clone(), n.line, n.col)
+                        };
+                        let mut k = j + 1;
+                        // `let x: T = …` — skip the annotation to the `=`.
+                        if k < end && cx.toks[cx.code[k]].is_punct(":") {
+                            k += 1;
+                            let mut depth = 0isize;
+                            while k < end {
+                                let u = &cx.toks[cx.code[k]];
+                                if u.kind == TokenKind::Punct {
+                                    match u.text.as_str() {
+                                        "(" | "[" | "<" => depth += 1,
+                                        "<<" => depth += 2,
+                                        ")" | "]" | ">" => depth -= 1,
+                                        ">>" => depth -= 2,
+                                        "=" | ";" if depth <= 0 => break,
+                                        _ => {}
+                                    }
+                                }
+                                k += 1;
+                            }
+                        }
+                        if k < end && cx.toks[cx.code[k]].is_punct("=") {
+                            // Initializer runs to the `;` at delimiter
+                            // depth 0 (nested statements sit inside `{}`).
+                            let mut m = k + 1;
+                            let mut depth = 0isize;
+                            while m < end {
+                                let u = &cx.toks[cx.code[m]];
+                                if u.kind == TokenKind::Punct {
+                                    match u.text.as_str() {
+                                        "(" | "[" | "{" => depth += 1,
+                                        ")" | "]" | "}" => depth -= 1,
+                                        ";" if depth <= 0 => break,
+                                        _ => {}
+                                    }
+                                }
+                                m += 1;
+                            }
+                            let init_end = if m < end {
+                                let u = &cx.toks[cx.code[m]];
+                                (u.line, u.col)
+                            } else {
+                                fn_close
+                            };
+                            let scope_end = cscopes
+                                .last()
+                                .and_then(|&(open, _)| close_of.get(&open))
+                                .map(|&c| {
+                                    let u = &cx.toks[cx.code[c]];
+                                    (u.line, u.col)
+                                })
+                                .unwrap_or(fn_close);
+                            body.binds.push(LetBind {
+                                name: bname,
+                                line: bline,
+                                col: bcol,
+                                init_end_line: init_end.0,
+                                init_end_col: init_end.1,
+                                end_line: scope_end.0,
+                                end_col: scope_end.1,
+                            });
+                        }
+                    }
+                }
+                "drop"
+                    if next(1).is_some_and(|n| n.is_punct("("))
+                        && next(2).is_some_and(|n| n.kind == TokenKind::Ident)
+                        && next(3).is_some_and(|n| n.is_punct(")")) =>
+                {
+                    let dropped = next(2).map(|n| n.text.clone()).unwrap_or_default();
+                    body.drops.push((dropped, t.line, t.col));
+                }
+                name => {
+                    let dotted = prev(1).is_some_and(|p| p.is_punct("."));
+                    let open = next(1).is_some_and(|n| n.is_punct("("));
+                    let zero_arg = open && next(2).is_some_and(|n| n.is_punct(")"));
+                    if dotted && open {
+                        if matches!(name, "lock" | "read" | "write") && zero_arg {
+                            body.acquires.push(AcquireSite {
+                                line: t.line,
+                                col: t.col,
+                                method: t.text.clone(),
+                                target: recv_key(cx, i, start),
+                            });
+                        } else if CONDVAR_METHODS.contains(&name) {
+                            let guard_arg = next(2)
+                                .filter(|n| n.kind == TokenKind::Ident)
+                                .map(|n| n.text.clone());
+                            body.condvars.push(CondvarSite {
+                                line: t.line,
+                                col: t.col,
+                                method: t.text.clone(),
+                                target: recv_key(cx, i, start),
+                                guard_arg,
+                                in_loop: cscopes.iter().any(|&(_, l)| l),
+                            });
+                        } else if BLOCKING_METHODS.contains(&name)
+                            || (zero_arg && matches!(name, "join" | "recv" | "flush"))
+                        {
+                            body.blocking.push(BlockingSite {
+                                line: t.line,
+                                col: t.col,
+                                what: format!(".{name}()"),
+                            });
+                        }
+                    } else if prev(1).is_some_and(|p| p.is_punct("::")) && open {
+                        let qual = prev(2).map(|p| p.text.clone()).unwrap_or_default();
+                        let blocking = matches!(
+                            (qual.as_str(), name),
+                            ("thread", "sleep")
+                                | ("TcpStream", "connect")
+                                | ("File", "open" | "create")
+                                | ("fs", _)
+                        );
+                        if blocking {
+                            body.blocking.push(BlockingSite {
+                                line: t.line,
+                                col: t.col,
+                                what: format!("{qual}::{name}"),
+                            });
+                        }
+                    }
+                }
+            },
+            _ => {}
+        }
+        i += 1;
+    }
     body
+}
+
+/// Walks the `.`-chain receiver left of the method-name token at code index
+/// `i` (whose previous token is `.`), erasing balanced `[…]` index
+/// expressions, and returns the dotted key (`"self.inner.queue"`, `"q"`,
+/// `"REGISTRY"`, …). A computed receiver — call result, literal — yields
+/// `""` (the guard is chain-only: it never outlives the statement).
+fn recv_key(cx: &Cursor, i: usize, start: usize) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut p = i;
+    loop {
+        if p == start || !cx.toks[cx.code[p - 1]].is_punct(".") {
+            break;
+        }
+        p -= 1; // at the `.`
+        if p == start {
+            return String::new();
+        }
+        p -= 1; // component end
+        if cx.toks[cx.code[p]].is_punct("]") {
+            // Erase a balanced `[…]` index expression.
+            let mut d = 0isize;
+            loop {
+                let u = &cx.toks[cx.code[p]];
+                if u.is_punct("]") {
+                    d += 1;
+                } else if u.is_punct("[") {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                if p == start {
+                    return String::new();
+                }
+                p -= 1;
+            }
+            if p == start {
+                return String::new();
+            }
+            p -= 1;
+        }
+        let u = &cx.toks[cx.code[p]];
+        if u.is_ident("self") {
+            parts.push("self".to_string());
+        } else if u.kind == TokenKind::Ident && !EXPR_KEYWORDS.contains(&u.text.as_str()) {
+            parts.push(u.text.clone());
+        } else {
+            return String::new();
+        }
+        if parts.len() > 6 {
+            return String::new();
+        }
+    }
+    parts.reverse();
+    parts.join(".")
 }
 
 /// From `from` (a statement's expression start), decides whether the
@@ -1465,5 +1928,126 @@ mod tests {
         assert!(p.fns[0].body.is_none());
         assert!(p.fns[1].body.is_some());
         assert_eq!(p.fns[0].self_ty.as_deref(), Some("Loss"));
+    }
+
+    #[test]
+    fn lock_fields_and_statics_inventoried() {
+        let src = r#"
+            use std::sync::{Condvar, Mutex, RwLock};
+            pub struct Inner {
+                queue: Mutex<VecDeque<Job>>,
+                cv: Condvar,
+                shards: Vec<Mutex<Shard>>,
+                table: RwLock<HashMap<u32, u32>>,
+                plain: usize,
+            }
+            static REGISTRY: Mutex<Registry> = Mutex::new(Registry::new());
+            static COUNT: AtomicU64 = AtomicU64::new(0);
+        "#;
+        let p = parsed(src);
+        assert_eq!(
+            p.structs[0].lock_fields,
+            vec![
+                ("queue".to_string(), "Mutex".to_string()),
+                ("cv".to_string(), "Condvar".to_string()),
+                ("shards".to_string(), "Mutex".to_string()),
+                ("table".to_string(), "RwLock".to_string()),
+            ]
+        );
+        assert_eq!(p.statics.len(), 1, "atomics are not locks");
+        assert_eq!(p.statics[0].name, "REGISTRY");
+        assert_eq!(p.statics[0].kind, "Mutex");
+    }
+
+    #[test]
+    fn guard_returning_fn_flagged() {
+        let src = r#"
+            impl Inner {
+                fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Job>> {
+                    self.queue.lock().unwrap_or_else(|p| p.into_inner())
+                }
+                fn depth(&self) -> usize { 0 }
+            }
+        "#;
+        let p = parsed(src);
+        assert!(p.fns[0].returns_guard);
+        assert!(!p.fns[1].returns_guard);
+    }
+
+    #[test]
+    fn acquires_binds_and_drops_tracked() {
+        let src = r#"
+            fn f(inner: &Inner) {
+                let mut q = inner.queue.lock().unwrap_or_else(|p| p.into_inner());
+                q.push_back(1);
+                drop(q);
+                let n = inner.shards[0].lock().unwrap().len();
+                let chain_only = inner.table.read().unwrap().get(&0).copied();
+            }
+        "#;
+        let p = parsed(src);
+        let body = p.fns[0].body.as_ref().unwrap();
+        let targets: Vec<&str> = body.acquires.iter().map(|a| a.target.as_str()).collect();
+        assert_eq!(targets, vec!["inner.queue", "inner.shards", "inner.table"]);
+        assert_eq!(body.acquires[0].method, "lock");
+        assert_eq!(body.acquires[2].method, "read");
+        let q = body.binds.iter().find(|b| b.name == "q").expect("q bound");
+        assert_eq!(q.line, 3);
+        assert!(q.init_end_line == 3 && q.end_line > q.line);
+        assert_eq!(body.drops.len(), 1);
+        assert!(body.drops[0].0 == "q" && body.drops[0].1 == 5);
+    }
+
+    #[test]
+    fn condvar_sites_record_loop_context_and_guard_arg() {
+        let src = r#"
+            fn w(inner: &Inner) {
+                let mut q = inner.lock_queue();
+                loop {
+                    if !q.is_empty() { break; }
+                    q = inner.cv.wait(q).unwrap_or_else(|p| p.into_inner());
+                }
+                if q.is_empty() {
+                    q = inner.cv.wait(q).unwrap_or_else(|p| p.into_inner());
+                }
+                inner.cv.notify_one();
+            }
+        "#;
+        let p = parsed(src);
+        let cvs = &p.fns[0].body.as_ref().unwrap().condvars;
+        assert_eq!(cvs.len(), 3);
+        assert!(cvs[0].in_loop && cvs[0].guard_arg.as_deref() == Some("q"));
+        assert_eq!(cvs[0].target, "inner.cv");
+        assert!(!cvs[1].in_loop, "wait under `if` is not predicate-rechecking");
+        assert_eq!(cvs[2].method, "notify_one");
+        assert!(cvs[2].guard_arg.is_none());
+    }
+
+    #[test]
+    fn blocking_sites_classified() {
+        let src = r#"
+            fn f(rx: &Receiver<u32>, h: JoinHandle<()>, stream: &mut TcpStream) {
+                thread::sleep(Duration::from_millis(1));
+                let _ = rx.recv();
+                let _ = rx.recv_timeout(d);
+                let _ = h.join();
+                stream.write_all(b"x").ok();
+                let s = fs::read_to_string(path);
+                let joined = parts.join(", ");
+            }
+        "#;
+        let p = parsed(src);
+        let what: Vec<&str> = p.fns[0]
+            .body
+            .as_ref()
+            .unwrap()
+            .blocking
+            .iter()
+            .map(|b| b.what.as_str())
+            .collect();
+        assert_eq!(
+            what,
+            vec!["thread::sleep", ".recv()", ".recv_timeout()", ".join()", ".write_all()", "fs::read_to_string"]
+        );
     }
 }

@@ -7,8 +7,9 @@ use crate::rules::{Analysis, Finding, RULES};
 use std::collections::BTreeMap;
 
 /// Schema version stamped into `LINT_report.json` so downstream diffing
-/// tools can detect format changes.
-pub const LINT_SCHEMA_VERSION: u32 = 1;
+/// tools can detect format changes. v2 added the concurrency rule ids
+/// (`lock-order`, `blocking-under-lock`, `condvar-discipline`) to `counts`.
+pub const LINT_SCHEMA_VERSION: u32 = 2;
 
 /// Canonical text output: one `file:line:col [rule] message` line per
 /// finding, plus a summary line.
@@ -46,16 +47,19 @@ pub(crate) fn escape(s: &str) -> String {
 }
 
 /// One-line machine-greppable summary of a full analysis: file/finding
-/// counts, allow inventory, and the workspace panic surface (pub lib fns
-/// that can transitively reach an undefused panic).
+/// counts, allow inventory, the workspace panic surface (pub lib fns that
+/// can transitively reach an undefused panic), and the lock-order graph
+/// health (edge and cycle counts).
 pub fn render_summary(analysis: &Analysis) -> String {
     format!(
-        "cmr-lint summary: files={} findings={} allows={} (used {}) panic-surface={}\n",
+        "cmr-lint summary: files={} findings={} allows={} (used {}) panic-surface={} lock-edges={} lock-cycles={}\n",
         analysis.files_scanned,
         analysis.findings.len(),
         analysis.allows_total,
         analysis.allows_used,
         analysis.graph.panic_surface(),
+        analysis.locks.edges.len(),
+        analysis.locks.cycles.len(),
     )
 }
 

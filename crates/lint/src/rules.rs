@@ -33,6 +33,7 @@
 
 use crate::graph::{self, FileUnit, PanicAllows};
 use crate::lexer::{lex, Token, TokenKind};
+use crate::locks;
 use crate::parser::{self, CastSite, CastSrc, FnDef, ParsedFile};
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -48,6 +49,9 @@ pub const RULES: &[(&str, &str)] = &[
     ("panic-path", "a pub library fn transitively reaches an undefused panic (witness chain reported)"),
     ("lossy-cast", "narrowing, sign-changing or truncating `as` cast that is not provably in range"),
     ("unused-result", "a workspace Result discarded via `let _ =` or a bare call statement"),
+    ("lock-order", "a cycle in the acquired-while-holding lock graph; potential deadlock (all interleaved chains reported)"),
+    ("blocking-under-lock", "I/O, sleep, join, channel op or a second workspace-lock acquisition while a guard is live"),
+    ("condvar-discipline", "Condvar::wait outside a predicate-rechecking loop, or notify without the paired mutex held"),
     ("stale-allow", "an allow directive that suppresses zero findings; delete it"),
     ("allow-missing-reason", "a cmr-lint allow comment must carry a reason after the rule id"),
     ("allow-unknown-rule", "a cmr-lint allow comment names a rule id that does not exist"),
@@ -735,6 +739,8 @@ pub struct Analysis {
     pub allows_used: usize,
     /// The workspace call graph (panic propagation already run).
     pub graph: graph::Graph,
+    /// The concurrency pass result (lock inventory, order edges, cycles).
+    pub locks: locks::LockAnalysis,
 }
 
 /// Lints a set of files and returns every unsuppressed finding, sorted by
@@ -927,6 +933,57 @@ pub fn analyze(files: &[SourceFile]) -> Analysis {
         }
     }
 
+    // ---- concurrency pass: lock-order / blocking-under-lock / condvar ----
+    let mut conc_allows: BTreeMap<String, locks::ConcAllows> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        let mut ca = locks::ConcAllows::default();
+        for a in &allows_by_file[fi] {
+            match (a.scope, a.rule.as_str()) {
+                (AllowScope::Line, "blocking-under-lock") => {
+                    ca.blocking.insert(a.line);
+                }
+                (AllowScope::Line, "lock-order") => {
+                    ca.order.insert(a.line);
+                }
+                (AllowScope::Line, "condvar-discipline") => {
+                    ca.condvar.insert(a.line);
+                }
+                (AllowScope::File, "blocking-under-lock") => ca.blocking_file = true,
+                (AllowScope::File, "lock-order") => ca.order_file = true,
+                (AllowScope::File, "condvar-discipline") => ca.condvar_file = true,
+                _ => {}
+            }
+        }
+        if !ca.blocking.is_empty()
+            || !ca.order.is_empty()
+            || !ca.condvar.is_empty()
+            || ca.blocking_file
+            || ca.order_file
+            || ca.condvar_file
+        {
+            conc_allows.insert(file.path.clone(), ca);
+        }
+    }
+    let lock_analysis = locks::analyze(&units, &g, &conc_allows);
+    // Sink already applied file/line allows — extend without re-filtering.
+    findings.extend(lock_analysis.findings.iter().cloned());
+    for (file, line, rule) in &lock_analysis.used_allow_lines {
+        let Some(&fi) = by_path.get(file.as_str()) else { continue };
+        for a in &allows_by_file[fi] {
+            if a.scope == AllowScope::Line && a.line == *line && a.rule == *rule {
+                a.used.set(true);
+            }
+        }
+    }
+    for (file, rule) in &lock_analysis.used_file_allows {
+        let Some(&fi) = by_path.get(file.as_str()) else { continue };
+        for a in &allows_by_file[fi] {
+            if a.scope == AllowScope::File && a.rule == *rule {
+                a.used.set(true);
+            }
+        }
+    }
+
     // ---- stale-allow ----
     let mut allows_total = 0usize;
     let mut allows_used = 0usize;
@@ -963,5 +1020,6 @@ pub fn analyze(files: &[SourceFile]) -> Analysis {
         allows_total,
         allows_used,
         graph: g,
+        locks: lock_analysis,
     }
 }

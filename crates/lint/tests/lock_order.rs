@@ -1,0 +1,135 @@
+//! Seeded concurrency self-tests: the AB/BA inversion fixture must trip
+//! `lock-order` with both interleaved witness chains, the condvar fixture
+//! pair proves wait-in-`while` passes while wait-in-`if` trips, and the
+//! reasoned allow escape hatches defuse with usage accounting intact.
+
+use cmr_lint::rules::{analyze, Analysis, SourceFile};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn lint_src(src: String) -> Analysis {
+    analyze(&[SourceFile { path: "crates/a/src/lib.rs".to_string(), src }])
+}
+
+#[test]
+fn seeded_inversion_trips_lock_order_with_both_chains() {
+    let an = lint_src(fixture("lock_inversion.rs"));
+    let lo: Vec<_> = an.findings.iter().filter(|f| f.rule == "lock-order").collect();
+    assert_eq!(lo.len(), 1, "one finding per cycle: {:?}", an.findings);
+    let msg = &lo[0].message;
+    assert!(
+        msg.contains("lock-order cycle a::Pair.a → a::Pair.b → a::Pair.a"),
+        "cycle ring must name both locks: {msg}"
+    );
+    // Both interleaved chains, each ending at its acquisition site.
+    assert!(
+        msg.contains(
+            "[a::Pair.a → a::Pair.b] a::Pair::bump_b → acquires a::Pair.b via .lock()"
+        ),
+        "A→B witness: {msg}"
+    );
+    assert!(
+        msg.contains(
+            "[a::Pair.b → a::Pair.a] a::Pair::peek_a → acquires a::Pair.a via .lock()"
+        ),
+        "B→A witness: {msg}"
+    );
+    // The cross-lock acquisitions are themselves blocking-under-lock
+    // findings (second workspace lock while a guard is live).
+    assert!(
+        an.findings.iter().any(|f| f.rule == "blocking-under-lock"
+            && f.message.contains("can acquire a::Pair.b while holding a::Pair.a")),
+        "{:?}",
+        an.findings
+    );
+    assert!(
+        an.findings.iter().any(|f| f.rule == "blocking-under-lock"
+            && f.message.contains("can acquire a::Pair.a while holding a::Pair.b")),
+        "{:?}",
+        an.findings
+    );
+    // The model behind the findings: 2 locks, 2 edges, 1 cycle, depth 2.
+    assert_eq!(an.locks.locks.len(), 2, "lock inventory");
+    assert_eq!(an.locks.edges.len(), 2, "order edges");
+    assert_eq!(an.locks.cycles.len(), 1, "cycles");
+    assert_eq!(an.locks.max_held_depth, 2, "held-set depth");
+    // Nothing unrelated fires on the fixture.
+    assert!(
+        an.findings
+            .iter()
+            .all(|f| f.rule == "lock-order" || f.rule == "blocking-under-lock"),
+        "{:?}",
+        an.findings
+    );
+}
+
+#[test]
+fn condvar_wait_in_while_passes_and_wait_in_if_trips() {
+    let an = lint_src(fixture("condvar_pair.rs"));
+    let cd: Vec<_> =
+        an.findings.iter().filter(|f| f.rule == "condvar-discipline").collect();
+    assert_eq!(cd.len(), 1, "only the if-wait trips: {:?}", an.findings);
+    assert!(
+        cd[0].message.contains("a::Gate.cv")
+            && cd[0].message.contains("outside a predicate-rechecking loop"),
+        "{}",
+        cd[0].message
+    );
+    // `Condvar::wait(g)` atomically releases its own mutex, and `open`
+    // notifies while holding the paired lock — no blocking or advisory
+    // findings anywhere else.
+    assert!(
+        an.findings.iter().all(|f| f.rule == "condvar-discipline"),
+        "{:?}",
+        an.findings
+    );
+    assert_eq!(an.locks.condvars.len(), 1, "condvar inventory");
+}
+
+#[test]
+fn file_scope_allows_defuse_the_inversion_and_count_as_used() {
+    let src = format!(
+        "// cmr-lint: allow-file(lock-order) fixture: single-threaded test harness, no interleaving\n\
+         // cmr-lint: allow-file(blocking-under-lock) fixture: same — contention-free by construction\n\
+         {}",
+        fixture("lock_inversion.rs")
+    );
+    let an = lint_src(src);
+    assert!(an.findings.is_empty(), "both file allows must defuse: {:?}", an.findings);
+    // Both directives are load-bearing, so stale-allow stays quiet and the
+    // usage accounting shows them consumed.
+    assert_eq!(an.allows_total, 2, "allow inventory");
+    assert_eq!(an.allows_used, 2, "both file allows consumed");
+    // The model is still built — allows silence findings, not the artifact.
+    assert_eq!(an.locks.cycles.len(), 1, "cycle still recorded");
+}
+
+#[test]
+fn line_allow_defuses_one_direction_and_breaks_the_cycle_report() {
+    // Allowing the A→B hop leaves only the B→A edge: no cycle, and the
+    // remaining direction still gets its blocking finding.
+    let src = fixture("lock_inversion.rs").replace(
+        "        let out = *ga + self.bump_b();",
+        "        // cmr-lint: allow(blocking-under-lock) fixture: b is never contended here\n\
+         \x20       let out = *ga + self.bump_b();",
+    );
+    let an = lint_src(src);
+    assert!(
+        an.findings.iter().any(|f| f.rule == "blocking-under-lock"
+            && f.message.contains("while holding a::Pair.b")),
+        "unallowed direction still reported: {:?}",
+        an.findings
+    );
+    assert!(
+        !an.findings.iter().any(|f| f.rule == "blocking-under-lock"
+            && f.message.contains("while holding a::Pair.a")),
+        "allowed direction is quiet: {:?}",
+        an.findings
+    );
+    // The allow is used; the edge (and thus the cycle) is still modeled.
+    assert_eq!(an.allows_used, 1, "line allow consumed");
+    assert_eq!(an.locks.edges.len(), 2, "edges are facts, not findings");
+}

@@ -1,0 +1,61 @@
+//! Determinism contract for the `LOCKGRAPH.json` artifact: two independent
+//! analyses of the same inputs must render byte-identical JSON, because
+//! verify.sh archives the artifact and PRs diff it.
+
+use cmr_lint::rules::{analyze, SourceFile};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn sources() -> Vec<SourceFile> {
+    // A mixed bag: the seeded inversion, the condvar pair, and two
+    // lock-free files so the per-crate rollup has something to skip.
+    [
+        ("crates/a/src/lib.rs", "lock_inversion.rs"),
+        ("crates/d/src/lib.rs", "condvar_pair.rs"),
+        ("crates/p/src/lib.rs", "chain_a.rs"),
+        ("crates/q/src/lib.rs", "chain_b.rs"),
+    ]
+    .into_iter()
+    .map(|(path, name)| SourceFile { path: path.to_string(), src: fixture(name) })
+    .collect()
+}
+
+#[test]
+fn lockgraph_json_is_byte_identical_across_runs() {
+    let a = analyze(&sources()).locks.render_json();
+    let b = analyze(&sources()).locks.render_json();
+    assert_eq!(a, b, "LOCKGRAPH.json must be deterministic");
+    assert!(a.contains("\"schema_version\": 1"), "{a}");
+}
+
+#[test]
+fn lockgraph_carries_inventory_edges_and_cycles() {
+    let json = analyze(&sources()).locks.render_json();
+    // Counts: Pair.a/Pair.b/Gate.ready locks, Gate.cv condvar, the AB/BA
+    // edges and their cycle, depth 2 from the inversion paths.
+    assert!(json.contains("\"locks\": 3"), "{json}");
+    assert!(json.contains("\"condvars\": 1"), "{json}");
+    assert!(json.contains("\"edges\": 2"), "{json}");
+    assert!(json.contains("\"cycles\": 1"), "{json}");
+    assert!(json.contains("\"max_held_depth\": 2"), "{json}");
+    // Per-crate rollup lists only crates that own locks.
+    assert!(json.contains("\"a\": {\"locks\": 2, \"condvars\": 0}"), "{json}");
+    assert!(json.contains("\"d\": {\"locks\": 1, \"condvars\": 1}"), "{json}");
+    assert!(!json.contains("\"p\":"), "lock-free crate stays out: {json}");
+    // Inventory rows carry kind and declaration site.
+    assert!(json.contains("\"id\": \"a::Pair.a\", \"kind\": \"Mutex\""), "{json}");
+    assert!(json.contains("\"id\": \"d::Gate.cv\", \"kind\": \"Condvar\""), "{json}");
+    // Both order edges, with their witness chains.
+    assert!(
+        json.contains("\"from\": \"a::Pair.a\", \"to\": \"a::Pair.b\""),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"from\": \"a::Pair.b\", \"to\": \"a::Pair.a\""),
+        "{json}"
+    );
+    assert!(json.contains("a::Pair::bump_b → acquires a::Pair.b"), "{json}");
+}

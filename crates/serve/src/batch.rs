@@ -103,6 +103,10 @@ impl Batcher {
             }
             q.push_back(Job { direction, k, query, resp: tx });
         }
+        // Notify after releasing the queue lock: workers woken here re-check
+        // the queue under the mutex themselves, so no wakeup is lost, and
+        // notifying lock-free avoids waking a worker straight into a wall.
+        // cmr-lint: allow(condvar-discipline) waiters re-check the queue under the mutex; lock-free notify only avoids a pointless contention bounce
         self.inner.cv.notify_one();
         Ok(rx)
     }
@@ -119,9 +123,18 @@ impl Batcher {
             let _q = self.inner.lock_queue();
             self.inner.shutting_down.store(true, Ordering::SeqCst);
         }
+        // The flag was flipped under the queue lock above, so every waiter
+        // woken here re-observes it under the mutex before deciding to exit.
+        // cmr-lint: allow(condvar-discipline) waiters re-check shutting_down under the mutex; the flag store is ordered by the lock held above
         self.inner.cv.notify_all();
-        let mut workers = self.workers.lock().unwrap_or_else(|p| p.into_inner());
-        for handle in workers.drain(..) {
+        // Take the handles out under the lock, join outside it: joining
+        // while holding `workers` would block any concurrent shutdown (and
+        // Drop runs this path) on threads that can take max_wait to exit.
+        let handles: Vec<JoinHandle<()>> = {
+            let mut workers = self.workers.lock().unwrap_or_else(|p| p.into_inner());
+            workers.drain(..).collect()
+        };
+        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -188,7 +201,11 @@ fn worker_loop(inner: &Inner) {
         drop(q);
         if more_work {
             // Leftover jobs (other shapes) should not wait for this batch
-            // to finish executing before another worker picks them up.
+            // to finish executing before another worker picks them up. The
+            // queue guard was dropped just above on purpose: the woken
+            // worker re-checks the queue under the mutex, so the handoff is
+            // race-free without re-serializing on the lock here.
+            // cmr-lint: allow(condvar-discipline) woken worker re-checks the queue under the mutex; guard deliberately dropped before the handoff
             inner.cv.notify_one();
         }
         execute_batch(&inner.engine, batch);

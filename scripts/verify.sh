@@ -8,7 +8,8 @@
 # Exits non-zero on the first failure. Prints per-gate wall-clock timings
 # and finishes with the one-line cmr-lint summary and a one-line obs
 # summary. Archives the lint artifacts (results/LINT_report.json,
-# results/CALLGRAPH.json), the obs artifacts (results/OBS_train.json,
+# results/CALLGRAPH.json, results/LOCKGRAPH.json), the obs artifacts
+# (results/OBS_train.json,
 # results/OBS_retrieval.json), the serving artifacts
 # (results/BENCH_serve.json, results/OBS_serve.json) and the chaos
 # artifacts (results/BENCH_chaos.json, results/OBS_chaos.json).
@@ -34,6 +35,33 @@ gate "tier 1: release build" cargo build --release
 mkdir -p results
 gate "static analysis: cmr-lint" cargo run -p cmr-lint --release -q -- \
     --workspace --json results/LINT_report.json --graph results/CALLGRAPH.json
+
+# Concurrency gate: --graph above also emitted results/LOCKGRAPH.json (the
+# workspace lock inventory and acquired-while-held edge list). The artifact
+# must carry the expected schema and — the deadlock invariant — zero cycles.
+check_lockgraph() {
+    local key
+    if [[ ! -f results/LOCKGRAPH.json ]]; then
+        echo "lockgraph: missing artifact results/LOCKGRAPH.json"
+        return 1
+    fi
+    if ! grep -q '"schema_version": 1' results/LOCKGRAPH.json; then
+        echo "lockgraph: wrong or missing schema_version in results/LOCKGRAPH.json"
+        return 1
+    fi
+    for key in '"locks"' '"condvars"' '"edges"' '"cycles"' '"max_held_depth"' \
+               '"crates"' '"inventory"' '"order_edges"'; do
+        if ! grep -q "$key" results/LOCKGRAPH.json; then
+            echo "lockgraph: $key missing from results/LOCKGRAPH.json"
+            return 1
+        fi
+    done
+    if ! grep -q '"cycles": 0' results/LOCKGRAPH.json; then
+        echo "lockgraph: lock-order cycle detected — potential deadlock; see results/LOCKGRAPH.json order_edges"
+        return 1
+    fi
+}
+gate "static analysis: lock-order graph" check_lockgraph
 
 gate "tier 1: workspace tests" cargo test -q
 
@@ -185,7 +213,7 @@ for t in "${GATE_TIMINGS[@]}"; do
 done
 
 # Re-print the lint summary line so the run ends with the health snapshot
-# (files scanned, findings, allows, panic-surface).
+# (files scanned, findings, allows, panic-surface, lock-edge/cycle counts).
 cargo run -p cmr-lint --release -q -- --workspace 2>/dev/null | tail -1
 
 # One-line obs health snapshot from the freshly written retrieval artifact.
