@@ -714,6 +714,14 @@ type DecodedExtra = (Vec<EpochStats>, Option<Vec<u8>>, Vec<usize>, usize);
 fn decode_extra(extra: &[u8]) -> io::Result<DecodedExtra> {
     let mut w = Wire { buf: extra };
     let n_stats = w.u32()? as usize;
+    // Each stat row is 40 wire bytes; a count the payload cannot hold is
+    // hostile or corrupt — reject it before allocating.
+    if n_stats > w.buf.len() / 40 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("trainer state claims {n_stats} epoch stats in {} bytes", w.buf.len()),
+        ));
+    }
     let mut stats = Vec::with_capacity(n_stats);
     for _ in 0..n_stats {
         stats.push(EpochStats {
@@ -733,6 +741,14 @@ fn decode_extra(extra: &[u8]) -> io::Result<DecodedExtra> {
     let cursor = w.u64()?;
     let cursor = if cursor == u64::MAX { usize::MAX } else { cursor as usize };
     let n_order = w.u32()? as usize;
+    // Sampler order entries are 8 wire bytes each; same hostile-count
+    // rejection as above.
+    if n_order > w.buf.len() / 8 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("trainer state claims {n_order} order entries in {} bytes", w.buf.len()),
+        ));
+    }
     let mut order = Vec::with_capacity(n_order);
     for _ in 0..n_order {
         order.push(w.u64()? as usize);

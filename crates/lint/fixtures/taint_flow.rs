@@ -1,0 +1,68 @@
+//! Taint-pass fixture: untrusted `&[u8]` bytes reaching allocation and
+//! index sinks, one scenario per disposition the pass distinguishes
+//! (unsanitized, bounds-checked, masked, trusted, multi-hop, stale trust).
+
+/// Unsanitized allocation: the decoded length reaches `Vec::with_capacity`
+/// and a `vec![…; n]` length with no dominating check — both must fire
+/// `untrusted-length`.
+pub fn alloc_flow(data: &[u8]) -> Vec<u8> {
+    let n = data[0] as usize;
+    let mut v = Vec::with_capacity(n);
+    let pad = vec![0u8; n];
+    v.extend(pad);
+    v
+}
+
+/// Unsanitized index: the decoded offset indexes a slice unchecked — must
+/// fire `untrusted-index`.
+pub fn index_flow(data: &[u8], table: &[u8]) -> u8 {
+    let i = data[1] as usize;
+    table[i]
+}
+
+/// Sanitized: the comparison above the allocation mentions the tainted
+/// operand, so the flow records as `sanitized` (bounds-check) and no
+/// finding is emitted.
+pub fn checked_flow(data: &[u8]) -> Vec<u8> {
+    let n = data[0] as usize;
+    if n > data.len() {
+        return Vec::new();
+    }
+    let mut v = Vec::with_capacity(n);
+    v.resize(n, 0);
+    v
+}
+
+/// Sanitized: the index operand is masked at the sink, so the flow records
+/// as `sanitized` (mask) and no finding is emitted.
+pub fn masked_flow(data: &[u8]) -> u8 {
+    let table = [0u8; 16];
+    let seed = data[2] as usize;
+    table[seed & 0x0f]
+}
+
+/// Trusted: the escape hatch vouches for the lane index; the flow records
+/// as `trusted` and the directive is load-bearing.
+pub fn trusted_flow(data: &[u8]) -> u8 {
+    let lanes = [0u8, 1, 2, 3];
+    let lane = data[3] as usize;
+    // cmr-lint: trust(lane is a 2-bit field; the wire format caps it at 3)
+    lanes[lane]
+}
+
+/// Multi-hop: the claimed length crosses a call edge before allocating, so
+/// the witness chain must name both functions.
+pub fn deep_flow(raw: &[u8]) -> Vec<u8> {
+    let claim = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]) as usize;
+    inner_alloc(claim)
+}
+
+fn inner_alloc(count: usize) -> Vec<u8> {
+    Vec::with_capacity(count)
+}
+
+/// A trust directive that suppresses nothing must be flagged `stale-allow`.
+pub fn stale_trust(n: usize) -> usize {
+    // cmr-lint: trust(left over after the decoder was rewritten)
+    n.saturating_add(1)
+}

@@ -33,11 +33,19 @@
 //! * **condvar-discipline** — `Condvar::wait` must sit in a
 //!   predicate-rechecking loop, and `notify` without the paired mutex held
 //!   is flagged as advisory;
+//! * **untrusted-length** / **untrusted-index** — interprocedural taint
+//!   analysis ([`taint`]): bytes from the network, disk or environment may
+//!   not reach `Vec::with_capacity`/`reserve`/`set_len`/`vec![…; n]` or a
+//!   slice index/range/`split_at` without a dominating bounds check, a
+//!   `.min`/`.clamp`/mask bound, or a reasoned `trust(…)` annotation;
+//!   flows render to `TAINTGRAPH.json` with witness chains;
 //! * **stale-allow** — an allow that suppresses nothing is itself a finding.
 //!
 //! Violations that are intentional carry an inline
 //! `// cmr-lint: allow(rule-id) reason` comment (or a file-scope
 //! `// cmr-lint: allow-file(rule-id) reason`); the reason is mandatory.
+//! Taint flows additionally accept `// cmr-lint: trust(reason)` on or above
+//! the sink line.
 //!
 //! Run it with `cargo run -p cmr-lint --release -- --workspace` (the
 //! `scripts/verify.sh` gate does), add `--graph results/CALLGRAPH.json` for
@@ -53,5 +61,6 @@ pub mod locks;
 pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod taint;
 
 pub use rules::{analyze, run, Analysis, Finding, SourceFile};

@@ -23,20 +23,85 @@ const WORKSPACE_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
 
 fn usage() -> String {
     let mut s = String::from(
-        "usage: cmr-lint [--workspace] [--root DIR] [--json PATH] [--graph PATH] [PATH...]\n\n\
+        "usage: cmr-lint [--workspace] [--root DIR] [--json PATH] [--graph PATH]\n\
+        \x20                [--explain RULE] [PATH...]\n\n\
          Walks the given files/directories (or, with --workspace, the repo's\n\
          crates/, src/, tests/ and examples/ trees) and reports rule\n\
          violations as `file:line:col [rule] message`. `--graph` writes the\n\
          deterministic call-graph artifact (CALLGRAPH.json) with per-crate\n\
-         panic-surface metrics, plus the lock-order artifact (LOCKGRAPH.json,\n\
-         in the same directory) with the workspace lock inventory, the\n\
-         acquired-while-held edge list and cycle count. Exits 1 when findings\n\
-         exist, 2 on usage or IO errors.\n\nrules:\n",
+         panic-surface metrics, plus the lock-order artifact (LOCKGRAPH.json)\n\
+         and the taint artifact (TAINTGRAPH.json) in the same directory.\n\
+         `--explain RULE` prints the rule's documentation — for the taint\n\
+         rules, the source/sink/sanitizer definitions and an example witness\n\
+         chain — and exits. Exits 1 when findings exist, 2 on usage or IO\n\
+         errors.\n\nrules:\n",
     );
     for (id, desc) in RULES {
         s.push_str(&format!("  {id:<22} {desc}\n"));
     }
     s
+}
+
+/// Long-form documentation for `--explain`. The taint rules get the full
+/// source/sink/sanitizer model; every other rule falls back to its one-line
+/// description from [`RULES`].
+fn explain(rule: &str) -> Result<String, String> {
+    let taint_model = "\
+sources (what makes a value untrusted):\n\
+  - `&[u8]` parameters of non-test fns — the byte-slice boundary every\n\
+    loader/parser crosses; whatever crosses it is attacker-shaped\n\
+  - `std::fs::read` / `fs::read_to_string` results (disk bytes)\n\
+  - `std::env::var` / `var_os` strings (environment)\n\
+  - buffer-filling reads: `.read(&mut buf)` / `.read_exact` /\n\
+    `.read_to_end` / `.read_line` taint the destination buffer\n\
+    (the returned byte count is trusted — it fits the buffer)\n\
+\n\
+propagation: `let` bindings, mutated receivers\n\
+  (`head.extend_from_slice(&tmp[..n])` taints `head`), arguments to\n\
+  resolved workspace callees, tainted `self`, and return values (judged\n\
+  from return spans, so internally-clamping fns stay clean).\n\
+\n\
+sanitizers (what cleans a flow):\n\
+  - a dominating comparison mentioning the sink operand:\n\
+      if count > buf.remaining() { return Err(…) }\n\
+      let buf = Vec::with_capacity(count);              // sanitized\n\
+  - `.min(cap)` / `.clamp(lo, hi)` rebinds; `& mask` / `%` bounding\n\
+  - `// cmr-lint: trust(reason)` on or above the sink line — the escape\n\
+    hatch is stale-allow accounted, so an unused trust is itself a finding\n\
+  - NOT sanitizers: `checked_mul`/`saturating_*` (they prevent overflow,\n\
+    not magnitude)\n";
+    let chain = |sink: &str| {
+        format!(
+            "\nexample witness chain:\n\
+             \x20 untrusted bytes `bytes: &[u8]` (crates/nn/src/serialize.rs:98)\n\
+             \x20   → nn::load_params → nn::read_params_body\n\
+             \x20   → {sink}\n"
+        )
+    };
+    match rule {
+        "untrusted-length" => Ok(format!(
+            "untrusted-length: a network/disk-derived value reaches an\n\
+             allocation/length sink unsanitized.\n\n\
+             sinks: `Vec::with_capacity` / `reserve` / `reserve_exact` /\n\
+             `set_len` arguments and `vec![elem; len]` lengths. A hostile\n\
+             length field that reaches one of these before validation is an\n\
+             OOM abort waiting to happen.\n\n{taint_model}{}",
+            chain("Vec::with_capacity(count) (crates/nn/src/serialize.rs:131)")
+        )),
+        "untrusted-index" => Ok(format!(
+            "untrusted-index: a network/disk-derived value reaches an\n\
+             index/range sink unsanitized.\n\n\
+             sinks: slice index/range operands (`buf[n]`, `&buf[..n]`,\n\
+             `buf[a..b]`) and `split_at` / `split_at_mut` arguments. An\n\
+             unvalidated offset panics (or worse) on hostile input.\n\n{taint_model}{}",
+            chain("slice index [n] (crates/nn/src/serialize.rs:154)")
+        )),
+        _ => RULES
+            .iter()
+            .find(|&&(id, _)| id == rule)
+            .map(|&(id, desc)| format!("{id}: {desc}\n"))
+            .ok_or_else(|| format!("unknown rule {rule:?}\n\n{}", usage())),
+    }
 }
 
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
@@ -82,6 +147,7 @@ struct Args {
     root: PathBuf,
     json: Option<PathBuf>,
     graph: Option<PathBuf>,
+    explain: Option<String>,
     paths: Vec<PathBuf>,
 }
 
@@ -91,6 +157,7 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         json: None,
         graph: None,
+        explain: None,
         paths: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -112,6 +179,10 @@ fn parse_args() -> Result<Args, String> {
                     it.next().ok_or_else(|| "--graph takes a file path".to_string())?,
                 ));
             }
+            "--explain" => {
+                args.explain =
+                    Some(it.next().ok_or_else(|| "--explain takes a rule id".to_string())?);
+            }
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other:?}\n\n{}", usage()));
@@ -119,7 +190,7 @@ fn parse_args() -> Result<Args, String> {
             other => args.paths.push(PathBuf::from(other)),
         }
     }
-    if !args.workspace && args.paths.is_empty() {
+    if args.explain.is_none() && !args.workspace && args.paths.is_empty() {
         return Err(format!("nothing to lint\n\n{}", usage()));
     }
     Ok(args)
@@ -127,6 +198,10 @@ fn parse_args() -> Result<Args, String> {
 
 fn run_cli() -> Result<ExitCode, String> {
     let args = parse_args()?;
+    if let Some(rule) = &args.explain {
+        print!("{}", explain(rule)?);
+        return Ok(ExitCode::SUCCESS);
+    }
     let mut files: Vec<PathBuf> = Vec::new();
     if args.workspace {
         for root in WORKSPACE_ROOTS {
@@ -153,7 +228,9 @@ fn run_cli() -> Result<ExitCode, String> {
         sources.push(SourceFile { path: rel_path(&args.root, path), src });
     }
 
+    let started = std::time::Instant::now();
     let analysis = analyze(&sources);
+    let elapsed_ms = started.elapsed().as_millis() as u64;
     print!("{}", render_text(&analysis.findings, sources.len()));
     print!("{}", render_summary(&analysis));
     let write_artifact = |path: &PathBuf, content: String| -> Result<(), String> {
@@ -164,12 +241,14 @@ fn run_cli() -> Result<ExitCode, String> {
         std::fs::write(path, content).map_err(|e| format!("write {}: {e}", path.display()))
     };
     if let Some(json_path) = &args.json {
-        write_artifact(json_path, render_json(&analysis.findings, sources.len()))?;
+        write_artifact(json_path, render_json(&analysis.findings, sources.len(), elapsed_ms))?;
     }
     if let Some(graph_path) = &args.graph {
         write_artifact(graph_path, analysis.graph.render_json())?;
         let lock_path = graph_path.with_file_name("LOCKGRAPH.json");
         write_artifact(&lock_path, analysis.locks.render_json())?;
+        let taint_path = graph_path.with_file_name("TAINTGRAPH.json");
+        write_artifact(&taint_path, analysis.taint.render_json())?;
     }
     Ok(if analysis.findings.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }

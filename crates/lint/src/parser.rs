@@ -92,6 +92,10 @@ pub struct FnDef {
     /// `(name, type tail)` of simple typed params (`self` and complex
     /// patterns skipped).
     pub params: Vec<(String, String)>,
+    /// Positional names of every non-`self` parameter (`""` for patterns
+    /// the parser can't name) — aligned with paren-argument positions at
+    /// call sites, which `params` is not (it drops untypeable entries).
+    pub param_names: Vec<String>,
     /// Body facts; `None` for bodiless trait-method declarations.
     pub body: Option<Body>,
 }
@@ -122,6 +126,63 @@ pub struct Body {
     pub binds: Vec<LetBind>,
     /// Explicit `drop(x)` statements: `(binding name, line, col)`.
     pub drops: Vec<(String, u32, u32)>,
+    /// `vec![elem; len]` repeat macros with the idents of the length
+    /// expression — the one allocation sink not expressible as a call.
+    pub vec_macros: Vec<VecMacroSite>,
+    /// Comparison expressions with the idents on both sides — the
+    /// bounds-check evidence the taint pass matches against sink operands.
+    pub checks: Vec<CheckSite>,
+    /// Spans of `return` statements and the trailing expression, with the
+    /// idents each mentions — what the function actually hands back.
+    pub rets: Vec<RetSpan>,
+}
+
+/// One `vec![elem; len]` repeat-macro invocation.
+#[derive(Debug)]
+pub struct VecMacroSite {
+    /// 1-based line of the `vec` token.
+    pub line: u32,
+    /// 1-based column of the `vec` token.
+    pub col: u32,
+    /// Idents in the length expression (after the top-level `;`).
+    pub len_idents: Vec<String>,
+}
+
+/// One comparison expression (`<`, `<=`, `>`, `>=`, `==`, `!=`).
+///
+/// Over-approximate by design: generic-argument `<`/`>` produce harmless
+/// noise because sanitization requires the check to mention the *tainted*
+/// ident, which type names never are.
+#[derive(Debug)]
+pub struct CheckSite {
+    /// 1-based line of the comparison operator.
+    pub line: u32,
+    /// Idents on either side of the operator, bounded by expression
+    /// delimiters.
+    pub idents: Vec<String>,
+}
+
+/// One value-producing region: a `return …;` statement or the body's
+/// trailing expression.
+#[derive(Debug)]
+pub struct RetSpan {
+    /// 1-based line of the span's first token.
+    pub start_line: u32,
+    /// Column of the span's first token.
+    pub start_col: u32,
+    /// 1-based line of the span's last token.
+    pub end_line: u32,
+    /// Column of the span's last token.
+    pub end_col: u32,
+    /// Idents the span mentions.
+    pub idents: Vec<String>,
+    /// The span's first token is `Err` — the value handed back is an error
+    /// (a diagnostic), not data, so the taint pass ignores it.
+    pub is_err: bool,
+    /// The span contains a modular reduction (`%`) or a literal mask
+    /// (`& 0xff`), so the value handed back is range-bounded regardless of
+    /// its inputs. The taint pass treats such returns as sanitized.
+    pub bounded: bool,
 }
 
 /// One lock-guard acquisition site inside a body.
@@ -188,6 +249,11 @@ pub struct LetBind {
     pub end_line: u32,
     /// Column of that `}`.
     pub end_col: u32,
+    /// Idents mentioned by the initializer expression.
+    pub rhs_idents: Vec<String>,
+    /// The initializer contains a bit-mask (`& <int>`) or modulo — value
+    /// bounded by construction, so the taint pass treats the bind as clean.
+    pub rhs_bounded: bool,
 }
 
 /// What sits before the `.` of a method call.
@@ -217,6 +283,9 @@ pub struct CallSite {
     /// `true` when the statement discards this call's return value
     /// (`let _ = f();` or bare `f();` with this call outermost).
     pub discarded: bool,
+    /// Idents per top-level comma-separated argument of the paren group
+    /// (empty when the call has no argument list the parser can see).
+    pub args: Vec<Vec<String>>,
 }
 
 /// The kind of panic hazard at a [`PanicSite`].
@@ -250,6 +319,11 @@ pub struct IndexSite {
     pub line: u32,
     /// 1-based column of the `[`.
     pub col: u32,
+    /// Idents inside the bracket group (covers `[n]`, `[..n]`, `[a..b]`).
+    pub idents: Vec<String>,
+    /// The bracket group contains a bit-mask (`& <int>`) or modulo — the
+    /// index is bounded by construction (`TABLE[(x & 0xff) as usize]`).
+    pub bounded: bool,
 }
 
 /// Best-effort source classification of an `as` cast operand.
@@ -850,9 +924,10 @@ fn parse_fn(
     }
     // Params.
     let mut params = Vec::new();
+    let mut param_names = Vec::new();
     if cx.peek(0).is_some_and(|t| t.is_punct("(")) {
         let (s, e) = cx.skip_balanced();
-        params = parse_params(cx, s, e);
+        (params, param_names) = parse_params(cx, s, e);
     }
     // Return type.
     let mut returns_result = false;
@@ -925,13 +1000,39 @@ fn parse_fn(
         returns_guard,
         is_test,
         params,
+        param_names,
         body,
     });
 }
 
-/// Parses the param list `code` range into `(name, type tail)` pairs.
-fn parse_params(cx: &Cursor, start: usize, end: usize) -> Vec<(String, String)> {
+/// Recognizes a byte-slice type (`&[u8]`, `&mut [u8]`) that [`type_tail`]
+/// cannot classify — the untrusted-input boundary the taint pass seeds.
+fn byte_slice_tail(toks: &[&Token]) -> Option<String> {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = toks[i];
+        if t.is_punct("&") || t.kind == TokenKind::Lifetime || t.is_ident("mut") {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    if i + 2 < toks.len()
+        && toks[i].is_punct("[")
+        && toks[i + 1].is_ident("u8")
+        && toks[i + 2].is_punct("]")
+    {
+        return Some("[u8]".to_string());
+    }
+    None
+}
+
+/// Parses the param list `code` range into typed `(name, type tail)` pairs
+/// plus the positional name list (every non-`self` param in order, `""` for
+/// patterns) that call-argument alignment needs.
+fn parse_params(cx: &Cursor, start: usize, end: usize) -> (Vec<(String, String)>, Vec<String>) {
     let mut params = Vec::new();
+    let mut names = Vec::new();
     let mut i = start;
     while i < end {
         // One param: up to a top-level comma.
@@ -955,8 +1056,16 @@ fn parse_params(cx: &Cursor, start: usize, end: usize) -> Vec<(String, String)> 
         }
         let toks: Vec<&Token> = (p_start..i).map(|j| &cx.toks[cx.code[j]]).collect();
         i += 1;
+        if toks.is_empty() {
+            continue;
+        }
+        // A `self` receiver (`&self`, `mut self`, `self: Arc<Self>`) is not
+        // a paren argument at call sites, so it gets no positional slot.
+        if toks.iter().any(|t| t.is_ident("self")) && !toks.iter().any(|t| t.is_punct(":")) {
+            continue;
+        }
         // `name: Type` with an optional leading `mut`; everything else
-        // (self receivers, destructuring patterns) is skipped.
+        // (destructuring patterns) keeps its position but stays unnamed.
         let mut j = 0usize;
         if j < toks.len() && toks[j].is_ident("mut") {
             j += 1;
@@ -965,12 +1074,97 @@ fn parse_params(cx: &Cursor, start: usize, end: usize) -> Vec<(String, String)> 
             && toks[j].kind == TokenKind::Ident
             && toks[j + 1].is_punct(":")
         {
-            if let Some(tail) = type_tail(&toks[j + 2..]) {
+            if toks[j].is_ident("self") {
+                continue;
+            }
+            names.push(toks[j].text.clone());
+            if let Some(tail) =
+                type_tail(&toks[j + 2..]).or_else(|| byte_slice_tail(&toks[j + 2..]))
+            {
                 params.push((toks[j].text.clone(), tail));
+            }
+        } else {
+            names.push(String::new());
+        }
+    }
+    (params, names)
+}
+
+/// Collects the idents of each top-level comma-separated argument of the
+/// call whose name token sits at code index `i` (skipping a turbofish).
+fn call_args(cx: &Cursor, i: usize, end: usize) -> Vec<Vec<String>> {
+    let mut p = i + 1;
+    // `name::<T>(…)` — hop over the turbofish to the paren group.
+    if p < end && cx.toks[cx.code[p]].is_punct("::") {
+        p += 1;
+        if p < end && cx.toks[cx.code[p]].is_punct("<") {
+            let mut d = 0isize;
+            while p < end {
+                let t = &cx.toks[cx.code[p]];
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "<" => d += 1,
+                        "<<" => d += 2,
+                        ">" => d -= 1,
+                        ">>" => d -= 2,
+                        _ => {}
+                    }
+                }
+                p += 1;
+                if d <= 0 {
+                    break;
+                }
             }
         }
     }
-    params
+    if p >= end || !cx.toks[cx.code[p]].is_punct("(") {
+        return Vec::new();
+    }
+    let mut args: Vec<Vec<String>> = vec![Vec::new()];
+    let mut d = 0isize;
+    let mut q = p;
+    while q < end {
+        let t = &cx.toks[cx.code[q]];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                "," if d == 1 => args.push(Vec::new()),
+                _ => {}
+            }
+        } else if t.kind == TokenKind::Ident && !EXPR_KEYWORDS.contains(&t.text.as_str()) {
+            if let Some(last) = args.last_mut() {
+                last.push(t.text.clone());
+            }
+        }
+        q += 1;
+    }
+    if args.len() == 1 && args[0].is_empty() {
+        args.clear();
+    }
+    args
+}
+
+/// Comparison operators recognized as bounds-check evidence. `==`/`!=`
+/// cover the exact-length idiom (`buf.remaining() != want`).
+const CHECK_OPS: &[&str] = &["<", "<=", ">", ">=", "==", "!="];
+
+/// Puncts a comparison operand scan walks through; anything else
+/// delimits the operand expression.
+fn check_continues(t: &Token) -> bool {
+    match t.kind {
+        TokenKind::Ident => t.text == "as" || !EXPR_KEYWORDS.contains(&t.text.as_str()),
+        TokenKind::Int | TokenKind::Float => true,
+        TokenKind::Punct => {
+            matches!(t.text.as_str(), "." | "::" | "[" | "]" | "*" | "+" | "-" | "/" | "%")
+        }
+        _ => false,
+    }
 }
 
 /// Extracts body facts from a `code` range (nested `fn` items are parsed
@@ -1167,8 +1361,78 @@ fn extract_body(
         match t.kind {
             TokenKind::Ident => {
                 let name = t.text.as_str();
+                if name == "if" || name == "while" {
+                    // Bare boolean condition (`if on {`, `while !self.done {`):
+                    // the tested idents are bools, not magnitudes, so they are
+                    // recorded as check evidence — a return span like
+                    // `if on { return ON; } OFF` must not taint on `on`.
+                    let mut idents = Vec::new();
+                    let mut bare = true;
+                    let mut q = i + 1;
+                    while q < end {
+                        if skipped(q) {
+                            q += 1;
+                            continue;
+                        }
+                        let u = &cx.toks[cx.code[q]];
+                        if u.is_punct("{") {
+                            break;
+                        }
+                        match u.kind {
+                            TokenKind::Ident if !EXPR_KEYWORDS.contains(&u.text.as_str()) => {
+                                idents.push(u.text.clone());
+                            }
+                            TokenKind::Punct
+                                if matches!(u.text.as_str(), "." | "!" | "&&" | "||") => {}
+                            _ => {
+                                bare = false;
+                                break;
+                            }
+                        }
+                        q += 1;
+                    }
+                    if bare && !idents.is_empty() {
+                        body.checks.push(CheckSite { line: t.line, idents });
+                    }
+                }
                 // Panic macros.
                 if next(1).is_some_and(|n| n.is_punct("!")) {
+                    if name == "vec" && next(2).is_some_and(|n| n.is_punct("[")) {
+                        // `vec![elem; len]` — idents after the top-level `;`.
+                        let mut len_idents = Vec::new();
+                        let mut in_len = false;
+                        let mut d = 0isize;
+                        let mut q = i + 2;
+                        while q < end {
+                            let u = &cx.toks[cx.code[q]];
+                            if u.kind == TokenKind::Punct {
+                                match u.text.as_str() {
+                                    "(" | "[" | "{" => d += 1,
+                                    ")" | "]" | "}" => {
+                                        d -= 1;
+                                        if d == 0 {
+                                            break;
+                                        }
+                                    }
+                                    ";" if d == 1 => in_len = true,
+                                    _ => {}
+                                }
+                            } else if in_len
+                                && u.kind == TokenKind::Ident
+                                && !EXPR_KEYWORDS.contains(&u.text.as_str())
+                            {
+                                len_idents.push(u.text.clone());
+                            }
+                            q += 1;
+                        }
+                        if in_len {
+                            body.vec_macros.push(VecMacroSite {
+                                line: t.line,
+                                col: t.col,
+                                len_idents,
+                            });
+                        }
+                    }
                     if PANIC_MACROS.contains(&name) {
                         body.panics.push(PanicSite {
                             line: t.line,
@@ -1219,6 +1483,7 @@ fn extract_body(
                         qualifier,
                         receiver,
                         discarded: discard_calls.contains(&i),
+                        args: call_args(cx, i, end),
                     });
                 }
             }
@@ -1232,7 +1497,70 @@ fn extract_body(
                 let full_range = next(1).is_some_and(|n| n.is_punct(".."))
                     && next(2).is_some_and(|n| n.is_punct("]"));
                 if indexable && !full_range {
-                    body.indexes.push(IndexSite { line: t.line, col: t.col });
+                    // Idents and boundedness evidence inside the group.
+                    let mut idents = Vec::new();
+                    let mut bounded = false;
+                    let mut d = 0isize;
+                    let mut q = i;
+                    while q < end {
+                        let u = &cx.toks[cx.code[q]];
+                        if u.kind == TokenKind::Punct {
+                            match u.text.as_str() {
+                                "(" | "[" | "{" => d += 1,
+                                ")" | "]" | "}" => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                "%" => bounded = true,
+                                "&" if cx
+                                    .code
+                                    .get(q + 1)
+                                    .is_some_and(|&n| cx.toks[n].kind == TokenKind::Int) =>
+                                {
+                                    bounded = true
+                                }
+                                _ => {}
+                            }
+                        } else if u.kind == TokenKind::Ident
+                            && !EXPR_KEYWORDS.contains(&u.text.as_str())
+                        {
+                            idents.push(u.text.clone());
+                        }
+                        q += 1;
+                    }
+                    body.indexes.push(IndexSite { line: t.line, col: t.col, idents, bounded });
+                }
+            }
+            TokenKind::Punct if CHECK_OPS.contains(&t.text.as_str()) => {
+                // Comparison: collect operand idents on both sides.
+                let mut idents = Vec::new();
+                let mut q = i;
+                while q > start {
+                    let u = &cx.toks[cx.code[q - 1]];
+                    if skipped(q - 1) || !check_continues(u) {
+                        break;
+                    }
+                    if u.kind == TokenKind::Ident && u.text != "as" {
+                        idents.push(u.text.clone());
+                    }
+                    q -= 1;
+                }
+                idents.reverse();
+                let mut q = i + 1;
+                while q < end {
+                    let u = &cx.toks[cx.code[q]];
+                    if skipped(q) || !check_continues(u) {
+                        break;
+                    }
+                    if u.kind == TokenKind::Ident && u.text != "as" {
+                        idents.push(u.text.clone());
+                    }
+                    q += 1;
+                }
+                if !idents.is_empty() {
+                    body.checks.push(CheckSite { line: t.line, idents });
                 }
             }
             _ => {}
@@ -1346,6 +1674,8 @@ fn extract_body(
                             // depth 0 (nested statements sit inside `{}`).
                             let mut m = k + 1;
                             let mut depth = 0isize;
+                            let mut rhs_idents = Vec::new();
+                            let mut rhs_bounded = false;
                             while m < end {
                                 let u = &cx.toks[cx.code[m]];
                                 if u.kind == TokenKind::Punct {
@@ -1353,8 +1683,19 @@ fn extract_body(
                                         "(" | "[" | "{" => depth += 1,
                                         ")" | "]" | "}" => depth -= 1,
                                         ";" if depth <= 0 => break,
+                                        "%" => rhs_bounded = true,
+                                        "&" if m + 1 < end
+                                            && cx.toks[cx.code[m + 1]].kind
+                                                == TokenKind::Int =>
+                                        {
+                                            rhs_bounded = true
+                                        }
                                         _ => {}
                                     }
+                                } else if u.kind == TokenKind::Ident
+                                    && !EXPR_KEYWORDS.contains(&u.text.as_str())
+                                {
+                                    rhs_idents.push(u.text.clone());
                                 }
                                 m += 1;
                             }
@@ -1380,6 +1721,8 @@ fn extract_body(
                                 init_end_col: init_end.1,
                                 end_line: scope_end.0,
                                 end_col: scope_end.1,
+                                rhs_idents,
+                                rhs_bounded,
                             });
                         }
                     }
@@ -1447,6 +1790,95 @@ fn extract_body(
             _ => {}
         }
         i += 1;
+    }
+
+    // Pass 4: value-producing regions — explicit `return …;` statements and
+    // the trailing expression (tokens after the last depth-0 `;`). The
+    // taint pass derives return-value taint from these instead of the
+    // whole body, so internally-sanitized functions stay clean.
+    {
+        let span_of = |s: usize, e: usize| -> Option<RetSpan> {
+            if s >= e {
+                return None;
+            }
+            let mut idents = Vec::new();
+            let mut bounded = false;
+            for q in s..e {
+                if skipped(q) {
+                    continue;
+                }
+                let u = &cx.toks[cx.code[q]];
+                if u.kind == TokenKind::Ident && !EXPR_KEYWORDS.contains(&u.text.as_str()) {
+                    idents.push(u.text.clone());
+                } else if u.kind == TokenKind::Punct {
+                    match u.text.as_str() {
+                        "%" => bounded = true,
+                        "&" if q + 1 < e && cx.toks[cx.code[q + 1]].kind == TokenKind::Int => {
+                            bounded = true
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let a = &cx.toks[cx.code[s]];
+            let b = &cx.toks[cx.code[e - 1]];
+            Some(RetSpan {
+                start_line: a.line,
+                start_col: a.col,
+                end_line: b.line,
+                end_col: b.col,
+                is_err: a.kind == TokenKind::Ident && a.text == "Err",
+                idents,
+                bounded,
+            })
+        };
+        let mut i = start;
+        let mut depth = 0isize;
+        let mut last_semi: Option<usize> = None;
+        while i < end {
+            if skipped(i) {
+                i += 1;
+                continue;
+            }
+            let t = &cx.toks[cx.code[i]];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth == 0 => last_semi = Some(i),
+                    _ => {}
+                }
+            } else if t.is_ident("return") {
+                // Span to the `;` (or enclosing `}`/`,`) ending the value.
+                let mut d = 0isize;
+                let mut q = i + 1;
+                while q < end {
+                    let u = &cx.toks[cx.code[q]];
+                    if u.kind == TokenKind::Punct {
+                        match u.text.as_str() {
+                            "(" | "[" | "{" => d += 1,
+                            ")" | "]" | "}" => {
+                                d -= 1;
+                                if d < 0 {
+                                    break;
+                                }
+                            }
+                            ";" | "," if d <= 0 => break,
+                            _ => {}
+                        }
+                    }
+                    q += 1;
+                }
+                if let Some(span) = span_of(i + 1, q) {
+                    body.rets.push(span);
+                }
+            }
+            i += 1;
+        }
+        let trail_start = last_semi.map(|s| s + 1).unwrap_or(start);
+        if let Some(span) = span_of(trail_start, end) {
+            body.rets.push(span);
+        }
     }
     body
 }
@@ -2021,6 +2453,76 @@ mod tests {
         assert!(!cvs[1].in_loop, "wait under `if` is not predicate-rechecking");
         assert_eq!(cvs[2].method, "notify_one");
         assert!(cvs[2].guard_arg.is_none());
+    }
+
+    #[test]
+    fn call_args_and_param_names_align() {
+        let src = r#"
+            fn f(bytes: &[u8], n: usize, (a, b): (u32, u32)) {
+                decode(bytes, n + 1);
+                Reader::new::<u8>(bytes);
+                done();
+            }
+        "#;
+        let p = parsed(src);
+        let f = &p.fns[0];
+        assert_eq!(f.param_names, vec!["bytes", "n", ""]);
+        assert!(
+            f.params.iter().any(|(n, t)| n == "bytes" && t == "[u8]"),
+            "byte-slice param typed: {:?}",
+            f.params
+        );
+        let calls = &f.body.as_ref().unwrap().calls;
+        assert_eq!(
+            calls[0].args,
+            vec![vec!["bytes".to_string()], vec!["n".to_string()]]
+        );
+        assert_eq!(calls[1].args, vec![vec!["bytes".to_string()]]);
+        assert!(calls[2].args.is_empty(), "{:?}", calls[2].args);
+    }
+
+    #[test]
+    fn index_idents_checks_and_vec_macros() {
+        let src = r#"
+            fn f(v: &[f32], n: usize, b: u8) {
+                if n < v.len() { let x = v[n]; }
+                let t = TABLE[(b & 0xff) as usize];
+                let big = vec![0u8; n];
+                let s = &v[..n];
+            }
+        "#;
+        let p = parsed(src);
+        let body = p.fns[0].body.as_ref().unwrap();
+        assert_eq!(body.indexes.len(), 3, "{:?}", body.indexes);
+        assert_eq!(body.indexes[0].idents, vec!["n"]);
+        assert!(!body.indexes[0].bounded);
+        assert!(body.indexes[1].bounded, "mask index is bounded");
+        assert_eq!(body.indexes[2].idents, vec!["n"]);
+        let check = body.checks.iter().find(|c| c.idents.contains(&"n".to_string()));
+        assert!(check.is_some(), "{:?}", body.checks);
+        assert_eq!(body.vec_macros.len(), 1);
+        assert_eq!(body.vec_macros[0].len_idents, vec!["n"]);
+        let t_bind = body.binds.iter().find(|b| b.name == "t").unwrap();
+        assert!(t_bind.rhs_bounded, "mask rhs is bounded");
+        let x_bind = body.binds.iter().find(|b| b.name == "x").unwrap();
+        assert!(x_bind.rhs_idents.contains(&"v".to_string()));
+        assert!(x_bind.rhs_idents.contains(&"n".to_string()));
+    }
+
+    #[test]
+    fn ret_spans_cover_returns_and_trailing_expr() {
+        let src = r#"
+            fn f(a: usize, b: usize) -> usize {
+                if a > b { return a; }
+                let c = a + b;
+                c
+            }
+        "#;
+        let p = parsed(src);
+        let rets = &p.fns[0].body.as_ref().unwrap().rets;
+        assert_eq!(rets.len(), 2, "{rets:?}");
+        assert_eq!(rets[0].idents, vec!["a"]);
+        assert_eq!(rets[1].idents, vec!["c"]);
     }
 
     #[test]

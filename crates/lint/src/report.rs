@@ -8,8 +8,10 @@ use std::collections::BTreeMap;
 
 /// Schema version stamped into `LINT_report.json` so downstream diffing
 /// tools can detect format changes. v2 added the concurrency rule ids
-/// (`lock-order`, `blocking-under-lock`, `condvar-discipline`) to `counts`.
-pub const LINT_SCHEMA_VERSION: u32 = 2;
+/// (`lock-order`, `blocking-under-lock`, `condvar-discipline`) to `counts`;
+/// v3 added the taint rule ids (`untrusted-length`, `untrusted-index`) and
+/// the `elapsed_ms` wall-clock budget field.
+pub const LINT_SCHEMA_VERSION: u32 = 3;
 
 /// Canonical text output: one `file:line:col [rule] message` line per
 /// finding, plus a summary line.
@@ -52,7 +54,7 @@ pub(crate) fn escape(s: &str) -> String {
 /// health (edge and cycle counts).
 pub fn render_summary(analysis: &Analysis) -> String {
     format!(
-        "cmr-lint summary: files={} findings={} allows={} (used {}) panic-surface={} lock-edges={} lock-cycles={}\n",
+        "cmr-lint summary: files={} findings={} allows={} (used {}) panic-surface={} lock-edges={} lock-cycles={} taint-flows={} (unsanitized {})\n",
         analysis.files_scanned,
         analysis.findings.len(),
         analysis.allows_total,
@@ -60,12 +62,16 @@ pub fn render_summary(analysis: &Analysis) -> String {
         analysis.graph.panic_surface(),
         analysis.locks.edges.len(),
         analysis.locks.cycles.len(),
+        analysis.taint.flows.len(),
+        analysis.taint.unsanitized(),
     )
 }
 
-/// Renders the JSON report: scanned-file count, per-rule finding counts
-/// (every rule listed, zero or not, so diffs are stable), and the findings.
-pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+/// Renders the JSON report: scanned-file count, elapsed wall-clock of the
+/// full pass (the verify.sh lint-budget gate reads it), per-rule finding
+/// counts (every rule listed, zero or not, so diffs are stable), and the
+/// findings.
+pub fn render_json(findings: &[Finding], files_scanned: usize, elapsed_ms: u64) -> String {
     let mut counts: BTreeMap<&str, usize> = RULES.iter().map(|&(r, _)| (r, 0)).collect();
     for f in findings {
         *counts.entry(f.rule).or_insert(0) += 1;
@@ -73,6 +79,7 @@ pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"schema_version\": {LINT_SCHEMA_VERSION},\n"));
     out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"elapsed_ms\": {elapsed_ms},\n"));
     out.push_str(&format!("  \"total_findings\": {},\n", findings.len()));
     out.push_str("  \"counts\": {\n");
     let n = counts.len();

@@ -27,6 +27,8 @@
 //! | `panic-path` | no `pub` library fn may transitively reach an undefused panic |
 //! | `lossy-cast` | no narrowing/sign-changing/truncating `as` cast unless provably in range |
 //! | `unused-result` | no discarding a workspace `Result` via `let _ =` or a bare statement |
+//! | `untrusted-length` | no network/disk-derived value may reach an allocation/length sink unsanitized |
+//! | `untrusted-index` | no network/disk-derived value may reach an index/range sink unsanitized |
 //! | `stale-allow` | no allow directive that suppresses zero findings |
 
 // cmr-lint: allow-file(panic-path) token indices come from the lexer that produced the buffer; bounds hold by construction
@@ -34,6 +36,7 @@
 use crate::graph::{self, FileUnit, PanicAllows};
 use crate::lexer::{lex, Token, TokenKind};
 use crate::locks;
+use crate::taint;
 use crate::parser::{self, CastSite, CastSrc, FnDef, ParsedFile};
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -52,6 +55,8 @@ pub const RULES: &[(&str, &str)] = &[
     ("lock-order", "a cycle in the acquired-while-holding lock graph; potential deadlock (all interleaved chains reported)"),
     ("blocking-under-lock", "I/O, sleep, join, channel op or a second workspace-lock acquisition while a guard is live"),
     ("condvar-discipline", "Condvar::wait outside a predicate-rechecking loop, or notify without the paired mutex held"),
+    ("untrusted-length", "a network/disk-derived value reaches Vec::with_capacity/reserve/set_len or a vec![…; n] length unsanitized"),
+    ("untrusted-index", "a network/disk-derived value reaches a slice index, range or split_at unsanitized"),
     ("stale-allow", "an allow directive that suppresses zero findings; delete it"),
     ("allow-missing-reason", "a cmr-lint allow comment must carry a reason after the rule id"),
     ("allow-unknown-rule", "a cmr-lint allow comment names a rule id that does not exist"),
@@ -244,6 +249,31 @@ fn collect_allows(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) -> 
         let mut fail = |rule: &'static str, message: String| {
             findings.push(Finding { file: path.to_string(), line: t.line, col: t.col, rule, message });
         };
+        // `trust(reason)`: the taint-pass escape hatch — suppresses an
+        // `untrusted-length`/`untrusted-index` flow on its line (or the
+        // line below) and is stale-allow accounted like any other allow.
+        if let Some(rest) = directive.strip_prefix("trust(") {
+            let Some(close) = rest.rfind(')') else {
+                fail("allow-unknown-rule", "unclosed `trust(` in cmr-lint directive".to_string());
+                continue;
+            };
+            if rest[..close].trim().is_empty() {
+                fail(
+                    "allow-missing-reason",
+                    "trust() has no reason; write `// cmr-lint: trust(<why this value is bounded>)`"
+                        .to_string(),
+                );
+                continue;
+            }
+            allows.push(Allow {
+                rule: "trust".to_string(),
+                line: t.line,
+                col: t.col,
+                scope: AllowScope::Line,
+                used: Cell::new(false),
+            });
+            continue;
+        }
         let (scope, rest) = if let Some(rest) = directive.strip_prefix("allow-file(") {
             (AllowScope::File, rest)
         } else if let Some(rest) = directive.strip_prefix("allow(") {
@@ -741,6 +771,8 @@ pub struct Analysis {
     pub graph: graph::Graph,
     /// The concurrency pass result (lock inventory, order edges, cycles).
     pub locks: locks::LockAnalysis,
+    /// The taint pass result (source/sink/sanitizer inventory, flows).
+    pub taint: taint::TaintAnalysis,
 }
 
 /// Lints a set of files and returns every unsuppressed finding, sorted by
@@ -984,6 +1016,45 @@ pub fn analyze(files: &[SourceFile]) -> Analysis {
         }
     }
 
+    // ---- taint pass: untrusted-length / untrusted-index ----
+    let mut taint_allows: BTreeMap<String, taint::TaintAllows> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        let mut ta = taint::TaintAllows::default();
+        for a in &allows_by_file[fi] {
+            match (a.scope, a.rule.as_str()) {
+                (AllowScope::Line, "trust" | "untrusted-length" | "untrusted-index") => {
+                    ta.lines.push((a.line, a.rule.clone()));
+                }
+                (AllowScope::File, "untrusted-length" | "untrusted-index") => {
+                    ta.file_rules.insert(a.rule.clone());
+                }
+                _ => {}
+            }
+        }
+        if !ta.lines.is_empty() || !ta.file_rules.is_empty() {
+            taint_allows.insert(file.path.clone(), ta);
+        }
+    }
+    let taint_analysis = taint::analyze(&units, &g, &taint_allows);
+    // Sink already applied file/line allows — extend without re-filtering.
+    findings.extend(taint_analysis.findings.iter().cloned());
+    for (file, line, rule) in &taint_analysis.used_allow_lines {
+        let Some(&fi) = by_path.get(file.as_str()) else { continue };
+        for a in &allows_by_file[fi] {
+            if a.scope == AllowScope::Line && a.line == *line && a.rule == *rule {
+                a.used.set(true);
+            }
+        }
+    }
+    for (file, rule) in &taint_analysis.used_file_allows {
+        let Some(&fi) = by_path.get(file.as_str()) else { continue };
+        for a in &allows_by_file[fi] {
+            if a.scope == AllowScope::File && a.rule == *rule {
+                a.used.set(true);
+            }
+        }
+    }
+
     // ---- stale-allow ----
     let mut allows_total = 0usize;
     let mut allows_used = 0usize;
@@ -1021,5 +1092,6 @@ pub fn analyze(files: &[SourceFile]) -> Analysis {
         allows_used,
         graph: g,
         locks: lock_analysis,
+        taint: taint_analysis,
     }
 }

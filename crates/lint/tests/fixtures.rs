@@ -171,14 +171,18 @@ fn scatter_gather_knobs_are_centralized_in_serve_config() {
 #[test]
 fn json_report_is_diffable() {
     let findings = lib("violations.rs");
-    let json = cmr_lint::report::render_json(&findings, 1);
-    assert!(json.contains("\"schema_version\": 2"), "{json}");
+    let json = cmr_lint::report::render_json(&findings, 1, 7);
+    assert!(json.contains("\"schema_version\": 3"), "{json}");
     assert!(json.contains("\"files_scanned\": 1"), "{json}");
+    assert!(json.contains("\"elapsed_ms\": 7"), "{json}");
     assert!(json.contains("\"total_findings\": 8"), "{json}");
     // v2 lists the concurrency rules even at zero so diffs stay stable.
     assert!(json.contains("\"lock-order\": 0"), "{json}");
     assert!(json.contains("\"blocking-under-lock\": 0"), "{json}");
     assert!(json.contains("\"condvar-discipline\": 0"), "{json}");
+    // v3 lists the taint rules even at zero.
+    assert!(json.contains("\"untrusted-length\": 0"), "{json}");
+    assert!(json.contains("\"untrusted-index\": 0"), "{json}");
     assert!(json.contains("\"no-panic-lib\": 2"), "{json}");
     assert!(json.contains("\"float-eq\": 1"), "{json}");
     assert!(json.contains("\"panic-path\": 1"), "{json}");

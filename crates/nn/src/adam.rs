@@ -2,7 +2,7 @@
 //! learning rate 1e-4 (§4.4).
 
 use crate::param::{Bindings, ParamStore};
-use crate::serialize::{bad, put_len_prefixed, Reader};
+use crate::serialize::{bad, put_len_prefixed, Reader, MAX_DECODE_DIM};
 use cmr_tensor::{Graph, TensorData};
 use std::collections::HashMap;
 use std::io;
@@ -117,11 +117,21 @@ impl Adam {
         let beta2 = buf.get_f32_le()?;
         let eps = buf.get_f32_le()?;
         let n = buf.get_u32_le()? as usize;
+        // Each moment entry occupies at least 20 bytes (pid + shape +
+        // length prefix), so a count claiming more entries than the
+        // payload could hold is hostile or corrupt — reject it before
+        // sizing the map.
+        if n > buf.remaining() / 20 {
+            return Err(bad(format!("Adam state claims {n} moments in {} bytes", buf.remaining())));
+        }
         let mut moments = HashMap::with_capacity(n);
         for _ in 0..n {
             let pid = buf.get_u64_le()? as usize;
             let rows = buf.get_u32_le()? as usize;
             let cols = buf.get_u32_le()? as usize;
+            if rows > MAX_DECODE_DIM || cols > MAX_DECODE_DIM {
+                return Err(bad(format!("implausible moment shape {rows}x{cols} for parameter {pid}")));
+            }
             let tensor = buf.get_len_prefixed()?;
             let len = rows * cols;
             if tensor.len() != 2 * len * 4 {
@@ -246,6 +256,29 @@ mod tests {
         assert!(adam.load_state(&blob[..blob.len() - 2]).is_err());
         assert_eq!(adam.steps(), 1, "failed load must not clobber state");
         assert!(adam.load_state(&blob).is_ok());
+    }
+
+    /// A count field claiming ~2^30 moment entries in a tiny blob must be
+    /// rejected before the decoder sizes the map, and the optimiser must
+    /// stay untouched.
+    #[test]
+    fn load_state_rejects_gigabyte_moment_claim() {
+        let mut store = ParamStore::new();
+        let p = store.register("x", TensorData::row_vector(&[1.0]));
+        let mut adam = Adam::new(0.1);
+        let mut g = Graph::new();
+        let mut binds = Bindings::new();
+        let x = store.bind(&mut g, &mut binds, p);
+        let loss = g.sum_all(x);
+        g.backward(loss);
+        adam.step(&mut store, &g, &binds);
+
+        let mut blob = adam.save_state();
+        // The u32 entry count sits after t(8) and the four f32 hypers(16).
+        blob[24..28].copy_from_slice(&(1u32 << 30).to_le_bytes());
+        let err = adam.load_state(&blob).unwrap_err();
+        assert!(err.to_string().contains("claims"), "{err}");
+        assert_eq!(adam.steps(), 1, "failed load must not clobber state");
     }
 
     /// Step count and bias correction advance even when nothing updates.

@@ -28,6 +28,13 @@ use std::io;
 const MAGIC_V1: &[u8; 8] = b"CMRCKPT1";
 const MAGIC_V2: &[u8; 8] = b"CMRCKPT2";
 
+/// Upper bound accepted for tensor dimensions decoded from untrusted bytes.
+/// Generous for any model in this workspace (a 16M-row embedding table)
+/// while keeping `rows * cols * 4` far from overflow, so a hostile shape
+/// field can neither wrap the payload-size check nor drive a huge
+/// allocation.
+pub(crate) const MAX_DECODE_DIM: usize = 1 << 24;
+
 pub(crate) fn bad(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
@@ -126,6 +133,12 @@ fn write_params_body(store: &ParamStore, buf: &mut Vec<u8>) {
 
 fn read_params_body(store: &mut ParamStore, buf: &mut Reader) -> io::Result<()> {
     let count = buf.get_u32_le()? as usize;
+    // Each entry occupies at least 11 bytes (name length + shape + freeze
+    // flag), so a count claiming more entries than the remaining payload
+    // could hold is hostile or corrupt — reject it before sizing the set.
+    if count > buf.remaining() / 11 {
+        return Err(bad(format!("checkpoint claims {count} params in {} bytes", buf.remaining())));
+    }
     let mut seen: HashSet<String> = HashSet::with_capacity(count);
     for _ in 0..count {
         let name_len = buf.get_u16_le()? as usize;
@@ -133,6 +146,9 @@ fn read_params_body(store: &mut ParamStore, buf: &mut Reader) -> io::Result<()> 
             .map_err(|e| bad(format!("parameter name not utf-8: {e}")))?;
         let rows = buf.get_u32_le()? as usize;
         let cols = buf.get_u32_le()? as usize;
+        if rows > MAX_DECODE_DIM || cols > MAX_DECODE_DIM {
+            return Err(bad(format!("implausible shape {rows}x{cols} for {name:?}")));
+        }
         let frozen = buf.get_u8()? != 0;
         let n = rows * cols;
         if buf.remaining() < n * 4 {
@@ -343,6 +359,9 @@ pub fn load_embedding_blob(bytes: &[u8]) -> io::Result<(usize, Vec<f32>)> {
     let n = buf.get_u32_le()? as usize;
     if dim == 0 {
         return Err(bad("embedding blob has zero dim".into()));
+    }
+    if n > MAX_DECODE_DIM || dim > MAX_DECODE_DIM {
+        return Err(bad(format!("implausible embedding shape {n}x{dim}")));
     }
     let want = n
         .checked_mul(dim)
@@ -587,5 +606,47 @@ mod tests {
             let j = dst.by_name(name).unwrap();
             assert_eq!(src.value(i).data, dst.value(j).data, "{name}");
         }
+    }
+
+    /// A count field claiming ~2^30 parameters in a tiny blob must be
+    /// rejected up front — before the decoder sizes any collection — so a
+    /// hostile header cannot force a giant allocation.
+    #[test]
+    fn rejects_gigabyte_param_count_claim() {
+        let store = store_with(11);
+        let mut blob = save_params(&store);
+        // The u32 entry count sits right after the 8-byte magic.
+        blob[8..12].copy_from_slice(&(1u32 << 30).to_le_bytes());
+        let mut dst = store_with(11);
+        let err = load_params(&mut dst, &blob).unwrap_err();
+        assert!(err.to_string().contains("claims"), "{err}");
+    }
+
+    /// A per-entry shape claiming an implausible dimension is rejected
+    /// before its payload allocation.
+    #[test]
+    fn rejects_implausible_param_shape() {
+        let store = store_with(12);
+        let mut blob = save_params(&store);
+        // First entry: magic(8) + count(4) + name_len(2) + name("a.w", 3)
+        // puts its rows field at offset 17.
+        blob[17..21].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut dst = store_with(12);
+        let err = load_params(&mut dst, &blob).unwrap_err();
+        assert!(err.to_string().contains("implausible"), "{err}");
+    }
+
+    /// An embedding blob whose header promises ~2^30 rows must be rejected
+    /// by the shape plausibility check, not by attempting the allocation.
+    #[test]
+    fn rejects_gigabyte_embedding_claim() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(MAGIC_EMB);
+        payload.extend_from_slice(&4u32.to_le_bytes()); // dim
+        payload.extend_from_slice(&(1u32 << 30).to_le_bytes()); // n
+        let crc = crc32(&payload);
+        payload.extend_from_slice(&crc.to_le_bytes());
+        let err = load_embedding_blob(&payload).unwrap_err();
+        assert!(err.to_string().contains("implausible"), "{err}");
     }
 }

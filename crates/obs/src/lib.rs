@@ -61,10 +61,9 @@ fn resolve_env() -> u8 {
         })
         .unwrap_or(false);
     if on {
-        ON
-    } else {
-        OFF
+        return ON;
     }
+    OFF
 }
 
 /// Returns whether telemetry recording is enabled.

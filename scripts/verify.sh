@@ -8,7 +8,8 @@
 # Exits non-zero on the first failure. Prints per-gate wall-clock timings
 # and finishes with the one-line cmr-lint summary and a one-line obs
 # summary. Archives the lint artifacts (results/LINT_report.json,
-# results/CALLGRAPH.json, results/LOCKGRAPH.json), the obs artifacts
+# results/CALLGRAPH.json, results/LOCKGRAPH.json,
+# results/TAINTGRAPH.json), the obs artifacts
 # (results/OBS_train.json,
 # results/OBS_retrieval.json), the serving artifacts
 # (results/BENCH_serve.json, results/OBS_serve.json) and the chaos
@@ -62,6 +63,51 @@ check_lockgraph() {
     fi
 }
 gate "static analysis: lock-order graph" check_lockgraph
+
+# Taint gate: --graph above also emitted results/TAINTGRAPH.json (untrusted
+# network/disk bytes traced to allocation and index sinks). The artifact must
+# carry the expected schema and — the hardening invariant — zero flows that
+# reach a sink without a dominating sanitizer.
+check_taintgraph() {
+    local key
+    if [[ ! -f results/TAINTGRAPH.json ]]; then
+        echo "taintgraph: missing artifact results/TAINTGRAPH.json"
+        return 1
+    fi
+    if ! grep -q '"schema_version": 1' results/TAINTGRAPH.json; then
+        echo "taintgraph: wrong or missing schema_version in results/TAINTGRAPH.json"
+        return 1
+    fi
+    for key in '"sources"' '"sinks"' '"sanitizers"' '"flows"' \
+               '"unsanitized_flows"' '"crates"' '"inventory"' '"flow_edges"'; do
+        if ! grep -q "$key" results/TAINTGRAPH.json; then
+            echo "taintgraph: $key missing from results/TAINTGRAPH.json"
+            return 1
+        fi
+    done
+    if ! grep -q '"unsanitized_flows": 0' results/TAINTGRAPH.json; then
+        echo "taintgraph: unsanitized taint flow — untrusted bytes reach an allocation or index sink; see results/TAINTGRAPH.json flow_edges"
+        return 1
+    fi
+}
+gate "static analysis: taint graph" check_taintgraph
+
+# Budget gate: the lint pass must stay fast enough to run on every commit.
+# LINT_report.json records its own wall-clock in elapsed_ms.
+check_lint_budget() {
+    local ms
+    ms=$(grep -o '"elapsed_ms": [0-9]*' results/LINT_report.json | grep -o '[0-9]*$' || true)
+    if [[ -z "$ms" ]]; then
+        echo "lint budget: elapsed_ms missing from results/LINT_report.json"
+        return 1
+    fi
+    if (( ms > 30000 )); then
+        echo "lint budget: cmr-lint took ${ms}ms (> 30000ms budget)"
+        return 1
+    fi
+    echo "lint budget: ${ms}ms (budget 30000ms)"
+}
+gate "static analysis: lint budget" check_lint_budget
 
 gate "tier 1: workspace tests" cargo test -q
 

@@ -201,6 +201,38 @@ fn oversized_requests_get_payload_and_header_statuses() {
     server.shutdown();
 }
 
+/// The client side of the wire is attacker-shaped too: a compromised or
+/// buggy upstream shard that claims a ~1 GiB body must be refused by
+/// `read_response` *before* the body buffer is allocated — the router's
+/// scatter-gather path reads upstream responses with the same limits as
+/// requests, so a hostile Content-Length cannot force an OOM.
+#[test]
+fn hostile_upstream_content_length_is_refused_before_allocation() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake shard");
+    let addr = listener.local_addr().expect("fake shard addr").to_string();
+    let upstream = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().expect("accept");
+        let mut sink = [0u8; 512];
+        let _ = conn.read(&mut sink); // drain the request head
+        conn.write_all(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 1073741824\r\n\r\n",
+        )
+        .expect("write hostile head");
+        // Deliberately never send a body: the client must fail on the
+        // declared length alone, not block waiting for a gigabyte.
+    });
+
+    let mut stream = connect(&addr);
+    write_request(&mut stream, "GET", "/v1/healthz", &[]).expect("send probe");
+    let err = read_response(&mut BufReader::new(stream), &LIMITS)
+        .expect_err("1 GiB claim must not produce a response");
+    assert!(
+        format!("{err:?}").contains("PayloadTooLarge"),
+        "expected PayloadTooLarge, got {err:?}"
+    );
+    upstream.join().expect("fake shard thread");
+}
+
 #[test]
 fn liveness_and_readiness_probes_have_distinct_typed_statuses() {
     let (mut server, _reference, addr) = start_server(ServeConfig::default(), 7);
