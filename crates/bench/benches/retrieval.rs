@@ -51,7 +51,7 @@ fn bench_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("ivf_top10_4k_d64");
     for nprobe in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(nprobe), &nprobe, |bench, &p| {
-            bench.iter(|| black_box(index.search(&q, 10, p)))
+            bench.iter(|| black_box(index.search(&q, 10, p).unwrap()))
         });
     }
     group.finish();

@@ -43,7 +43,7 @@ fn main() {
     let index = IvfIndex::build(gallery, nlist, 5, &mut rng);
     let mut top1 = 0usize;
     for qi in 0..queries.len() {
-        let hits = index.search_checked(queries.vector(qi), K, NPROBE);
+        let hits = index.search_checked(queries.vector(qi), K, NPROBE).expect("valid request");
         if hits.first().is_some_and(|h| h.index == qi) {
             top1 += 1;
         }

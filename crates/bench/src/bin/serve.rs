@@ -8,6 +8,11 @@
 //! (`CMR_SERVE_DEADLINE_US`, `CMR_SERVE_RETRIES`, `CMR_SERVE_HEDGE_US`
 //! tune it); sharded mode always uses the exact backend.
 //!
+//! `--index-dir` boots both directions from persistent `CMRIVF1` index
+//! files instead of re-clustering (building and saving them on first
+//! start; `--ivf`/`--pq-m` shape that first build). Probe width comes
+//! from the `CMR_IVF_NPROBE` knob. Unsharded mode only.
+//!
 //! ```text
 //! cargo run --release -p cmr-bench --bin serve -- \
 //!     --addr 127.0.0.1:0 --addr-file results/serve.addr \
@@ -19,8 +24,8 @@
 //! the listener is live; scripts wait for the file, then point clients at
 //! its contents.
 
-use cmr_bench::serving::{build_engine, galleries_from_dir, synthetic_gallery};
-use cmr_serve::{Router, RouterConfig, ServeConfig, Server, ShardFleet};
+use cmr_bench::serving::{build_engine, galleries_from_dir, indexes_from_dir, synthetic_gallery};
+use cmr_serve::{Backend, Engine, Router, RouterConfig, ServeConfig, Server, ShardFleet};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -34,6 +39,8 @@ struct Args {
     nprobe: usize,
     duration_s: u64,
     embeddings_dir: Option<PathBuf>,
+    index_dir: Option<PathBuf>,
+    pq_m: usize,
 }
 
 fn parse_args() -> Args {
@@ -47,6 +54,8 @@ fn parse_args() -> Args {
         nprobe: 4,
         duration_s: 0,
         embeddings_dir: None,
+        index_dir: None,
+        pq_m: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -66,6 +75,8 @@ fn parse_args() -> Args {
             "--nprobe" => a.nprobe = value().parse().expect("--nprobe takes a number"),
             "--duration-s" => a.duration_s = value().parse().expect("--duration-s takes a number"),
             "--embeddings-dir" => a.embeddings_dir = Some(PathBuf::from(value())),
+            "--index-dir" => a.index_dir = Some(PathBuf::from(value())),
+            "--pq-m" => a.pq_m = value().parse().expect("--pq-m takes a number"),
             other => panic!("unknown argument {other:?}"),
         }
         i += 1;
@@ -92,7 +103,25 @@ fn main() {
         cfg.max_wait,
         cfg.shards,
     );
-    let (mut server, mut fleet) = if cfg.shards > 1 {
+    let (mut server, mut fleet) = if let Some(dir) = &args.index_dir {
+        assert!(cfg.shards <= 1, "--index-dir serves unsharded only");
+        let nlist = if args.ivf_nlist == 0 { 64 } else { args.ivf_nlist };
+        let (recipes_idx, images_idx) =
+            indexes_from_dir(dir, args.gallery, args.dim, nlist, args.pq_m, args.seed);
+        println!(
+            "serve: booted from {dir:?} ({} + {} rows, nprobe {}, quantized {})",
+            recipes_idx.len(),
+            images_idx.len(),
+            cfg.ivf_nprobe,
+            recipes_idx.is_quantized(),
+        );
+        let engine = Engine::new(
+            Backend::Ivf { index: recipes_idx, nprobe: cfg.ivf_nprobe },
+            Backend::Ivf { index: images_idx, nprobe: cfg.ivf_nprobe },
+        )
+        .expect("valid loaded indexes");
+        (Server::start(engine, cfg, &args.addr).expect("bind serving socket"), None)
+    } else if cfg.shards > 1 {
         let dim = recipes.dim;
         let fleet =
             ShardFleet::launch(&recipes, &images, cfg.shards, &cfg).expect("spawn shard fleet");

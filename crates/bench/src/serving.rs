@@ -3,7 +3,7 @@
 //! `cmr_serve::http`, embedding-blob startup, and exact percentile math
 //! over measured latencies.
 
-use cmr_retrieval::Embeddings;
+use cmr_retrieval::{Embeddings, IvfIndex};
 use cmr_serve::http::{read_response, write_request, Limits, Response};
 use cmr_serve::{Backend, Engine, ServeError};
 use rand::{Rng, SeedableRng};
@@ -104,6 +104,61 @@ pub fn galleries_from_dir(
     (load(&recipes_path).expect("reload recipes.emb"), load(&images_path).expect("reload images.emb"))
 }
 
+/// Loads both IVF indexes from `dir` (`recipes.ivf`, `images.ivf`) when
+/// the `CMRIVF1` files exist; otherwise builds them over synthetic
+/// galleries (sampled k-means, residuals product-quantized when
+/// `pq_m > 0`), saves them, and reloads. Either way the server boots from
+/// the on-disk index — no re-clustering on restart, which at the 1M scale
+/// is the difference between seconds and minutes of startup.
+///
+/// # Panics
+/// Panics on unreadable/corrupt index files, an unwritable `dir`, or
+/// invalid geometry (fail-fast bin startup).
+// cmr-lint: allow(panic-path) documented contract: serving bins abort on a bad index dir
+pub fn indexes_from_dir(
+    dir: &Path,
+    n: usize,
+    dim: usize,
+    nlist: usize,
+    pq_m: usize,
+    seed: u64,
+) -> (IvfIndex, IvfIndex) {
+    let recipes_path = dir.join("recipes.ivf");
+    let images_path = dir.join("images.ivf");
+    if recipes_path.is_file() && images_path.is_file() {
+        // cmr-lint: allow(no-panic-lib) fail-fast startup on corrupt index files
+        let recipes = cmr_retrieval::load_index(&recipes_path).expect("load recipes.ivf");
+        // cmr-lint: allow(no-panic-lib) fail-fast startup on corrupt index files
+        let images = cmr_retrieval::load_index(&images_path).expect("load images.ivf");
+        return (recipes, images);
+    }
+    // cmr-lint: allow(no-panic-lib) fail-fast startup on an unwritable index dir
+    std::fs::create_dir_all(dir).expect("create index dir");
+    let build = |path: &Path, seed: u64| -> IvfIndex {
+        let gallery = synthetic_gallery(n, dim, seed);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0x1f);
+        let index =
+            IvfIndex::build_with_sample(gallery, nlist.max(1), 5, 100_000, &mut rng);
+        let index = if pq_m > 0 {
+            let (q, _) = index
+                .quantize_residuals(pq_m, 256, 4, 100_000, &mut rng)
+                // cmr-lint: allow(no-panic-lib) serving bins abort on invalid PQ geometry
+                .expect("quantize residuals");
+            q
+        } else {
+            index
+        };
+        cmr_retrieval::save_index(&index, path)
+            // cmr-lint: allow(no-panic-lib) fail-fast startup on an unwritable index dir
+            .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        // Round-trip through the serving format so every start — first or
+        // not — serves the bit-identical, file-loaded index.
+        // cmr-lint: allow(no-panic-lib) fail-fast startup on corrupt index files
+        cmr_retrieval::load_index(path).expect("reload index")
+    };
+    (build(&recipes_path, seed), build(&images_path, seed.wrapping_add(1)))
+}
+
 /// A blocking keep-alive HTTP client speaking the serving protocol.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -193,6 +248,26 @@ mod tests {
             let norm: f32 = a.vector(i).iter().map(|x| x * x).sum::<f32>().sqrt();
             assert!((norm - 1.0).abs() < 1e-4, "row {i} norm {norm}");
         }
+    }
+
+    #[test]
+    fn indexes_round_trip_through_ivf_dir() {
+        let dir = std::env::temp_dir().join(format!("cmr_ivf_dir_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (r1, i1) = indexes_from_dir(&dir, 300, 8, 4, 2, 7);
+        assert!(r1.is_quantized() && i1.is_quantized());
+        // Second boot loads the files; build flags are ignored.
+        let (r2, i2) = indexes_from_dir(&dir, 9, 99, 9, 0, 999);
+        assert_eq!(r2.dim(), 8);
+        assert_eq!(r2.len(), 300);
+        assert_eq!(i2.len(), 300);
+        let q = synthetic_gallery(1, 8, 5);
+        assert_eq!(
+            r1.search(q.vector(0), 5, 2).unwrap(),
+            r2.search(q.vector(0), 5, 2).unwrap(),
+            "reloaded index must answer identically"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -46,7 +46,7 @@ use std::collections::BTreeMap;
 pub const RULES: &[(&str, &str)] = &[
     ("op-coverage", "every Op enum variant needs a grad_check test in crates/tensor/src/check.rs"),
     ("no-panic-lib", "unwrap()/expect()/panic!/todo!/unimplemented! banned in non-test library code"),
-    ("env-centralization", "std::env::var only in crates/tensor/src/threading.rs, crates/obs/src/lib.rs (CMR_OBS), crates/serve/src/config.rs (CMR_SERVE_*) and crates/bench"),
+    ("env-centralization", "std::env::var only in crates/tensor/src/threading.rs, crates/obs/src/lib.rs (CMR_OBS), crates/serve/src/config.rs (CMR_SERVE_*, CMR_IVF_NPROBE) and crates/bench"),
     ("no-println-lib", "println!/eprintln!/dbg! banned outside crates/bench, binaries, examples, tests"),
     ("float-eq", "direct ==/!= against a non-zero float literal; compare with a tolerance instead"),
     ("panic-path", "a pub library fn transitively reaches an undefused panic (witness chain reported)"),
@@ -143,9 +143,10 @@ fn is_bench_crate(path: &str) -> bool {
 
 /// Sanctioned `env::var` sites: the `CMR_NUM_THREADS` knob in the
 /// threading module, the `CMR_OBS` knob in the obs crate root, the
-/// serving knobs (`CMR_SERVE_BATCH`, `CMR_SERVE_WAIT_US`, and the
+/// serving knobs (`CMR_SERVE_BATCH`, `CMR_SERVE_WAIT_US`, the
 /// scatter-gather knobs `CMR_SERVE_SHARDS`, `CMR_SERVE_DEADLINE_US`,
-/// `CMR_SERVE_RETRIES`, `CMR_SERVE_HEDGE_US`) in the serve config
+/// `CMR_SERVE_RETRIES`, `CMR_SERVE_HEDGE_US`, and the IVF probe-width
+/// knob `CMR_IVF_NPROBE`) in the serve config
 /// module, and the experiment harness. Router/shard/breaker code must
 /// take its tuning from `ServeConfig`, never from the environment
 /// directly.

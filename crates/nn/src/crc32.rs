@@ -27,12 +27,49 @@ const fn build_table() -> [u32; 256] {
 
 /// CRC-32 of `bytes` (initial value `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF`).
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        // cmr-lint: allow(panic-path) the index is masked with & 0xFF into a 256-entry table
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    let mut h = Hasher::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+/// Incremental CRC-32 over a byte stream: feed chunks with
+/// [`update`](Hasher::update), read the digest with
+/// [`finalize`](Hasher::finalize). `Hasher` over any chunking of a byte
+/// sequence equals [`crc32`] of the concatenation — the property the
+/// streamed `CMRIVF1` index loader relies on to verify a footer without
+/// buffering the whole file.
+#[derive(Clone, Debug)]
+pub struct Hasher {
+    state: u32,
+}
+
+impl Hasher {
+    /// A fresh hasher (initial state `0xFFFF_FFFF`).
+    pub fn new() -> Self {
+        Hasher { state: 0xFFFF_FFFF }
     }
-    crc ^ 0xFFFF_FFFF
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            // cmr-lint: allow(panic-path) the index is masked with & 0xFF into a 256-entry table
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The CRC-32 of everything fed so far (final XOR applied; the hasher
+    /// itself is unchanged and may keep accumulating).
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 #[cfg(test)]
@@ -48,6 +85,33 @@ mod tests {
     #[test]
     fn empty_input() {
         assert_eq!(crc32(b""), 0);
+    }
+
+    /// The streaming hasher must agree with the one-shot function for
+    /// every chunking of the input.
+    #[test]
+    fn streaming_matches_one_shot_for_any_chunking() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(1000).collect();
+        let want = crc32(&data);
+        for chunk in [1usize, 3, 7, 64, 999, 1000] {
+            let mut h = Hasher::new();
+            for piece in data.chunks(chunk) {
+                h.update(piece);
+            }
+            assert_eq!(h.finalize(), want, "chunk size {chunk}");
+        }
+        assert_eq!(Hasher::new().finalize(), 0, "empty stream");
+        assert_eq!(Hasher::default().finalize(), 0);
+    }
+
+    /// `finalize` is a read, not a reset: the hasher keeps accumulating.
+    #[test]
+    fn finalize_does_not_reset() {
+        let mut h = Hasher::new();
+        h.update(b"1234");
+        let _ = h.finalize();
+        h.update(b"56789");
+        assert_eq!(h.finalize(), 0xCBF4_3926);
     }
 
     /// Any single-bit flip must change the checksum — the property the

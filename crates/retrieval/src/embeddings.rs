@@ -9,7 +9,7 @@
 /// [`Embeddings::l2_normalized`] once and compare by dot product afterwards —
 /// all search and evaluation code in this crate assumes normalised inputs
 /// where it matters and says so.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Embeddings {
     /// Vector dimensionality.
     pub dim: usize,

@@ -7,9 +7,14 @@
 //! * [`eval`] — the Recipe1M bag protocol: 10 bags of 1k / 5 bags of 10k test
 //!   pairs, both retrieval directions, mean ± std over bags,
 //! * [`knn`] — exact top-k cosine search,
-//! * [`ivf`] — an IVF-Flat approximate index (k-means coarse quantiser), the
-//!   "large-scale" extension: the paper motivates Recipe1M-scale retrieval,
-//!   and exact scan does not scale past a few million items.
+//! * [`ivf`] — an IVF approximate index (k-means coarse quantiser) with flat
+//!   or product-quantized cells, the "large-scale" extension: the paper
+//!   motivates Recipe1M-scale retrieval, and exact scan does not scale past
+//!   a few million items,
+//! * [`pq`] — product quantization of residuals with asymmetric distance
+//!   computation, compressing million-row galleries 4–16x,
+//! * [`store`] — the `CMRIVF1` persistent index format: CRC-checked,
+//!   atomically written, streamed back without re-clustering.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -19,11 +24,15 @@ pub mod eval;
 pub mod ivf;
 pub mod knn;
 pub mod metrics;
+pub mod pq;
+pub mod store;
 
 pub use embeddings::Embeddings;
 pub use eval::{
     evaluate_bags, evaluate_pairs, BagConfig, DirectionReport, EvalError, ProtocolReport,
 };
-pub use ivf::IvfIndex;
+pub use ivf::{IvfIndex, SearchError};
 pub use knn::{hit_order, merge_top_k, top_k, top_k_of};
 pub use metrics::{median_rank, ranks_of_matches, recall_at_k};
+pub use pq::{PqError, ProductQuantizer, TrainStats};
+pub use store::{index_from_bytes, index_to_bytes, load_index, save_index};

@@ -21,19 +21,20 @@
 
 use crate::engine::{render_hits, Direction, Engine};
 use crate::error::ServeError;
-use cmr_retrieval::Embeddings;
+use cmr_retrieval::{Embeddings, SearchError};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// One queued query plus the channel its rendered response goes back on.
+/// One queued query plus the channel its rendered response (or the typed
+/// search error the HTTP layer maps to a status) goes back on.
 struct Job {
     direction: Direction,
     k: usize,
     query: Vec<f32>,
-    resp: mpsc::Sender<String>,
+    resp: mpsc::Sender<Result<String, SearchError>>,
 }
 
 struct Inner {
@@ -78,10 +79,9 @@ impl Batcher {
     }
 
     /// Enqueues one query; the returned receiver yields the rendered
-    /// response body.
-    ///
-    /// The caller must have validated `k >= 1` and the query dimension —
-    /// the engine treats both as preconditions.
+    /// response body, or the typed [`SearchError`] the engine refused the
+    /// batch with (bad `k`/dimension slip through admission only via
+    /// internal callers; the engine no longer panics on them either way).
     ///
     /// # Errors
     /// [`ServeError::ShuttingDown`] once [`shutdown`](Self::shutdown) has
@@ -91,7 +91,7 @@ impl Batcher {
         direction: Direction,
         k: usize,
         query: Vec<f32>,
-    ) -> Result<mpsc::Receiver<String>, ServeError> {
+    ) -> Result<mpsc::Receiver<Result<String, SearchError>>, ServeError> {
         let (tx, rx) = mpsc::channel();
         {
             let mut q = self.inner.lock_queue();
@@ -224,10 +224,21 @@ fn execute_batch(engine: &Engine, batch: Vec<Job>) {
     for job in &batch {
         queries.push(&job.query);
     }
-    let results = engine.search_batch(batch[0].direction, &queries, batch[0].k);
-    for (job, hits) in batch.iter().zip(results) {
-        // A receiver that hung up (client gone) is not an error here.
-        let _ = job.resp.send(render_hits(&hits));
+    match engine.search_batch(batch[0].direction, &queries, batch[0].k) {
+        Ok(results) => {
+            for (job, hits) in batch.iter().zip(results) {
+                // A receiver that hung up (client gone) is not an error here.
+                let _ = job.resp.send(Ok(render_hits(&hits)));
+            }
+        }
+        Err(e) => {
+            // Every job in the batch shares the refused shape; answer each
+            // with the typed error instead of dropping the senders (a
+            // dropped sender reads as ShuttingDown at the HTTP layer).
+            for job in &batch {
+                let _ = job.resp.send(Err(e));
+            }
+        }
     }
 }
 
@@ -248,10 +259,11 @@ mod tests {
     #[test]
     fn single_submit_round_trips() {
         let e = engine(1);
-        let reference = render_hits(&e.search_one(Direction::ImToRec, &[1.0, 0.0, 0.0, 0.0], 3));
+        let reference =
+            render_hits(&e.search_one(Direction::ImToRec, &[1.0, 0.0, 0.0, 0.0], 3).unwrap());
         let b = Batcher::new(e, 4, Duration::from_micros(200), 1);
         let rx = b.submit(Direction::ImToRec, 3, vec![1.0, 0.0, 0.0, 0.0]).unwrap();
-        assert_eq!(rx.recv().unwrap(), reference);
+        assert_eq!(rx.recv().unwrap().unwrap(), reference);
         b.shutdown();
     }
 
@@ -269,13 +281,13 @@ mod tests {
             .map(|qv| {
                 let b = Arc::clone(&b);
                 std::thread::spawn(move || {
-                    b.submit(Direction::RecToIm, 5, qv).unwrap().recv().unwrap()
+                    b.submit(Direction::RecToIm, 5, qv).unwrap().recv().unwrap().unwrap()
                 })
             })
             .collect();
         for (h, qv) in handles.into_iter().zip(&queries) {
             let got = h.join().unwrap();
-            let want = render_hits(&e.search_one(Direction::RecToIm, qv, 5));
+            let want = render_hits(&e.search_one(Direction::RecToIm, qv, 5).unwrap());
             assert_eq!(got, want);
         }
         b.shutdown();
@@ -291,14 +303,15 @@ mod tests {
                 let b = Arc::clone(&b);
                 std::thread::spawn(move || {
                     let rx = b.submit(Direction::ImToRec, k, vec![0.5, 0.5, 0.0, 0.0]).unwrap();
-                    (k, rx.recv().unwrap())
+                    (k, rx.recv().unwrap().unwrap())
                 })
             })
             .collect();
         for h in handles {
             let (k, body) = h.join().unwrap();
-            let want =
-                render_hits(&e.search_one(Direction::ImToRec, &[0.5, 0.5, 0.0, 0.0], k));
+            let want = render_hits(
+                &e.search_one(Direction::ImToRec, &[0.5, 0.5, 0.0, 0.0], k).unwrap(),
+            );
             assert_eq!(body, want, "k={k}");
         }
         b.shutdown();

@@ -9,7 +9,9 @@
 //! * `CMR_SERVE_SHARDS` — gallery shard count for the scatter-gather tier,
 //! * `CMR_SERVE_DEADLINE_US` — per-shard scatter-gather deadline in µs,
 //! * `CMR_SERVE_RETRIES` — bounded retry budget per shard per query,
-//! * `CMR_SERVE_HEDGE_US` — straggler hedge delay in µs (0 disables).
+//! * `CMR_SERVE_HEDGE_US` — straggler hedge delay in µs (0 disables),
+//! * `CMR_IVF_NPROBE` — cells probed per query when serving an IVF index
+//!   (the recall/latency dial for indexes booted from `CMRIVF1` files).
 //!
 //! Everything else (timeouts, cache geometry, worker count) is plain struct
 //! state with defaults tuned for the integration tests; bins override the
@@ -29,6 +31,8 @@ pub const DEFAULT_DEADLINE_US: u64 = 250_000;
 pub const DEFAULT_RETRIES: u32 = 2;
 /// Hedge delay when `CMR_SERVE_HEDGE_US` is unset/invalid (0 = no hedging).
 pub const DEFAULT_HEDGE_US: u64 = 0;
+/// IVF probe width when `CMR_IVF_NPROBE` is unset/invalid.
+pub const DEFAULT_IVF_NPROBE: usize = 8;
 
 /// Tunables for [`Server`](crate::Server), the admission queue and the
 /// result cache.
@@ -64,6 +68,10 @@ pub struct ServeConfig {
     /// How long to wait on a shard's first attempt before hedging a second
     /// concurrent request at it; `Duration::ZERO` disables hedging.
     pub hedge_after: Duration,
+    /// Cells probed per query when a direction is served by an IVF index
+    /// ([`Backend::Ivf`](crate::Backend::Ivf)); ignored by exact backends.
+    /// More probes buy recall with latency — `bench_ann` archives the curve.
+    pub ivf_nprobe: usize,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +89,7 @@ impl Default for ServeConfig {
             deadline: Duration::from_micros(DEFAULT_DEADLINE_US),
             retries: DEFAULT_RETRIES,
             hedge_after: Duration::from_micros(DEFAULT_HEDGE_US),
+            ivf_nprobe: DEFAULT_IVF_NPROBE,
         }
     }
 }
@@ -124,12 +133,20 @@ impl ServeConfig {
         if let Some(us) = lookup("CMR_SERVE_HEDGE_US").and_then(|v| v.trim().parse::<u64>().ok()) {
             cfg.hedge_after = Duration::from_micros(us);
         }
+        if let Some(nprobe) =
+            lookup("CMR_IVF_NPROBE").and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            if nprobe >= 1 {
+                cfg.ivf_nprobe = nprobe;
+            }
+        }
         cfg
     }
 
     /// [`from_lookup`](Self::from_lookup) against the process environment:
     /// reads `CMR_SERVE_BATCH`, `CMR_SERVE_WAIT_US`, `CMR_SERVE_SHARDS`,
-    /// `CMR_SERVE_DEADLINE_US`, `CMR_SERVE_RETRIES` and `CMR_SERVE_HEDGE_US`.
+    /// `CMR_SERVE_DEADLINE_US`, `CMR_SERVE_RETRIES`, `CMR_SERVE_HEDGE_US`
+    /// and `CMR_IVF_NPROBE`.
     pub fn from_env() -> Self {
         Self::from_lookup(|name| std::env::var(name).ok())
     }
@@ -155,6 +172,7 @@ mod tests {
             "CMR_SERVE_DEADLINE_US" => Some("90000".into()),
             "CMR_SERVE_RETRIES" => Some("5".into()),
             "CMR_SERVE_HEDGE_US" => Some("20000".into()),
+            "CMR_IVF_NPROBE" => Some("24".into()),
             _ => None,
         });
         assert_eq!(cfg.max_batch, 32);
@@ -163,6 +181,7 @@ mod tests {
         assert_eq!(cfg.deadline, Duration::from_micros(90_000));
         assert_eq!(cfg.retries, 5);
         assert_eq!(cfg.hedge_after, Duration::from_micros(20_000));
+        assert_eq!(cfg.ivf_nprobe, 24);
     }
 
     #[test]
@@ -174,6 +193,7 @@ mod tests {
             "CMR_SERVE_DEADLINE_US" => Some("0".into()),
             "CMR_SERVE_RETRIES" => Some("many".into()),
             "CMR_SERVE_HEDGE_US" => Some("-3".into()),
+            "CMR_IVF_NPROBE" => Some("0".into()),
             _ => None,
         });
         assert_eq!(cfg.max_batch, DEFAULT_MAX_BATCH);
@@ -182,6 +202,7 @@ mod tests {
         assert_eq!(cfg.deadline, Duration::from_micros(DEFAULT_DEADLINE_US));
         assert_eq!(cfg.retries, DEFAULT_RETRIES);
         assert_eq!(cfg.hedge_after, Duration::from_micros(DEFAULT_HEDGE_US));
+        assert_eq!(cfg.ivf_nprobe, DEFAULT_IVF_NPROBE, "zero probes can answer nothing");
         // A zero wait is a legal setting: dispatch immediately.
         let eager = ServeConfig::from_lookup(|name| {
             (name == "CMR_SERVE_WAIT_US").then(|| "0".to_string())

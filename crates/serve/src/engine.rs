@@ -23,7 +23,7 @@
 
 use crate::error::ServeError;
 use cmr_retrieval::knn::Hit;
-use cmr_retrieval::{top_k_of, Embeddings, IvfIndex};
+use cmr_retrieval::{top_k_of, Embeddings, IvfIndex, SearchError};
 use std::fmt::Write as _;
 
 /// A retrieval direction, naming which gallery the query ranks against.
@@ -98,13 +98,26 @@ impl Backend {
     }
 
     /// Ranks every query in the batch, returning per-query hit lists.
-    fn search_batch(&self, queries: &Embeddings, k: usize) -> Vec<Vec<Hit>> {
+    ///
+    /// # Errors
+    /// [`SearchError`] for a zero `k`, a configured-zero `nprobe`, or a
+    /// query dimension the backend does not serve.
+    fn search_batch(&self, queries: &Embeddings, k: usize) -> Result<Vec<Vec<Hit>>, SearchError> {
         match self {
             Backend::Exact(gallery) => {
+                if k == 0 {
+                    return Err(SearchError::ZeroK);
+                }
+                if queries.dim != gallery.dim {
+                    return Err(SearchError::DimMismatch {
+                        expected: gallery.dim,
+                        got: queries.dim,
+                    });
+                }
                 let b = queries.len();
                 let n = gallery.len();
                 if b == 0 {
-                    return Vec::new();
+                    return Ok(Vec::new());
                 }
                 let mut sims = vec![0.0f32; b * n];
                 cmr_tensor::matmul::matmul_transb_into(
@@ -113,12 +126,10 @@ impl Backend {
                     gallery.dim,
                     &mut sims,
                 );
-                (0..b)
-                    .map(|q| {
-                        let row = &sims[q * n..(q + 1) * n];
-                        top_k_of(row.iter().enumerate().map(|(i, &s)| (i, s)), k)
-                    })
-                    .collect()
+                Ok(sims
+                    .chunks_exact(n)
+                    .map(|row| top_k_of(row.iter().enumerate().map(|(i, &s)| (i, s)), k))
+                    .collect())
             }
             Backend::Ivf { index, nprobe } => index.search_batch(queries, k, *nprobe),
         }
@@ -136,9 +147,17 @@ impl Engine {
     ///
     /// # Errors
     /// [`ServeError::BadRequest`] when the two backends disagree on
-    /// dimensionality or either gallery is empty (an engine that can never
-    /// answer is a deployment mistake worth failing loudly at startup).
+    /// dimensionality, either gallery is empty, or an IVF backend is
+    /// configured with `nprobe == 0` (an engine that can never answer is a
+    /// deployment mistake worth failing loudly at startup).
     pub fn new(im2rec: Backend, rec2im: Backend) -> Result<Self, ServeError> {
+        for backend in [&im2rec, &rec2im] {
+            if let Backend::Ivf { nprobe: 0, .. } = backend {
+                return Err(ServeError::BadRequest(
+                    "ivf backend configured with nprobe = 0".into(),
+                ));
+            }
+        }
         if im2rec.dim() != rec2im.dim() {
             return Err(ServeError::BadRequest(format!(
                 "backend dimension mismatch: im2rec {} vs rec2im {}",
@@ -176,24 +195,39 @@ impl Engine {
 
     /// Ranks a micro-batch of same-direction queries.
     ///
-    /// # Panics
-    /// Panics if `k == 0` or `queries.dim` differs from the engine's
-    /// dimension — the server validates both at admission.
-    // cmr-lint: allow(panic-path) documented precondition; the HTTP layer rejects bad k/dim with 400 before any query reaches the engine
-    pub fn search_batch(&self, direction: Direction, queries: &Embeddings, k: usize) -> Vec<Vec<Hit>> {
-        assert!(k >= 1, "Engine::search_batch: k must be positive");
-        assert_eq!(queries.dim, self.dim(), "Engine::search_batch: dimension mismatch");
+    /// # Errors
+    /// [`SearchError`] for a zero `k` or a query dimension mismatch — the
+    /// HTTP layer maps these to 400, and [`SearchError::EmptyIndex`] (an
+    /// index loaded from disk with no rows) to 503. Until PR 10 these were
+    /// panics behind an admission-time assert; now that indexes arrive from
+    /// `CMRIVF1` files the engine itself must stay panic-free.
+    pub fn search_batch(
+        &self,
+        direction: Direction,
+        queries: &Embeddings,
+        k: usize,
+    ) -> Result<Vec<Vec<Hit>>, SearchError> {
         self.backend(direction).search_batch(queries, k)
     }
 
     /// The single-query reference path: exactly [`search_batch`]
     /// (Self::search_batch) with a batch of one.
     ///
-    /// # Panics
-    /// Same preconditions as [`search_batch`](Self::search_batch).
-    pub fn search_one(&self, direction: Direction, query: &[f32], k: usize) -> Vec<Hit> {
+    /// # Errors
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_one(
+        &self,
+        direction: Direction,
+        query: &[f32],
+        k: usize,
+    ) -> Result<Vec<Hit>, SearchError> {
+        // A wrong-length slice must be a typed error, not the ragged-data
+        // panic inside `Embeddings::new`.
+        if query.len() != self.dim() {
+            return Err(SearchError::DimMismatch { expected: self.dim(), got: query.len() });
+        }
         let queries = Embeddings::new(self.dim(), query.to_vec());
-        self.search_batch(direction, &queries, k).pop().unwrap_or_default()
+        Ok(self.search_batch(direction, &queries, k)?.pop().unwrap_or_default())
     }
 }
 
@@ -233,9 +267,9 @@ mod tests {
             Engine::exact(random_embeddings(60, 8, 1), random_embeddings(40, 8, 2)).unwrap();
         let queries = random_embeddings(7, 8, 3);
         for &dir in &[Direction::ImToRec, Direction::RecToIm] {
-            let batched = engine.search_batch(dir, &queries, 5);
+            let batched = engine.search_batch(dir, &queries, 5).unwrap();
             for q in 0..queries.len() {
-                let single = engine.search_one(dir, queries.vector(q), 5);
+                let single = engine.search_one(dir, queries.vector(q), 5).unwrap();
                 assert_eq!(batched[q], single, "{dir:?} query {q}");
             }
         }
@@ -248,9 +282,9 @@ mod tests {
         let recipes = Embeddings::new(2, vec![1.0, 0.0]);
         let images = Embeddings::new(2, vec![0.0, 1.0]);
         let engine = Engine::new(Backend::Exact(recipes), Backend::Exact(images)).unwrap();
-        let hit = engine.search_one(Direction::ImToRec, &[1.0, 0.0], 1);
+        let hit = engine.search_one(Direction::ImToRec, &[1.0, 0.0], 1).unwrap();
         assert_eq!(hit[0].similarity, 1.0);
-        let miss = engine.search_one(Direction::RecToIm, &[1.0, 0.0], 1);
+        let miss = engine.search_one(Direction::RecToIm, &[1.0, 0.0], 1).unwrap();
         assert_eq!(miss[0].similarity, 0.0);
     }
 
@@ -267,8 +301,8 @@ mod tests {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
         let reference = IvfIndex::build(g.clone(), 4, 4, &mut rng);
         for qi in [0usize, 17, 63] {
-            let got = engine.search_one(Direction::ImToRec, g.vector(qi), 5);
-            let want = reference.search(g.vector(qi), 5, 2);
+            let got = engine.search_one(Direction::ImToRec, g.vector(qi), 5).unwrap();
+            let want = reference.search(g.vector(qi), 5, 2).unwrap();
             assert_eq!(got, want, "query {qi}");
         }
     }
@@ -281,6 +315,28 @@ mod tests {
             Embeddings::with_capacity(8, 0)
         )
         .is_err());
+    }
+
+    #[test]
+    fn constructor_rejects_zero_nprobe_ivf_backend() {
+        let g = random_embeddings(40, 8, 9);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(10);
+        let index = IvfIndex::build(g.clone(), 4, 3, &mut rng);
+        assert!(Engine::new(Backend::Ivf { index, nprobe: 0 }, Backend::Exact(g)).is_err());
+    }
+
+    #[test]
+    fn search_rejects_bad_requests_with_typed_errors() {
+        let engine =
+            Engine::exact(random_embeddings(10, 8, 11), random_embeddings(10, 8, 12)).unwrap();
+        assert_eq!(
+            engine.search_one(Direction::ImToRec, &[0.0; 8], 0),
+            Err(SearchError::ZeroK)
+        );
+        assert_eq!(
+            engine.search_one(Direction::ImToRec, &[0.0; 4], 1),
+            Err(SearchError::DimMismatch { expected: 8, got: 4 })
+        );
     }
 
     #[test]

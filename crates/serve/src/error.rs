@@ -90,6 +90,19 @@ impl From<io::Error> for ServeError {
     }
 }
 
+/// Search-layer errors surface with their natural HTTP semantics: a zero
+/// `k`/`nprobe` or a wrong-dimension query is the client's fault (400),
+/// while an empty index — possible when an engine boots from a `CMRIVF1`
+/// file — means this process cannot answer anything right now (503).
+impl From<cmr_retrieval::SearchError> for ServeError {
+    fn from(e: cmr_retrieval::SearchError) -> Self {
+        match e {
+            cmr_retrieval::SearchError::EmptyIndex => ServeError::Unavailable(e.to_string()),
+            _ => ServeError::BadRequest(e.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +125,22 @@ mod tests {
         // The two 503s are intentionally the same wire status (both mean
         // "try again later"); every other variant keeps a distinct code.
         assert_eq!(statuses, [400, 404, 405, 408, 413, 431, 503, 503]);
+    }
+
+    #[test]
+    fn search_errors_map_to_client_fault_or_unavailable() {
+        use cmr_retrieval::SearchError;
+        for e in [
+            SearchError::ZeroK,
+            SearchError::ZeroProbe,
+            SearchError::DimMismatch { expected: 8, got: 4 },
+        ] {
+            assert_eq!(ServeError::from(e).status(), Some((400, "Bad Request")));
+        }
+        assert_eq!(
+            ServeError::from(SearchError::EmptyIndex).status(),
+            Some((503, "Service Unavailable"))
+        );
     }
 
     #[test]

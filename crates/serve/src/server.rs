@@ -151,6 +151,12 @@ impl Server {
         self.ctx.cache.stats()
     }
 
+    /// Entries currently resident in the result cache (diagnostics; the
+    /// -0.0 canonicalization regression test counts them).
+    pub fn cache_len(&self) -> usize {
+        self.ctx.cache.len()
+    }
+
     /// Graceful shutdown: stop accepting, finish in-flight requests, drain
     /// the admission queue. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
@@ -313,20 +319,33 @@ fn search(req: &Request, ctx: &Ctx, direction: Direction) -> Result<Reply, Serve
             req.body.len()
         )));
     }
+    // Canonicalise -0.0 to +0.0 while parsing: the two compare equal and
+    // rank identically, but their bit patterns differ, so keying the cache
+    // on raw body bytes would store duplicate entries for what is the same
+    // query. Canonical floats feed both the key and the engine, keeping
+    // response bytes identical across the two spellings too.
     let query: Vec<f32> = req
         .body
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .map(|x| if x == 0.0 { 0.0f32 } else { x })
         .collect();
     if query.iter().any(|x| !x.is_finite()) {
         return Err(ServeError::BadRequest("query contains non-finite values".into()));
     }
 
-    // Cache key: direction tag, k, then the raw query bytes.
-    let mut key = Vec::with_capacity(1 + 8 + req.body.len());
+    // Canonical wire form of the query, reused for the cache key and the
+    // sharded fan-out so every layer below sees one spelling of zero.
+    let mut canon_body = Vec::with_capacity(req.body.len());
+    for x in &query {
+        canon_body.extend_from_slice(&x.to_le_bytes());
+    }
+
+    // Cache key: direction tag, k, then the canonicalised query bytes.
+    let mut key = Vec::with_capacity(1 + 8 + canon_body.len());
     key.push(direction.tag());
     key.extend_from_slice(&(k as u64).to_le_bytes());
-    key.extend_from_slice(&req.body);
+    key.extend_from_slice(&canon_body);
     if let Some(body) = ctx.cache.get(&key) {
         if cmr_obs::enabled() {
             cmr_obs::counter_add("serve.cache.hits", 1);
@@ -342,12 +361,14 @@ fn search(req: &Request, ctx: &Ctx, direction: Direction) -> Result<Reply, Serve
             let rx = batcher.submit(direction, k, query)?;
             // A dropped sender means the drain finished without this job,
             // which submit()'s shutdown check rules out — map it defensively.
-            let body = rx.recv().map_err(|_| ServeError::ShuttingDown)?;
+            // An inner Err is the engine's typed refusal (e.g. EmptyIndex on
+            // an index booted from disk): map to its status, cache nothing.
+            let body = rx.recv().map_err(|_| ServeError::ShuttingDown)??;
             ctx.cache.insert(&key, body.clone());
             Ok(Reply::ok("application/json", body))
         }
         Dispatch::Sharded { router } => {
-            let routed = router.search(direction, k, &req.body)?;
+            let routed = router.search(direction, k, &canon_body)?;
             let body = routed.render();
             // A degraded body must never be cached: the missing shards'
             // hits would keep haunting responses after the fleet recovers.

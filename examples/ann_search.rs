@@ -40,7 +40,7 @@ fn main() {
         let t0 = Instant::now();
         let mut agree = 0;
         for (q, &exact_hit) in exact.iter().enumerate() {
-            let hit = index.search(queries.vector(q), 1, nprobe)[0].index;
+            let hit = index.search(queries.vector(q), 1, nprobe).expect("valid request")[0].index;
             agree += usize::from(hit == exact_hit);
         }
         let t = t0.elapsed();

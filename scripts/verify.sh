@@ -13,7 +13,9 @@
 # (results/OBS_train.json,
 # results/OBS_retrieval.json), the serving artifacts
 # (results/BENCH_serve.json, results/OBS_serve.json) and the chaos
-# artifacts (results/BENCH_chaos.json, results/OBS_chaos.json).
+# artifacts (results/BENCH_chaos.json, results/OBS_chaos.json) and the ANN
+# artifacts (results/BENCH_ann.json archived at 1M, plus the
+# results/ann_gate/ smoke sweep).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -160,6 +162,10 @@ gate "observability: artifact schema" check_obs_schema
 # results/OBS_serve.json).
 check_serve() {
     rm -f results/serve.addr
+    # Build before backgrounding: `cargo run -p cmr-bench` resolves
+    # features per-package, so the first run after a workspace-wide build
+    # can recompile the bin — that must not eat the addr-wait budget.
+    cargo build --release -q -p cmr-bench --bin serve --bin loadgen --bin bench_serve
     cargo run --release -q -p cmr-bench --bin serve -- \
         --addr 127.0.0.1:0 --addr-file results/serve.addr \
         --gallery 500 --dim 32 --duration-s 20 &
@@ -216,6 +222,77 @@ check_serve_schema() {
     fi
 }
 gate "serving: benchmark artifact schema" check_serve_schema
+
+# ANN gate: build + save a quantized index at the 100k scale, prove that a
+# single flipped byte makes the load fail with a typed error (never a
+# panic, never a silently-wrong index), then smoke the recall/latency
+# benchmark and hold its operating point to the recall@10 floor. The
+# smoke sweep lands in results/ann_gate/ (results/BENCH_ann.json keeps
+# the archived 1M curve; regenerate it with a plain `bench_ann` run).
+check_ann() {
+    local index=results/ann_gate/ann_index.ivf
+    mkdir -p results/ann_gate
+    rm -f "$index"
+    cargo run --release -q -p cmr-bench --bin bench_ann -- \
+        --rows 100000 --dim 32 --queries 300 --nlist 256 --m 16 --ks 256 \
+        --probes 1,4,16 --out results/ann_gate --index-out "$index"
+    if [[ ! -s "$index" ]]; then
+        echo "ann: bench_ann did not write $index"
+        return 1
+    fi
+    # Flip one payload byte mid-file; the streamed CRC check must refuse it.
+    cp "$index" "$index.corrupt"
+    local size off
+    size=$(wc -c < "$index.corrupt")
+    off=$((size / 2))
+    printf '\xff' | dd of="$index.corrupt" bs=1 seek="$off" count=1 conv=notrunc status=none
+    if ! cargo run --release -q -p cmr-bench --bin bench_ann -- \
+        --expect-corrupt "$index.corrupt"; then
+        echo "ann: corrupt index was not rejected with a typed error"
+        rm -f "$index.corrupt"
+        return 1
+    fi
+    rm -f "$index.corrupt"
+}
+gate "ann: quantized index + corrupt-load + recall benchmark" check_ann
+
+check_ann_schema() {
+    local key
+    if [[ ! -f results/ann_gate/BENCH_ann.json ]]; then
+        echo "ann schema: missing artifact results/ann_gate/BENCH_ann.json"
+        return 1
+    fi
+    if ! grep -q '"schema_version": 1' results/ann_gate/BENCH_ann.json; then
+        echo "ann schema: wrong or missing schema_version in results/ann_gate/BENCH_ann.json"
+        return 1
+    fi
+    for key in '"bytes_flat_residuals"' '"bytes_quantized"' '"compression_x"' \
+               '"curves"' '"flat"' '"pq"' '"nprobe"' '"recall_at_1"' \
+               '"recall_at_10"' '"p50_s"' '"p99_s"' '"operating_point"'; do
+        if ! grep -q "$key" results/ann_gate/BENCH_ann.json; then
+            echo "ann schema: $key missing from results/ann_gate/BENCH_ann.json"
+            return 1
+        fi
+    done
+    # The archived operating point must clear the recall@10 floor, and the
+    # quantized index must actually compress (>= 4x vs flat f32 residuals).
+    awk '
+        /"operating_point"/ { op = 1 }
+        op && /"recall_at_10"/ {
+            r = $2 + 0
+            if (r < 0.95) { printf "ann schema: operating-point recall@10 %.4f below the 0.95 floor\n", r; exit 1 }
+            exit 0
+        }
+    ' results/ann_gate/BENCH_ann.json || return 1
+    awk '
+        /"compression_x"/ {
+            c = $2 + 0
+            if (c < 4.0) { printf "ann schema: compression %.2fx below the 4x floor\n", c; exit 1 }
+            exit 0
+        }
+    ' results/ann_gate/BENCH_ann.json || return 1
+}
+gate "ann: benchmark artifact schema + recall floor" check_ann_schema
 
 # Chaos gate: boot the sharded fleet behind seeded fault proxies and drive
 # real-socket clients through every fault mix (healthy / delay / flaky /
@@ -279,5 +356,11 @@ chaos_avail=$(grep '"availability"' results/BENCH_chaos.json | sed 's/.*: *//; s
 chaos_degraded=$(grep '"degraded"' results/BENCH_chaos.json | sed 's/.*: *//; s/,.*//' | awk '{s+=$1} END {print s}')
 chaos_failed=$(grep '"failed"' results/BENCH_chaos.json | sed 's/.*: *//; s/,.*//' | awk '{s+=$1} END {print s}')
 echo "chaos: min availability ${chaos_avail} across mixes, ${chaos_degraded} degraded / ${chaos_failed} failed (results/BENCH_chaos.json)"
+
+# One-line ANN snapshot from the freshly written benchmark artifact.
+ann_recall=$(awk '/"operating_point"/ { op = 1 } op && /"recall_at_10"/ { print $2 + 0; exit }' results/ann_gate/BENCH_ann.json)
+ann_nprobe=$(awk '/"operating_point"/ { op = 1 } op && /"nprobe"/ { print $2 + 0; exit }' results/ann_gate/BENCH_ann.json)
+ann_comp=$(grep -m1 '"compression_x"' results/ann_gate/BENCH_ann.json | sed 's/.*: *//; s/,.*//')
+echo "ann: recall@10 ${ann_recall} at nprobe ${ann_nprobe}, quantized ${ann_comp}x smaller (results/ann_gate/BENCH_ann.json)"
 
 echo "verify: all gates green"

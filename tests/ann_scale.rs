@@ -1,0 +1,107 @@
+//! The 100k-row ANN scale gate.
+//!
+//! Everything below runs at a scale where the O(n·nlist·dim) stages must
+//! go through the blocked sampled-k-means path to stay affordable, and
+//! where `search_checked`'s exhaustive oracle is still cheap enough to
+//! score every query. Three contracts:
+//!
+//! * **recall agreement** — IVF top-1 agrees with the exhaustive oracle on
+//!   at least 95% of queries at a moderate probe width (the
+//!   `retrieval.ivf.agree_top1` / `retrieval.ivf.checked` counters);
+//! * **persistent bit-identity** — a quantized index saved as `CMRIVF1`
+//!   and streamed back answers every probe bit-identically to the
+//!   in-memory index it was saved from;
+//! * **typed errors at scale** — the loaded index keeps the
+//!   [`SearchError`] contract rather than panicking.
+//!
+//! The obs registry is process-global; this binary keeps all telemetry use
+//! inside one test.
+
+use cmr_retrieval::{IvfIndex, SearchError};
+use cmr_retrieval::{load_index, save_index, Embeddings};
+use rand::{Rng, SeedableRng};
+
+const ROWS: usize = 100_000;
+const DIM: usize = 16;
+const CLUSTERS: usize = 10_000;
+const NLIST: usize = 128;
+const NPROBE: usize = 8;
+const QUERIES: usize = 60;
+
+/// Micro-clustered gallery (~10 rows per centre), the same neighbourhood
+/// structure `bench_ann` measures against.
+fn gallery(seed: u64) -> Embeddings {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..CLUSTERS)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let mut e = Embeddings::with_capacity(DIM, ROWS);
+    let mut row = vec![0.0f32; DIM];
+    for i in 0..ROWS {
+        for (r, &x) in row.iter_mut().zip(&centers[i % CLUSTERS]) {
+            *r = x + rng.gen_range(-0.35f32..0.35);
+        }
+        e.push(&row);
+    }
+    e.l2_normalized()
+}
+
+#[test]
+fn hundred_k_rows_agree_with_the_oracle_and_survive_the_disk() {
+    let g = gallery(4242);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+    let index = IvfIndex::build_with_sample(g.clone(), NLIST, 3, 20_000, &mut rng);
+    assert_eq!(index.len(), ROWS);
+
+    // Queries: perturbed gallery rows, stride-sampled across the gallery.
+    let mut qrng = rand::rngs::SmallRng::seed_from_u64(78);
+    let mut queries = Embeddings::with_capacity(DIM, QUERIES);
+    let mut row = vec![0.0f32; DIM];
+    for i in 0..QUERIES {
+        let src = i * (ROWS / QUERIES);
+        for (r, &x) in row.iter_mut().zip(g.vector(src)) {
+            *r = x + qrng.gen_range(-0.05f32..0.05);
+        }
+        queries.push(&row);
+    }
+    let queries = queries.l2_normalized();
+
+    // Recall-agreement gate: search_checked cross-checks each query
+    // against the exhaustive top-1 and counts agreements.
+    cmr_obs::reset();
+    cmr_obs::set_enabled(true);
+    for qi in 0..QUERIES {
+        index.search_checked(queries.vector(qi), 10, NPROBE).expect("valid request");
+    }
+    let snap = cmr_obs::snapshot("retrieval.ivf.");
+    cmr_obs::set_enabled(false);
+    let checked = snap.counter("retrieval.ivf.checked").expect("checked counter");
+    let agree = snap.counter("retrieval.ivf.agree_top1").expect("agreement counter");
+    assert_eq!(checked, QUERIES as u64, "every query must be cross-checked");
+    let rate = agree as f64 / checked as f64;
+    assert!(rate >= 0.95, "IVF/exact top-1 agreement {rate:.3} below the 0.95 gate");
+
+    // Quantize, persist, stream back: the loaded index must answer every
+    // probe bit-identically to the in-memory one.
+    let (pq, _) = index.quantize_residuals(8, 256, 3, 20_000, &mut rng).expect("quantize");
+    assert!(pq.storage_bytes() * 4 <= ROWS * DIM * 4, "quantization must compress >= 4x");
+    let path = std::env::temp_dir().join(format!("cmr_ann_scale_{}.ivf", std::process::id()));
+    save_index(&pq, &path).expect("save index");
+    let loaded = load_index(&path).expect("load index");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(loaded.len(), ROWS);
+    assert!(loaded.is_quantized());
+    for qi in 0..QUERIES {
+        let a = pq.search(queries.vector(qi), 10, NPROBE).expect("in-memory search");
+        let b = loaded.search(queries.vector(qi), 10, NPROBE).expect("loaded search");
+        assert_eq!(a, b, "query {qi}: loaded index diverged from the in-memory index");
+    }
+
+    // The disk round trip keeps typed request errors, not panics.
+    assert_eq!(loaded.search(queries.vector(0), 0, NPROBE), Err(SearchError::ZeroK));
+    assert_eq!(loaded.search(queries.vector(0), 10, 0), Err(SearchError::ZeroProbe));
+    assert_eq!(
+        loaded.search(&[0.0; DIM + 1], 10, NPROBE),
+        Err(SearchError::DimMismatch { expected: DIM, got: DIM + 1 })
+    );
+}

@@ -164,10 +164,10 @@ fn ivf_search_batch_equals_per_query_search() {
         let index = IvfIndex::build(gallery, nlist, 4, &mut rng);
         let queries = random_embeddings(batch, dim, seed + 1000);
         for k in [1, 3, 10] {
-            let batched = index.search_batch(&queries, k, nprobe);
+            let batched = index.search_batch(&queries, k, nprobe).unwrap();
             assert_eq!(batched.len(), batch);
             for (qi, hits) in batched.iter().enumerate() {
-                let single = index.search(queries.vector(qi), k, nprobe);
+                let single = index.search(queries.vector(qi), k, nprobe).unwrap();
                 assert_eq!(hits.len(), single.len(), "n={n} k={k} query {qi}");
                 for (b, s) in hits.iter().zip(&single) {
                     assert_eq!(b.index, s.index, "n={n} k={k} query {qi}");
@@ -223,9 +223,9 @@ proptest! {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         let index = IvfIndex::build(gallery, nlist, 3, &mut rng);
         let queries = random_embeddings(batch, dim, seed.wrapping_add(7000));
-        let batched = index.search_batch(&queries, 5, nprobe);
+        let batched = index.search_batch(&queries, 5, nprobe).unwrap();
         for (qi, hits) in batched.iter().enumerate() {
-            prop_assert_eq!(hits, &index.search(queries.vector(qi), 5, nprobe));
+            prop_assert_eq!(hits, &index.search(queries.vector(qi), 5, nprobe).unwrap());
         }
     }
 }

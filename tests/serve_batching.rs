@@ -79,6 +79,37 @@ fn paired_engines(seed: u64) -> (Engine, Engine) {
     )
 }
 
+/// `-0.0` and `+0.0` spell the same query: they compare equal and rank
+/// identically, so the server canonicalises the sign away while parsing.
+/// Both spellings must produce byte-identical bodies and share ONE cache
+/// entry — before PR 10 the cache keyed on raw body bytes and stored both.
+#[test]
+fn negative_zero_queries_share_one_cache_entry_with_identical_bodies() {
+    let _guard = registry_lock();
+    cmr_obs::reset();
+
+    let (serving, _) = paired_engines(31);
+    let cfg = ServeConfig { cache_capacity: 64, ..ServeConfig::default() };
+    let mut server = Server::start(serving, cfg, "127.0.0.1:0").expect("start server");
+    let mut client = TestClient::connect(&server.local_addr().to_string());
+
+    let mut plus = vec![0.25f32; DIM];
+    plus[0] = 0.0;
+    let mut minus = plus.clone();
+    minus[0] = -0.0;
+    // The two spellings really differ on the wire.
+    assert_ne!(0.0f32.to_le_bytes(), (-0.0f32).to_le_bytes());
+
+    let a = client.search(Direction::ImToRec, 5, &plus);
+    let b = client.search(Direction::ImToRec, 5, &minus);
+    assert_eq!(a.status, 200);
+    assert_eq!(b.status, 200);
+    assert_eq!(a.body, b.body, "zero-sign spelling leaked into the response");
+    assert_eq!(server.cache_len(), 1, "both spellings must share one cache entry");
+    assert_eq!(server.cache_stats(), (1, 1), "second spelling must hit the cache");
+    server.shutdown();
+}
+
 #[test]
 fn concurrent_clients_get_reference_identical_responses_and_batches_coalesce() {
     let _guard = registry_lock();
@@ -123,7 +154,7 @@ fn concurrent_clients_get_reference_identical_responses_and_batches_coalesce() {
     let mut total = 0usize;
     for handle in handles {
         for (direction, k, q, body) in handle.join().expect("client thread") {
-            let want = render_hits(&reference.search_one(direction, &q, k));
+            let want = render_hits(&reference.search_one(direction, &q, k).unwrap());
             assert_eq!(
                 String::from_utf8(body).expect("utf8 body"),
                 want,
@@ -209,7 +240,7 @@ fn sharded_scatter_gather_is_byte_identical_to_the_single_engine_path() {
             .collect();
         for handle in handles {
             for (direction, k, q, body) in handle.join().expect("client thread") {
-                let want = render_hits(&reference.search_one(direction, &q, k));
+                let want = render_hits(&reference.search_one(direction, &q, k).unwrap());
                 assert_eq!(
                     String::from_utf8(body).expect("utf8 body"),
                     want,
@@ -235,7 +266,7 @@ fn repeated_queries_are_served_from_the_cache_without_recompute() {
 
     let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
     let q = query(DIM, &mut rng);
-    let want = render_hits(&reference.search_one(Direction::ImToRec, &q, 10));
+    let want = render_hits(&reference.search_one(Direction::ImToRec, &q, 10).unwrap());
 
     let mut client = TestClient::connect(&addr);
     const REPEATS: usize = 6;
@@ -248,7 +279,7 @@ fn repeated_queries_are_served_from_the_cache_without_recompute() {
     let other = client.search(Direction::ImToRec, 3, &q);
     assert_eq!(
         String::from_utf8(other.body).expect("utf8"),
-        render_hits(&reference.search_one(Direction::ImToRec, &q, 3))
+        render_hits(&reference.search_one(Direction::ImToRec, &q, 3).unwrap())
     );
 
     let (hits, misses) = server.cache_stats();
@@ -297,7 +328,7 @@ fn healthz_and_keep_alive_work_across_many_requests() {
         assert_eq!(resp.status, 200);
         assert_eq!(
             String::from_utf8(resp.body).expect("utf8"),
-            render_hits(&reference.search_one(Direction::RecToIm, &q, 4))
+            render_hits(&reference.search_one(Direction::RecToIm, &q, 4).unwrap())
         );
     }
     server.shutdown();

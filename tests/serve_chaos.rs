@@ -187,7 +187,7 @@ fn killed_shard_yields_degraded_coverage_and_correct_merged_hits() {
         // The surviving shards' merge is still the exact top-k over their
         // slice of the gallery: a strict prefix of the reference hits with
         // the dead shard's rows filtered out.
-        let full = render_hits(&rig_.reference.search_one(Direction::ImToRec, &q, 90));
+        let full = render_hits(&rig_.reference.search_one(Direction::ImToRec, &q, 90).unwrap());
         let hits_part = body.split(",\"degraded\"").next().expect("split");
         let mut survivors = full
             .trim_start_matches("{\"hits\":[")
@@ -245,7 +245,7 @@ fn breakers_open_under_faults_and_recover_via_half_open_probes() {
         let resp = client.search(Direction::ImToRec, 4, &q);
         let (degraded, body) = classify(&resp);
         if !degraded {
-            let want = render_hits(&rig_.reference.search_one(Direction::ImToRec, &q, 4));
+            let want = render_hits(&rig_.reference.search_one(Direction::ImToRec, &q, 4).unwrap());
             assert_eq!(body, want, "recovered response must match single-engine bytes");
             recovered = true;
             break;
@@ -285,7 +285,7 @@ fn flaky_resets_and_truncations_never_surface_to_clients() {
         let (degraded, body) = classify(&resp);
         if !degraded {
             full_coverage += 1;
-            let want = render_hits(&rig_.reference.search_one(direction, &q, 6));
+            let want = render_hits(&rig_.reference.search_one(direction, &q, 6).unwrap());
             assert_eq!(body, want, "request {i}: full-coverage bytes must match reference");
         }
     }

@@ -71,7 +71,7 @@ fn assert_serves_correctly(addr: &str, reference: &Engine) {
     assert_eq!(resp.status, 200);
     assert_eq!(
         String::from_utf8(resp.body).expect("utf8"),
-        render_hits(&reference.search_one(Direction::ImToRec, &q, 5))
+        render_hits(&reference.search_one(Direction::ImToRec, &q, 5).unwrap())
     );
 }
 
@@ -349,7 +349,7 @@ fn graceful_shutdown_drains_in_flight_requests_without_loss() {
         assert_eq!(resp.status, 200, "admitted request dropped during shutdown");
         assert_eq!(
             String::from_utf8(resp.body).expect("utf8"),
-            render_hits(&reference.search_one(Direction::RecToIm, &q, 4)),
+            render_hits(&reference.search_one(Direction::RecToIm, &q, 4).unwrap()),
             "drained response diverged from the reference"
         );
     }
